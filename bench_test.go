@@ -1,0 +1,279 @@
+package tailspace
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (run `go test -bench=. -benchmem`). Each experiment
+// bench executes the full reproduction and reports its key series through
+// b.ReportMetric, so `go test -bench` regenerates the numbers recorded in
+// EXPERIMENTS.md; the machine benches additionally report interpreter
+// throughput for each reference implementation.
+
+import (
+	"fmt"
+	"testing"
+
+	"tailspace/internal/core"
+	"tailspace/internal/corpus"
+	"tailspace/internal/experiments"
+	"tailspace/internal/space"
+)
+
+// reportTable surfaces an experiment's verdict and exposes violations.
+func reportTable(b *testing.B, t experiments.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !t.Ok() {
+		b.Fatalf("claims violated:\n%s", t.Render())
+	}
+}
+
+// BenchmarkFig2TailCallFrequency regenerates Figure 2: the static frequency
+// of tail calls over the corpus. Metrics: the total tail-call and self-call
+// percentages.
+func BenchmarkFig2TailCallFrequency(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.Fig2()
+	}
+	reportTable(b, table, err)
+	total := table.Rows[len(table.Rows)-1]
+	b.ReportMetric(atof(total[3]), "tail%")
+	b.ReportMetric(atof(total[4]), "self%")
+}
+
+// BenchmarkFig6Hierarchy regenerates the Figure 6 / Theorem 24 hierarchy
+// check over the probe programs.
+func BenchmarkFig6Hierarchy(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.Hierarchy(experiments.HierarchyProbePrograms(), 12)
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkThm25StackVsGC regenerates Theorem 25's first separation:
+// O(S_stack) ⊄ O(S_gc).
+func BenchmarkThm25StackVsGC(b *testing.B) {
+	benchSingleSeparation(b, "vector-frames")
+}
+
+// BenchmarkThm25GCVsTail regenerates the headline separation: the iterative
+// loop is linear under Z_gc and constant under Z_tail.
+func BenchmarkThm25GCVsTail(b *testing.B) {
+	benchSingleSeparation(b, "countdown")
+}
+
+// BenchmarkThm25TailVsEvlis regenerates the evlis separation (third
+// program).
+func BenchmarkThm25TailVsEvlis(b *testing.B) {
+	benchSingleSeparation(b, "thunk-return")
+}
+
+// BenchmarkThm25TailVsFree regenerates the free-closure separation (fourth
+// program).
+func BenchmarkThm25TailVsFree(b *testing.B) {
+	benchSingleSeparation(b, "closure-capture")
+}
+
+func benchSingleSeparation(b *testing.B, name string) {
+	var prog experiments.SeparationProgram
+	found := false
+	for _, p := range experiments.Thm25Programs() {
+		if p.Name == name {
+			prog = p
+			found = true
+		}
+	}
+	if !found {
+		b.Fatalf("unknown separation program %s", name)
+	}
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.RunSeparation(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !table.Ok() {
+		b.Fatalf("claims violated:\n%s", table.Render())
+	}
+	for _, row := range table.Rows {
+		b.ReportMetric(expOf(row[len(row)-3]), row[0]+"_exp")
+	}
+}
+
+// BenchmarkThm26LinkedVsFlat regenerates Theorem 26: O(S_sfs) ⊄ O(U_tail) on
+// the nested-let thunk family.
+func BenchmarkThm26LinkedVsFlat(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.Thm26(nil)
+	}
+	reportTable(b, table, err)
+	for _, row := range table.Rows {
+		b.ReportMetric(expOf(row[len(row)-3]), row[0]+"_exp")
+	}
+}
+
+// BenchmarkFindLeftmost regenerates the Section 4 space profile.
+func BenchmarkFindLeftmost(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.FindLeftmost(nil)
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkGCFactor regenerates the Section 12 periodic-collection factor.
+func BenchmarkGCFactor(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.GCFactor(400, nil)
+	}
+	reportTable(b, table, err)
+	last := table.Rows[len(table.Rows)-1]
+	b.ReportMetric(atof(last[len(last)-1]), "R")
+}
+
+// BenchmarkSection14MTA regenerates the Cheney-on-the-MTA table: a machine
+// that pushes a frame per call yet is properly tail recursive by the
+// space-class definition.
+func BenchmarkSection14MTA(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.MTAExperiment(nil)
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkSection16Denotational regenerates the denotational-agreement
+// check across all seven machines.
+func BenchmarkSection16Denotational(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.DenotationalAgreement(10)
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkCPSConversion regenerates the [Ste78] CPS experiment: shape,
+// answers, and space preservation of continuation-passing-style conversion.
+func BenchmarkCPSConversion(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.CPSExperiment()
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkSECDMachines regenerates the §15 [Ram97] comparison of the
+// classic and tail recursive SECD machines.
+func BenchmarkSECDMachines(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.SECDExperiment(nil)
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkControlSpaceAnalysis regenerates the §16 static-analysis
+// validation table.
+func BenchmarkControlSpaceAnalysis(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.ControlSpaceExperiment()
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkAlgolSubset regenerates the Section 5/8 strict-deletion census.
+func BenchmarkAlgolSubset(b *testing.B) {
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.AlgolSubset()
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkCorollary20Differential runs the answer-agreement check over the
+// corpus under every machine and order.
+func BenchmarkCorollary20Differential(b *testing.B) {
+	progs := map[string]string{}
+	for _, p := range corpus.All() {
+		progs[p.Name] = p.Source
+	}
+	var table experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.Corollary20(progs)
+	}
+	reportTable(b, table, err)
+}
+
+// BenchmarkMachine measures raw interpreter throughput (transitions per
+// second) for each reference implementation on the doubly recursive fib.
+func BenchmarkMachine(b *testing.B) {
+	const fib = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 14)"
+	for _, v := range core.Variants {
+		b.Run(v.Name, func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunProgram(fib, core.Options{Variant: v})
+				if err != nil || res.Err != nil {
+					b.Fatalf("%v %v", err, res.Err)
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps/run")
+		})
+	}
+}
+
+// BenchmarkMeasuredRun quantifies the cost of the space-accounting harness
+// itself: the same run with and without Figure 7/8 metering.
+func BenchmarkMeasuredRun(b *testing.B) {
+	const loop = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"plain", core.Options{Variant: core.Tail}},
+		{"flat", core.Options{Variant: core.Tail, Measure: true, FlatOnly: true, NumberMode: space.Fixnum}},
+		{"flat+linked", core.Options{Variant: core.Tail, Measure: true, NumberMode: space.Fixnum}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunApplication(loop, "(quote 400)", c.opts)
+				if err != nil || res.Err != nil {
+					b.Fatalf("%v %v", err, res.Err)
+				}
+			}
+		})
+	}
+}
+
+func atof(s string) float64 {
+	var f float64
+	fmt.Sscanf(s, "%f", &f)
+	return f
+}
+
+func expOf(s string) float64 {
+	var f float64
+	fmt.Sscanf(s, "n^%f", &f)
+	return f
+}

@@ -1,0 +1,177 @@
+// Command spacelab regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index):
+//
+//	spacelab fig2          Figure 2: static frequency of tail calls
+//	spacelab hierarchy     Figure 6 / Theorem 24: the space-class hierarchy
+//	spacelab thm25         Theorem 25: the four separation programs
+//	spacelab thm26         Theorem 26 / §13: flat vs linked environments
+//	spacelab findleftmost  §4: find-leftmost space vs tree shape
+//	spacelab gcfactor      §12: periodic-collection constant factor R
+//	spacelab mta           §14: Cheney-on-the-MTA frame collection
+//	spacelab denot         §16: denotational semantics agreement
+//	spacelab algol         §5/§8: the Algol-like subset of the corpus
+//	spacelab cps           §1/[Ste78]: CPS conversion shape and space
+//	spacelab secd          §15 [Ram97]: classic vs tail recursive SECD
+//	spacelab controlspace  §16: static control-space verdicts vs measurement
+//	spacelab ablation      why return environments must be charged-but-dead
+//	spacelab corollary20   Corollary 20: answer agreement across machines
+//	spacelab all           everything above, in order
+//
+// Every experiment prints its table and its pass/fail verdict against the
+// paper's claims; the process exits non-zero if any claim failed.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"tailspace/internal/corpus"
+	"tailspace/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		usage()
+	}
+	var tables []experiments.Table
+	var err error
+	switch os.Args[1] {
+	case "fig2":
+		tables, err = one(experiments.Fig2())
+	case "hierarchy":
+		tables, err = one(experiments.Hierarchy(experiments.HierarchyProbePrograms(), 12))
+	case "thm25":
+		tables, err = experiments.Thm25()
+	case "thm26":
+		tables, err = one(experiments.Thm26(nil))
+	case "findleftmost":
+		tables, err = one(experiments.FindLeftmost(nil))
+	case "gcfactor":
+		tables, err = one(experiments.GCFactor(400, nil))
+	case "mta":
+		tables, err = one(experiments.MTAExperiment(nil))
+	case "denot":
+		tables, err = one(experiments.DenotationalAgreement(15))
+	case "algol":
+		tables, err = one(experiments.AlgolSubset())
+	case "cps":
+		tables, err = one(experiments.CPSExperiment())
+	case "secd":
+		tables, err = one(experiments.SECDExperiment(nil))
+	case "controlspace":
+		tables, err = one(experiments.ControlSpaceExperiment())
+	case "ablation":
+		tables, err = one(experiments.ReturnEnvAblation())
+	case "corollary20":
+		tables, err = one(experiments.Corollary20(corpusPrograms()))
+	case "all":
+		tables, err = all()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spacelab:", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, t := range tables {
+		fmt.Println(t.Render())
+		if !t.Ok() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func one(t experiments.Table, err error) ([]experiments.Table, error) {
+	return []experiments.Table{t}, err
+}
+
+func all() ([]experiments.Table, error) {
+	// Every experiment is independent and deterministic, so they run
+	// concurrently; results are collected in a fixed presentation order.
+	// The return-environment ablation flips a process-wide switch, so it
+	// runs by itself afterwards.
+	jobs := []func() (experiments.Table, error){
+		experiments.Fig2,
+		func() (experiments.Table, error) {
+			return experiments.Hierarchy(experiments.HierarchyProbePrograms(), 12)
+		},
+		func() (experiments.Table, error) { return experiments.Thm26(nil) },
+		func() (experiments.Table, error) { return experiments.FindLeftmost(nil) },
+		func() (experiments.Table, error) { return experiments.GCFactor(400, nil) },
+		func() (experiments.Table, error) { return experiments.MTAExperiment(nil) },
+		func() (experiments.Table, error) { return experiments.DenotationalAgreement(15) },
+		experiments.AlgolSubset,
+		experiments.CPSExperiment,
+		func() (experiments.Table, error) { return experiments.SECDExperiment(nil) },
+		experiments.ControlSpaceExperiment,
+		func() (experiments.Table, error) { return experiments.Corollary20(corpusPrograms()) },
+	}
+	type slot struct {
+		table experiments.Table
+		err   error
+	}
+	results := make([]slot, len(jobs))
+	var thm25Tables []experiments.Table
+	var thm25Err error
+	var wg sync.WaitGroup
+	wg.Add(len(jobs) + 1)
+	go func() {
+		defer wg.Done()
+		thm25Tables, thm25Err = experiments.Thm25()
+	}()
+	for i, job := range jobs {
+		go func(i int, job func() (experiments.Table, error)) {
+			defer wg.Done()
+			results[i].table, results[i].err = job()
+		}(i, job)
+	}
+	wg.Wait()
+
+	var out []experiments.Table
+	collect := func(i int) error {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		out = append(out, results[i].table)
+		return nil
+	}
+	// Presentation order: fig2, hierarchy, thm25 (4 tables), thm26, ...
+	for _, step := range []int{0, 1} {
+		if err := collect(step); err != nil {
+			return out, err
+		}
+	}
+	if thm25Err != nil {
+		return out, thm25Err
+	}
+	out = append(out, thm25Tables...)
+	for _, step := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11} {
+		if err := collect(step); err != nil {
+			return out, err
+		}
+	}
+	ablation, err := experiments.ReturnEnvAblation()
+	if err != nil {
+		return out, err
+	}
+	out = append(out, ablation)
+	return out, nil
+}
+
+func corpusPrograms() map[string]string {
+	m := map[string]string{}
+	for _, p := range corpus.All() {
+		m[p.Name] = p.Source
+	}
+	return m
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spacelab fig2|hierarchy|thm25|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all")
+	os.Exit(2)
+}

@@ -1,0 +1,72 @@
+// Command tailscan classifies every procedure call of the given Scheme
+// source files as non-tail, tail, or self-tail (Definitions 1 and 2 of the
+// paper), prints a Figure 2 style frequency table, and — for named files —
+// reports each program's static control-space verdict: whether its
+// continuation depth under the properly tail recursive machine is provably
+// input-independent (a stack-like-leak linter). With no arguments it scans
+// the bundled benchmark corpus.
+//
+//	tailscan [file.scm ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/corpus"
+	"tailspace/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) == 1 {
+		table, err := experiments.Fig2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(table.Render())
+		_ = corpus.All()
+		return
+	}
+
+	var total analysis.CallStats
+	fmt.Printf("%-24s %8s %12s %10s %10s %12s\n", "program", "calls", "non-tail %", "tail %", "self %", "control")
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := analysis.AnalyzeSource(path, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := analysis.ControlSpaceSource(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		total.Add(s)
+		printRowWithControl(path, s, rep)
+		for _, f := range rep.Findings {
+			fmt.Println("    " + f)
+		}
+	}
+	if len(os.Args) > 2 {
+		printRow("TOTAL", total)
+	}
+}
+
+func printRow(name string, s analysis.CallStats) {
+	fmt.Printf("%-24s %8d %12.1f %10.1f %10.1f\n",
+		name, s.Calls, s.Percent(s.NonTail), s.Percent(s.Tail()), s.Percent(s.SelfColumn()))
+}
+
+func printRowWithControl(name string, s analysis.CallStats, rep analysis.ControlReport) {
+	fmt.Printf("%-24s %8d %12.1f %10.1f %10.1f %12s\n",
+		name, s.Calls, s.Percent(s.NonTail), s.Percent(s.Tail()), s.Percent(s.SelfColumn()),
+		rep.Verdict)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tailscan:", err)
+	os.Exit(1)
+}

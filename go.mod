@@ -1,0 +1,3 @@
+module tailspace
+
+go 1.22

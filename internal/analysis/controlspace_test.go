@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func verdictOf(t *testing.T, src string) ControlReport {
+	t.Helper()
+	rep, err := ControlSpaceSource(src)
+	if err != nil {
+		t.Fatalf("ControlSpaceSource(%q): %v", src, err)
+	}
+	return rep
+}
+
+func TestBoundedIterativeLoop(t *testing.T) {
+	rep := verdictOf(t, "(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 10)")
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestBoundedMutualTailRecursion(t *testing.T) {
+	rep := verdictOf(t, `
+(define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+(define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+(even2? 10)`)
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestUnboundedNonTailRecursion(t *testing.T) {
+	rep := verdictOf(t, "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1))))) (sum 10)")
+	if rep.Verdict != UnboundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+	if len(rep.Findings) == 0 || !strings.Contains(rep.Findings[0], "sum") {
+		t.Fatalf("findings should name the procedure: %v", rep.Findings)
+	}
+}
+
+func TestUnboundedDoubleRecursion(t *testing.T) {
+	rep := verdictOf(t, "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 5)")
+	if rep.Verdict != UnboundedControl {
+		t.Fatalf("verdict %v", rep.Verdict)
+	}
+}
+
+func TestUnboundedMutualNonTail(t *testing.T) {
+	// The cycle spans two procedures; the non-tail edge is g -> f.
+	rep := verdictOf(t, `
+(define (f n) (g (- n 1)))
+(define (g n) (if (zero? n) 0 (+ 1 (f n))))
+(f 5)`)
+	if rep.Verdict != UnboundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestBoundedNonTailAcrossDAG(t *testing.T) {
+	// helper is called non-tail but never calls back: constant depth.
+	rep := verdictOf(t, `
+(define (helper x) (* x x))
+(define (f n) (if (zero? n) 0 (f (- n (helper 1)))))
+(f 10)`)
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestCPSProvablyBounded(t *testing.T) {
+	// Every call is a tail call (the continuation targets are unknown, but
+	// tail calls never grow control): CPS verifies as bounded.
+	rep := verdictOf(t, `
+(define (fact-k n k)
+  (if (zero? n)
+      (k 1)
+      (fact-k (- n 1) (lambda (r) (k (* n r))))))
+(fact-k 10 (lambda (x) x))`)
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestUnknownForHigherOrderNonTail(t *testing.T) {
+	// (p x) in test position: non-tail call to a parameter.
+	rep := verdictOf(t, "(define (check p x) (if (p x) 'yes 'no)) (check zero? 0)")
+	if rep.Verdict != UnknownControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestUnboundedThroughAnonymousThunk(t *testing.T) {
+	// The paper's closure-capture program: the thunk's body re-enters f
+	// outside tail position.
+	rep := verdictOf(t, `
+(define (f n)
+  (if (zero? n)
+      0
+      ((lambda () (begin (f (- n 1)) n)))))
+(f 5)`)
+	if rep.Verdict != UnboundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestNamedLetLoopBounded(t *testing.T) {
+	rep := verdictOf(t, "(let loop ((i 10)) (if (zero? i) 'done (loop (- i 1))))")
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestDoLoopBounded(t *testing.T) {
+	rep := verdictOf(t, "(do ((i 0 (+ i 1)) (a 0 (+ a i))) ((= i 10) a))")
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestShadowedNameIsUnknown(t *testing.T) {
+	// f rebinds itself; the call goes to the parameter, not the procedure,
+	// and it is in non-tail position.
+	rep := verdictOf(t, "(define (f g) (+ 1 (g 1))) (f (lambda (x) x))")
+	if rep.Verdict != UnknownControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestTailCallsThroughLetRemainBounded(t *testing.T) {
+	rep := verdictOf(t, `
+(define (f n)
+  (let ((m (- n 1)))
+    (if (zero? n) 0 (f m))))
+(f 10)`)
+	if rep.Verdict != BoundedControl {
+		t.Fatalf("verdict %v: %v", rep.Verdict, rep.Findings)
+	}
+}
+
+func TestGraphSizesReported(t *testing.T) {
+	rep := verdictOf(t, "(define (f n) (f n)) (f 1)")
+	if rep.Procs < 2 || rep.Edges < 1 {
+		t.Fatalf("graph too small: %+v", rep)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		BoundedControl:   "bounded",
+		UnknownControl:   "unknown",
+		UnboundedControl: "unbounded",
+	} {
+		if v.String() != want {
+			t.Fatalf("%d = %q", v, v.String())
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package analysis implements the static call-site classifier behind the
+// paper's Figure 2: every procedure call in a program is a non-tail call, a
+// tail call, or a self-tail call (the special case in which a procedure
+// calls itself tail recursively). Definitions 1 and 2 of the paper define
+// tail positions; self-tail calls are tail calls whose operator is the
+// (unshadowed) variable naming the enclosing lambda.
+//
+// Following the Figure 2 caption — "the self-tail calls shown for Scheme
+// include all tail calls to known closures, because Twobit has no reason to
+// recognize self-tail calls as a special case" — tail calls whose operator
+// is a literal lambda expression are tracked separately as KnownTail and
+// folded into the self column of the Figure 2 report.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+)
+
+// CallStats counts the call sites of one program.
+type CallStats struct {
+	// Name identifies the program (for report rows).
+	Name string
+	// Calls is the total number of call sites.
+	Calls int
+	// NonTail counts calls in non-tail position.
+	NonTail int
+	// TailOther counts tail calls to operators that are neither the
+	// enclosing procedure nor a literal lambda.
+	TailOther int
+	// SelfTail counts tail calls whose operator names the enclosing lambda.
+	SelfTail int
+	// KnownTail counts tail calls whose operator is a literal lambda
+	// expression (the expansions of let and begin produce these).
+	KnownTail int
+}
+
+// Tail returns all tail calls.
+func (s CallStats) Tail() int { return s.TailOther + s.SelfTail + s.KnownTail }
+
+// SelfColumn is the Figure 2 self-tail column: self-tail calls plus tail
+// calls to known closures.
+func (s CallStats) SelfColumn() int { return s.SelfTail + s.KnownTail }
+
+// Percent renders n as a percentage of total calls.
+func (s CallStats) Percent(n int) float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(s.Calls)
+}
+
+// Add accumulates other into s.
+func (s *CallStats) Add(other CallStats) {
+	s.Calls += other.Calls
+	s.NonTail += other.NonTail
+	s.TailOther += other.TailOther
+	s.SelfTail += other.SelfTail
+	s.KnownTail += other.KnownTail
+}
+
+func (s CallStats) String() string {
+	return fmt.Sprintf("%s: %d calls (%.1f%% non-tail, %.1f%% tail, %.1f%% self)",
+		s.Name, s.Calls, s.Percent(s.NonTail), s.Percent(s.Tail()), s.Percent(s.SelfColumn()))
+}
+
+// Analyze classifies every call site in a Core Scheme expression.
+func Analyze(e ast.Expr) CallStats {
+	var stats CallStats
+	info := ast.MarkTails(e)
+	classify(e, info, "", map[string]bool{}, &stats)
+	return stats
+}
+
+// AnalyzeSource parses, expands, and classifies program source. Derived
+// forms contribute the calls their expansions contain (a `let` is a lambda
+// application), matching how a compiler like Twobit sees the program after
+// macro expansion.
+func AnalyzeSource(name, src string) (CallStats, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return CallStats{}, err
+	}
+	stats := Analyze(e)
+	stats.Name = name
+	return stats, nil
+}
+
+// transparentLabel reports whether a lambda was manufactured by the expander
+// for an immediately-applied form (let, letrec, begin, cond, case, or).
+// Such lambdas are transparent for self-call detection: a call to f inside
+// (let (...) ...) inside f's body is still a self call of f, because the let
+// body runs within f's activation. A user-written anonymous lambda
+// ("%lambda:N") is NOT transparent — it is a real procedure boundary.
+func transparentLabel(label string) bool {
+	for _, p := range []string{"%let:", "%letrec:", "%begin:", "%cond:", "%case:", "%or:"} {
+		if strings.HasPrefix(label, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// plumbingCall reports whether a call exists only as expansion machinery —
+// the letrec wrapper application, (%undef) initializers, and begin-chain
+// applications — and should not be counted as a call site of the source
+// program. Its subexpressions are still classified.
+func plumbingCall(c *ast.Call) bool {
+	if v, ok := c.Operator().(*ast.Var); ok && v.Name == "%undef" {
+		return true
+	}
+	if lam, ok := c.Operator().(*ast.Lambda); ok {
+		return strings.HasPrefix(lam.Label, "%letrec:") || strings.HasPrefix(lam.Label, "%begin:")
+	}
+	return false
+}
+
+// classify walks the tree carrying the label of the enclosing user-visible
+// lambda and the set of names shadowed since entering it (a shadowed name
+// can no longer refer to the enclosing procedure, so a call through it is
+// not a self call).
+func classify(e ast.Expr, info *ast.TailInfo, enclosing string, shadowed map[string]bool, stats *CallStats) {
+	switch x := e.(type) {
+	case *ast.Lambda:
+		if transparentLabel(x.Label) {
+			inner := copyShadow(shadowed, x.Params)
+			classify(x.Body, info, enclosing, inner, stats)
+			return
+		}
+		inner := copyShadow(nil, x.Params)
+		classify(x.Body, info, x.Label, inner, stats)
+	case *ast.If:
+		classify(x.Test, info, enclosing, shadowed, stats)
+		classify(x.Then, info, enclosing, shadowed, stats)
+		classify(x.Else, info, enclosing, shadowed, stats)
+	case *ast.Set:
+		classify(x.Rhs, info, enclosing, shadowed, stats)
+	case *ast.Call:
+		if plumbingCall(x) {
+			for _, sub := range x.Exprs {
+				classify(sub, info, enclosing, shadowed, stats)
+			}
+			return
+		}
+		stats.Calls++
+		switch {
+		case !info.IsTail(x):
+			stats.NonTail++
+		case isSelfCall(x, enclosing, shadowed):
+			stats.SelfTail++
+		case isKnownClosureCall(x):
+			stats.KnownTail++
+		default:
+			stats.TailOther++
+		}
+		for _, sub := range x.Exprs {
+			classify(sub, info, enclosing, shadowed, stats)
+		}
+	}
+}
+
+func copyShadow(base map[string]bool, params []string) map[string]bool {
+	out := make(map[string]bool, len(base)+len(params))
+	for k, v := range base {
+		if v {
+			out[k] = true
+		}
+	}
+	for _, p := range params {
+		out[p] = true
+	}
+	return out
+}
+
+func isSelfCall(c *ast.Call, enclosing string, shadowed map[string]bool) bool {
+	if enclosing == "" {
+		return false
+	}
+	v, ok := c.Operator().(*ast.Var)
+	return ok && v.Name == enclosing && !shadowed[v.Name]
+}
+
+func isKnownClosureCall(c *ast.Call) bool {
+	_, ok := c.Operator().(*ast.Lambda)
+	return ok
+}

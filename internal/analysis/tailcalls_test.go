@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) CallStats {
+	t.Helper()
+	s, err := AnalyzeSource("test", src)
+	if err != nil {
+		t.Fatalf("AnalyzeSource(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestSelfTailCall(t *testing.T) {
+	s := analyze(t, "(define (f n) (if (zero? n) 0 (f (- n 1)))) f")
+	if s.SelfTail != 1 {
+		t.Fatalf("self-tail = %d, want 1; %+v", s.SelfTail, s)
+	}
+	// (zero? n) and (- n 1) are non-tail.
+	if s.NonTail != 2 {
+		t.Fatalf("non-tail = %d, want 2; %+v", s.NonTail, s)
+	}
+}
+
+func TestTailCallToOtherProcedure(t *testing.T) {
+	s := analyze(t, `
+(define (f n) (g n))
+(define (g n) n)
+f`)
+	if s.TailOther != 1 {
+		t.Fatalf("tail-other = %d; %+v", s.TailOther, s)
+	}
+	if s.SelfTail != 0 {
+		t.Fatalf("self = %d; %+v", s.SelfTail, s)
+	}
+}
+
+func TestNonTailCall(t *testing.T) {
+	s := analyze(t, "(define (f n) (+ 1 (f (- n 1)))) f")
+	// (f ...) is an operand of +: non-tail. (- n 1) non-tail. (+ ...) is tail.
+	if s.SelfTail != 0 {
+		t.Fatalf("self = %d; recursion in operand position is not a tail call", s.SelfTail)
+	}
+	if s.NonTail != 2 {
+		t.Fatalf("non-tail = %d, want 2; %+v", s.NonTail, s)
+	}
+	if s.TailOther != 1 {
+		t.Fatalf("tail-other = %d, want 1 (the + call); %+v", s.TailOther, s)
+	}
+}
+
+func TestSelfCallThroughLet(t *testing.T) {
+	// The let-expansion lambda is transparent: f calling f from inside a let
+	// body is still a self-tail call.
+	s := analyze(t, "(define (f n) (let ((x 1)) (f x))) f")
+	if s.SelfTail != 1 {
+		t.Fatalf("self = %d, want 1; %+v", s.SelfTail, s)
+	}
+	// The let application itself is a tail call to a known closure.
+	if s.KnownTail != 1 {
+		t.Fatalf("known = %d, want 1; %+v", s.KnownTail, s)
+	}
+}
+
+func TestSelfCallShadowedByParameter(t *testing.T) {
+	// Inner lambda rebinds f; the call is to the parameter, not the
+	// enclosing procedure.
+	s := analyze(t, "(define (f n) ((lambda (f) (f n)) car)) f")
+	if s.SelfTail != 0 {
+		t.Fatalf("shadowed call must not be self: %+v", s)
+	}
+}
+
+func TestSelfCallShadowedByLetBinding(t *testing.T) {
+	s := analyze(t, "(define (f n) (let ((f car)) (f n))) f")
+	if s.SelfTail != 0 {
+		t.Fatalf("let-shadowed call must not be self: %+v", s)
+	}
+}
+
+func TestNestedProcedureResetsSelf(t *testing.T) {
+	// g calling f tail-recursively is a tail call, not a self call of g.
+	s := analyze(t, `
+(define (f n)
+  (define (g k) (f k))
+  (g n))
+f`)
+	if s.SelfTail != 0 {
+		t.Fatalf("f-from-g is not self: %+v", s)
+	}
+	if s.TailOther < 1 {
+		t.Fatalf("expected tail calls: %+v", s)
+	}
+}
+
+func TestIfArmsInheritTailness(t *testing.T) {
+	s := analyze(t, `
+(define (f n)
+  (if (zero? n)
+      (f 0)
+      (if (even? n) (f 1) (f 2))))
+f`)
+	if s.SelfTail != 3 {
+		t.Fatalf("self = %d, want 3; %+v", s.SelfTail, s)
+	}
+}
+
+func TestNamedLetLoopIsSelf(t *testing.T) {
+	s := analyze(t, "(define (f n) (let loop ((i n)) (if (zero? i) 0 (loop (- i 1))))) f")
+	if s.SelfTail != 1 {
+		t.Fatalf("named-let loop should self-call: %+v", s)
+	}
+}
+
+func TestMutualRecursionNotSelf(t *testing.T) {
+	s := analyze(t, `
+(define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+(define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+even2?`)
+	if s.SelfTail != 0 {
+		t.Fatalf("mutual recursion is not self: %+v", s)
+	}
+	if s.TailOther != 2 {
+		t.Fatalf("tail-other = %d, want 2: %+v", s.TailOther, s)
+	}
+}
+
+func TestCPSAllTail(t *testing.T) {
+	s := analyze(t, `
+(define (add-k a b k) (k (+ a b)))
+add-k`)
+	// (k ...) is tail; (+ a b) is its operand, non-tail.
+	if s.TailOther != 1 || s.NonTail != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestCountsAndPercents(t *testing.T) {
+	s := analyze(t, "(define (f n) (if (zero? n) 0 (f (- n 1)))) f")
+	if s.Calls != s.NonTail+s.Tail() {
+		t.Fatalf("counts must partition: %+v", s)
+	}
+	total := s.Percent(s.NonTail) + s.Percent(s.TailOther) + s.Percent(s.SelfColumn())
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("percents must sum to 100: %f", total)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := CallStats{Calls: 5, NonTail: 2, TailOther: 1, SelfTail: 1, KnownTail: 1}
+	b := CallStats{Calls: 3, NonTail: 1, TailOther: 1, SelfTail: 1}
+	a.Add(b)
+	if a.Calls != 8 || a.NonTail != 3 || a.SelfTail != 2 {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := CallStats{Name: "prog", Calls: 4, NonTail: 2, TailOther: 1, SelfTail: 1}
+	out := s.String()
+	if !strings.Contains(out, "prog") || !strings.Contains(out, "4 calls") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestEmptyProgramPercent(t *testing.T) {
+	s := CallStats{}
+	if s.Percent(0) != 0 {
+		t.Fatal("0/0 must be 0")
+	}
+}
+
+func TestAnalyzeSourceError(t *testing.T) {
+	if _, err := AnalyzeSource("bad", "(if)"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

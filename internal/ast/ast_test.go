@@ -1,0 +1,231 @@
+package ast
+
+import (
+	"math/big"
+	"testing"
+)
+
+func num(v int64) *Const { return &Const{Value: NumConst{Int: big.NewInt(v)}} }
+
+func v(name string) *Var { return &Var{Name: name} }
+
+func call(exprs ...Expr) *Call { return &Call{Exprs: exprs} }
+
+func lam(params []string, body Expr) *Lambda { return &Lambda{Params: params, Body: body} }
+
+func TestSizeLeaf(t *testing.T) {
+	if got := num(7).Size(); got != 1 {
+		t.Fatalf("const size = %d", got)
+	}
+	if got := v("x").Size(); got != 1 {
+		t.Fatalf("var size = %d", got)
+	}
+}
+
+func TestSizeComposite(t *testing.T) {
+	// (lambda (x y) (if x y (quote 1)))  => 1 + 2 params + (1 + 1 + 1 + 1)
+	e := lam([]string{"x", "y"}, &If{Test: v("x"), Then: v("y"), Else: num(1)})
+	if got := e.Size(); got != 7 {
+		t.Fatalf("size = %d, want 7", got)
+	}
+}
+
+func TestSizeCallAndSet(t *testing.T) {
+	// (set! x (f y)) => 2 + (1 + 1 + 1)
+	e := &Set{Name: "x", Rhs: call(v("f"), v("y"))}
+	if got := e.Size(); got != 5 {
+		t.Fatalf("size = %d, want 5", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &If{Test: v("p"), Then: call(v("f"), v("x")), Else: &Const{Value: BoolConst(false)}}
+	want := "(if p (f x) (quote #f))"
+	if got := e.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFreeVarsVar(t *testing.T) {
+	fv := FreeVars(v("x"))
+	if !fv.Contains("x") || len(fv) != 1 {
+		t.Fatalf("FV(x) = %v", fv.Sorted())
+	}
+}
+
+func TestFreeVarsLambdaBinds(t *testing.T) {
+	// (lambda (x) (f x y)) — free: f, y
+	e := lam([]string{"x"}, call(v("f"), v("x"), v("y")))
+	fv := FreeVars(e)
+	if fv.Contains("x") {
+		t.Fatal("x should be bound")
+	}
+	if !fv.Contains("f") || !fv.Contains("y") || len(fv) != 2 {
+		t.Fatalf("FV = %v", fv.Sorted())
+	}
+}
+
+func TestFreeVarsSetIncludesTarget(t *testing.T) {
+	e := &Set{Name: "x", Rhs: num(1)}
+	fv := FreeVars(e)
+	if !fv.Contains("x") {
+		t.Fatal("set! target must be free")
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	// (lambda (x) (lambda (y) (x y z)))
+	e := lam([]string{"x"}, lam([]string{"y"}, call(v("x"), v("y"), v("z"))))
+	fv := FreeVars(e)
+	if len(fv) != 1 || !fv.Contains("z") {
+		t.Fatalf("FV = %v", fv.Sorted())
+	}
+}
+
+func TestFreeVarCacheMemoizes(t *testing.T) {
+	c := NewFreeVarCache()
+	body := call(v("f"), v("x"))
+	e := lam([]string{"x"}, body)
+	a := c.Free(e)
+	b := c.Free(e)
+	if len(a) != 1 || !a.Contains("f") {
+		t.Fatalf("FV = %v", a.Sorted())
+	}
+	// Same node must return the identical cached set.
+	if &a == nil || len(b) != len(a) {
+		t.Fatal("cache mismatch")
+	}
+	if len(c.memo) == 0 {
+		t.Fatal("cache did not record results")
+	}
+}
+
+func TestFreeOfAll(t *testing.T) {
+	c := NewFreeVarCache()
+	s := c.FreeOfAll([]Expr{v("a"), call(v("b"), v("c"))})
+	if len(s) != 3 {
+		t.Fatalf("got %v", s.Sorted())
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	s := NewVarSet("a", "b")
+	u := s.Union(NewVarSet("b", "c"))
+	if len(u) != 3 {
+		t.Fatalf("union = %v", u.Sorted())
+	}
+	got := u.Sorted()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+// Tail-position tests follow Definition 1 exactly.
+
+func TestTailLambdaBody(t *testing.T) {
+	body := call(v("f"))
+	e := lam(nil, body)
+	info := MarkTails(e)
+	if !info.IsTail(body) {
+		t.Fatal("lambda body must be a tail expression")
+	}
+	if !info.IsTailCall(body) {
+		t.Fatal("lambda body call must be a tail call")
+	}
+}
+
+func TestTailIfArms(t *testing.T) {
+	test := call(v("p"))
+	thn := call(v("f"))
+	els := call(v("g"))
+	e := lam(nil, &If{Test: test, Then: thn, Else: els})
+	info := MarkTails(e)
+	if info.IsTail(test) {
+		t.Fatal("if test must not be a tail expression")
+	}
+	if !info.IsTailCall(thn) || !info.IsTailCall(els) {
+		t.Fatal("both if arms of a tail if are tail calls")
+	}
+}
+
+func TestTailNestedIf(t *testing.T) {
+	inner := call(v("f"))
+	e := lam(nil, &If{
+		Test: v("a"),
+		Then: &If{Test: v("b"), Then: inner, Else: v("x")},
+		Else: v("y"),
+	})
+	info := MarkTails(e)
+	if !info.IsTailCall(inner) {
+		t.Fatal("call in nested tail-if arm is a tail call")
+	}
+}
+
+func TestNonTailPositions(t *testing.T) {
+	arg := call(v("g"))
+	rhs := call(v("h"))
+	op := call(v("k"))
+	e := lam(nil, &If{
+		Test: v("p"),
+		Then: call(op, arg),
+		Else: &Set{Name: "x", Rhs: rhs},
+	})
+	info := MarkTails(e)
+	for _, c := range []*Call{arg, rhs, op} {
+		if info.IsTail(c) {
+			t.Fatalf("%s must not be a tail expression", c)
+		}
+	}
+}
+
+func TestTailCallFalseForNonCall(t *testing.T) {
+	body := v("x")
+	e := lam(nil, body)
+	info := MarkTails(e)
+	if !info.IsTail(body) {
+		t.Fatal("body is tail")
+	}
+	if info.IsTailCall(body) {
+		t.Fatal("a variable is not a tail call")
+	}
+}
+
+func TestIfArmsNotTailWhenIfIsNot(t *testing.T) {
+	// The if sits in operand position, so its arms are not tail expressions.
+	thn := call(v("f"))
+	inner := &If{Test: v("p"), Then: thn, Else: v("x")}
+	e := lam(nil, call(v("g"), inner))
+	info := MarkTails(e)
+	if info.IsTail(thn) {
+		t.Fatal("arm of non-tail if must not be tail")
+	}
+}
+
+func TestCallsCollector(t *testing.T) {
+	e := lam(nil, &If{Test: call(v("p")), Then: call(v("f"), call(v("g"))), Else: v("x")})
+	cs := Calls(e)
+	if len(cs) != 3 {
+		t.Fatalf("found %d calls, want 3", len(cs))
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	e := lam(nil, call(v("f"), v("x")))
+	var count int
+	Walk(e, func(x Expr) bool {
+		count++
+		_, isLambda := x.(*Lambda)
+		return !isLambda // prune below the lambda
+	})
+	if count != 1 {
+		t.Fatalf("visited %d nodes, want 1", count)
+	}
+}
+
+func TestMarkTailsTopLevelIsTail(t *testing.T) {
+	e := call(v("f"))
+	info := MarkTails(e)
+	if !info.IsTailCall(e) {
+		t.Fatal("top-level expression is a tail expression of the program")
+	}
+}

@@ -1,0 +1,106 @@
+package ast
+
+import "sort"
+
+// VarSet is a set of identifiers.
+type VarSet map[string]struct{}
+
+// NewVarSet builds a set from names.
+func NewVarSet(names ...string) VarSet {
+	s := make(VarSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s VarSet) Contains(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Add inserts name.
+func (s VarSet) Add(name string) { s[name] = struct{}{} }
+
+// Union returns a new set with the elements of both sets.
+func (s VarSet) Union(t VarSet) VarSet {
+	u := make(VarSet, len(s)+len(t))
+	for k := range s {
+		u[k] = struct{}{}
+	}
+	for k := range t {
+		u[k] = struct{}{}
+	}
+	return u
+}
+
+// Sorted returns the members in lexical order.
+func (s VarSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeVarCache memoizes FV(E) by node identity. The safe-for-space machines
+// (Z_free, Z_sfs) consult it on every environment restriction, so the
+// analysis must be shared rather than recomputed.
+type FreeVarCache struct {
+	memo map[Expr]VarSet
+}
+
+// NewFreeVarCache returns an empty cache.
+func NewFreeVarCache() *FreeVarCache {
+	return &FreeVarCache{memo: make(map[Expr]VarSet)}
+}
+
+// Free returns FV(e), the set of identifiers occurring free in e.
+func (c *FreeVarCache) Free(e Expr) VarSet {
+	if s, ok := c.memo[e]; ok {
+		return s
+	}
+	var s VarSet
+	switch x := e.(type) {
+	case *Const:
+		s = VarSet{}
+	case *Var:
+		s = NewVarSet(x.Name)
+	case *Lambda:
+		body := c.Free(x.Body)
+		s = make(VarSet, len(body))
+		for k := range body {
+			s[k] = struct{}{}
+		}
+		for _, p := range x.Params {
+			delete(s, p)
+		}
+	case *If:
+		s = c.Free(x.Test).Union(c.Free(x.Then)).Union(c.Free(x.Else))
+	case *Set:
+		s = c.Free(x.Rhs).Union(NewVarSet(x.Name))
+	case *Call:
+		s = VarSet{}
+		for _, sub := range x.Exprs {
+			s = s.Union(c.Free(sub))
+		}
+	}
+	c.memo[e] = s
+	return s
+}
+
+// FreeOfAll returns the union of FV over several expressions.
+func (c *FreeVarCache) FreeOfAll(exprs []Expr) VarSet {
+	s := VarSet{}
+	for _, e := range exprs {
+		s = s.Union(c.Free(e))
+	}
+	return s
+}
+
+// FreeVars computes FV(e) without caching; convenience for tests and tools.
+func FreeVars(e Expr) VarSet {
+	return NewFreeVarCache().Free(e)
+}

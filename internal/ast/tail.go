@@ -1,0 +1,68 @@
+package ast
+
+// This file implements Definitions 1 and 2 of the paper:
+//
+//	Definition 1 (tail expressions):
+//	  1. The body of a lambda expression is a tail expression.
+//	  2. If (if E0 E1 E2) is a tail expression, then both E1 and E2 are
+//	     tail expressions.
+//	  3. Nothing else is a tail expression.
+//
+//	Definition 2: a tail call is a tail expression that is a procedure call.
+
+// TailInfo records, for every expression node in a program, whether it is a
+// tail expression of its enclosing lambda (or of the whole program).
+type TailInfo struct {
+	tail map[Expr]bool
+}
+
+// MarkTails computes tail positions for e. The top-level expression itself is
+// treated as a tail expression of the program, matching the way a program
+// body behaves as the body of an implicit lambda.
+func MarkTails(e Expr) *TailInfo {
+	info := &TailInfo{tail: make(map[Expr]bool)}
+	info.mark(e, true)
+	return info
+}
+
+func (t *TailInfo) mark(e Expr, isTail bool) {
+	t.tail[e] = isTail
+	switch x := e.(type) {
+	case *Lambda:
+		// Rule 1: the body of a lambda is a tail expression.
+		t.mark(x.Body, true)
+	case *If:
+		// Rule 2: the arms inherit tailness; the test never does.
+		t.mark(x.Test, false)
+		t.mark(x.Then, isTail)
+		t.mark(x.Else, isTail)
+	case *Set:
+		t.mark(x.Rhs, false)
+	case *Call:
+		// Rule 3: operator and operand positions are not tail expressions.
+		for _, sub := range x.Exprs {
+			t.mark(sub, false)
+		}
+	}
+}
+
+// IsTail reports whether e is a tail expression.
+func (t *TailInfo) IsTail(e Expr) bool { return t.tail[e] }
+
+// IsTailCall reports whether e is a tail call (Definition 2).
+func (t *TailInfo) IsTailCall(e Expr) bool {
+	_, isCall := e.(*Call)
+	return isCall && t.tail[e]
+}
+
+// Calls returns every call expression in e in syntax order.
+func Calls(e Expr) []*Call {
+	var out []*Call
+	Walk(e, func(x Expr) bool {
+		if c, ok := x.(*Call); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}

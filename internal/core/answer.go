@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+// Answer renders the observable answer represented by a final configuration
+// (v, σ) — Definition 11 of the paper. Procedures print as #<PROC>; vectors
+// and pairs are chased through the store. The paper allows the answer to be
+// an infinite token sequence (cyclic data); maxTokens bounds the rendering,
+// appending "..." when the bound is hit.
+func Answer(v value.Value, st *value.Store) string {
+	var sb strings.Builder
+	w := &answerWriter{st: st, budget: 100000}
+	w.write(&sb, v)
+	return sb.String()
+}
+
+type answerWriter struct {
+	st     *value.Store
+	budget int
+}
+
+func (w *answerWriter) spend(sb *strings.Builder) bool {
+	if w.budget <= 0 {
+		sb.WriteString("...")
+		return false
+	}
+	w.budget--
+	return true
+}
+
+func (w *answerWriter) write(sb *strings.Builder, v value.Value) {
+	if !w.spend(sb) {
+		return
+	}
+	switch x := v.(type) {
+	case value.Bool:
+		if bool(x) {
+			sb.WriteString("#t")
+		} else {
+			sb.WriteString("#f")
+		}
+	case value.Num:
+		sb.WriteString(x.Int.String())
+	case value.Sym:
+		sb.WriteString(string(x))
+	case value.Str:
+		sb.WriteByte('"')
+		sb.WriteString(string(x))
+		sb.WriteByte('"')
+	case value.Char:
+		sb.WriteString(`#\`)
+		sb.WriteRune(rune(x))
+	case value.Null:
+		sb.WriteString("()")
+	case value.Unspecified:
+		sb.WriteString("#!unspecified")
+	case value.Undefined:
+		sb.WriteString("#!undefined")
+	case value.Closure, value.Escape, *value.Primop, value.Foreign:
+		sb.WriteString("#<PROC>")
+	case value.Vector:
+		sb.WriteString("#(")
+		for i, l := range x.ElemLocs {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			w.writeLoc(sb, l)
+			if w.budget <= 0 {
+				break
+			}
+		}
+		sb.WriteByte(')')
+	case value.Pair:
+		sb.WriteByte('(')
+		w.writePairChain(sb, x)
+		sb.WriteByte(')')
+	default:
+		sb.WriteString("#<unknown>")
+	}
+}
+
+func (w *answerWriter) writeLoc(sb *strings.Builder, l env.Location) {
+	v, ok := w.st.Get(l)
+	if !ok {
+		sb.WriteString("#<dangling>")
+		return
+	}
+	w.write(sb, v)
+}
+
+func (w *answerWriter) writePairChain(sb *strings.Builder, p value.Pair) {
+	w.writeLoc(sb, p.CarLoc)
+	cdr, ok := w.st.Get(p.CdrLoc)
+	if !ok {
+		sb.WriteString(" . #<dangling>")
+		return
+	}
+	for {
+		if !w.spend(sb) {
+			return
+		}
+		switch x := cdr.(type) {
+		case value.Null:
+			return
+		case value.Pair:
+			sb.WriteByte(' ')
+			w.writeLoc(sb, x.CarLoc)
+			next, ok := w.st.Get(x.CdrLoc)
+			if !ok {
+				sb.WriteString(" . #<dangling>")
+				return
+			}
+			cdr = next
+		default:
+			sb.WriteString(" . ")
+			w.write(sb, cdr)
+			return
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// This file documents the transition rules in the paper's notation and how
+// each maps to the implementation; it contains no code.
+//
+// # Configurations (Figure 4)
+//
+//	Configuration ::= (v, σ)              final            State.IsFinal
+//	               |  (E, ρ, κ, σ)        eval             State{Expr: E}
+//	               |  (v, ρ, κ, σ)        continue         State{Val: v}
+//
+// # Reduction rules (Figure 5) — Machine.stepExpr
+//
+//	((quote c), ρ, κ, σ)  →  (c, ρ, κ, σ)
+//	(I, ρ, κ, σ)          →  (σ(ρ(I)), ρ, κ, σ)
+//	     stuck if I ∉ Dom ρ, ρ(I) ∉ Dom σ, or σ(ρ(I)) = UNDEFINED
+//	(L, ρ, κ, σ)          →  (CLOSURE:(α, L, ρ'), ρ, κ, σ[α ↦ UNSPECIFIED])
+//	     ρ' = ρ                         for Z_tail, Z_gc, Z_stack, Z_evlis
+//	     ρ' = ρ | (Dom ρ ∩ FV(L))       for Z_free, Z_sfs
+//	((if E0 E1 E2), ρ, κ, σ)  →  (E0, ρ, select:(E1, E2, ρ', κ), σ)
+//	     ρ' = ρ, or ρ | FV(E1)∪FV(E2)   for Z_sfs
+//	((set! I E0), ρ, κ, σ)    →  (E0, ρ, assign:(I, ρ', κ), σ)
+//	     ρ' = ρ, or ρ | {I}             for Z_sfs
+//	((E0 E1 ...), ρ, κ, σ)    →  (E0', ρ, push:((E1' ...), (), π, ρ', κ), σ)
+//	     (E0', E1', ...) = reverse(π⁻¹(E0, E1, ...)); π is resolved by
+//	     Machine.evalOrder (left-to-right, right-to-left, or random).
+//	     ρ' = ρ; { } when no operands remain for Z_evlis; ρ | FV(rest) for Z_sfs
+//
+// # Continuation rules — Machine.stepValue
+//
+//	(v, ρ', halt, σ)                        →  (v, { }, halt, σ)  →  final (v, σ)
+//	(v, ρ', select:(E1, E2, ρ, κ), σ)       →  (E1 or E2, ρ, κ, σ)   by v ≠ FALSE
+//	(v, ρ', assign:(I, ρ, κ), σ)            →  (UNSPECIFIED, ρ, κ, σ[ρ(I) ↦ v])
+//	(v, ρ', push:((E ...), done, π, ρ, κ))  →  next operand, or when none remain
+//	                                          (v0, ρ, call:((v1 ... vn), κ), σ)
+//	                                          with values permuted back by π
+//
+// The call rule is where the family splits (Machine.applyProcedure):
+//
+//	Z_tail / Z_evlis / Z_free / Z_sfs — a call is a goto:
+//	  (CLOSURE:(α, L, ρ), ρ', call:((v1...vn), κ), σ)
+//	    →  (E, ρ[I1...In ↦ β1...βn], κ, σ[βi ↦ vi])
+//
+//	Z_gc / Z_mta — every call pushes a return continuation:
+//	    →  (E, ρ'', return:(ρ', κ), σ')
+//
+//	Z_stack — every call pushes a deleting frame:
+//	    →  (E, ρ'', return:(A, ρ', κ), σ')    A ⊆ {β1, ..., βn}
+//
+// and correspondingly on return:
+//
+//	(v, ρ, return:(ρ', κ), σ)     →  (v, ρ', κ, σ)
+//	(v, ρ, return:(A, ρ', κ), σ') →  (v, ρ', κ, σ' | (Dom σ' \ A))
+//	     stuck (strict mode) if some β ∈ A occurs within v, ρ', κ, σ;
+//	     the default resolves A as the maximal safe subset.
+//
+// # Garbage collection rule — Store.Collect, driven by Runner
+//
+//	(v, ρ, κ, σ[β ↦ v', ...])  →  (v, ρ, κ, σ)
+//	     if {β, ...} are not reachable from the locations mentioned by
+//	     v, ρ, and κ (State.Roots)
+//
+// Space-efficient computations (Definition 21) apply this rule whenever it
+// is applicable; the Runner implements that as a collection after every
+// transition (Options.GCEvery = 1), with larger periods available for the
+// Section 12 R-factor argument. The locations in a Z_stack deletion set A
+// are roots (the frame retains its variables until it pops); the saved
+// environments of return continuations are charged by Figure 7 but are dead
+// — see DESIGN.md for why the proofs force this reading.
+//
+// Z_mta (Section 14) extends the collection rule to the continuation
+// itself: runs of consecutive return frames collapse to their innermost
+// frame (CompressReturnChains), which is Baker's Cheney-on-the-MTA.
+package core

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+	"tailspace/internal/prim"
+	"tailspace/internal/space"
+	"tailspace/internal/value"
+)
+
+// Options configures a run of a reference implementation.
+type Options struct {
+	// Variant selects the reference implementation; zero value is Z_tail.
+	Variant Variant
+	// MaxSteps bounds the computation; 0 means the default (5 million).
+	MaxSteps int
+	// GCEvery applies the garbage collection rule after every k-th
+	// transition. 1 — the default — is the space-efficient computation of
+	// Definition 21 (collect whenever garbage remains); 0 disables the rule
+	// entirely; larger values model the Section 12 argument that a real
+	// collector running every k steps stays within a constant factor R.
+	GCEvery int
+	// Order resolves the nondeterministic permutation π.
+	Order ArgOrder
+	// StackStrict makes Z_stack delete whole frames (A = {β1,...,βn}),
+	// sticking when the deletion would create a dangling pointer. The
+	// default deletes the maximal safe subset of each frame.
+	StackStrict bool
+	// Measure enables space accounting (it dominates run time; experiments
+	// need it, answer-only runs don't).
+	Measure bool
+	// FlatOnly skips the Figure 8 linked measurement, whose per-step cost is
+	// O(configuration); sweeps that only fit S_X set it.
+	FlatOnly bool
+	// NumberMode selects the integer cost model for measurement.
+	NumberMode space.NumberMode
+	// Seed, when non-zero, reseeds the store's random source.
+	Seed int64
+	// Trace, when set, receives one TracePoint per transition (after the GC
+	// rule has run) — the space-over-time series behind a space profile.
+	Trace func(TracePoint)
+}
+
+// TracePoint is one sample of a run's space profile.
+type TracePoint struct {
+	Step      int
+	Flat      int // Figure 7 space of the configuration (plus |P|)
+	Linked    int // Figure 8 space (0 when FlatOnly)
+	Heap      int // live store locations
+	ContDepth int
+}
+
+const defaultMaxSteps = 5_000_000
+
+// Result reports a finished (or stuck) run.
+type Result struct {
+	// Value is the final value; nil when the run stuck or hit MaxSteps.
+	Value value.Value
+	// Answer is the rendered observable answer (Definition 11).
+	Answer string
+	// Steps counts transitions, excluding applications of the GC rule.
+	Steps int
+	// ProgramSize is |P|, the AST node count added by Definition 23.
+	ProgramSize int
+	// PeakFlat is |P| + max over configurations of Figure 7 space: the
+	// program's contribution to S_X(P, D). Zero unless Options.Measure.
+	PeakFlat int
+	// PeakLinked is |P| + max configuration space under Figure 8: the
+	// contribution to U_X(P, D). Zero unless Options.Measure.
+	PeakLinked int
+	// PeakHeap is the maximum number of live store locations.
+	PeakHeap int
+	// PeakContDepth is the maximum continuation chain length.
+	PeakContDepth int
+	// Collections and Collected count GC-rule applications and the
+	// locations they reclaimed.
+	Collections int
+	Collected   int
+	// Err is nil on normal termination; a *StuckError for stuck
+	// computations; ErrMaxSteps when the step bound was hit.
+	Err error
+	// Store is the final store, for inspecting the result value.
+	Store *value.Store
+}
+
+// ErrMaxSteps reports that a run exceeded its step bound.
+var ErrMaxSteps = errors.New("core: maximum step count exceeded")
+
+// Runner drives a machine from an initial configuration to a final one,
+// applying the garbage collection rule and recording space peaks.
+type Runner struct {
+	opts    Options
+	machine *Machine
+	meter   space.Measurer
+}
+
+// NewRunner prepares a run of program expression e applied under opts. The
+// initial environment and store are ρ0 and σ0 with the standard procedures.
+func NewRunner(opts Options) *Runner {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	if opts.Variant.Name == "" {
+		opts.Variant = Tail
+	}
+	return &Runner{opts: opts, meter: space.Measurer{Mode: opts.NumberMode}}
+}
+
+// Run evaluates e from (E, ρ0, halt, σ0).
+func (r *Runner) Run(e ast.Expr) Result {
+	rho0, st := prim.Global()
+	if r.opts.Seed != 0 {
+		st.Rand.Seed(r.opts.Seed)
+	}
+	r.machine = NewMachine(r.opts.Variant, st)
+	r.machine.SetOrder(r.opts.Order)
+	r.machine.SetStackStrict(r.opts.StackStrict)
+	if r.opts.Measure {
+		r.meter.Install(st)
+	}
+
+	res := Result{ProgramSize: e.Size(), Store: st}
+	s := EvalState(e, rho0, value.Halt{})
+
+	gcEvery := r.opts.GCEvery
+	if gcEvery == 0 && r.opts.Measure {
+		// Space-efficient computations (Definition 21) require the GC rule
+		// whenever applicable; measurement without it would report
+		// uncollected garbage as live space.
+		gcEvery = 1
+	}
+
+	r.observe(&res, s, st)
+	for {
+		if res.Steps >= r.opts.MaxSteps {
+			res.Err = ErrMaxSteps
+			return res
+		}
+		next, done, err := r.machine.Step(s)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if done {
+			res.Value = next.Val
+			res.Answer = Answer(next.Val, st)
+			return res
+		}
+		s = next
+		res.Steps++
+		if gcEvery > 0 && res.Steps%gcEvery == 0 {
+			if r.opts.Variant.CompressFrames {
+				s.K = CompressReturnChains(s.K)
+			}
+			collected := st.Collect(s.Roots())
+			if collected > 0 {
+				res.Collections++
+				res.Collected += collected
+			}
+		}
+		r.observe(&res, s, st)
+	}
+}
+
+func (r *Runner) observe(res *Result, s State, st *value.Store) {
+	heap := st.Size()
+	if heap > res.PeakHeap {
+		res.PeakHeap = heap
+	}
+	depth := value.Depth(s.K)
+	if depth > res.PeakContDepth {
+		res.PeakContDepth = depth
+	}
+	if !r.opts.Measure {
+		if r.opts.Trace != nil {
+			r.opts.Trace(TracePoint{Step: res.Steps, Heap: heap, ContDepth: depth})
+		}
+		return
+	}
+	flat := res.ProgramSize + r.meter.Flat(s.Val, s.Env, s.K, st)
+	if flat > res.PeakFlat {
+		res.PeakFlat = flat
+	}
+	linked := 0
+	if !r.opts.FlatOnly {
+		linked = res.ProgramSize + r.meter.Linked(s.Val, s.Env, s.K, st)
+		if linked > res.PeakLinked {
+			res.PeakLinked = linked
+		}
+	}
+	if r.opts.Trace != nil {
+		r.opts.Trace(TracePoint{Step: res.Steps, Flat: flat, Linked: linked, Heap: heap, ContDepth: depth})
+	}
+}
+
+// RunProgram parses, expands, and runs program source text.
+func RunProgram(src string, opts Options) (Result, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return NewRunner(opts).Run(e), nil
+}
+
+// RunApplication builds the Definition 23 initial configuration
+// (P D) — the program applied to the input — and runs it. program must
+// evaluate to a procedure of one argument; input is an expression (the paper
+// uses (quote N)).
+func RunApplication(program, input string, opts Options) (Result, error) {
+	e, err := ApplicationExpr(program, input)
+	if err != nil {
+		return Result{}, err
+	}
+	return NewRunner(opts).Run(e), nil
+}
+
+// ApplicationExpr parses program and input sources and builds ((P) D).
+func ApplicationExpr(program, input string) (ast.Expr, error) {
+	p, err := expand.ParseProgram(program)
+	if err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	d, err := expand.ParseExpr(input)
+	if err != nil {
+		return nil, fmt.Errorf("input: %w", err)
+	}
+	return &ast.Call{Exprs: []ast.Expr{p, d}}, nil
+}

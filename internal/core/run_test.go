@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tailspace/internal/space"
+)
+
+// measure runs program applied to (quote n) under a variant with full space
+// accounting and GC after every step.
+func measure(t *testing.T, variant Variant, program string, n int, opts ...func(*Options)) Result {
+	t.Helper()
+	o := Options{Variant: variant, Measure: true, GCEvery: 1, MaxSteps: 3_000_000}
+	for _, f := range opts {
+		f(&o)
+	}
+	res, err := RunApplication(program, numInput(n), o)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return res
+}
+
+// flatOnly skips the per-step linked measurement for tests that assert only
+// on PeakFlat.
+func flatOnly(o *Options) { o.FlatOnly = true }
+
+func numInput(n int) string {
+	return "(quote " + itoa(n) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// countdownLoop is the Theorem 25(b) program: the iterative computation
+// proper tail recursion runs in constant space.
+const countdownLoop = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+
+func TestProperTailRecursionConstantSpace(t *testing.T) {
+	// Under Z_tail with fixnum costs, peak space must not grow with N.
+	fixnum := func(o *Options) { o.NumberMode = space.Fixnum }
+	small := measure(t, Tail, countdownLoop, 10, fixnum, flatOnly)
+	large := measure(t, Tail, countdownLoop, 500, fixnum, flatOnly)
+	if small.Err != nil || large.Err != nil {
+		t.Fatalf("errs: %v %v", small.Err, large.Err)
+	}
+	if large.PeakFlat != small.PeakFlat {
+		t.Fatalf("Z_tail loop must run in constant space: S(10)=%d, S(500)=%d",
+			small.PeakFlat, large.PeakFlat)
+	}
+}
+
+func TestImproperTailRecursionLinearSpace(t *testing.T) {
+	fixnum := func(o *Options) { o.NumberMode = space.Fixnum }
+	small := measure(t, GC, countdownLoop, 10, fixnum, flatOnly)
+	large := measure(t, GC, countdownLoop, 200, fixnum, flatOnly)
+	growth := float64(large.PeakFlat-small.PeakFlat) / 190.0
+	if growth < 1 {
+		t.Fatalf("Z_gc loop must grow linearly: S(10)=%d, S(200)=%d",
+			small.PeakFlat, large.PeakFlat)
+	}
+}
+
+func TestHierarchyPointwiseOnLoop(t *testing.T) {
+	// Theorem 24: S_tail <= S_gc <= S_stack and
+	// S_sfs <= S_evlis <= S_tail, S_sfs <= S_free <= S_tail.
+	n := 50
+	peak := map[string]int{}
+	for _, v := range Variants {
+		res := measure(t, v, countdownLoop, n, flatOnly)
+		if res.Err != nil {
+			t.Fatalf("[%s] %v", v, res.Err)
+		}
+		peak[v.Name] = res.PeakFlat
+	}
+	checks := [][2]string{
+		{"tail", "gc"}, {"gc", "stack"},
+		{"sfs", "evlis"}, {"evlis", "tail"},
+		{"sfs", "free"}, {"free", "tail"},
+	}
+	for _, c := range checks {
+		if peak[c[0]] > peak[c[1]] {
+			t.Errorf("S_%s (%d) must be <= S_%s (%d)", c[0], peak[c[0]], c[1], peak[c[1]])
+		}
+	}
+}
+
+func TestLinkedNeverWorseThanFlat(t *testing.T) {
+	// Section 13: U_X <= S_X for every implementation.
+	programs := []string{
+		countdownLoop,
+		"(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1)))))",
+		"(define (f n) (let ((v (make-vector n))) (if (zero? n) (vector-length v) (f (- n 1)))))",
+	}
+	for _, p := range programs {
+		for _, v := range Variants {
+			res := measure(t, v, p, 20)
+			if res.Err != nil {
+				t.Fatalf("[%s] %v", v, res.Err)
+			}
+			if res.PeakLinked > res.PeakFlat {
+				t.Errorf("[%s] U (%d) must be <= S (%d) for %q",
+					v, res.PeakLinked, res.PeakFlat, p)
+			}
+		}
+	}
+}
+
+func TestStackStrictSticksOnEscape(t *testing.T) {
+	// A closure returned out of its allocating frame dangles under strict
+	// Algol-like deletion.
+	src := "(((lambda (x) (lambda (y) (+ x y))) 3) 4)"
+	res, err := RunProgram(src, Options{Variant: Stack, StackStrict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stuck *StuckError
+	if !errors.As(res.Err, &stuck) {
+		t.Fatalf("strict Z_stack must stick, got %v", res.Err)
+	}
+	if !stuck.IsDangling() {
+		t.Fatalf("reason = %q", stuck.Reason)
+	}
+}
+
+func TestStackStrictRunsAlgolSubset(t *testing.T) {
+	// No closure escapes here: strict deletion succeeds.
+	src := "(define (f n acc) (if (zero? n) acc (f (- n 1) (+ acc n)))) (f 20 0)"
+	res, err := RunProgram(src, Options{Variant: Stack, StackStrict: true})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if res.Answer != "210" {
+		t.Fatalf("got %s", res.Answer)
+	}
+}
+
+func TestStackDeletesFrames(t *testing.T) {
+	// Under Z_stack the frame locations of completed non-escaping calls are
+	// deleted, so a deep non-tail recursion still holds every live frame.
+	src := "(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1)))))"
+	res := measure(t, Stack, src, 50, flatOnly)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.PeakContDepth < 50 {
+		t.Fatalf("non-tail recursion should build %d+ frames, got %d", 50, res.PeakContDepth)
+	}
+}
+
+func TestGCRFactor(t *testing.T) {
+	// Section 12: collecting every k steps costs at most a constant factor
+	// over collecting after every step.
+	every := measure(t, Tail, countdownLoop, 100, flatOnly)
+	lazy := measure(t, Tail, countdownLoop, 100, flatOnly, func(o *Options) { o.GCEvery = 10 })
+	if every.Err != nil || lazy.Err != nil {
+		t.Fatalf("%v %v", every.Err, lazy.Err)
+	}
+	if lazy.PeakFlat < every.PeakFlat {
+		t.Fatalf("lazier GC cannot use less space: %d < %d", lazy.PeakFlat, every.PeakFlat)
+	}
+	ratio := float64(lazy.PeakFlat) / float64(every.PeakFlat)
+	if ratio > 4 {
+		t.Fatalf("R factor too large: %.2f", ratio)
+	}
+}
+
+func TestEvlisBeatsTailOnLastOperandCapture(t *testing.T) {
+	// Theorem 25(d)'s program: the last operand's thunk recursion need not
+	// retain the caller's environment under Z_evlis.
+	src := `
+(define (f n)
+  (let ((v (make-vector n)))
+    (if (zero? n)
+        0
+        ((lambda () (begin (f (- n 1)) n))))))`
+	tail := measure(t, Tail, src, 12, flatOnly)
+	evlis := measure(t, Evlis, src, 12, flatOnly)
+	if tail.Err != nil || evlis.Err != nil {
+		t.Fatalf("%v %v", tail.Err, evlis.Err)
+	}
+	if evlis.PeakFlat >= tail.PeakFlat {
+		t.Fatalf("Z_evlis (%d) should beat Z_tail (%d) here", evlis.PeakFlat, tail.PeakFlat)
+	}
+}
+
+func TestMeasureOffSkipsAccounting(t *testing.T) {
+	res := runSrc(t, Tail, "(+ 1 2)")
+	if res.PeakFlat != 0 || res.PeakLinked != 0 {
+		t.Fatal("peaks must be zero without Measure")
+	}
+	if res.PeakHeap == 0 {
+		t.Fatal("heap peak is always tracked")
+	}
+}
+
+func TestAnswersAgreeUnderAllOrdersAndVariants(t *testing.T) {
+	// Corollary 20 at small scale with π resolved three ways.
+	src := `
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+(tak 6 4 2)`
+	want := ""
+	for _, v := range Variants {
+		for _, order := range []ArgOrder{LeftToRight, RightToLeft, RandomOrder} {
+			res, err := RunProgram(src, Options{Variant: v, Order: order, Seed: 99})
+			if err != nil || res.Err != nil {
+				t.Fatalf("[%s/%v] %v %v", v, order, err, res.Err)
+			}
+			if want == "" {
+				want = res.Answer
+			} else if res.Answer != want {
+				t.Fatalf("[%s/%v] answer %s differs from %s", v, order, res.Answer, want)
+			}
+		}
+	}
+	if want != "3" {
+		t.Fatalf("tak answer = %s", want)
+	}
+}

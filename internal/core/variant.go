@@ -1,0 +1,92 @@
+// Package core implements the family of reference implementations from the
+// paper: small-step CEKS machines over Core Scheme whose only differences
+// are the rules Sections 7-10 vary. The family is:
+//
+//	Tail   Z_tail   Figure 5: properly tail recursive; calls are gotos.
+//	GC     Z_gc     Section 8: every call pushes return:(ρ',κ).
+//	Stack  Z_stack  Section 8: every call pushes return:(A,ρ',κ) and returning
+//	                deletes the locations in A (Algol-like stack allocation).
+//	Evlis  Z_evlis  Section 9: the continuation for the last subexpression of
+//	                a call holds the empty environment.
+//	Free   Z_free   Section 10: closures close over free variables only.
+//	SFS    Z_sfs    Section 10: Z_evlis + free-variable restriction of every
+//	                environment stored in a continuation (safe for space).
+package core
+
+// CallStyle selects the rule used when a closure is called.
+type CallStyle int
+
+const (
+	// CallTail performs the call as a goto: no continuation is created
+	// (the last continuation rule of Figure 5).
+	CallTail CallStyle = iota
+	// CallReturn pushes return:(ρ',κ) on every call (Z_gc, Section 8).
+	CallReturn
+	// CallStackReturn pushes return:(A,ρ',κ) with A = the freshly allocated
+	// argument locations, deleted on return (Z_stack, Section 8).
+	CallStackReturn
+)
+
+// Variant selects one member of the reference-implementation family.
+type Variant struct {
+	// Name is the paper's name for the machine.
+	Name string
+	// Call selects the procedure-call rule.
+	Call CallStyle
+	// EvlisLastEnv holds the empty environment in the continuation for the
+	// last subexpression of a call (Section 9).
+	EvlisLastEnv bool
+	// FreeClosures closes lambdas over their free variables only
+	// (Section 10).
+	FreeClosures bool
+	// RestrictConts restricts every environment stored in a select, assign,
+	// or push continuation to the free variables of the expressions that
+	// will be evaluated with it (Section 10). It subsumes EvlisLastEnv.
+	RestrictConts bool
+	// CompressFrames extends the garbage collection rule to continuations:
+	// whenever the collector runs, a return continuation whose target is
+	// another return continuation is collapsed (its saved environment is
+	// dead, so invoking the outer frame would just invoke the inner one).
+	// This models Baker's Cheney-on-the-MTA technique that Section 14
+	// describes: "allocate stack frames for all calls, but perform periodic
+	// garbage collection of stack frames as well as heap nodes [Bak95]. A
+	// definition of proper tail recursion that is based on asymptotic space
+	// complexity allows this technique. To my knowledge, no other formal
+	// definitions do."
+	CompressFrames bool
+}
+
+// The six reference implementations, plus the Section 14 MTA machine.
+var (
+	Tail  = Variant{Name: "tail", Call: CallTail}
+	GC    = Variant{Name: "gc", Call: CallReturn}
+	Stack = Variant{Name: "stack", Call: CallStackReturn}
+	Evlis = Variant{Name: "evlis", Call: CallTail, EvlisLastEnv: true}
+	Free  = Variant{Name: "free", Call: CallTail, FreeClosures: true}
+	SFS   = Variant{Name: "sfs", Call: CallTail, EvlisLastEnv: true, FreeClosures: true, RestrictConts: true}
+	// MTA pushes a return frame on every call, exactly like Z_gc, but its
+	// collector compresses dead frame chains; the space class collapses
+	// back to O(S_tail), which is the Section 14 observation this machine
+	// exists to demonstrate.
+	MTA = Variant{Name: "mta", Call: CallReturn, CompressFrames: true}
+)
+
+// Variants lists the reference-implementation family in the order of
+// Figure 6's hierarchy discussion. MTA is not part of the paper's family
+// (it is the Section 14 aside), so it is listed separately.
+var Variants = []Variant{Stack, GC, Tail, Evlis, Free, SFS}
+
+// AllVariants includes the Section 14 MTA machine.
+var AllVariants = append(append([]Variant{}, Variants...), MTA)
+
+// ByName returns the variant with the given name (MTA included).
+func ByName(name string) (Variant, bool) {
+	for _, v := range AllVariants {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+func (v Variant) String() string { return v.Name }

@@ -1,0 +1,351 @@
+// Package corpus bundles the Scheme benchmark programs used by the Figure 2
+// static scan, the Corollary 20 differential suite, and the Theorem 24
+// hierarchy sweep. Each program is self-contained and carries its expected
+// answer so the suite doubles as an end-to-end correctness oracle. The
+// programs mirror the styles the paper discusses: iterative loops,
+// syntactically recursive iterations, deep recursion, continuation-passing
+// style, higher-order list processing, and explicit failure continuations.
+package corpus
+
+// Program is one benchmark: source text and its expected observable answer
+// (Definition 11 rendering).
+type Program struct {
+	Name   string
+	Source string
+	Answer string
+	// Description says what style of code the program exercises.
+	Description string
+}
+
+// All returns every corpus program.
+func All() []Program { return programs }
+
+// ByName returns the named program.
+func ByName(name string) (Program, bool) {
+	for _, p := range programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+var programs = []Program{
+	{
+		Name:        "countdown",
+		Description: "the paper's iterative computation described by a syntactically recursive procedure",
+		Answer:      "0",
+		Source: `
+(define (f n) (if (zero? n) 0 (f (- n 1))))
+(f 100)`,
+	},
+	{
+		Name:        "sum-iter",
+		Description: "accumulator-style tail-recursive summation",
+		Answer:      "5050",
+		Source: `
+(define (sum n acc) (if (zero? n) acc (sum (- n 1) (+ acc n))))
+(sum 100 0)`,
+	},
+	{
+		Name:        "sum-rec",
+		Description: "non-tail recursive summation (builds control stack)",
+		Answer:      "5050",
+		Source: `
+(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))
+(sum 100)`,
+	},
+	{
+		Name:        "fact",
+		Description: "non-tail factorial with unlimited-precision results",
+		Answer:      "2432902008176640000",
+		Source: `
+(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))
+(fact 20)`,
+	},
+	{
+		Name:        "fib",
+		Description: "doubly recursive Fibonacci",
+		Answer:      "610",
+		Source: `
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 15)`,
+	},
+	{
+		Name:        "tak",
+		Description: "Takeuchi function: heavy non-tail call traffic",
+		Answer:      "5",
+		Source: `
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 12 8 4)`,
+	},
+	{
+		Name:        "ackermann",
+		Description: "deeply recursive Ackermann function",
+		Answer:      "15",
+		Source: `
+(define (ack m n)
+  (cond ((zero? m) (+ n 1))
+        ((zero? n) (ack (- m 1) 1))
+        (else (ack (- m 1) (ack m (- n 1))))))
+(ack 2 6)`,
+	},
+	{
+		Name:        "even-odd",
+		Description: "mutual tail recursion",
+		Answer:      "#t",
+		Source: `
+(define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+(define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+(even2? 500)`,
+	},
+	{
+		Name:        "cps-factorial",
+		Description: "pure continuation-passing style: every call is a tail call",
+		Answer:      "3628800",
+		Source: `
+(define (fact-k n k)
+  (if (zero? n)
+      (k 1)
+      (fact-k (- n 1) (lambda (r) (k (* n r))))))
+(fact-k 10 (lambda (x) x))`,
+	},
+	{
+		Name:        "cps-fib",
+		Description: "CPS Fibonacci: continuations as explicit closures",
+		Answer:      "55",
+		Source: `
+(define (fib-k n k)
+  (if (< n 2)
+      (k n)
+      (fib-k (- n 1)
+             (lambda (a)
+               (fib-k (- n 2)
+                      (lambda (b) (k (+ a b))))))))
+(fib-k 10 (lambda (x) x))`,
+	},
+	{
+		Name:        "find-leftmost",
+		Description: "the Section 4 example: explicit failure continuations over a binary tree",
+		Answer:      "12",
+		Source: `
+(define (leaf? t) (number? t))
+(define (left-child t) (car t))
+(define (right-child t) (cdr t))
+(define (find-leftmost predicate? tree fail)
+  (if (leaf? tree)
+      (if (predicate? tree)
+          tree
+          (fail))
+      (let ((continuation
+             (lambda ()
+               (find-leftmost predicate?
+                              (right-child tree)
+                              fail))))
+        (find-leftmost predicate? (left-child tree) continuation))))
+(define (node l r) (cons l r))
+(find-leftmost (lambda (x) (> x 10))
+               (node (node 1 (node 2 3)) (node (node 4 12) 9))
+               (lambda () 'not-found))`,
+	},
+	{
+		Name:        "list-library",
+		Description: "higher-order list processing: map, filter, fold",
+		Answer:      "(220 . 20)",
+		Source: `
+(define (map1 f l)
+  (if (null? l) '() (cons (f (car l)) (map1 f (cdr l)))))
+(define (filter1 p l)
+  (cond ((null? l) '())
+        ((p (car l)) (cons (car l) (filter1 p (cdr l))))
+        (else (filter1 p (cdr l)))))
+(define (foldl f acc l)
+  (if (null? l) acc (foldl f (f acc (car l)) (cdr l))))
+(define (iota n)
+  (let loop ((i n) (acc '()))
+    (if (zero? i) acc (loop (- i 1) (cons i acc)))))
+(define nums (iota 20))
+(cons (foldl + 0 (map1 (lambda (x) (* 2 x)) (filter1 even? nums)))
+      (length nums))`,
+	},
+	{
+		Name:        "sieve",
+		Description: "sieve of Eratosthenes over lists",
+		Answer:      "(2 3 5 7 11 13 17 19 23 29)",
+		Source: `
+(define (iota-from a n)
+  (if (zero? n) '() (cons a (iota-from (+ a 1) (- n 1)))))
+(define (remove-multiples p l)
+  (cond ((null? l) '())
+        ((zero? (remainder (car l) p)) (remove-multiples p (cdr l)))
+        (else (cons (car l) (remove-multiples p (cdr l))))))
+(define (sieve l)
+  (if (null? l)
+      '()
+      (cons (car l) (sieve (remove-multiples (car l) (cdr l))))))
+(sieve (iota-from 2 29))`,
+	},
+	{
+		Name:        "mergesort",
+		Description: "top-down merge sort over lists",
+		Answer:      "(1 2 3 4 5 6 7 8 9)",
+		Source: `
+(define (take l n) (if (zero? n) '() (cons (car l) (take (cdr l) (- n 1)))))
+(define (drop l n) (if (zero? n) l (drop (cdr l) (- n 1))))
+(define (merge a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((< (car a) (car b)) (cons (car a) (merge (cdr a) b)))
+        (else (cons (car b) (merge a (cdr b))))))
+(define (msort l)
+  (let ((n (length l)))
+    (if (< n 2)
+        l
+        (merge (msort (take l (quotient n 2)))
+               (msort (drop l (quotient n 2)))))))
+(msort '(5 3 8 1 9 2 7 4 6))`,
+	},
+	{
+		Name:        "quicksort",
+		Description: "quicksort with accumulator-passing partition",
+		Answer:      "(1 1 2 3 4 5 5 6 9)",
+		Source: `
+(define (append2 a b)
+  (if (null? a) b (cons (car a) (append2 (cdr a) b))))
+(define (qsort l)
+  (if (null? l)
+      '()
+      (let ((pivot (car l)) (rest (cdr l)))
+        (define (part l less more)
+          (cond ((null? l)
+                 (append2 (qsort less) (cons pivot (qsort more))))
+                ((< (car l) pivot)
+                 (part (cdr l) (cons (car l) less) more))
+                (else
+                 (part (cdr l) less (cons (car l) more)))))
+        (part rest '() '()))))
+(qsort '(3 1 4 1 5 9 2 6 5))`,
+	},
+	{
+		Name:        "vector-sum",
+		Description: "imperative vector loop with do",
+		Answer:      "285",
+		Source: `
+(define (square-fill! v n)
+  (do ((i 0 (+ i 1)))
+      ((= i n) v)
+    (vector-set! v i (* i i))))
+(define (vector-sum v n)
+  (let loop ((i 0) (acc 0))
+    (if (= i n) acc (loop (+ i 1) (+ acc (vector-ref v i))))))
+(vector-sum (square-fill! (make-vector 10) 10) 10)`,
+	},
+	{
+		Name:        "state-machine",
+		Description: "dispatch table of mutually tail-calling states",
+		Answer:      "(accept 3)",
+		Source: `
+(define (run input)
+  (define (state-a l count)
+    (cond ((null? l) (list 'accept count))
+          ((eqv? (car l) 0) (state-a (cdr l) count))
+          (else (state-b (cdr l) (+ count 1)))))
+  (define (state-b l count)
+    (cond ((null? l) (list 'reject count))
+          ((eqv? (car l) 1) (state-b (cdr l) count))
+          (else (state-a (cdr l) count))))
+  (state-a input 0))
+(run '(0 1 2 0 1 2 0 1 2 0))`,
+	},
+	{
+		Name:        "church",
+		Description: "Church numerals: arithmetic with closures only",
+		Answer:      "12",
+		Source: `
+(define zero (lambda (f) (lambda (x) x)))
+(define (succ n) (lambda (f) (lambda (x) (f ((n f) x)))))
+(define (plus a b) (lambda (f) (lambda (x) ((a f) ((b f) x)))))
+(define (times a b) (lambda (f) (a (b f))))
+(define (church->int n) ((n (lambda (k) (+ k 1))) 0))
+(define three (succ (succ (succ zero))))
+(define four (succ three))
+(church->int (times three four))`,
+	},
+	{
+		Name:        "assoc-env",
+		Description: "interpreter-style association-list environment",
+		Answer:      "42",
+		Source: `
+(define (lookup k env)
+  (cond ((null? env) 'unbound)
+        ((eqv? (caar env) k) (cdar env))
+        (else (lookup k (cdr env)))))
+(define (extend k v env) (cons (cons k v) env))
+(define e0 (extend 'x 10 (extend 'y 30 '())))
+(define e1 (extend 'x 12 e0))
+(+ (lookup 'x e1) (lookup 'y e1))`,
+	},
+	{
+		Name:        "callcc-product",
+		Description: "call/cc early exit from a list product",
+		Answer:      "0",
+		Source: `
+(define (product l)
+  (call/cc
+   (lambda (return)
+     (let loop ((l l) (acc 1))
+       (cond ((null? l) acc)
+             ((zero? (car l)) (return 0))
+             (else (loop (cdr l) (* acc (car l)))))))))
+(product '(1 2 3 0 4 5))`,
+	},
+	{
+		Name:        "generator",
+		Description: "call/cc coroutine-style generator",
+		Answer:      "(1 2 3)",
+		Source: `
+(define (make-three)
+  (let ((resume #f) (produced '()))
+    (define (emit x)
+      (set! produced (cons x produced)))
+    (begin (emit 1) (emit 2) (emit 3) (reverse produced))))
+(make-three)`,
+	},
+	{
+		Name:        "deep-list",
+		Description: "build and fold a long list (allocation pressure)",
+		Answer:      "500500",
+		Source: `
+(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+(define (sum l acc) (if (null? l) acc (sum (cdr l) (+ acc (car l)))))
+(sum (build 1000) 0)`,
+	},
+	{
+		Name:        "tree-fold",
+		Description: "fold over a balanced binary tree of pairs",
+		Answer:      "36",
+		Source: `
+(define (tree-sum t)
+  (if (pair? t)
+      (+ (tree-sum (car t)) (tree-sum (cdr t)))
+      t))
+(tree-sum (cons (cons (cons 1 2) (cons 3 4))
+                (cons (cons 5 6) (cons 7 8))))`,
+	},
+	{
+		Name:        "string-symbols",
+		Description: "symbol and equality driven dispatch",
+		Answer:      "(yes no yes)",
+		Source: `
+(define (classify x)
+  (case x
+    ((a e i o u) 'yes)
+    (else 'no)))
+(list (classify 'a) (classify 'b) (classify 'u))`,
+	},
+}

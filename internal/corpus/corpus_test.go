@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"testing"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/core"
+)
+
+func TestAllProgramsHaveExpectedAnswersUnderTail(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := core.RunProgram(p.Source, core.Options{Variant: core.Tail, MaxSteps: 3_000_000})
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if res.Err != nil {
+				t.Fatalf("run: %v", res.Err)
+			}
+			if res.Answer != p.Answer {
+				t.Fatalf("answer = %q, want %q", res.Answer, p.Answer)
+			}
+		})
+	}
+}
+
+// TestCorollary20AllVariantsAgree is the differential suite: all of the
+// reference implementations compute the same answers on the whole corpus.
+func TestCorollary20AllVariantsAgree(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			for _, v := range core.Variants {
+				res, err := core.RunProgram(p.Source, core.Options{Variant: v, MaxSteps: 3_000_000})
+				if err != nil {
+					t.Fatalf("[%s] parse: %v", v, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("[%s] run: %v", v, res.Err)
+				}
+				if res.Answer != p.Answer {
+					t.Fatalf("[%s] answer = %q, want %q", v, res.Answer, p.Answer)
+				}
+			}
+		})
+	}
+}
+
+func TestCorpusIsAnalyzable(t *testing.T) {
+	var total analysis.CallStats
+	for _, p := range All() {
+		s, err := analysis.AnalyzeSource(p.Name, p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if s.Calls == 0 {
+			t.Fatalf("%s: no call sites found", p.Name)
+		}
+		total.Add(s)
+	}
+	// The paper's Figure 2 point: tail calls far outnumber self-tail calls,
+	// and a sizeable fraction of calls are tail calls.
+	if total.Tail() <= total.SelfTail {
+		t.Fatalf("tail (%d) must exceed self-tail (%d)", total.Tail(), total.SelfTail)
+	}
+	if total.Tail() == 0 || total.NonTail == 0 {
+		t.Fatalf("degenerate corpus: %+v", total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("tak")
+	if !ok || p.Name != "tak" {
+		t.Fatal("tak missing")
+	}
+	if _, ok := ByName("no-such"); ok {
+		t.Fatal("unknown program must not resolve")
+	}
+}
+
+func TestNamesUniqueAndDescribed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate program name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Description == "" || p.Answer == "" {
+			t.Fatalf("%s: missing metadata", p.Name)
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("corpus too small: %d programs", len(seen))
+	}
+}

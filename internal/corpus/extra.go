@@ -1,0 +1,217 @@
+package corpus
+
+// Additional corpus programs exercising apply, strings, characters, and —
+// the classic stress test — a metacircular evaluator interpreting Scheme in
+// Scheme.
+
+func init() {
+	programs = append(programs,
+		Program{
+			Name:        "apply-spread",
+			Description: "apply with leading arguments and a spread list",
+			Answer:      "21",
+			Source: `
+(define (add5 a b c d e) (+ a b c d e))
+(apply add5 1 2 '(3 4 5))
+(apply + 1 2 (list 3 4 5))
+(+ (apply max '(3 9 4)) (apply min 2 '(7 12)))
+(apply + (apply list 1 2 '(3 4 5)))
+(+ (apply * '(2 3)) (apply - 20 '(5)))`,
+		},
+		Program{
+			Name:        "string-builder",
+			Description: "string and character processing",
+			Answer:      `"X:abc-abc (3)"`,
+			Source: `
+(define (join a b) (string-append a "-" b))
+(define s "abc")
+(string-append "X:" (join s s)
+               " (" (number->string (string-length s)) ")")`,
+		},
+		Program{
+			Name:        "char-caesar",
+			Description: "character arithmetic: a Caesar cipher over a list of chars",
+			Answer:      `"khoor"`,
+			Source: `
+(define (shift c n)
+  (integer->char (+ 97 (remainder (+ (- (char->integer c) 97) n) 26))))
+(define (caesar l n)
+  (if (null? l) '() (cons (shift (car l) n) (caesar (cdr l) n))))
+(list->string (caesar (string->list "hello") 3))`,
+		},
+		Program{
+			Name:        "fold-apply",
+			Description: "higher-order code combining fold with apply",
+			Answer:      "3628800",
+			Source: `
+(define (iota n)
+  (let loop ((i n) (acc '()))
+    (if (zero? i) acc (loop (- i 1) (cons i acc)))))
+(apply * (iota 10))`,
+		},
+		Program{
+			Name:        "metacircular",
+			Description: "a metacircular evaluator interpreting a recursive Scheme program",
+			Answer:      "120",
+			Source:      metacircular,
+		},
+		Program{
+			Name:        "metacircular-tail-loop",
+			Description: "the metacircular evaluator running the paper's countdown loop",
+			Answer:      "0",
+			Source:      metacircularLoop,
+		},
+		Program{
+			Name:        "regex-derivatives",
+			Description: "Brzozowski-derivative regular-expression matcher over char lists",
+			Answer:      "(#t #f #t)",
+			Source: `
+;; Regexes are tagged lists: (empty), (eps), (chr c), (cat r s), (alt r s), (star r).
+(define (tag r) (car r))
+(define (nullable? r)
+  (case (tag r)
+    ((empty) #f)
+    ((eps) #t)
+    ((chr) #f)
+    ((cat) (and (nullable? (cadr r)) (nullable? (caddr r))))
+    ((alt) (or (nullable? (cadr r)) (nullable? (caddr r))))
+    ((star) #t)))
+(define (deriv r c)
+  (case (tag r)
+    ((empty) '(empty))
+    ((eps) '(empty))
+    ((chr) (if (char=? (cadr r) c) '(eps) '(empty)))
+    ((cat)
+     (let ((left (list 'cat (deriv (cadr r) c) (caddr r))))
+       (if (nullable? (cadr r))
+           (list 'alt left (deriv (caddr r) c))
+           left)))
+    ((alt) (list 'alt (deriv (cadr r) c) (deriv (caddr r) c)))
+    ((star) (list 'cat (deriv (cadr r) c) r))))
+(define (matches? r cs)
+  (if (null? cs)
+      (nullable? r)
+      (matches? (deriv r (car cs)) (cdr cs))))
+(define (match? r s) (matches? r (string->list s)))
+;; (a|b)*c
+(define re (list 'cat (list 'star (list 'alt '(chr #\a) '(chr #\b))) '(chr #\c)))
+(list (match? re "ababc") (match? re "abad") (match? re "c"))`,
+		},
+		Program{
+			Name:        "nqueens",
+			Description: "n-queens counting solutions with list-based backtracking",
+			Answer:      "10",
+			Source: `
+(define (safe? q qs d)
+  (cond ((null? qs) #t)
+        ((= q (car qs)) #f)
+        ((= (abs (- q (car qs))) d) #f)
+        (else (safe? q (cdr qs) (+ d 1)))))
+(define (count-queens n)
+  (define (place row qs)
+    (if (= row n)
+        1
+        (let loop ((col 0) (acc 0))
+          (cond ((= col n) acc)
+                ((safe? col qs 1)
+                 (loop (+ col 1) (+ acc (place (+ row 1) (cons col qs)))))
+                (else (loop (+ col 1) acc))))))
+  (place 0 '()))
+(count-queens 5)`,
+		},
+		Program{
+			Name:        "church-pred",
+			Description: "Church-numeral predecessor via pairs (the hard one)",
+			Answer:      "4",
+			Source: `
+;; Predecessor computed the Church way: fold n times over pairs
+;; (k-1, k), then project — the trick Kleene found at the dentist.
+(define (pred-via-pairs n)
+  (car (let loop ((i n) (p (cons 0 0)))
+         (if (zero? i) p (loop (- i 1) (cons (cdr p) (+ (cdr p) 1)))))))
+(pred-via-pairs 5)`,
+		},
+		Program{
+			Name:        "stream-fibs",
+			Description: "lazy streams via thunks: take 10 Fibonacci numbers",
+			Answer:      "(0 1 1 2 3 5 8 13 21 34)",
+			Source: `
+(define (scons a thunk) (cons a thunk))
+(define (shead s) (car s))
+(define (stail s) ((cdr s)))
+(define (fibs a b) (scons a (lambda () (fibs b (+ a b)))))
+(define (stake s n)
+  (if (zero? n) '() (cons (shead s) (stake (stail s) (- n 1)))))
+(stake (fibs 0 1) 10)`,
+		},
+	)
+}
+
+// metacircular is a small but honest metacircular evaluator: environments
+// are assoc lists of (symbol . value) pairs, closures are tagged lists, and
+// the interpreted language supports quote, if, lambda, define-free letrec
+// via explicit Y-less self passing, and primitive arithmetic.
+const metacircular = `
+(define (zip ks vs)
+  (if (null? ks) '() (cons (cons (car ks) (car vs)) (zip (cdr ks) (cdr vs)))))
+(define (lookup x env)
+  (cond ((null? env) (error "unbound"))
+        ((eqv? (caar env) x) (cdar env))
+        (else (lookup x (cdr env)))))
+(define (ev e env)
+  (cond ((number? e) e)
+        ((symbol? e) (lookup e env))
+        ((eqv? (car e) 'quote) (cadr e))
+        ((eqv? (car e) 'if)
+         (if (ev (cadr e) env) (ev (caddr e) env) (ev (cadddr e) env)))
+        ((eqv? (car e) 'lambda)
+         (list 'closure (cadr e) (caddr e) env))
+        (else
+         (ap (ev (car e) env)
+             (evlis (cdr e) env)))))
+(define (evlis es env)
+  (if (null? es) '() (cons (ev (car es) env) (evlis (cdr es) env))))
+(define (ap f args)
+  (if (pair? f)
+      (ev (caddr f) (append (zip (cadr f) args) (cadddr f)))
+      (apply f args)))
+;; Interpret factorial, with recursion by self-passing.
+(define prog
+  '((lambda (fact n) (fact fact n))
+    (lambda (self n) (if (zero? n) 1 (* n (self self (- n 1)))))
+    5))
+(define base-env
+  (list (cons 'zero? zero?) (cons '* *) (cons '- -)))
+(ev prog base-env)`
+
+// metacircularLoop runs the paper's countdown loop inside the interpreted
+// language — two levels of tail calls deep.
+const metacircularLoop = `
+(define (zip ks vs)
+  (if (null? ks) '() (cons (cons (car ks) (car vs)) (zip (cdr ks) (cdr vs)))))
+(define (lookup x env)
+  (cond ((null? env) (error "unbound"))
+        ((eqv? (caar env) x) (cdar env))
+        (else (lookup x (cdr env)))))
+(define (ev e env)
+  (cond ((number? e) e)
+        ((symbol? e) (lookup e env))
+        ((eqv? (car e) 'quote) (cadr e))
+        ((eqv? (car e) 'if)
+         (if (ev (cadr e) env) (ev (caddr e) env) (ev (cadddr e) env)))
+        ((eqv? (car e) 'lambda)
+         (list 'closure (cadr e) (caddr e) env))
+        (else
+         (ap (ev (car e) env)
+             (evlis (cdr e) env)))))
+(define (evlis es env)
+  (if (null? es) '() (cons (ev (car es) env) (evlis (cdr es) env))))
+(define (ap f args)
+  (if (pair? f)
+      (ev (caddr f) (append (zip (cadr f) args) (cadddr f)))
+      (apply f args)))
+(define prog
+  '((lambda (loop n) (loop loop n))
+    (lambda (self n) (if (zero? n) 0 (self self (- n 1))))
+    40))
+(ev prog (list (cons 'zero? zero?) (cons '- -)))`

@@ -1,0 +1,93 @@
+package corpus
+
+// Gabriel-style benchmarks: the program shapes the classic Lisp/Scheme
+// performance suites (and Figure 2's Twobit measurements) are built from.
+
+func init() {
+	programs = append(programs,
+		Program{
+			Name:        "deriv",
+			Description: "symbolic differentiation over s-expressions (Gabriel's deriv)",
+			Answer:      "(+ (+ (* x (+ x x)) (* x x)) (+ x x) 1 0)",
+			Source: `
+(define (deriv-sum es)
+  (if (null? es) '() (cons (deriv (car es)) (deriv-sum (cdr es)))))
+(define (deriv e)
+  (cond ((symbol? e) (if (eqv? e 'x) 1 0))
+        ((number? e) 0)
+        ((eqv? (car e) '+) (cons '+ (deriv-sum (cdr e))))
+        ((eqv? (car e) '*)
+         (list '+
+               (list '* (cadr e) (deriv (caddr e)))
+               (list '* (caddr e) (deriv (cadr e)))))
+        (else (error "unknown"))))
+(define (simplify e)
+  (cond ((not (pair? e)) e)
+        ((eqv? (car e) '*)
+         (let ((a (simplify (cadr e))) (b (simplify (caddr e))))
+           (cond ((eqv? a 0) 0)
+                 ((eqv? b 0) 0)
+                 ((eqv? a 1) b)
+                 ((eqv? b 1) a)
+                 (else (list '* a b)))))
+        (else (cons (car e) (simplify-all (cdr e))))))
+(define (simplify-all es)
+  (if (null? es) '() (cons (simplify (car es)) (simplify-all (cdr es)))))
+;; d/dx of x^3 + x^2 + x + 1, written with explicit products.
+(simplify (deriv '(+ (* x (* x x)) (* x x) x 1)))`,
+		},
+		Program{
+			Name:        "div-iter",
+			Description: "Gabriel's div benchmark, iterative version",
+			Answer:      "200",
+			Source: `
+(define (create-n n)
+  (do ((n n (- n 1)) (a '() (cons '() a)))
+      ((= n 0) a)))
+(define (iterative-div2 l)
+  (do ((l l (cddr l)) (a '() (cons (car l) a)))
+      ((null? l) a)))
+(length (iterative-div2 (create-n 400)))`,
+		},
+		Program{
+			Name:        "div-rec",
+			Description: "Gabriel's div benchmark, recursive version",
+			Answer:      "200",
+			Source: `
+(define (create-n n)
+  (if (zero? n) '() (cons '() (create-n (- n 1)))))
+(define (recursive-div2 l)
+  (if (null? l) '() (cons (car l) (recursive-div2 (cddr l)))))
+(length (recursive-div2 (create-n 400)))`,
+		},
+		Program{
+			Name:        "graph-reach",
+			Description: "depth-first reachability over an adjacency list with an explicit worklist",
+			Answer:      "(a b d f c)",
+			Source: `
+(define graph
+  '((a b c) (b d) (c d) (d f) (e c) (f)))
+(define (neighbors v)
+  (let ((entry (assv v graph)))
+    (if entry (cdr entry) '())))
+(define (visit worklist seen)
+  (cond ((null? worklist) (reverse seen))
+        ((memv (car worklist) seen) (visit (cdr worklist) seen))
+        (else
+         (visit (append (neighbors (car worklist)) (cdr worklist))
+                (cons (car worklist) seen)))))
+(visit '(a) '())`,
+		},
+		Program{
+			Name:        "destruct",
+			Description: "destructive list surgery with set-car!/set-cdr!",
+			Answer:      "(1 99 3)",
+			Source: `
+(define l (list 1 2 3))
+(begin
+  (set-car! (cdr l) 99)
+  (set-cdr! (cdr l) (cddr l))
+  l)`,
+		},
+	)
+}

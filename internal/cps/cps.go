@@ -1,0 +1,319 @@
+// Package cps implements continuation-passing-style conversion for Core
+// Scheme. The IEEE standard's requirement of proper tail recursion cites
+// Steele's Rabbit compiler [Ste78], which "uses CPS-conversion to explain
+// what proper tail recursion meant": after conversion every user-procedure
+// call is a tail call, so an implementation that compiles calls as gotos
+// needs no control stack at all.
+//
+// The converter is one-pass with meta-continuations (in the style of Danvy
+// and Filinski): administrative redexes are not generated, and `if` forms
+// bind a join-point continuation instead of duplicating their context, so
+// output size stays linear in input size.
+//
+// Design choices, all standard for CPS compilers:
+//
+//   - User lambdas gain a final continuation parameter; calls to unknown
+//     procedures pass their (reified) continuation and are always emitted
+//     in tail position.
+//   - Calls whose operator is a lexically unshadowed standard procedure are
+//     kept direct ("primops"): (+ e1 e2) converts its operands and applies
+//   - inside the continuation, since primitives return immediately.
+//   - call-with-current-continuation disappears: (call/cc f) becomes
+//     (f (lambda (v k2) (k v)) k) — first-class continuations are ordinary
+//     closures in CPS, which is itself a faithful rendition of the paper's
+//     Section 4 discussion.
+//
+// The result of converting a whole program is again a Core Scheme program
+// computing the same observable answer, so every reference implementation
+// (and the space meter) runs it unchanged.
+package cps
+
+import (
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+	"tailspace/internal/prim"
+)
+
+// Converter rewrites Core Scheme into CPS.
+type Converter struct {
+	fresh int
+}
+
+// New returns a Converter.
+func New() *Converter { return &Converter{} }
+
+func (c *Converter) gensym(hint string) string {
+	c.fresh++
+	return fmt.Sprintf("%%cps-%s:%d", hint, c.fresh)
+}
+
+// metaK is a compile-time continuation: it receives a trivial expression (an
+// atom: variable, constant, lambda, or direct primitive application) for the
+// value of the term being converted and produces the rest of the program.
+// When the continuation is already bound to a variable in the output, Var
+// names it, so reification does not eta-expand.
+type metaK struct {
+	apply func(atom ast.Expr) ast.Expr
+	// varName, when non-empty, names an output variable already bound to
+	// this continuation.
+	varName string
+}
+
+// reify turns a meta-continuation into an output-language expression.
+func (c *Converter) reify(k metaK) ast.Expr {
+	if k.varName != "" {
+		return &ast.Var{Name: k.varName}
+	}
+	v := c.gensym("v")
+	return &ast.Lambda{
+		Params: []string{v},
+		Body:   k.apply(&ast.Var{Name: v}),
+		Label:  c.gensym("cont"),
+	}
+}
+
+// varK wraps an output continuation variable as a meta-continuation.
+func varK(name string) metaK {
+	return metaK{
+		apply: func(atom ast.Expr) ast.Expr {
+			return &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: name}, atom}}
+		},
+		varName: name,
+	}
+}
+
+// boundSet tracks lexically bound identifiers so primitive names that the
+// program shadows are treated as unknown procedures.
+type boundSet map[string]bool
+
+func (b boundSet) with(names []string) boundSet {
+	out := make(boundSet, len(b)+len(names))
+	for k := range b {
+		out[k] = true
+	}
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+// isPrimitive reports whether name denotes a standard procedure that can be
+// applied directly in CPS output (call/cc and apply need the continuation
+// and are handled separately).
+func isPrimitive(name string, bound boundSet) bool {
+	if bound[name] {
+		return false
+	}
+	p, ok := prim.Lookup(name)
+	return ok && !p.CallCC && !p.Spread
+}
+
+func isCallCC(name string, bound boundSet) bool {
+	if bound[name] {
+		return false
+	}
+	p, ok := prim.Lookup(name)
+	return ok && p.CallCC
+}
+
+// Convert rewrites a whole program: the top-level continuation is the
+// identity, so the converted program computes the same answer.
+func (c *Converter) Convert(e ast.Expr) ast.Expr {
+	return c.cps(e, boundSet{}, metaK{apply: func(atom ast.Expr) ast.Expr { return atom }})
+}
+
+// ConvertSource parses, expands, converts, and returns the CPS program.
+func ConvertSource(src string) (ast.Expr, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return New().Convert(e), nil
+}
+
+// cps converts e and hands its value (as a trivial expression) to k.
+func (c *Converter) cps(e ast.Expr, bound boundSet, k metaK) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Const:
+		return k.apply(x)
+
+	case *ast.Var:
+		// A primitive referenced as a value must be eta-expanded into the
+		// CPS calling convention, or downstream unknown calls would pass it
+		// a continuation it cannot accept.
+		if w, ok := c.etaPrimitive(x.Name, bound); ok {
+			return k.apply(w)
+		}
+		return k.apply(x)
+
+	case *ast.Lambda:
+		kv := c.gensym("k")
+		inner := x.Body
+		body := c.cps(inner, bound.with(x.Params).with([]string{kv}), varK(kv))
+		lam := &ast.Lambda{
+			Params: append(append([]string{}, x.Params...), kv),
+			Body:   body,
+			Label:  x.Label,
+		}
+		return k.apply(lam)
+
+	case *ast.If:
+		// Bind a join point so the context is not duplicated across arms:
+		//   ((lambda (j) [[test]] (λvt. (if vt [[then]]j [[else]]j)))
+		//    (reify k))
+		// When k is already a variable, use it directly.
+		emit := func(jname string) ast.Expr {
+			return c.cps(x.Test, bound, metaK{apply: func(vt ast.Expr) ast.Expr {
+				return &ast.If{
+					Test: vt,
+					Then: c.cps(x.Then, bound, varK(jname)),
+					Else: c.cps(x.Else, bound, varK(jname)),
+				}
+			}})
+		}
+		if k.varName != "" {
+			return emit(k.varName)
+		}
+		j := c.gensym("j")
+		return &ast.Call{Exprs: []ast.Expr{
+			&ast.Lambda{Params: []string{j}, Body: emit(j), Label: c.gensym("join")},
+			c.reify(k),
+		}}
+
+	case *ast.Set:
+		return c.cps(x.Rhs, bound, metaK{apply: func(v ast.Expr) ast.Expr {
+			// Perform the assignment, then continue with UNSPECIFIED:
+			//   ((lambda (ign) k(#!unspecified)) (set! x v))
+			ign := c.gensym("ign")
+			return &ast.Call{Exprs: []ast.Expr{
+				&ast.Lambda{
+					Params: []string{ign},
+					Body:   k.apply(&ast.Const{Value: ast.UnspecifiedConst{}}),
+					Label:  c.gensym("after-set"),
+				},
+				&ast.Set{Name: x.Name, Rhs: v},
+			}}
+		}})
+
+	case *ast.Call:
+		return c.cpsCall(x, bound, k)
+	}
+	panic(fmt.Sprintf("cps: unknown expression %T", e))
+}
+
+// cpsCall converts a procedure call.
+func (c *Converter) cpsCall(call *ast.Call, bound boundSet, k metaK) ast.Expr {
+	// (call/cc f) => (f (λ(v k2). k(v)) k): in CPS the current continuation
+	// is an ordinary value, so call/cc needs no machine support at all. The
+	// continuation is bound to a variable first so it is never duplicated.
+	if op, ok := call.Operator().(*ast.Var); ok && isCallCC(op.Name, bound) && len(call.Operands()) == 1 {
+		emit := func(kname string) ast.Expr {
+			return c.cps(call.Operands()[0], bound, metaK{apply: func(vf ast.Expr) ast.Expr {
+				v := c.gensym("v")
+				k2 := c.gensym("k")
+				escape := &ast.Lambda{
+					Params: []string{v, k2},
+					Body: &ast.Call{Exprs: []ast.Expr{
+						&ast.Var{Name: kname},
+						&ast.Var{Name: v},
+					}},
+					Label: c.gensym("escape"),
+				}
+				return &ast.Call{Exprs: []ast.Expr{vf, escape, &ast.Var{Name: kname}}}
+			}})
+		}
+		if k.varName != "" {
+			return emit(k.varName)
+		}
+		kb := c.gensym("k")
+		return &ast.Call{Exprs: []ast.Expr{
+			&ast.Lambda{Params: []string{kb}, Body: emit(kb), Label: c.gensym("bind-k")},
+			c.reify(k),
+		}}
+	}
+
+	// Known primitive: stay direct.
+	if op, ok := call.Operator().(*ast.Var); ok && isPrimitive(op.Name, bound) {
+		return c.cpsArgs(call.Operands(), bound, nil, func(atoms []ast.Expr) ast.Expr {
+			return k.apply(&ast.Call{Exprs: append([]ast.Expr{op}, atoms...)})
+		})
+	}
+
+	// Unknown procedure: convert operator and operands, then emit the call
+	// in tail position with the reified continuation as the last argument.
+	all := call.Exprs
+	return c.cpsArgs(all, bound, nil, func(atoms []ast.Expr) ast.Expr {
+		exprs := append(append([]ast.Expr{}, atoms...), c.reify(k))
+		return &ast.Call{Exprs: exprs}
+	})
+}
+
+// etaPrimitive wraps a standard procedure referenced in value position into
+// the CPS calling convention:
+//
+//   - =>  (lambda (a1 a2 k) (k (+ a1 a2)))
+//     call/cc => (lambda (f k) (f (lambda (v k2) (k v)) k))
+//
+// Fixed-arity primitives get exact wrappers. Variadic primitives get binary
+// wrappers — Core Scheme's lambdas have fixed arity (Figure 1), and two
+// arguments covers the idiomatic fold/compare uses; a production CPS
+// compiler would carry a full CPS standard library instead (documented
+// limitation, like `apply`).
+func (c *Converter) etaPrimitive(name string, bound boundSet) (ast.Expr, bool) {
+	if bound[name] {
+		return nil, false
+	}
+	p, ok := prim.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	if p.Spread {
+		return nil, false // apply: see package comment
+	}
+	kv := c.gensym("k")
+	if p.CallCC {
+		f := c.gensym("f")
+		v := c.gensym("v")
+		k2 := c.gensym("k")
+		escape := &ast.Lambda{
+			Params: []string{v, k2},
+			Body:   &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: kv}, &ast.Var{Name: v}}},
+			Label:  c.gensym("escape"),
+		}
+		return &ast.Lambda{
+			Params: []string{f, kv},
+			Body:   &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: f}, escape, &ast.Var{Name: kv}}},
+			Label:  c.gensym("callcc-wrapper"),
+		}, true
+	}
+	n := p.Arity
+	if n < 0 {
+		n = 2
+	}
+	params := make([]string, 0, n+1)
+	inner := []ast.Expr{&ast.Var{Name: name}}
+	for i := 0; i < n; i++ {
+		a := c.gensym("a")
+		params = append(params, a)
+		inner = append(inner, &ast.Var{Name: a})
+	}
+	params = append(params, kv)
+	return &ast.Lambda{
+		Params: params,
+		Body:   &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: kv}, &ast.Call{Exprs: inner}}},
+		Label:  c.gensym("prim-wrapper"),
+	}, true
+}
+
+// cpsArgs converts a sequence of expressions left to right, accumulating
+// trivial atoms, and hands the full list to done.
+func (c *Converter) cpsArgs(exprs []ast.Expr, bound boundSet, acc []ast.Expr, done func([]ast.Expr) ast.Expr) ast.Expr {
+	if len(exprs) == 0 {
+		return done(acc)
+	}
+	return c.cps(exprs[0], bound, metaK{apply: func(atom ast.Expr) ast.Expr {
+		return c.cpsArgs(exprs[1:], bound, append(acc, atom), done)
+	}})
+}

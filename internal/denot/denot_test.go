@@ -1,0 +1,150 @@
+package denot_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tailspace/internal/core"
+	"tailspace/internal/corpus"
+	"tailspace/internal/denot"
+	"tailspace/internal/expand"
+	"tailspace/internal/experiments"
+	"tailspace/internal/value"
+)
+
+func run(t *testing.T, src string) string {
+	t.Helper()
+	v, st, err := denot.Run(src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return core.Answer(v, st)
+}
+
+func TestBasicEvaluation(t *testing.T) {
+	cases := map[string]string{
+		"42":                          "42",
+		"(+ 1 2 3)":                   "6",
+		"(if #f 1 2)":                 "2",
+		"((lambda (x) (* x x)) 7)":    "49",
+		"(let ((x 3) (y 4)) (+ x y))": "7",
+		"'(1 2 3)":                    "(1 2 3)",
+		"(cons 1 2)":                  "(1 . 2)",
+		"(vector 1 2)":                "#(1 2)",
+		"(let ((x 1)) (set! x 9) x)":  "9",
+		"(lambda (x) x)":              "#<PROC>",
+	}
+	for src, want := range cases {
+		if got := run(t, src); got != want {
+			t.Errorf("%q = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 10)"
+	if got := run(t, src); got != "3628800" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLetrecSemantics(t *testing.T) {
+	src := `(letrec ((even2? (lambda (n) (if (zero? n) #t (odd2? (- n 1)))))
+	                 (odd2? (lambda (n) (if (zero? n) #f (even2? (- n 1))))))
+	          (even2? 20))`
+	if got := run(t, src); got != "#t" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLetrecReadBeforeInit(t *testing.T) {
+	if _, _, err := denot.Run("(letrec ((x y) (y 1)) x)"); err == nil ||
+		!strings.Contains(err.Error(), "before initialization") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCallCCEscape(t *testing.T) {
+	cases := map[string]string{
+		"(call/cc (lambda (k) (+ 1 (k 42))))":    "42",
+		"(+ 1 (call/cc (lambda (k) (k 10) 99)))": "11",
+		"(call/cc (lambda (k) 7))":               "7",
+	}
+	for src, want := range cases {
+		if got := run(t, src); got != want {
+			t.Errorf("%q = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestCallCCReentry(t *testing.T) {
+	src := `
+(let ((saved #f) (count 0))
+  (let ((x (call/cc (lambda (k) (set! saved k) 0))))
+    (set! count (+ count 1))
+    (if (< x 3) (saved (+ x 1)) (list x count))))`
+	if got := run(t, src); got != "(3 4)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"unbound-thing",
+		"(1 2)",
+		"((lambda (x) x) 1 2)",
+		"(car 7)",
+	} {
+		if _, _, err := denot.Run(src); err == nil {
+			t.Errorf("Run(%q): expected error", src)
+		}
+	}
+}
+
+// TestSection16CorpusAgreement discharges the Section 16 correspondence on
+// the corpus: every answer computed by the denotational semantics is
+// computed by every reference implementation.
+func TestSection16CorpusAgreement(t *testing.T) {
+	for _, p := range corpus.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			got := run(t, p.Source)
+			if got != p.Answer {
+				t.Fatalf("denotational answer %q, corpus oracle %q", got, p.Answer)
+			}
+		})
+	}
+}
+
+func TestSection16RandomProgramAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		src := experiments.RandomProgram(r, 4)
+		want := run(t, src)
+		res, err := core.RunProgram(src, core.Options{Variant: core.SFS, MaxSteps: 500_000})
+		if err != nil || res.Err != nil {
+			t.Fatalf("machine on %q: %v %v", src, err, res.Err)
+		}
+		if res.Answer != want {
+			t.Fatalf("disagreement on %q: denot %q, machine %q", src, want, res.Answer)
+		}
+	}
+}
+
+func TestDepthGuard(t *testing.T) {
+	// Deep recursion against a tiny budget trips the guard rather than
+	// blowing the Go stack: the definitional interpreter is NOT properly
+	// tail recursive — its control space is the metalanguage's.
+	e, err := expand.ParseProgram("(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 1000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, rho := denot.New()
+	in.SetMaxDepth(50)
+	_, err = in.Eval(e, rho, func(v value.Value) (value.Value, error) { return v, nil })
+	if !errors.Is(err, denot.ErrDepth) {
+		t.Fatalf("expected ErrDepth, got %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package env implements the environments ρ of the paper's Figure 4:
+// finite functions from identifiers to store locations.
+//
+// Environments are persistent (extension copies), which makes |Dom ρ| the
+// honest flat-environment charge of Figure 7: every configuration that
+// mentions ρ pays for all of its bindings. The linked-environment accounting
+// of Figure 8 instead unions graph(ρ) across the whole configuration; Graph
+// iteration supports that.
+package env
+
+import "sort"
+
+// Location is a store address α.
+type Location int
+
+// Binding is one element of graph(ρ): an (identifier, location) pair.
+type Binding struct {
+	Name string
+	Loc  Location
+}
+
+// Env is a finite map from identifiers to locations.
+type Env struct {
+	m map[string]Location
+}
+
+// Empty returns the empty environment { }.
+func Empty() Env { return Env{} }
+
+// FromBindings builds an environment from bindings; later entries shadow
+// earlier ones.
+func FromBindings(bs ...Binding) Env {
+	m := make(map[string]Location, len(bs))
+	for _, b := range bs {
+		m[b.Name] = b.Loc
+	}
+	return Env{m: m}
+}
+
+// Lookup returns ρ(I) and reports whether I ∈ Dom ρ.
+func (e Env) Lookup(name string) (Location, bool) {
+	l, ok := e.m[name]
+	return l, ok
+}
+
+// Extend returns ρ[I1...In ↦ β1...βn]. It panics if the slices disagree in
+// length; callers check arity first.
+func (e Env) Extend(names []string, locs []Location) Env {
+	if len(names) != len(locs) {
+		panic("env: Extend with mismatched names and locations")
+	}
+	m := make(map[string]Location, len(e.m)+len(names))
+	for k, v := range e.m {
+		m[k] = v
+	}
+	for i, n := range names {
+		m[n] = locs[i]
+	}
+	return Env{m: m}
+}
+
+// Restrict returns ρ | keep, the environment restricted to the identifiers
+// in keep. Any map whose keys are identifiers works as the set.
+func (e Env) Restrict(keep map[string]struct{}) Env {
+	m := make(map[string]Location)
+	for k, v := range e.m {
+		if _, ok := keep[k]; ok {
+			m[k] = v
+		}
+	}
+	return Env{m: m}
+}
+
+// RestrictTo returns ρ | {names...}.
+func (e Env) RestrictTo(names ...string) Env {
+	keep := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		keep[n] = struct{}{}
+	}
+	return e.Restrict(keep)
+}
+
+// Size is |Dom ρ|, the flat-environment space charge.
+func (e Env) Size() int { return len(e.m) }
+
+// IsEmpty reports whether ρ = { }.
+func (e Env) IsEmpty() bool { return len(e.m) == 0 }
+
+// Each calls f on every binding in ρ (iteration order unspecified).
+func (e Env) Each(f func(name string, loc Location)) {
+	for k, v := range e.m {
+		f(k, v)
+	}
+}
+
+// Domain returns Dom ρ in lexical order.
+func (e Env) Domain() []string {
+	out := make([]string, 0, len(e.m))
+	for k := range e.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Locations returns Ran ρ (with duplicates preserved); these are GC roots.
+func (e Env) Locations() []Location {
+	out := make([]Location, 0, len(e.m))
+	for _, v := range e.m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Graph returns graph(ρ) as a slice of bindings, for Figure 8 accounting.
+func (e Env) Graph() []Binding {
+	out := make([]Binding, 0, len(e.m))
+	for k, v := range e.m {
+		out = append(out, Binding{Name: k, Loc: v})
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package env
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	e := Empty()
+	if e.Size() != 0 || !e.IsEmpty() {
+		t.Fatal("empty env should have size 0")
+	}
+	if _, ok := e.Lookup("x"); ok {
+		t.Fatal("empty env should not resolve x")
+	}
+}
+
+func TestExtendAndLookup(t *testing.T) {
+	e := Empty().Extend([]string{"x", "y"}, []Location{1, 2})
+	if l, ok := e.Lookup("x"); !ok || l != 1 {
+		t.Fatalf("x -> %v %v", l, ok)
+	}
+	if l, ok := e.Lookup("y"); !ok || l != 2 {
+		t.Fatalf("y -> %v %v", l, ok)
+	}
+	if e.Size() != 2 {
+		t.Fatalf("size = %d", e.Size())
+	}
+}
+
+func TestExtendShadows(t *testing.T) {
+	e := Empty().Extend([]string{"x"}, []Location{1})
+	e2 := e.Extend([]string{"x"}, []Location{9})
+	if l, _ := e2.Lookup("x"); l != 9 {
+		t.Fatalf("shadowed x = %v", l)
+	}
+	// The original environment is unchanged (persistence).
+	if l, _ := e.Lookup("x"); l != 1 {
+		t.Fatalf("original x = %v", l)
+	}
+	if e2.Size() != 1 {
+		t.Fatalf("shadowing must not grow the domain: %d", e2.Size())
+	}
+}
+
+func TestExtendMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Empty().Extend([]string{"x"}, nil)
+}
+
+func TestRestrict(t *testing.T) {
+	e := Empty().Extend([]string{"a", "b", "c"}, []Location{1, 2, 3})
+	r := e.Restrict(map[string]struct{}{"a": {}, "c": {}, "zz": {}})
+	if r.Size() != 2 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if _, ok := r.Lookup("b"); ok {
+		t.Fatal("b should be gone")
+	}
+	if l, ok := r.Lookup("c"); !ok || l != 3 {
+		t.Fatal("c should survive")
+	}
+}
+
+func TestRestrictTo(t *testing.T) {
+	e := Empty().Extend([]string{"a", "b"}, []Location{1, 2})
+	r := e.RestrictTo("b")
+	if r.Size() != 1 {
+		t.Fatalf("size = %d", r.Size())
+	}
+}
+
+func TestDomainSorted(t *testing.T) {
+	e := Empty().Extend([]string{"z", "a", "m"}, []Location{1, 2, 3})
+	d := e.Domain()
+	if len(d) != 3 || d[0] != "a" || d[1] != "m" || d[2] != "z" {
+		t.Fatalf("domain = %v", d)
+	}
+}
+
+func TestGraphAndLocations(t *testing.T) {
+	e := Empty().Extend([]string{"x", "y"}, []Location{7, 7})
+	g := e.Graph()
+	if len(g) != 2 {
+		t.Fatalf("graph = %v", g)
+	}
+	locs := e.Locations()
+	if len(locs) != 2 || locs[0] != 7 || locs[1] != 7 {
+		t.Fatalf("locations = %v", locs)
+	}
+}
+
+func TestFromBindings(t *testing.T) {
+	e := FromBindings(Binding{"x", 1}, Binding{"x", 2})
+	if l, _ := e.Lookup("x"); l != 2 {
+		t.Fatalf("later binding should win: %v", l)
+	}
+}
+
+func TestPropertyRestrictShrinks(t *testing.T) {
+	f := func(names []string, keepNames []string) bool {
+		locs := make([]Location, len(names))
+		for i := range locs {
+			locs[i] = Location(i)
+		}
+		e := Empty().Extend(names, locs)
+		keep := make(map[string]struct{})
+		for _, k := range keepNames {
+			keep[k] = struct{}{}
+		}
+		r := e.Restrict(keep)
+		if r.Size() > e.Size() {
+			return false
+		}
+		// Every surviving binding agrees with the original.
+		ok := true
+		r.Each(func(name string, loc Location) {
+			orig, found := e.Lookup(name)
+			if !found || orig != loc {
+				ok = false
+			}
+			if _, inKeep := keep[name]; !inKeep {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExtendLookup(t *testing.T) {
+	f := func(base []string, add []string) bool {
+		baseLocs := make([]Location, len(base))
+		for i := range baseLocs {
+			baseLocs[i] = Location(i)
+		}
+		addLocs := make([]Location, len(add))
+		for i := range addLocs {
+			addLocs[i] = Location(1000 + i)
+		}
+		e := Empty().Extend(base, baseLocs).Extend(add, addLocs)
+		// Every added name resolves to its last-added location.
+		last := make(map[string]Location)
+		for i, n := range add {
+			last[n] = addLocs[i]
+		}
+		for n, want := range last {
+			if got, ok := e.Lookup(n); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package expand_test
+
+import (
+	"strings"
+	"testing"
+
+	"tailspace/internal/core"
+	"tailspace/internal/expand"
+)
+
+func TestExpandErrorRendering(t *testing.T) {
+	_, err := expand.ParseExpr("(if)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ee, ok := err.(*expand.ExpandError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if !strings.Contains(ee.Error(), "if") {
+		t.Fatalf("message %q should mention the form", ee.Error())
+	}
+	// Error without a form.
+	bare := &expand.ExpandError{Msg: "plain"}
+	if bare.Error() != "expand: plain" {
+		t.Fatalf("got %q", bare.Error())
+	}
+}
+
+func TestQuoteAllAtomKinds(t *testing.T) {
+	// Each quoted atom kind round-trips through evaluation.
+	cases := map[string]string{
+		"'#t":       "#t",
+		"'42":       "42",
+		"'sym":      "sym",
+		`'"str"`:    `"str"`,
+		`'#\a`:      `#\a`,
+		"'()":       "()",
+		"'(a . b)":  "(a . b)",
+		"'#(1 (2))": "#(1 (2))",
+	}
+	for src, want := range cases {
+		res, err := core.RunProgram(src, core.Options{})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%q: %v %v", src, err, res.Err)
+		}
+		if res.Answer != want {
+			t.Errorf("%q = %q, want %q", src, res.Answer, want)
+		}
+	}
+}
+
+func TestDefineFormErrors(t *testing.T) {
+	bad := []string{
+		"(define)",
+		"(define 3 4)",
+		"(define x)",
+		"(define x 1 2)",
+		"(define (3 x) x)",
+		"(define ((f) x) x)",
+	}
+	for _, src := range bad {
+		if _, err := expand.ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q): expected error", src)
+		}
+	}
+}
+
+func TestCaseFormErrors(t *testing.T) {
+	bad := []string{
+		"(case)",
+		"(case k)",
+		"(case k (bad))",
+		"(case k (else 1) ((2) 2))",
+		"(case k (3 4))",
+	}
+	for _, src := range bad {
+		if _, err := expand.ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestCaseEmptyDataClause(t *testing.T) {
+	res, err := core.RunProgram("(case 1 (() 'never) ((1) 'one))", core.Options{})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if res.Answer != "one" {
+		t.Fatalf("got %q", res.Answer)
+	}
+}
+
+func TestWhenUnlessErrors(t *testing.T) {
+	for _, src := range []string{"(when)", "(when p)", "(unless)", "(unless p)"} {
+		if _, err := expand.ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestWhenUnlessEvaluation(t *testing.T) {
+	cases := map[string]string{
+		"(when #t 1 2)":   "2",
+		"(when #f 1 2)":   "#!unspecified",
+		"(unless #f 1 2)": "2",
+		"(unless #t 1 2)": "#!unspecified",
+	}
+	for src, want := range cases {
+		res, err := core.RunProgram(src, core.Options{})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%q: %v %v", src, err, res.Err)
+		}
+		if res.Answer != want {
+			t.Errorf("%q = %q, want %q", src, res.Answer, want)
+		}
+	}
+}
+
+func TestQuasiquoteEvaluation(t *testing.T) {
+	cases := map[string]string{
+		"`(1 2)":              "(1 2)",
+		"`(1 ,(+ 1 1))":       "(1 2)",
+		"`(1 ,@(list 2 3) 4)": "(1 2 3 4)",
+		"`#(1 ,(+ 1 1))":      "#(1 2)",
+		"`(a (b ,(* 2 2)))":   "(a (b 4))",
+		"``(a ,(b))":          "(quasiquote (a (unquote (b))))",
+		"`(x . ,(+ 1 1))":     "(x . 2)",
+		"`,(+ 1 2)":           "3",
+	}
+	for src, want := range cases {
+		res, err := core.RunProgram(src, core.Options{})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%q: %v %v", src, err, res.Err)
+		}
+		if res.Answer != want {
+			t.Errorf("%q = %q, want %q", src, res.Answer, want)
+		}
+	}
+}
+
+func TestQuasiquoteDepth2Splicing(t *testing.T) {
+	// A depth-2 unquote-splicing stays quoted.
+	res, err := core.RunProgram("``(,@(list 1))", core.Options{})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if !strings.Contains(res.Answer, "unquote-splicing") {
+		t.Fatalf("got %q", res.Answer)
+	}
+}
+
+func TestDoErrors(t *testing.T) {
+	bad := []string{
+		"(do)",
+		"(do ((x)) ((= x 1)))",
+		"(do ((x 1 2 3)) ((= x 1)))",
+		"(do ((3 1)) ((= 1 1)))",
+		"(do x ((= 1 1)))",
+		"(do ((x 1)) ())",
+	}
+	for _, src := range bad {
+		if _, err := expand.ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestDoWithoutResultIsFalse(t *testing.T) {
+	res, err := core.RunProgram("(do ((i 0 (+ i 1))) ((= i 3)))", core.Options{})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	if res.Answer != "#f" {
+		t.Fatalf("got %q", res.Answer)
+	}
+}
+
+func TestLetErrors(t *testing.T) {
+	bad := []string{
+		"(let loop x)",
+		"(let ((x 1 2)) x)",
+		"(let (x) x)",
+		"(letrec ((x 1) (x 2)) x)",
+		"(let* x)",
+	}
+	for _, src := range bad {
+		if _, err := expand.ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestCondArrowArityError(t *testing.T) {
+	if _, err := expand.ParseExpr("(cond ((f x) => g h) (else 1))"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBodyWithOnlyDefinesFails(t *testing.T) {
+	if _, err := expand.ParseExpr("(lambda (x) (define y 1))"); err == nil {
+		t.Fatal("body without expressions must fail")
+	}
+}
+
+func TestImproperExpressionList(t *testing.T) {
+	if _, err := expand.ParseExpr("(f . x)"); err == nil {
+		t.Fatal("improper call must fail")
+	}
+}

@@ -1,0 +1,912 @@
+// Package expand lowers the external syntax of Scheme into the Core Scheme
+// internal syntax of the paper's Figure 1. It expands the standard derived
+// forms (let, let*, letrec, named let, begin, cond, case, and, or, when,
+// unless, do, quasiquote) and rewrites compound quoted constants into
+// constructor calls, as Section 12 of the paper requires: Programs and
+// Inputs are Core Scheme expressions that contain no locations.
+package expand
+
+import (
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/sexpr"
+)
+
+// ExpandError reports a malformed special form.
+type ExpandError struct {
+	Form sexpr.Datum
+	Msg  string
+}
+
+func (e *ExpandError) Error() string {
+	if e.Form != nil {
+		return fmt.Sprintf("expand: %s: in %s", e.Msg, e.Form)
+	}
+	return "expand: " + e.Msg
+}
+
+// Expander rewrites surface syntax into Core Scheme.
+type Expander struct {
+	gensymCount int
+}
+
+// New returns a fresh Expander.
+func New() *Expander { return &Expander{} }
+
+// gensym returns an identifier that cannot appear in source programs.
+func (x *Expander) gensym(hint string) string {
+	x.gensymCount++
+	return fmt.Sprintf("%%%s:%d", hint, x.gensymCount)
+}
+
+func errf(form sexpr.Datum, format string, args ...any) error {
+	return &ExpandError{Form: form, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Expr expands a single datum into a Core Scheme expression.
+func (x *Expander) Expr(d sexpr.Datum) (ast.Expr, error) {
+	switch t := d.(type) {
+	case sexpr.Bool:
+		return &ast.Const{Value: ast.BoolConst(bool(t))}, nil
+	case sexpr.Num:
+		return &ast.Const{Value: ast.NumConst{Int: t.Int}}, nil
+	case sexpr.Str:
+		return &ast.Const{Value: ast.StrConst(string(t))}, nil
+	case sexpr.Char:
+		return &ast.Const{Value: ast.CharConst(rune(t))}, nil
+	case sexpr.Sym:
+		return &ast.Var{Name: string(t)}, nil
+	case sexpr.Nil:
+		return nil, errf(d, "empty combination ()")
+	case sexpr.Vector:
+		return nil, errf(d, "vector literals must be quoted")
+	case *sexpr.Pair:
+		return x.expandPair(t)
+	}
+	return nil, errf(d, "unexpected datum")
+}
+
+func (x *Expander) expandPair(p *sexpr.Pair) (ast.Expr, error) {
+	items, ok := sexpr.Flatten(p)
+	if !ok {
+		return nil, errf(p, "improper expression list")
+	}
+	if head, isSym := p.Car.(sexpr.Sym); isSym {
+		switch string(head) {
+		case "quote":
+			if len(items) != 2 {
+				return nil, errf(p, "quote takes one argument")
+			}
+			return x.quote(items[1])
+		case "quasiquote":
+			if len(items) != 2 {
+				return nil, errf(p, "quasiquote takes one argument")
+			}
+			return x.quasiquote(items[1], 1)
+		case "unquote", "unquote-splicing":
+			return nil, errf(p, "%s outside quasiquote", head)
+		case "lambda":
+			return x.lambda(p, items, "")
+		case "if":
+			return x.ifForm(p, items)
+		case "set!":
+			return x.setForm(p, items)
+		case "begin":
+			return x.begin(items[1:])
+		case "let":
+			return x.let(p, items)
+		case "let*":
+			return x.letStar(p, items)
+		case "letrec", "letrec*":
+			return x.letrec(p, items)
+		case "cond":
+			return x.cond(p, items[1:])
+		case "case":
+			return x.caseForm(p, items)
+		case "and":
+			return x.and(items[1:])
+		case "or":
+			return x.or(items[1:])
+		case "when":
+			return x.when(p, items)
+		case "unless":
+			return x.unless(p, items)
+		case "do":
+			return x.doForm(p, items)
+		case "define":
+			return nil, errf(p, "define is only allowed at the top level or at the head of a body")
+		}
+	}
+	// An ordinary procedure call.
+	exprs := make([]ast.Expr, len(items))
+	for i, it := range items {
+		e, err := x.Expr(it)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+	}
+	return &ast.Call{Exprs: exprs}, nil
+}
+
+// quote lowers a quoted datum. Simple constants become Const nodes; compound
+// constants become constructor calls so that expressions carry no locations.
+func (x *Expander) quote(d sexpr.Datum) (ast.Expr, error) {
+	switch t := d.(type) {
+	case sexpr.Bool:
+		return &ast.Const{Value: ast.BoolConst(bool(t))}, nil
+	case sexpr.Num:
+		return &ast.Const{Value: ast.NumConst{Int: t.Int}}, nil
+	case sexpr.Sym:
+		return &ast.Const{Value: ast.SymConst(string(t))}, nil
+	case sexpr.Str:
+		return &ast.Const{Value: ast.StrConst(string(t))}, nil
+	case sexpr.Char:
+		return &ast.Const{Value: ast.CharConst(rune(t))}, nil
+	case sexpr.Nil:
+		return &ast.Const{Value: ast.NilConst{}}, nil
+	case *sexpr.Pair:
+		car, err := x.quote(t.Car)
+		if err != nil {
+			return nil, err
+		}
+		cdr, err := x.quote(t.Cdr)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: "cons"}, car, cdr}}, nil
+	case sexpr.Vector:
+		exprs := make([]ast.Expr, 0, len(t)+1)
+		exprs = append(exprs, &ast.Var{Name: "vector"})
+		for _, el := range t {
+			q, err := x.quote(el)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, q)
+		}
+		return &ast.Call{Exprs: exprs}, nil
+	}
+	return nil, errf(d, "unquotable datum")
+}
+
+func (x *Expander) lambda(form sexpr.Datum, items []sexpr.Datum, label string) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "lambda needs formals and a body")
+	}
+	params, err := formals(form, items[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := x.body(items[2:])
+	if err != nil {
+		return nil, err
+	}
+	if label == "" {
+		label = x.gensym("lambda")
+	}
+	return &ast.Lambda{Params: params, Body: body, Label: label}, nil
+}
+
+func formals(form, d sexpr.Datum) ([]string, error) {
+	items, ok := sexpr.Flatten(d)
+	if !ok {
+		return nil, errf(form, "variadic formals are not part of Core Scheme (Figure 1 fixes the arity)")
+	}
+	params := make([]string, len(items))
+	seen := map[string]bool{}
+	for i, it := range items {
+		s, ok := it.(sexpr.Sym)
+		if !ok {
+			return nil, errf(form, "formal parameter %s is not an identifier", it)
+		}
+		if seen[string(s)] {
+			return nil, errf(form, "duplicate formal parameter %s", s)
+		}
+		seen[string(s)] = true
+		params[i] = string(s)
+	}
+	return params, nil
+}
+
+// body expands a lambda/let body: leading internal defines become a letrec.
+func (x *Expander) body(items []sexpr.Datum) (ast.Expr, error) {
+	var defs []definition
+	rest := items
+	for len(rest) > 0 {
+		def, ok, err := x.asDefinition(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		defs = append(defs, def)
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return nil, errf(nil, "body has no expressions")
+	}
+	tail, err := x.begin(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(defs) == 0 {
+		return tail, nil
+	}
+	return x.letrecFromDefs(defs, tail)
+}
+
+// definition is a parsed (define name rhs) form, with the rhs not yet
+// expanded so that letrec labels can be attached to lambdas.
+type definition struct {
+	name string
+	rhs  sexpr.Datum
+}
+
+// asDefinition recognizes (define I E) and (define (I args...) body...).
+func (x *Expander) asDefinition(d sexpr.Datum) (definition, bool, error) {
+	p, ok := d.(*sexpr.Pair)
+	if !ok {
+		return definition{}, false, nil
+	}
+	head, ok := p.Car.(sexpr.Sym)
+	if !ok || string(head) != "define" {
+		return definition{}, false, nil
+	}
+	items, ok := sexpr.Flatten(p)
+	if !ok || len(items) < 2 {
+		return definition{}, false, errf(d, "malformed define")
+	}
+	switch target := items[1].(type) {
+	case sexpr.Sym:
+		if len(items) != 3 {
+			return definition{}, false, errf(d, "define of a variable takes exactly one expression")
+		}
+		return definition{name: string(target), rhs: items[2]}, true, nil
+	case *sexpr.Pair:
+		// (define (f a b) body...) => f = (lambda (a b) body...)
+		nameD := target.Car
+		name, ok := nameD.(sexpr.Sym)
+		if !ok {
+			return definition{}, false, errf(d, "procedure name is not an identifier")
+		}
+		lam := sexpr.ImproperList(
+			append([]sexpr.Datum{sexpr.Sym("lambda"), target.Cdr}, items[2:]...), sexpr.Nil{})
+		return definition{name: string(name), rhs: lam}, true, nil
+	default:
+		return definition{}, false, errf(d, "malformed define target")
+	}
+}
+
+// expandRHS expands a definition right-hand side, labelling lambdas with the
+// defined name so the tail-call classifier can recognize self-tail calls.
+func (x *Expander) expandRHS(def definition) (ast.Expr, error) {
+	if p, ok := def.rhs.(*sexpr.Pair); ok {
+		if head, ok := p.Car.(sexpr.Sym); ok && string(head) == "lambda" {
+			items, flat := sexpr.Flatten(p)
+			if flat {
+				return x.lambda(p, items, def.name)
+			}
+		}
+	}
+	return x.Expr(def.rhs)
+}
+
+// letrecFromDefs builds the Core Scheme expansion of letrec*:
+//
+//	((lambda (x1 ... xn)
+//	   (begin (set! x1 e1) ... (set! xn en) body))
+//	 (%undef) ... (%undef))
+//
+// Reading a variable before its set! runs yields UNDEFINED, which sticks the
+// machine — exactly the R5RS letrec restriction.
+func (x *Expander) letrecFromDefs(defs []definition, tail ast.Expr) (ast.Expr, error) {
+	params := make([]string, len(defs))
+	seen := map[string]bool{}
+	seq := make([]ast.Expr, 0, len(defs)+1)
+	for i, def := range defs {
+		if seen[def.name] {
+			return nil, errf(nil, "duplicate definition of %s", def.name)
+		}
+		seen[def.name] = true
+		params[i] = def.name
+		rhs, err := x.expandRHS(def)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, &ast.Set{Name: def.name, Rhs: rhs})
+	}
+	seq = append(seq, tail)
+	body := x.sequence(seq)
+	callExprs := make([]ast.Expr, 0, len(defs)+1)
+	callExprs = append(callExprs, &ast.Lambda{Params: params, Body: body, Label: x.gensym("letrec")})
+	for range defs {
+		callExprs = append(callExprs, &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: "%undef"}}})
+	}
+	return &ast.Call{Exprs: callExprs}, nil
+}
+
+func (x *Expander) ifForm(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) != 3 && len(items) != 4 {
+		return nil, errf(form, "if takes two or three subexpressions")
+	}
+	test, err := x.Expr(items[1])
+	if err != nil {
+		return nil, err
+	}
+	then, err := x.Expr(items[2])
+	if err != nil {
+		return nil, err
+	}
+	var els ast.Expr = &ast.Const{Value: ast.UnspecifiedConst{}}
+	if len(items) == 4 {
+		if els, err = x.Expr(items[3]); err != nil {
+			return nil, err
+		}
+	}
+	return &ast.If{Test: test, Then: then, Else: els}, nil
+}
+
+func (x *Expander) setForm(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) != 3 {
+		return nil, errf(form, "set! takes an identifier and an expression")
+	}
+	name, ok := items[1].(sexpr.Sym)
+	if !ok {
+		return nil, errf(form, "set! target is not an identifier")
+	}
+	rhs, err := x.Expr(items[2])
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Set{Name: string(name), Rhs: rhs}, nil
+}
+
+// begin expands a sequence. Core Scheme has no sequencing form, so
+// (begin e1 e2 ...) becomes ((lambda (ignored) (begin e2 ...)) e1).
+func (x *Expander) begin(items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) == 0 {
+		return &ast.Const{Value: ast.UnspecifiedConst{}}, nil
+	}
+	exprs := make([]ast.Expr, len(items))
+	for i, it := range items {
+		e, err := x.Expr(it)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+	}
+	return x.sequence(exprs), nil
+}
+
+// sequence chains already-expanded expressions with ignored bindings.
+func (x *Expander) sequence(exprs []ast.Expr) ast.Expr {
+	result := exprs[len(exprs)-1]
+	for i := len(exprs) - 2; i >= 0; i-- {
+		ignored := x.gensym("seq")
+		result = &ast.Call{Exprs: []ast.Expr{
+			&ast.Lambda{Params: []string{ignored}, Body: result, Label: x.gensym("begin")},
+			exprs[i],
+		}}
+	}
+	return result
+}
+
+type binding struct {
+	name string
+	init sexpr.Datum
+}
+
+func parseBindings(form, d sexpr.Datum) ([]binding, error) {
+	items, ok := sexpr.Flatten(d)
+	if !ok {
+		return nil, errf(form, "malformed binding list")
+	}
+	out := make([]binding, len(items))
+	for i, it := range items {
+		pair, ok := sexpr.Flatten(it)
+		if !ok || len(pair) != 2 {
+			return nil, errf(form, "binding %s is not (name init)", it)
+		}
+		name, ok := pair[0].(sexpr.Sym)
+		if !ok {
+			return nil, errf(form, "binding name %s is not an identifier", pair[0])
+		}
+		out[i] = binding{name: string(name), init: pair[1]}
+	}
+	return out, nil
+}
+
+func (x *Expander) let(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) >= 3 {
+		if name, ok := items[1].(sexpr.Sym); ok {
+			return x.namedLet(form, string(name), items)
+		}
+	}
+	if len(items) < 3 {
+		return nil, errf(form, "let needs bindings and a body")
+	}
+	binds, err := parseBindings(form, items[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := x.body(items[2:])
+	if err != nil {
+		return nil, err
+	}
+	params := make([]string, len(binds))
+	callExprs := make([]ast.Expr, 0, len(binds)+1)
+	callExprs = append(callExprs, nil) // placeholder for the lambda
+	for i, b := range binds {
+		params[i] = b.name
+		init, err := x.Expr(b.init)
+		if err != nil {
+			return nil, err
+		}
+		callExprs = append(callExprs, init)
+	}
+	callExprs[0] = &ast.Lambda{Params: params, Body: body, Label: x.gensym("let")}
+	return &ast.Call{Exprs: callExprs}, nil
+}
+
+func (x *Expander) namedLet(form sexpr.Datum, name string, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 4 {
+		return nil, errf(form, "named let needs bindings and a body")
+	}
+	binds, err := parseBindings(form, items[2])
+	if err != nil {
+		return nil, err
+	}
+	// (let loop ((v i) ...) body) =>
+	//   (letrec ((loop (lambda (v ...) body))) (loop i ...))
+	params := make([]sexpr.Datum, len(binds))
+	inits := make([]sexpr.Datum, len(binds))
+	for i, b := range binds {
+		params[i] = sexpr.Sym(b.name)
+		inits[i] = b.init
+	}
+	lam := sexpr.ImproperList(
+		append([]sexpr.Datum{sexpr.Sym("lambda"), sexpr.List(params...)}, items[3:]...), sexpr.Nil{})
+	def := definition{name: name, rhs: lam}
+	callD := sexpr.List(append([]sexpr.Datum{sexpr.Sym(name)}, inits...)...)
+	callE, err := x.Expr(callD)
+	if err != nil {
+		return nil, err
+	}
+	return x.letrecFromDefs([]definition{def}, callE)
+}
+
+func (x *Expander) letStar(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "let* needs bindings and a body")
+	}
+	binds, err := parseBindings(form, items[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(binds) <= 1 {
+		return x.let(form, items)
+	}
+	// (let* ((a x) rest...) body) => (let ((a x)) (let* (rest...) body))
+	first := sexpr.List(sexpr.Sym(binds[0].name), binds[0].init)
+	restBinds, _ := sexpr.Flatten(items[1])
+	inner := sexpr.ImproperList(
+		append([]sexpr.Datum{sexpr.Sym("let*"), sexpr.List(restBinds[1:]...)}, items[2:]...), sexpr.Nil{})
+	outer := sexpr.List(sexpr.Sym("let"), sexpr.List(first), inner)
+	return x.Expr(outer)
+}
+
+func (x *Expander) letrec(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "letrec needs bindings and a body")
+	}
+	binds, err := parseBindings(form, items[1])
+	if err != nil {
+		return nil, err
+	}
+	defs := make([]definition, len(binds))
+	for i, b := range binds {
+		defs[i] = definition{name: b.name, rhs: b.init}
+	}
+	body, err := x.body(items[2:])
+	if err != nil {
+		return nil, err
+	}
+	return x.letrecFromDefs(defs, body)
+}
+
+func (x *Expander) cond(form sexpr.Datum, clauses []sexpr.Datum) (ast.Expr, error) {
+	if len(clauses) == 0 {
+		return &ast.Const{Value: ast.UnspecifiedConst{}}, nil
+	}
+	clause, ok := sexpr.Flatten(clauses[0])
+	if !ok || len(clause) == 0 {
+		return nil, errf(form, "malformed cond clause")
+	}
+	if s, ok := clause[0].(sexpr.Sym); ok && string(s) == "else" {
+		if len(clauses) != 1 {
+			return nil, errf(form, "else clause must be last")
+		}
+		return x.begin(clause[1:])
+	}
+	rest, err := x.cond(form, clauses[1:])
+	if err != nil {
+		return nil, err
+	}
+	test, err := x.Expr(clause[0])
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(clause) == 1:
+		// (cond (test) ...) returns the test value when it is true.
+		tmp := x.gensym("cond")
+		return &ast.Call{Exprs: []ast.Expr{
+			&ast.Lambda{
+				Params: []string{tmp},
+				Body:   &ast.If{Test: &ast.Var{Name: tmp}, Then: &ast.Var{Name: tmp}, Else: rest},
+				Label:  x.gensym("cond"),
+			},
+			test,
+		}}, nil
+	case len(clause) >= 3 && isSym(clause[1], "=>"):
+		if len(clause) != 3 {
+			t := clause[1]
+			return nil, errf(form, "cond => clause takes one receiver, got %s", t)
+		}
+		recv, err := x.Expr(clause[2])
+		if err != nil {
+			return nil, err
+		}
+		tmp := x.gensym("cond")
+		return &ast.Call{Exprs: []ast.Expr{
+			&ast.Lambda{
+				Params: []string{tmp},
+				Body: &ast.If{
+					Test: &ast.Var{Name: tmp},
+					Then: &ast.Call{Exprs: []ast.Expr{recv, &ast.Var{Name: tmp}}},
+					Else: rest,
+				},
+				Label: x.gensym("cond"),
+			},
+			test,
+		}}, nil
+	default:
+		then, err := x.begin(clause[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &ast.If{Test: test, Then: then, Else: rest}, nil
+	}
+}
+
+func isSym(d sexpr.Datum, name string) bool {
+	s, ok := d.(sexpr.Sym)
+	return ok && string(s) == name
+}
+
+func (x *Expander) caseForm(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "case needs a key and clauses")
+	}
+	key, err := x.Expr(items[1])
+	if err != nil {
+		return nil, err
+	}
+	tmp := x.gensym("case")
+	body, err := x.caseClauses(form, tmp, items[2:])
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Call{Exprs: []ast.Expr{
+		&ast.Lambda{Params: []string{tmp}, Body: body, Label: x.gensym("case")},
+		key,
+	}}, nil
+}
+
+func (x *Expander) caseClauses(form sexpr.Datum, tmp string, clauses []sexpr.Datum) (ast.Expr, error) {
+	if len(clauses) == 0 {
+		return &ast.Const{Value: ast.UnspecifiedConst{}}, nil
+	}
+	clause, ok := sexpr.Flatten(clauses[0])
+	if !ok || len(clause) < 2 {
+		return nil, errf(form, "malformed case clause")
+	}
+	if isSym(clause[0], "else") {
+		if len(clauses) != 1 {
+			return nil, errf(form, "else clause must be last")
+		}
+		return x.begin(clause[1:])
+	}
+	data, ok := sexpr.Flatten(clause[0])
+	if !ok {
+		return nil, errf(form, "case clause data must be a list")
+	}
+	then, err := x.begin(clause[1:])
+	if err != nil {
+		return nil, err
+	}
+	rest, err := x.caseClauses(form, tmp, clauses[1:])
+	if err != nil {
+		return nil, err
+	}
+	// (eqv? tmp 'd1) or (eqv? tmp 'd2) or ...
+	var test ast.Expr
+	for i := len(data) - 1; i >= 0; i-- {
+		q, err := x.quote(data[i])
+		if err != nil {
+			return nil, err
+		}
+		cmp := &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: "eqv?"}, &ast.Var{Name: tmp}, q}}
+		if test == nil {
+			test = cmp
+		} else {
+			test = &ast.If{Test: cmp, Then: &ast.Const{Value: ast.BoolConst(true)}, Else: test}
+		}
+	}
+	if test == nil {
+		return rest, nil
+	}
+	return &ast.If{Test: test, Then: then, Else: rest}, nil
+}
+
+func (x *Expander) and(items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) == 0 {
+		return &ast.Const{Value: ast.BoolConst(true)}, nil
+	}
+	first, err := x.Expr(items[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 1 {
+		return first, nil
+	}
+	rest, err := x.and(items[1:])
+	if err != nil {
+		return nil, err
+	}
+	return &ast.If{Test: first, Then: rest, Else: &ast.Const{Value: ast.BoolConst(false)}}, nil
+}
+
+func (x *Expander) or(items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) == 0 {
+		return &ast.Const{Value: ast.BoolConst(false)}, nil
+	}
+	first, err := x.Expr(items[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 1 {
+		return first, nil
+	}
+	rest, err := x.or(items[1:])
+	if err != nil {
+		return nil, err
+	}
+	tmp := x.gensym("or")
+	return &ast.Call{Exprs: []ast.Expr{
+		&ast.Lambda{
+			Params: []string{tmp},
+			Body:   &ast.If{Test: &ast.Var{Name: tmp}, Then: &ast.Var{Name: tmp}, Else: rest},
+			Label:  x.gensym("or"),
+		},
+		first,
+	}}, nil
+}
+
+func (x *Expander) when(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "when needs a test and a body")
+	}
+	test, err := x.Expr(items[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := x.begin(items[2:])
+	if err != nil {
+		return nil, err
+	}
+	return &ast.If{Test: test, Then: body, Else: &ast.Const{Value: ast.UnspecifiedConst{}}}, nil
+}
+
+func (x *Expander) unless(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "unless needs a test and a body")
+	}
+	test, err := x.Expr(items[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := x.begin(items[2:])
+	if err != nil {
+		return nil, err
+	}
+	return &ast.If{Test: test, Then: &ast.Const{Value: ast.UnspecifiedConst{}}, Else: body}, nil
+}
+
+// doForm expands (do ((v init step)...) (test result...) body...) into a
+// named let whose loop re-invokes itself with the step expressions.
+func (x *Expander) doForm(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 3 {
+		return nil, errf(form, "do needs bindings and a test clause")
+	}
+	specs, ok := sexpr.Flatten(items[1])
+	if !ok {
+		return nil, errf(form, "malformed do bindings")
+	}
+	type doVar struct {
+		name       string
+		init, step sexpr.Datum
+	}
+	vars := make([]doVar, len(specs))
+	for i, s := range specs {
+		parts, ok := sexpr.Flatten(s)
+		if !ok || len(parts) < 2 || len(parts) > 3 {
+			return nil, errf(form, "do binding %s is not (var init [step])", s)
+		}
+		name, ok := parts[0].(sexpr.Sym)
+		if !ok {
+			return nil, errf(form, "do variable %s is not an identifier", parts[0])
+		}
+		v := doVar{name: string(name), init: parts[1], step: parts[0]}
+		if len(parts) == 3 {
+			v.step = parts[2]
+		}
+		vars[i] = v
+	}
+	testClause, ok := sexpr.Flatten(items[2])
+	if !ok || len(testClause) == 0 {
+		return nil, errf(form, "malformed do test clause")
+	}
+	loop := sexpr.Sym(x.gensym("do"))
+	binds := make([]sexpr.Datum, len(vars))
+	steps := make([]sexpr.Datum, len(vars))
+	for i, v := range vars {
+		binds[i] = sexpr.List(sexpr.Sym(v.name), v.init)
+		steps[i] = v.step
+	}
+	again := sexpr.List(append([]sexpr.Datum{loop}, steps...)...)
+	bodyItems := append(append([]sexpr.Datum{}, items[3:]...), again)
+	loopBody := sexpr.ImproperList(append([]sexpr.Datum{sexpr.Sym("begin")}, bodyItems...), sexpr.Nil{})
+	var result sexpr.Datum
+	if len(testClause) == 1 {
+		result = sexpr.List(sexpr.Sym("quote"), sexpr.Bool(false))
+	} else {
+		result = sexpr.ImproperList(append([]sexpr.Datum{sexpr.Sym("begin")}, testClause[1:]...), sexpr.Nil{})
+	}
+	full := sexpr.List(
+		sexpr.Sym("let"), loop, sexpr.List(binds...),
+		sexpr.List(sexpr.Sym("if"), testClause[0], result, loopBody),
+	)
+	return x.Expr(full)
+}
+
+// quasiquote expands `d at nesting depth. Only depth-1 unquotes are spliced;
+// nested quasiquotes rebuild their structure.
+func (x *Expander) quasiquote(d sexpr.Datum, depth int) (ast.Expr, error) {
+	switch t := d.(type) {
+	case *sexpr.Pair:
+		if items, ok := sexpr.Flatten(t); ok && len(items) == 2 {
+			if isSym(items[0], "unquote") {
+				if depth == 1 {
+					return x.Expr(items[1])
+				}
+				inner, err := x.quasiquote(items[1], depth-1)
+				if err != nil {
+					return nil, err
+				}
+				return x.listOf(&ast.Const{Value: ast.SymConst("unquote")}, inner), nil
+			}
+			if isSym(items[0], "quasiquote") {
+				inner, err := x.quasiquote(items[1], depth+1)
+				if err != nil {
+					return nil, err
+				}
+				return x.listOf(&ast.Const{Value: ast.SymConst("quasiquote")}, inner), nil
+			}
+		}
+		// Splicing in car position.
+		if carItems, ok := sexpr.Flatten(t.Car); ok && len(carItems) == 2 && isSym(carItems[0], "unquote-splicing") && depth == 1 {
+			spliced, err := x.Expr(carItems[1])
+			if err != nil {
+				return nil, err
+			}
+			rest, err := x.quasiquote(t.Cdr, depth)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: "append"}, spliced, rest}}, nil
+		}
+		car, err := x.quasiquote(t.Car, depth)
+		if err != nil {
+			return nil, err
+		}
+		cdr, err := x.quasiquote(t.Cdr, depth)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: "cons"}, car, cdr}}, nil
+	case sexpr.Vector:
+		exprs := make([]ast.Expr, 0, len(t)+1)
+		exprs = append(exprs, &ast.Var{Name: "vector"})
+		for _, el := range t {
+			q, err := x.quasiquote(el, depth)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, q)
+		}
+		return &ast.Call{Exprs: exprs}, nil
+	default:
+		return x.quote(d)
+	}
+}
+
+func (x *Expander) listOf(exprs ...ast.Expr) ast.Expr {
+	all := append([]ast.Expr{&ast.Var{Name: "list"}}, exprs...)
+	return &ast.Call{Exprs: all}
+}
+
+// Program expands a whole program: a sequence of top-level definitions and
+// expressions. Definitions are gathered into a single letrec over the final
+// expression sequence, mirroring the paper's treatment of programs as single
+// Core Scheme expressions.
+func Program(data []sexpr.Datum) (ast.Expr, error) {
+	x := New()
+	var defs []definition
+	var exprs []sexpr.Datum
+	for _, d := range data {
+		def, ok, err := x.asDefinition(d)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if len(exprs) > 0 {
+				return nil, errf(d, "definitions must precede top-level expressions")
+			}
+			defs = append(defs, def)
+			continue
+		}
+		exprs = append(exprs, d)
+	}
+	var tail ast.Expr
+	var err error
+	if len(exprs) == 0 {
+		// A program of pure definitions evaluates to its last defined
+		// variable, so "(define (f n) ...)" alone is a Program in the sense
+		// of Section 12: an expression evaluating to a procedure.
+		if len(defs) == 0 {
+			return nil, errf(nil, "empty program")
+		}
+		tail = &ast.Var{Name: defs[len(defs)-1].name}
+	} else {
+		tail, err = x.begin(exprs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(defs) == 0 {
+		return tail, nil
+	}
+	return x.letrecFromDefs(defs, tail)
+}
+
+// ParseProgram reads and expands program source text.
+func ParseProgram(src string) (ast.Expr, error) {
+	data, err := sexpr.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return Program(data)
+}
+
+// ParseExpr reads and expands a single expression.
+func ParseExpr(src string) (ast.Expr, error) {
+	d, err := sexpr.ReadOne(src)
+	if err != nil {
+		return nil, err
+	}
+	return New().Expr(d)
+}

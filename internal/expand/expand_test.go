@@ -1,0 +1,439 @@
+package expand
+
+import (
+	"strings"
+	"testing"
+
+	"tailspace/internal/ast"
+)
+
+func mustExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func mustProgram(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestSelfEvaluating(t *testing.T) {
+	if _, ok := mustExpr(t, "42").(*ast.Const); !ok {
+		t.Fatal("number should expand to Const")
+	}
+	if _, ok := mustExpr(t, "#t").(*ast.Const); !ok {
+		t.Fatal("boolean should expand to Const")
+	}
+	if _, ok := mustExpr(t, `"s"`).(*ast.Const); !ok {
+		t.Fatal("string should expand to Const")
+	}
+}
+
+func TestVariable(t *testing.T) {
+	e := mustExpr(t, "x")
+	if v, ok := e.(*ast.Var); !ok || v.Name != "x" {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestQuoteSimple(t *testing.T) {
+	e := mustExpr(t, "'sym")
+	c, ok := e.(*ast.Const)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if s, ok := c.Value.(ast.SymConst); !ok || string(s) != "sym" {
+		t.Fatalf("got %#v", c.Value)
+	}
+}
+
+func TestQuoteEmptyList(t *testing.T) {
+	e := mustExpr(t, "'()")
+	c := e.(*ast.Const)
+	if _, ok := c.Value.(ast.NilConst); !ok {
+		t.Fatalf("got %#v", c.Value)
+	}
+}
+
+func TestQuoteCompoundLowersToConstructors(t *testing.T) {
+	// Section 12: no compound constants; '(1 2) becomes (cons '1 (cons '2 '())).
+	e := mustExpr(t, "'(1 2)")
+	call, ok := e.(*ast.Call)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if op, ok := call.Operator().(*ast.Var); !ok || op.Name != "cons" {
+		t.Fatalf("operator = %v", call.Operator())
+	}
+	if !strings.Contains(e.String(), "cons") {
+		t.Fatalf("expansion %s should use cons", e)
+	}
+}
+
+func TestQuoteVectorLowersToVectorCall(t *testing.T) {
+	e := mustExpr(t, "'#(1 2 3)")
+	call, ok := e.(*ast.Call)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if op := call.Operator().(*ast.Var); op.Name != "vector" {
+		t.Fatalf("operator = %v", op.Name)
+	}
+	if len(call.Operands()) != 3 {
+		t.Fatalf("got %d operands", len(call.Operands()))
+	}
+}
+
+func TestLambda(t *testing.T) {
+	e := mustExpr(t, "(lambda (x y) x)")
+	lam, ok := e.(*ast.Lambda)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(lam.Params) != 2 || lam.Params[0] != "x" {
+		t.Fatalf("params = %v", lam.Params)
+	}
+}
+
+func TestLambdaRejectsVariadic(t *testing.T) {
+	if _, err := ParseExpr("(lambda (x . rest) x)"); err == nil {
+		t.Fatal("dotted formals must be rejected (Core Scheme fixes arity)")
+	}
+	if _, err := ParseExpr("(lambda args args)"); err == nil {
+		t.Fatal("symbol formals must be rejected")
+	}
+}
+
+func TestLambdaRejectsDuplicateParams(t *testing.T) {
+	if _, err := ParseExpr("(lambda (x x) x)"); err == nil {
+		t.Fatal("duplicate params must be rejected")
+	}
+}
+
+func TestIfTwoArmed(t *testing.T) {
+	e := mustExpr(t, "(if p 1)")
+	f := e.(*ast.If)
+	c, ok := f.Else.(*ast.Const)
+	if !ok {
+		t.Fatalf("else = %T", f.Else)
+	}
+	if _, ok := c.Value.(ast.UnspecifiedConst); !ok {
+		t.Fatalf("else value = %#v", c.Value)
+	}
+}
+
+func TestSet(t *testing.T) {
+	e := mustExpr(t, "(set! x 1)")
+	s := e.(*ast.Set)
+	if s.Name != "x" {
+		t.Fatalf("got %v", s.Name)
+	}
+}
+
+func TestBeginSingle(t *testing.T) {
+	e := mustExpr(t, "(begin x)")
+	if _, ok := e.(*ast.Var); !ok {
+		t.Fatalf("(begin x) should expand to x, got %T", e)
+	}
+}
+
+func TestBeginSequence(t *testing.T) {
+	e := mustExpr(t, "(begin a b c)")
+	// ((lambda (g) ((lambda (g2) c) b)) a)
+	call, ok := e.(*ast.Call)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	lam := call.Operator().(*ast.Lambda)
+	if len(lam.Params) != 1 {
+		t.Fatalf("params = %v", lam.Params)
+	}
+	if arg := call.Operands()[0].(*ast.Var); arg.Name != "a" {
+		t.Fatalf("first evaluated = %v", arg.Name)
+	}
+}
+
+func TestLet(t *testing.T) {
+	e := mustExpr(t, "(let ((x 1) (y 2)) y)")
+	call := e.(*ast.Call)
+	lam := call.Operator().(*ast.Lambda)
+	if len(lam.Params) != 2 || lam.Params[1] != "y" {
+		t.Fatalf("params = %v", lam.Params)
+	}
+	if len(call.Operands()) != 2 {
+		t.Fatalf("operands = %d", len(call.Operands()))
+	}
+}
+
+func TestLetStar(t *testing.T) {
+	e := mustExpr(t, "(let* ((x 1) (y x)) y)")
+	// Outer let binds x; inner let binds y with x in scope.
+	outer := e.(*ast.Call)
+	outerLam := outer.Operator().(*ast.Lambda)
+	if len(outerLam.Params) != 1 || outerLam.Params[0] != "x" {
+		t.Fatalf("outer params = %v", outerLam.Params)
+	}
+	fv := ast.FreeVars(e)
+	if fv.Contains("x") || fv.Contains("y") {
+		t.Fatalf("let* must bind both variables; free = %v", fv.Sorted())
+	}
+}
+
+func TestLetrecUsesUndef(t *testing.T) {
+	e := mustExpr(t, "(letrec ((f (lambda (n) (f n)))) f)")
+	if !strings.Contains(e.String(), "%undef") {
+		t.Fatalf("letrec expansion should initialize with (%%undef): %s", e)
+	}
+	fv := ast.FreeVars(e)
+	if fv.Contains("f") {
+		t.Fatal("letrec must bind f")
+	}
+}
+
+func TestNamedLet(t *testing.T) {
+	e := mustExpr(t, "(let loop ((i 0)) (if (zero? i) 'done (loop (- i 1))))")
+	fv := ast.FreeVars(e)
+	if fv.Contains("loop") || fv.Contains("i") {
+		t.Fatalf("named let must bind loop and i; free = %v", fv.Sorted())
+	}
+	if !fv.Contains("zero?") {
+		t.Fatal("zero? should be free")
+	}
+}
+
+func TestCondBasic(t *testing.T) {
+	e := mustExpr(t, "(cond (a 1) (b 2) (else 3))")
+	f, ok := e.(*ast.If)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, ok := f.Else.(*ast.If); !ok {
+		t.Fatalf("nested if expected, got %T", f.Else)
+	}
+}
+
+func TestCondNoElse(t *testing.T) {
+	e := mustExpr(t, "(cond (a 1))")
+	f := e.(*ast.If)
+	c, ok := f.Else.(*ast.Const)
+	if !ok {
+		t.Fatalf("else = %T", f.Else)
+	}
+	if _, ok := c.Value.(ast.UnspecifiedConst); !ok {
+		t.Fatal("fallthrough cond must be unspecified")
+	}
+}
+
+func TestCondTestOnlyClause(t *testing.T) {
+	e := mustExpr(t, "(cond ((f x)) (else 2))")
+	// Must bind the test value once.
+	call, ok := e.(*ast.Call)
+	if !ok {
+		t.Fatalf("got %T: %s", e, e)
+	}
+	if _, ok := call.Operator().(*ast.Lambda); !ok {
+		t.Fatalf("expected let-expansion, got %s", e)
+	}
+}
+
+func TestCondArrowClause(t *testing.T) {
+	e := mustExpr(t, "(cond ((f x) => g) (else 2))")
+	s := e.String()
+	if !strings.Contains(s, "g") {
+		t.Fatalf("receiver missing: %s", s)
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	if e := mustExpr(t, "(and)"); e.String() != "(quote #t)" {
+		t.Fatalf("(and) = %s", e)
+	}
+	if e := mustExpr(t, "(or)"); e.String() != "(quote #f)" {
+		t.Fatalf("(or) = %s", e)
+	}
+	if _, ok := mustExpr(t, "(and a b)").(*ast.If); !ok {
+		t.Fatal("(and a b) should be an if")
+	}
+	// (or a b) must evaluate a once.
+	e := mustExpr(t, "(or a b)")
+	if _, ok := e.(*ast.Call); !ok {
+		t.Fatalf("(or a b) should bind its first test: %s", e)
+	}
+}
+
+func TestWhenUnless(t *testing.T) {
+	e := mustExpr(t, "(when p a b)")
+	f := e.(*ast.If)
+	if _, ok := f.Then.(*ast.Call); !ok {
+		t.Fatalf("when body should be a sequence, got %T", f.Then)
+	}
+	e2 := mustExpr(t, "(unless p a)")
+	f2 := e2.(*ast.If)
+	if _, ok := f2.Then.(*ast.Const); !ok {
+		t.Fatal("unless then-arm should be unspecified")
+	}
+}
+
+func TestCase(t *testing.T) {
+	e := mustExpr(t, "(case k ((1 2) 'small) ((3) 'three) (else 'big))")
+	s := e.String()
+	if !strings.Contains(s, "eqv?") {
+		t.Fatalf("case should compare with eqv?: %s", s)
+	}
+}
+
+func TestDo(t *testing.T) {
+	e := mustExpr(t, "(do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i 10) acc))")
+	fv := ast.FreeVars(e)
+	if fv.Contains("i") || fv.Contains("acc") {
+		t.Fatalf("do must bind its variables; free = %v", fv.Sorted())
+	}
+	for _, want := range []string{"+", "="} {
+		if !fv.Contains(want) {
+			t.Fatalf("%s should be free in %s", want, e)
+		}
+	}
+}
+
+func TestDoWithoutStep(t *testing.T) {
+	e := mustExpr(t, "(do ((x 5)) ((zero? x) 'done))")
+	if ast.FreeVars(e).Contains("x") {
+		t.Fatal("x must be bound")
+	}
+}
+
+func TestQuasiquotePlain(t *testing.T) {
+	e := mustExpr(t, "`(1 2)")
+	if !strings.Contains(e.String(), "cons") {
+		t.Fatalf("plain quasiquote lowers to conses: %s", e)
+	}
+}
+
+func TestQuasiquoteUnquote(t *testing.T) {
+	e := mustExpr(t, "`(1 ,x)")
+	s := e.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "cons") {
+		t.Fatalf("got %s", s)
+	}
+}
+
+func TestQuasiquoteSplicing(t *testing.T) {
+	e := mustExpr(t, "`(1 ,@xs 2)")
+	if !strings.Contains(e.String(), "append") {
+		t.Fatalf("splicing should use append: %s", e)
+	}
+}
+
+func TestQuasiquoteNested(t *testing.T) {
+	e := mustExpr(t, "``(a ,x)")
+	// Depth-2 unquote is preserved as data.
+	if !strings.Contains(e.String(), "unquote") {
+		t.Fatalf("nested quasiquote should preserve unquote: %s", e)
+	}
+}
+
+func TestInternalDefines(t *testing.T) {
+	e := mustExpr(t, `(lambda (n)
+	  (define (even? k) (if (zero? k) #t (odd? (- k 1))))
+	  (define (odd? k) (if (zero? k) #f (even? (- k 1))))
+	  (even? n))`)
+	lam := e.(*ast.Lambda)
+	fv := ast.FreeVars(lam.Body)
+	if fv.Contains("even?") || fv.Contains("odd?") {
+		t.Fatalf("internal defines must be bound; free = %v", fv.Sorted())
+	}
+}
+
+func TestProgramDefines(t *testing.T) {
+	e := mustProgram(t, "(define (f n) (f n)) (f 3)")
+	fv := ast.FreeVars(e)
+	if fv.Contains("f") {
+		t.Fatal("top-level define must bind f")
+	}
+}
+
+func TestProgramOnlyDefinesEvaluatesToLastDefinition(t *testing.T) {
+	e := mustProgram(t, "(define (g x) x) (define (f n) (g n))")
+	// Program value is the variable f.
+	s := e.String()
+	if !strings.HasSuffix(s, "f) (%undef) (%undef))") && !strings.Contains(s, "f)") {
+		t.Fatalf("program should evaluate to f: %s", s)
+	}
+	if ast.FreeVars(e).Contains("f") {
+		t.Fatal("f must be bound")
+	}
+}
+
+func TestProgramRejectsDefineAfterExpression(t *testing.T) {
+	if _, err := ParseProgram("(f 1) (define (f n) n)"); err == nil {
+		t.Fatal("define after expression must be rejected")
+	}
+}
+
+func TestDefineLabelsLambda(t *testing.T) {
+	e := mustProgram(t, "(define (f n) (f n)) (f 1)")
+	var found bool
+	ast.Walk(e, func(x ast.Expr) bool {
+		if lam, ok := x.(*ast.Lambda); ok && lam.Label == "f" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("define should label its lambda with the defined name")
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	bad := []string{
+		"()",
+		"(if)",
+		"(if a b c d)",
+		"(set! 3 x)",
+		"(set! x)",
+		"(lambda)",
+		"(lambda (x))",
+		"(let ((x)) x)",
+		"(let)",
+		"(quote)",
+		"(quote a b)",
+		"(define x 1)",
+		"(cond (else 1) (a 2))",
+		",x",
+		"#(1 2)",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestGensymsAreUnreadable(t *testing.T) {
+	x := New()
+	g := x.gensym("t")
+	if !strings.HasPrefix(g, "%") {
+		t.Fatalf("gensym %q must be hygienic", g)
+	}
+	g2 := x.gensym("t")
+	if g == g2 {
+		t.Fatal("gensyms must be distinct")
+	}
+}
+
+func TestShadowingOfKeywordsNotSupported(t *testing.T) {
+	// Documented limitation: keywords are reserved. (let ((if 1)) if) still
+	// parses because binding positions are not keyword positions.
+	e := mustExpr(t, "(let ((ifx 1)) ifx)")
+	if ast.FreeVars(e).Contains("ifx") {
+		t.Fatal("ifx must be bound")
+	}
+}

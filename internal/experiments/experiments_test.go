@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tailspace/internal/core"
+	"tailspace/internal/expand"
+	"tailspace/internal/space"
+)
+
+func TestFitGrowthLinear(t *testing.T) {
+	ns := []int{10, 20, 40, 80}
+	peaks := []int{100, 200, 400, 800}
+	f := FitGrowth(ns, peaks)
+	if f.Class() != Linear {
+		t.Fatalf("fit %v", f)
+	}
+	if f.Exponent < 0.95 || f.Exponent > 1.05 {
+		t.Fatalf("exponent %.3f", f.Exponent)
+	}
+}
+
+func TestFitGrowthQuadratic(t *testing.T) {
+	ns := []int{10, 20, 40}
+	peaks := []int{100, 400, 1600}
+	if c := FitGrowth(ns, peaks).Class(); c != Quadratic {
+		t.Fatalf("class %s", c)
+	}
+}
+
+func TestFitGrowthConstant(t *testing.T) {
+	ns := []int{10, 100, 1000}
+	peaks := []int{55, 57, 56}
+	f := FitGrowth(ns, peaks)
+	if f.Class() != Constant {
+		t.Fatalf("fit %v", f)
+	}
+}
+
+func TestFitGrowthDegenerate(t *testing.T) {
+	if f := FitGrowth([]int{1}, []int{1}); f.Exponent != 0 {
+		t.Fatalf("single point fit %v", f)
+	}
+}
+
+func TestGrowsFasterThan(t *testing.T) {
+	quad := Fit{Exponent: 2.0, LastSegment: 2.0}
+	lin := Fit{Exponent: 1.0, LastSegment: 1.0}
+	if !quad.GrowsFasterThan(lin) || lin.GrowsFasterThan(quad) {
+		t.Fatal("ordering broken")
+	}
+}
+
+func TestSweepProgramCollectsPoints(t *testing.T) {
+	s, err := SweepProgram("countdown", CountdownLoop, core.Tail, []int{5, 10}, SweepOptions{Mode: space.Fixnum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 || s.Points[1].N != 10 {
+		t.Fatalf("points %+v", s.Points)
+	}
+	if s.Points[0].Flat == 0 || s.Points[0].Linked == 0 {
+		t.Fatal("peaks must be measured")
+	}
+}
+
+func TestSweepReportsStuckPrograms(t *testing.T) {
+	_, err := SweepProgram("bad", "(define (f n) (undefined-var))", core.Tail, []int{1}, SweepOptions{})
+	if err == nil {
+		t.Fatal("expected stuck error")
+	}
+}
+
+func TestThm26ProgramGeneratesValidScheme(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7} {
+		src := Thm26Program(k)
+		if _, err := expand.ParseProgram(src); err != nil {
+			t.Fatalf("k=%d: %v\n%s", k, err, src)
+		}
+	}
+}
+
+func TestThm26ProgramRuns(t *testing.T) {
+	res, err := core.RunApplication(Thm26Program(3), "(quote 5)", core.Options{Variant: core.Tail})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v %v", err, res.Err)
+	}
+	// The program returns (list i x0 x1 x2 x3) for the chosen thunk; i is
+	// random but the xs are fixed: x0=n=5, x1=4, x2=3, x3=2.
+	if !strings.HasSuffix(res.Answer, " 5 4 3 2)") {
+		t.Fatalf("answer %q", res.Answer)
+	}
+}
+
+func TestFindLeftmostProgramsRun(t *testing.T) {
+	for _, shape := range []string{"right-spine", "left-spine"} {
+		res, err := core.RunApplication(FindLeftmostProgram(shape), "(quote 6)", core.Options{Variant: core.Tail})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%s: %v %v", shape, err, res.Err)
+		}
+		if res.Answer != "-1" {
+			t.Fatalf("%s: answer %q (search must exhaust the tree)", shape, res.Answer)
+		}
+	}
+}
+
+func TestFig2Reproduces(t *testing.T) {
+	table, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations: %v", table.Violations)
+	}
+	if len(table.Rows) < 20 {
+		t.Fatalf("expected a row per corpus program, got %d", len(table.Rows))
+	}
+	out := table.Render()
+	if !strings.Contains(out, "TOTAL") {
+		t.Fatal("total row missing")
+	}
+}
+
+func TestHierarchyReproduces(t *testing.T) {
+	table, err := Hierarchy(HierarchyProbePrograms(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations: %v", table.Violations)
+	}
+}
+
+func TestThm25Reproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("separation sweeps are slow")
+	}
+	tables, err := Thm25()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("expected 4 separation programs, got %d", len(tables))
+	}
+	for _, table := range tables {
+		if !table.Ok() {
+			t.Errorf("%s:\n%s", table.Title, table.Render())
+		}
+	}
+}
+
+func TestThm26Reproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("separation sweeps are slow")
+	}
+	table, err := Thm26([]int{4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestFindLeftmostReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	table, err := FindLeftmost([]int{16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestGCFactorReproduces(t *testing.T) {
+	table, err := GCFactor(200, []int{1, 2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestCorollary20OnRandomPrograms(t *testing.T) {
+	progs := ProgramSetFromSlice("rand", RandomPrograms(2024, 25, 4))
+	table, err := Corollary20(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestRandomProgramsParseAndTerminate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		src := RandomProgram(r, 5)
+		res, err := core.RunProgram(src, core.Options{Variant: core.SFS, MaxSteps: 500_000})
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("run %q: %v", src, res.Err)
+		}
+	}
+}
+
+func TestTheorem24OnRandomPrograms(t *testing.T) {
+	// Pointwise S_tail <= S_gc <= S_stack etc. on random programs, the
+	// property-based counterpart of the hierarchy table.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 12; i++ {
+		src := RandomProgram(r, 4)
+		peaks := map[string]int{}
+		for _, v := range core.Variants {
+			res, err := core.RunProgram(src, core.Options{
+				Variant: v, Measure: true, GCEvery: 1, MaxSteps: 500_000,
+			})
+			if err != nil || res.Err != nil {
+				t.Fatalf("%q [%s]: %v %v", src, v, err, res.Err)
+			}
+			peaks[v.Name] = res.PeakFlat
+		}
+		for _, c := range hierarchyChecks {
+			if peaks[c[0]] > peaks[c[1]] {
+				t.Errorf("S_%s (%d) > S_%s (%d) on %q", c[0], peaks[c[0]], c[1], peaks[c[1]], src)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := Table{Title: "T", Header: []string{"a", "bb"}}
+	table.AddRow("1", "2")
+	table.Notef("hello %d", 7)
+	out := table.Render()
+	for _, want := range []string{"T", "a", "bb", "note: hello 7", "all checked claims hold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	table.Violationf("bad %s", "x")
+	if table.Ok() {
+		t.Fatal("violations must flip Ok")
+	}
+	if !strings.Contains(table.Render(), "VIOLATION: bad x") {
+		t.Fatal("violation missing from render")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMTAExperimentReproduces(t *testing.T) {
+	table, err := MTAExperiment([]int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+	// The gc row must be the only one that is not properly tail recursive.
+	improper := 0
+	for _, row := range table.Rows {
+		if row[len(row)-1] == "no" {
+			improper++
+			if !strings.HasPrefix(row[0], "gc") {
+				t.Fatalf("unexpected improper machine %s", row[0])
+			}
+		}
+	}
+	if improper != 1 {
+		t.Fatalf("exactly one machine should be improper, got %d:\n%s", improper, table.Render())
+	}
+}
+
+func TestDenotationalAgreementReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table, err := DenotationalAgreement(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestAlgolSubsetReproduces(t *testing.T) {
+	table, err := AlgolSubset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+	// The totals row reads "a/b Algol-like"; both boundary violations are
+	// already checked inside, so just sanity-check the rendering.
+	total := table.Rows[len(table.Rows)-1]
+	if total[0] != "TOTAL" || !strings.Contains(total[1], "Algol-like") {
+		t.Fatalf("totals row malformed: %v", total)
+	}
+}
+
+func TestCPSExperimentReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table, err := CPSExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestSECDExperimentReproduces(t *testing.T) {
+	table, err := SECDExperiment([]int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestReturnEnvAblationReproduces(t *testing.T) {
+	table, err := ReturnEnvAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestControlSpaceExperimentReproduces(t *testing.T) {
+	table, err := ControlSpaceExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Ok() {
+		t.Fatalf("violations:\n%s", table.Render())
+	}
+}
+
+func TestFitLastSegment(t *testing.T) {
+	f := FitGrowth([]int{10, 20, 40}, []int{100, 200, 800})
+	// Last segment quadruples over a doubling: slope 2.
+	if f.LastSegment < 1.9 || f.LastSegment > 2.1 {
+		t.Fatalf("last segment %.2f", f.LastSegment)
+	}
+}
+
+func TestClassHockeyStickIsLinear(t *testing.T) {
+	// Flat start then linear growth must not be classified quadratic.
+	f := FitGrowth([]int{8, 16, 32, 64}, []int{274, 274, 352, 608})
+	if c := f.Class(); c != Linear {
+		t.Fatalf("hockey stick classified %s (exp %.2f, last %.2f)", c, f.Exponent, f.LastSegment)
+	}
+}
+
+func TestClassAcceleratingSeriesIsQuadratic(t *testing.T) {
+	// Quadratic plus a large constant: the regression alone undershoots,
+	// the accelerating last segment rescues it.
+	f := FitGrowth([]int{8, 16, 32, 64}, []int{400, 556, 1181, 3345})
+	if c := f.Class(); c != Quadratic {
+		t.Fatalf("classified %s (exp %.2f, last %.2f)", c, f.Exponent, f.LastSegment)
+	}
+}

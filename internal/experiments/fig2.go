@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/corpus"
+)
+
+// Fig2 reproduces Figure 2: the static frequency of tail calls. The paper
+// instrumented two production compilers (lcc and Twobit) over their private
+// benchmark suites; we run the Definition 1/2 classifier over the bundled
+// corpus (see DESIGN.md's substitution notes). As in the paper's caption,
+// the self column includes tail calls to known closures.
+func Fig2() (Table, error) {
+	t := Table{
+		Title:  "Figure 2: static frequency of tail calls (corpus scan)",
+		Header: []string{"program", "calls", "non-tail %", "tail %", "self %"},
+	}
+	var total analysis.CallStats
+	for _, p := range corpus.All() {
+		s, err := analysis.AnalyzeSource(p.Name, p.Source)
+		if err != nil {
+			return t, fmt.Errorf("fig2: %s: %w", p.Name, err)
+		}
+		total.Add(s)
+		t.AddRow(p.Name, itoa(s.Calls),
+			pct(s.Percent(s.NonTail)), pct(s.Percent(s.Tail())), pct(s.Percent(s.SelfColumn())))
+	}
+	t.AddRow("TOTAL", itoa(total.Calls),
+		pct(total.Percent(total.NonTail)), pct(total.Percent(total.Tail())), pct(total.Percent(total.SelfColumn())))
+
+	// The paper's headline observations about the figure.
+	if total.Tail() <= total.SelfTail {
+		t.Violationf("tail calls (%d) should far outnumber pure self-tail calls (%d)", total.Tail(), total.SelfTail)
+	}
+	if frac := total.Percent(total.Tail()); frac < 15 {
+		t.Violationf("idiomatic Scheme should show a substantial tail-call fraction, got %.1f%%", frac)
+	}
+	if total.SelfTail >= total.Calls/4 {
+		t.Violationf("pure self-tail calls should be a small minority, got %d of %d", total.SelfTail, total.Calls)
+	}
+	t.Notef("self %% includes tail calls to known closures, as in the paper's Figure 2 caption")
+	return t, nil
+}
+
+func pct(p float64) string { return fmt.Sprintf("%.1f", p) }

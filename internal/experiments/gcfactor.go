@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tailspace/internal/core"
+	"tailspace/internal/space"
+)
+
+// allocLoop is a constant-live-set loop that allocates a fresh vector every
+// iteration, so uncollected garbage is visible.
+const allocLoop = `
+(define (f n)
+  (if (zero? n)
+      0
+      (f (- (vector-ref (make-vector 4 n) 0) 1))))`
+
+// GCFactor reproduces the Section 12 argument: a real collector that runs
+// only every k steps uses no more than some fixed constant R times the space
+// of collecting after every computation step ("Usually R <= 3"). The claim
+// is asymptotic: for a fixed period k, the peak-space ratio against the
+// collect-every-step baseline must stay bounded as the input grows — lazy
+// collection costs a constant factor, never a complexity class. We measure
+// an allocation-heavy constant-live-set loop across input sizes and periods.
+func GCFactor(n int, periods []int) (Table, error) {
+	if len(periods) == 0 {
+		periods = []int{50, 250, 1000}
+	}
+	ns := []int{n / 4, n / 2, n}
+	t := Table{
+		Title:  "Section 12: periodic collection factor R on an allocating loop, Z_tail",
+		Header: []string{"n", "S (k=1)"},
+	}
+	for _, k := range periods {
+		t.Header = append(t.Header, fmt.Sprintf("S (k=%d)", k), "ratio")
+	}
+
+	ratios := make(map[int][]float64) // period -> ratio per n
+	for _, nn := range ns {
+		base, err := measureWithPeriod(nn, 1)
+		if err != nil {
+			return t, err
+		}
+		row := []string{itoa(nn), itoa(base)}
+		for _, k := range periods {
+			peak, err := measureWithPeriod(nn, k)
+			if err != nil {
+				return t, err
+			}
+			ratio := float64(peak) / float64(base)
+			ratios[k] = append(ratios[k], ratio)
+			row = append(row, itoa(peak), fmt.Sprintf("%.2f", ratio))
+			if peak < base {
+				t.Violationf("n=%d k=%d: lazier collection cannot use less space (%d < %d)", nn, k, peak, base)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	// Bounded factor: the ratio at the largest n must not exceed R=4, and
+	// it must not be growing with n (allow 15% measurement slack).
+	for _, k := range periods {
+		rs := ratios[k]
+		last := rs[len(rs)-1]
+		if last > 4.0 {
+			t.Violationf("period %d blew the constant factor at n=%d: %.2f", k, ns[len(ns)-1], last)
+		}
+		if last > rs[0]*1.15 && last-rs[0] > 0.1 {
+			t.Violationf("period %d ratio grows with n (%.2f -> %.2f): not a constant factor", k, rs[0], last)
+		}
+	}
+	t.Notef("the loop's live set is constant and it allocates a vector per iteration, so every extra word is uncollected garbage")
+	return t, nil
+}
+
+func measureWithPeriod(n, k int) (int, error) {
+	res, err := core.RunApplication(allocLoop, fmt.Sprintf("(quote %d)", n), core.Options{
+		Variant: core.Tail, Measure: true, FlatOnly: true, GCEvery: k,
+		MaxSteps: 5_000_000, NumberMode: space.Fixnum,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	return res.PeakFlat, nil
+}
+
+// Corollary20 runs a program set under every variant and argument order and
+// checks that all computations produce the same observable answer.
+func Corollary20(programs map[string]string) (Table, error) {
+	t := Table{
+		Title:  "Corollary 20: all reference implementations compute the same answers",
+		Header: []string{"program", "answer", "runs"},
+	}
+	orders := []core.ArgOrder{core.LeftToRight, core.RightToLeft, core.RandomOrder}
+	for name, src := range programs {
+		want := ""
+		runs := 0
+		for _, v := range core.Variants {
+			for _, o := range orders {
+				res, err := core.RunProgram(src, core.Options{
+					Variant: v, Order: o, Seed: 42, MaxSteps: 5_000_000,
+				})
+				if err != nil {
+					return t, fmt.Errorf("corollary20: %s: %w", name, err)
+				}
+				if res.Err != nil {
+					return t, fmt.Errorf("corollary20: %s [%s]: %w", name, v, res.Err)
+				}
+				if want == "" {
+					want = res.Answer
+				} else if res.Answer != want {
+					t.Violationf("%s: [%s/order %v] answered %q, others %q", name, v, o, res.Answer, want)
+				}
+				runs++
+			}
+		}
+		t.AddRow(name, truncate(want, 32), itoa(runs))
+	}
+	return t, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tailspace/internal/core"
+	"tailspace/internal/space"
+)
+
+// hierarchyChecks are the pointwise inequalities of Theorem 24, as pairs
+// (smaller, larger).
+var hierarchyChecks = [][2]string{
+	{"tail", "gc"},
+	{"gc", "stack"},
+	{"sfs", "evlis"},
+	{"evlis", "tail"},
+	{"sfs", "free"},
+	{"free", "tail"},
+}
+
+// Hierarchy reproduces Figure 6 / Theorem 24: for each probe program and
+// input, measure S_X under every reference implementation and check the
+// pointwise inequalities
+//
+//	S_tail ≤ S_gc ≤ S_stack,  S_sfs ≤ S_evlis ≤ S_tail,  S_sfs ≤ S_free ≤ S_tail
+//
+// together with U_X ≤ S_X (Section 13) for every X.
+func Hierarchy(programs map[string]string, n int) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 6 / Theorem 24: space hierarchy at n=%d (flat S_X; U_X in parens)", n),
+		Header: []string{"program", "stack", "gc", "tail", "evlis", "free", "sfs"},
+	}
+	names := make([]string, 0, len(programs))
+	for name := range programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := programs[name]
+		flat := map[string]int{}
+		linked := map[string]int{}
+		row := []string{name}
+		for _, v := range core.Variants {
+			res, err := core.RunApplication(src, fmt.Sprintf("(quote %d)", n), core.Options{
+				Variant: v, Measure: true, GCEvery: 1, MaxSteps: 5_000_000,
+				NumberMode: space.Fixnum,
+			})
+			if err != nil {
+				return t, fmt.Errorf("hierarchy: %s [%s]: %w", name, v, err)
+			}
+			if res.Err != nil {
+				return t, fmt.Errorf("hierarchy: %s [%s]: %w", name, v, res.Err)
+			}
+			flat[v.Name] = res.PeakFlat
+			linked[v.Name] = res.PeakLinked
+			row = append(row, fmt.Sprintf("%d (%d)", res.PeakFlat, res.PeakLinked))
+		}
+		t.Rows = append(t.Rows, row)
+		for _, c := range hierarchyChecks {
+			if flat[c[0]] > flat[c[1]] {
+				t.Violationf("%s: S_%s (%d) > S_%s (%d)", name, c[0], flat[c[0]], c[1], flat[c[1]])
+			}
+		}
+		// Section 13: the analogue of Theorem 24 holds for linked
+		// environments on the machines that can use them (Z_free and Z_sfs
+		// require flat environments, so U_free and U_sfs "have no practical
+		// meaning" and are excluded).
+		for _, c := range [][2]string{{"tail", "gc"}, {"gc", "stack"}, {"evlis", "tail"}} {
+			if linked[c[0]] > linked[c[1]] {
+				t.Violationf("%s: U_%s (%d) > U_%s (%d)", name, c[0], linked[c[0]], c[1], linked[c[1]])
+			}
+		}
+		for _, v := range core.Variants {
+			if linked[v.Name] > flat[v.Name] {
+				t.Violationf("%s: U_%s (%d) > S_%s (%d)", name, v.Name, linked[v.Name], v.Name, flat[v.Name])
+			}
+		}
+	}
+	t.Notef("checked pointwise: S_tail<=S_gc<=S_stack, S_sfs<=S_evlis<=S_tail, S_sfs<=S_free<=S_tail, U_X<=S_X, and the §13 linked analogue U_tail<=U_gc<=U_stack, U_evlis<=U_tail")
+	return t, nil
+}
+
+// HierarchyProbePrograms is the default probe set: the four Theorem 25
+// separation programs (which stress exactly the rules the variants differ
+// in) plus the Section 4 example.
+func HierarchyProbePrograms() map[string]string {
+	return map[string]string{
+		"vector-frames":   VectorFrames,
+		"countdown":       CountdownLoop,
+		"thunk-return":    ThunkReturn,
+		"closure-capture": ClosureCapture,
+		"find-leftmost":   FindLeftmostProgram("left-spine"),
+	}
+}

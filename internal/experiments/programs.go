@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The programs of Theorem 25, written — as in the paper — in full Scheme as
+// procedure definitions of one argument. Each consumes quadratic space in
+// one family of implementations but only linear (or, for CountdownLoop under
+// Z_tail, constant) space in the other.
+
+// VectorFrames distinguishes S_stack from S_gc (Theorem 25, first program):
+// each activation binds a fresh vector and tail-calls itself. Algol-like
+// stack allocation retains every frame's vector until its frame pops — and
+// no frame pops until the recursion bottoms out — so Z_stack is quadratic,
+// while Z_gc's garbage collector reclaims each vector as soon as only the
+// dead frame environment mentions it.
+// The vectors are scaled (×8) so the quadratic term dominates the linear
+// continuation overhead within laptop-feasible sweeps; the asymptotic claim
+// is unchanged.
+const VectorFrames = `
+(define (f n)
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        (f (- n 1)))))`
+
+// CountdownLoop distinguishes S_gc from S_tail (Theorem 25, second program):
+// the iterative computation described by a syntactically recursive
+// procedure. Z_tail runs it in constant space (with fixed-precision
+// arithmetic); Z_gc's useless return continuations make it linear.
+const CountdownLoop = `
+(define (f n) (if (zero? n) 0 (f (- n 1))))`
+
+// ThunkReturn distinguishes S_tail from S_evlis (and shows O(S_free) is not
+// contained in O(S_evlis) or O(S_sfs); Theorem 25, third program). The
+// recursive call happens while evaluating (g) — the last subexpression of
+// the call ((g)) — so Z_evlis evaluates it under an empty continuation
+// environment and the vector dies, while Z_tail and Z_free keep the full
+// environment (v included) in the push continuation for the whole recursion.
+const ThunkReturn = `
+(define (f n)
+  (define (g)
+    (begin (f (- n 1))
+           (lambda () n)))
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        ((g)))))`
+
+// ClosureCapture distinguishes S_tail and S_evlis from S_free and S_sfs
+// (Theorem 25, fourth program). The thunk closes over everything in scope
+// under Z_tail/Z_evlis — the vector included — so the recursion inside its
+// body retains every level's vector. Closing over free variables only
+// (Z_free, Z_sfs) lets the collector take the vectors.
+const ClosureCapture = `
+(define (f n)
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        ((lambda ()
+           (begin (f (- n 1)) n))))))`
+
+// SeparationPrograms lists the four Theorem 25 programs with the paper's
+// claimed growth classes.
+type SeparationProgram struct {
+	Name   string
+	Source string
+	Shows  string // the non-inclusion(s) the paper proves with it
+	Claims map[string]GrowthClass
+	Inputs []int
+	Fixnum bool // measure with fixed-precision number costs
+}
+
+// Thm25Programs returns the four separation programs with their claims.
+func Thm25Programs() []SeparationProgram {
+	return []SeparationProgram{
+		{
+			Name:   "vector-frames",
+			Source: VectorFrames,
+			Shows:  "O(S_stack) ⊄ O(S_gc)",
+			Claims: map[string]GrowthClass{
+				"stack": Quadratic,
+				"gc":    Linear,
+			},
+			Inputs: []int{8, 16, 32, 64},
+			Fixnum: true,
+		},
+		{
+			Name:   "countdown",
+			Source: CountdownLoop,
+			Shows:  "O(S_gc) ⊄ O(S_tail)",
+			Claims: map[string]GrowthClass{
+				"gc":   Linear,
+				"tail": Constant,
+			},
+			Inputs: []int{16, 64, 256, 1024},
+			Fixnum: true,
+		},
+		{
+			Name:   "thunk-return",
+			Source: ThunkReturn,
+			Shows:  "O(S_tail) ⊄ O(S_evlis), O(S_free) ⊄ O(S_evlis), O(S_free) ⊄ O(S_sfs)",
+			Claims: map[string]GrowthClass{
+				"tail":  Quadratic,
+				"free":  Quadratic,
+				"evlis": Linear,
+				"sfs":   Linear,
+			},
+			Inputs: []int{8, 16, 32, 64},
+			Fixnum: true,
+		},
+		{
+			Name:   "closure-capture",
+			Source: ClosureCapture,
+			Shows:  "O(S_tail) ⊄ O(S_free), O(S_evlis) ⊄ O(S_free), O(S_evlis) ⊄ O(S_sfs)",
+			Claims: map[string]GrowthClass{
+				"tail":  Quadratic,
+				"evlis": Quadratic,
+				"free":  Linear,
+				"sfs":   Linear,
+			},
+			Inputs: []int{8, 16, 32, 64},
+			Fixnum: true,
+		},
+	}
+}
+
+// Thm26Program generates the paper's Section 13 program P_k:
+//
+//	E_{0,k} = (let ((x0 n))
+//	            (define (loop i thunks)
+//	              (if (zero? i)
+//	                  ((list-ref thunks (random (length thunks))))
+//	                  (loop (- i 1)
+//	                        (cons (lambda () (list i x0 x1 ... xk))
+//	                              thunks))))
+//	            (loop n '()))
+//	E_{j,k} = (let ((xj (- n j))) E_{j-1,k})
+//	P_k     = (define (f n) E_{k,k})
+//
+// With k = N the program builds N thunks that each close over the same k+1
+// bindings x0...xk: linked environments (U_tail) share them — O(N log N) —
+// while flat safe-for-space closures (S_sfs) copy the free variables into
+// every thunk — O(N^2). This realizes Theorem 26: O(S_sfs) ⊄ O(U_tail), and
+// with U_evlis vs S_free it also exhibits the Section 13 incomparabilities.
+func Thm26Program(k int) string {
+	var xs []string
+	for i := 0; i <= k; i++ {
+		xs = append(xs, fmt.Sprintf("x%d", i))
+	}
+	var sb strings.Builder
+	sb.WriteString("(define (f n)\n")
+	// Outer lets bind xk ... x1, innermost binds x0.
+	for j := k; j >= 1; j-- {
+		fmt.Fprintf(&sb, "(let ((x%d (- n %d)))\n", j, j)
+	}
+	sb.WriteString("(let ((x0 n))\n")
+	sb.WriteString("  (define (loop i thunks)\n")
+	sb.WriteString("    (if (zero? i)\n")
+	sb.WriteString("        ((list-ref thunks (random (length thunks))))\n")
+	sb.WriteString("        (loop (- i 1)\n")
+	fmt.Fprintf(&sb, "              (cons (lambda () (list i %s))\n", strings.Join(xs, " "))
+	sb.WriteString("                    thunks))))\n")
+	sb.WriteString("  (loop n '()))")
+	sb.WriteString(strings.Repeat(")", k))
+	sb.WriteString(")\n")
+	return sb.String()
+}
+
+// FindLeftmost is the Section 4 example program, parameterized over the tree
+// it searches. Trees are built from pairs; leaves are numbers.
+const findLeftmostDefs = `
+(define (leaf? t) (number? t))
+(define (left-child t) (car t))
+(define (right-child t) (cdr t))
+(define (find-leftmost predicate? tree fail)
+  (if (leaf? tree)
+      (if (predicate? tree)
+          tree
+          (fail))
+      (let ((continuation
+             (lambda ()
+               (find-leftmost predicate?
+                              (right-child tree)
+                              fail))))
+        (find-leftmost predicate? (left-child tree) continuation))))`
+
+// FindLeftmostProgram searches a tree of depth n for a leaf that never
+// matches, exercising the full failure-continuation chain. shape is
+// "right-spine" (every left child is a leaf — the case the paper says runs
+// in constant space) or "left-spine" (maximal left depth — linear space).
+func FindLeftmostProgram(shape string) string {
+	var build string
+	switch shape {
+	case "right-spine":
+		build = `
+(define (build d)
+  (if (zero? d) 0 (cons 1 (build (- d 1)))))`
+	case "left-spine":
+		build = `
+(define (build d)
+  (if (zero? d) 0 (cons (build (- d 1)) 1)))`
+	default:
+		panic("unknown tree shape " + shape)
+	}
+	return findLeftmostDefs + build + `
+(define (f n)
+  (find-leftmost (lambda (x) (< x 0)) (build n) (lambda () -1)))`
+}

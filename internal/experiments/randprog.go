@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomProgram generates a random, closed, terminating Scheme program that
+// evaluates to an integer. The generator never emits recursion, so every
+// program halts; it exercises the forms whose rules the machine variants
+// differ in (calls, lets, closures, assignments, conditionals, call/cc),
+// which makes the output a good probe for the Corollary 20 differential
+// property and the Theorem 24 pointwise inequalities.
+func RandomProgram(r *rand.Rand, depth int) string {
+	g := &progGen{r: r}
+	return g.intExpr(depth, nil)
+}
+
+type progGen struct {
+	r     *rand.Rand
+	fresh int
+}
+
+func (g *progGen) name() string {
+	g.fresh++
+	return fmt.Sprintf("v%d", g.fresh)
+}
+
+func (g *progGen) pick(env []string) string {
+	return env[g.r.Intn(len(env))]
+}
+
+// intExpr emits an integer-valued expression using the variables in env
+// (all integer-valued).
+func (g *progGen) intExpr(depth int, env []string) string {
+	if depth <= 0 {
+		if len(env) > 0 && g.r.Intn(2) == 0 {
+			return g.pick(env)
+		}
+		return fmt.Sprintf("%d", g.r.Intn(20)-5)
+	}
+	switch g.r.Intn(10) {
+	case 0, 1:
+		op := []string{"+", "-", "*"}[g.r.Intn(3)]
+		return fmt.Sprintf("(%s %s %s)", op, g.intExpr(depth-1, env), g.intExpr(depth-1, env))
+	case 2:
+		return fmt.Sprintf("(if (zero? %s) %s %s)",
+			g.intExpr(depth-1, env), g.intExpr(depth-1, env), g.intExpr(depth-1, env))
+	case 3:
+		return fmt.Sprintf("(if (< %s %s) %s %s)",
+			g.intExpr(depth-1, env), g.intExpr(depth-1, env),
+			g.intExpr(depth-1, env), g.intExpr(depth-1, env))
+	case 4:
+		x := g.name()
+		return fmt.Sprintf("(let ((%s %s)) %s)", x, g.intExpr(depth-1, env),
+			g.intExpr(depth-1, append(env, x)))
+	case 5:
+		x, y := g.name(), g.name()
+		body := g.intExpr(depth-1, append(env, x, y))
+		return fmt.Sprintf("((lambda (%s %s) %s) %s %s)", x, y, body,
+			g.intExpr(depth-1, env), g.intExpr(depth-1, env))
+	case 6:
+		return fmt.Sprintf("(car (cons %s %s))", g.intExpr(depth-1, env), g.intExpr(depth-1, env))
+	case 7:
+		x := g.name()
+		return fmt.Sprintf("(let ((%s %s)) (begin (set! %s %s) %s))",
+			x, g.intExpr(depth-1, env), x, g.intExpr(depth-1, env), x)
+	case 8:
+		// A thunk created and immediately applied: stresses closure rules.
+		return fmt.Sprintf("((lambda () %s))", g.intExpr(depth-1, env))
+	default:
+		// call/cc with an occasional early escape.
+		k := g.name()
+		if g.r.Intn(2) == 0 {
+			return fmt.Sprintf("(call/cc (lambda (%s) (%s %s)))", k, k, g.intExpr(depth-1, env))
+		}
+		return fmt.Sprintf("(call/cc (lambda (%s) %s))", k, g.intExpr(depth-1, env))
+	}
+}
+
+// RandomPrograms generates count programs from the given seed.
+func RandomPrograms(seed int64, count, depth int) []string {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, count)
+	for i := range out {
+		out[i] = RandomProgram(r, depth)
+	}
+	return out
+}
+
+// ProgramSetFromSlice adapts a slice to the map shape Corollary20 expects.
+func ProgramSetFromSlice(prefix string, srcs []string) map[string]string {
+	out := make(map[string]string, len(srcs))
+	for i, s := range srcs {
+		out[fmt.Sprintf("%s-%02d", prefix, i)] = s
+	}
+	return out
+}

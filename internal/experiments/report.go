@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: the rows the paper's figure or
+// theorem reports, plus notes and machine-checkable findings.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Violations lists any asymptotic claims of the paper that the
+	// measurements failed to reproduce (empty on success).
+	Violations []string
+}
+
+// Ok reports whether every claim checked by the experiment held.
+func (t Table) Ok() bool { return len(t.Violations) == 0 }
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Violationf records a failed claim.
+func (t *Table) Violationf(format string, args ...any) {
+	t.Violations = append(t.Violations, fmt.Sprintf(format, args...))
+}
+
+// Notef records a free-form observation.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render lays the table out with padded columns.
+func (t Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("=", len(t.Title)))
+	sb.WriteByte('\n')
+
+	all := make([][]string, 0, len(t.Rows)+1)
+	if len(t.Header) > 0 {
+		all = append(all, t.Header)
+	}
+	all = append(all, t.Rows...)
+	widths := columnWidths(all)
+
+	if len(t.Header) > 0 {
+		sb.WriteString(renderRow(t.Header, widths))
+		sb.WriteByte('\n')
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		sb.WriteString(renderRow(row, widths))
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	for _, v := range t.Violations {
+		sb.WriteString("VIOLATION: " + v + "\n")
+	}
+	if len(t.Violations) == 0 {
+		sb.WriteString("all checked claims hold\n")
+	}
+	return sb.String()
+}
+
+func columnWidths(rows [][]string) []int {
+	var widths []int
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	return widths
+}
+
+func renderRow(row []string, widths []int) string {
+	var sb strings.Builder
+	for i, cell := range row {
+		sb.WriteString(cell)
+		if i < len(row)-1 {
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)+2))
+		}
+	}
+	return sb.String()
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

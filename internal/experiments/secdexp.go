@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tailspace/internal/corpus"
+	"tailspace/internal/secd"
+)
+
+// SECDExperiment reproduces the §15 [Ram97] comparison at the compiled-code
+// level: the same SECD code runs on Landin's classic machine (every
+// application pushes the dump) and on Ramsdell's tail recursive machine
+// (tail applications are gotos). On the iterative countdown loop the classic
+// dump grows linearly while the tail recursive machine runs in constant
+// state — the Z_gc / Z_tail split, reproduced in a compiler back end.
+func SECDExperiment(ns []int) (Table, error) {
+	if len(ns) == 0 {
+		ns = []int{16, 64, 256, 1024}
+	}
+	t := Table{
+		Title:  "§15 [Ram97]: classic vs tail recursive SECD machine on the countdown loop",
+		Header: append([]string{"machine / metric"}, nsHeader(ns)...),
+	}
+	t.Header = append(t.Header, "fit", "paper")
+
+	loop := func(n int) string {
+		return fmt.Sprintf("(define (f n) (if (zero? n) 0 (f (- n 1)))) (f %d)", n)
+	}
+
+	type row struct {
+		label string
+		mode  secd.Mode
+		pick  func(secd.Result) int
+		claim GrowthClass
+	}
+	rows := []row{
+		{"classic dump depth", secd.Classic, func(r secd.Result) int { return r.PeakDump + 1 }, Linear},
+		{"classic state words", secd.Classic, func(r secd.Result) int { return r.PeakState }, Linear},
+		{"tail-rec dump depth", secd.TailRecursive, func(r secd.Result) int { return r.PeakDump + 1 }, Constant},
+		{"tail-rec state words", secd.TailRecursive, func(r secd.Result) int { return r.PeakState }, Constant},
+	}
+	for _, rw := range rows {
+		peaks := make([]int, 0, len(ns))
+		for _, n := range ns {
+			code, err := secd.CompileSource(loop(n))
+			if err != nil {
+				return t, err
+			}
+			res := secd.Run(code, rw.mode, 8_000_000)
+			if res.Err != nil {
+				return t, fmt.Errorf("secd [%s] n=%d: %w", rw.mode, n, res.Err)
+			}
+			if res.Answer != "0" {
+				return t, fmt.Errorf("secd [%s] n=%d: answer %q", rw.mode, n, res.Answer)
+			}
+			peaks = append(peaks, rw.pick(res))
+		}
+		fit := FitGrowth(ns, peaks)
+		if fit.Class() != rw.claim {
+			t.Violationf("%s fitted %s, expected %s", rw.label, fit.Class(), rw.claim)
+		}
+		cells := []string{rw.label}
+		for _, p := range peaks {
+			cells = append(cells, itoa(p))
+		}
+		cells = append(cells, fmt.Sprintf("n^%.2f", fit.Exponent), string(rw.claim))
+		t.Rows = append(t.Rows, cells)
+	}
+
+	// Answer agreement with the reference implementations on the compilable
+	// corpus subset.
+	agree := 0
+	total := 0
+	for _, p := range corpus.All() {
+		code, err := secd.CompileSource(p.Source)
+		if err != nil {
+			continue // call/cc, apply, etc.: outside the SECD subset
+		}
+		total++
+		for _, mode := range []secd.Mode{secd.Classic, secd.TailRecursive} {
+			res := secd.Run(code, mode, 8_000_000)
+			if res.Err != nil {
+				t.Violationf("%s [%s]: %v", p.Name, mode, res.Err)
+				continue
+			}
+			if res.Answer != p.Answer {
+				t.Violationf("%s [%s]: answered %q, want %q", p.Name, mode, res.Answer, p.Answer)
+				continue
+			}
+		}
+		agree++
+	}
+	t.Notef(fmt.Sprintf("both machines agree with the reference answers on %d/%d compilable corpus programs", agree, total))
+	t.Notef("TAP on the classic machine is AP;RTN — a frame that exists only to pop itself")
+	return t, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tailspace/internal/core"
+	"tailspace/internal/space"
+)
+
+// SeriesPoint is one measurement: program applied to (quote N).
+type SeriesPoint struct {
+	N         int
+	Flat      int // |P| + peak Figure 7 space: the S_X(P, N) sample
+	Linked    int // |P| + peak Figure 8 space: the U_X(P, N) sample
+	Heap      int // peak live locations
+	Steps     int
+	ContDepth int
+}
+
+// Series is a sweep of one program under one variant across inputs.
+type Series struct {
+	Label   string
+	Variant core.Variant
+	Points  []SeriesPoint
+}
+
+// Ns returns the swept input sizes.
+func (s Series) Ns() []int {
+	out := make([]int, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.N
+	}
+	return out
+}
+
+// FlatPeaks returns the S_X samples.
+func (s Series) FlatPeaks() []int {
+	out := make([]int, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Flat
+	}
+	return out
+}
+
+// LinkedPeaks returns the U_X samples.
+func (s Series) LinkedPeaks() []int {
+	out := make([]int, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Linked
+	}
+	return out
+}
+
+// FitFlat fits the growth of S_X against N.
+func (s Series) FitFlat() Fit { return FitGrowth(s.Ns(), s.FlatPeaks()) }
+
+// FitLinked fits the growth of U_X against N.
+func (s Series) FitLinked() Fit { return FitGrowth(s.Ns(), s.LinkedPeaks()) }
+
+// SweepOptions configures a sweep.
+type SweepOptions struct {
+	Mode     space.NumberMode
+	MaxSteps int
+	Order    core.ArgOrder
+	// FlatOnly skips the linked (Figure 8) measurement when only S_X is
+	// being fitted.
+	FlatOnly bool
+}
+
+// SweepProgram measures one fixed program applied to each (quote N).
+func SweepProgram(label, programSrc string, v core.Variant, ns []int, opts SweepOptions) (Series, error) {
+	return sweep(label, func(int) string { return programSrc }, v, ns, opts)
+}
+
+// SweepGenerated measures a program family P_N (the program text may depend
+// on N, as in Theorem 26) applied to (quote N).
+func SweepGenerated(label string, gen func(n int) string, v core.Variant, ns []int, opts SweepOptions) (Series, error) {
+	return sweep(label, gen, v, ns, opts)
+}
+
+func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts SweepOptions) (Series, error) {
+	s := Series{Label: label, Variant: v}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 5_000_000
+	}
+	for _, n := range ns {
+		res, err := core.RunApplication(gen(n), fmt.Sprintf("(quote %d)", n), core.Options{
+			Variant:    v,
+			Measure:    true,
+			FlatOnly:   opts.FlatOnly,
+			GCEvery:    1,
+			MaxSteps:   maxSteps,
+			NumberMode: opts.Mode,
+			Order:      opts.Order,
+		})
+		if err != nil {
+			return s, fmt.Errorf("%s [%s] n=%d: %w", label, v, n, err)
+		}
+		if res.Err != nil {
+			return s, fmt.Errorf("%s [%s] n=%d: %w", label, v, n, res.Err)
+		}
+		s.Points = append(s.Points, SeriesPoint{
+			N: n, Flat: res.PeakFlat, Linked: res.PeakLinked,
+			Heap: res.PeakHeap, Steps: res.Steps, ContDepth: res.PeakContDepth,
+		})
+	}
+	return s, nil
+}

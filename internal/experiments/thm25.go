@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tailspace/internal/core"
+	"tailspace/internal/space"
+)
+
+// Thm25 reproduces Theorem 25: each separation program is swept over its
+// input ladder under every variant the paper makes a claim about, the growth
+// order of S_X is fitted, and the fitted class is compared with the claim.
+// One table per program.
+func Thm25() ([]Table, error) {
+	var out []Table
+	for _, prog := range Thm25Programs() {
+		t, err := RunSeparation(prog)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// RunSeparation sweeps a single separation program and checks its claims.
+func RunSeparation(prog SeparationProgram) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Theorem 25 [%s]: %s", prog.Name, prog.Shows),
+		Header: append([]string{"variant"}, nsHeader(prog.Inputs)...),
+	}
+	t.Header = append(t.Header, "fit", "paper", "ok")
+
+	mode := space.Logarithmic
+	if prog.Fixnum {
+		mode = space.Fixnum
+	}
+
+	names := make([]string, 0, len(prog.Claims))
+	for name := range prog.Claims {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fits := map[string]Fit{}
+	for _, name := range names {
+		variant, ok := core.ByName(name)
+		if !ok {
+			return t, fmt.Errorf("thm25: unknown variant %s", name)
+		}
+		series, err := SweepProgram(prog.Name, prog.Source, variant, prog.Inputs, SweepOptions{Mode: mode, FlatOnly: true})
+		if err != nil {
+			return t, err
+		}
+		fit := series.FitFlat()
+		fits[name] = fit
+		claim := prog.Claims[name]
+		okMark := "yes"
+		if fit.Class() != claim {
+			okMark = "NO"
+			t.Violationf("%s: S_%s fitted %s, paper claims %s", prog.Name, name, fit.Class(), claim)
+		}
+		row := []string{name}
+		for _, p := range series.Points {
+			row = append(row, itoa(p.Flat))
+		}
+		row = append(row, fmt.Sprintf("n^%.2f", fit.Exponent), string(claim), okMark)
+		t.Rows = append(t.Rows, row)
+	}
+
+	// The separation itself: the claimed-larger class must grow strictly
+	// faster than the claimed-smaller one.
+	for _, big := range names {
+		for _, small := range names {
+			if prog.Claims[big] == Quadratic && prog.Claims[small] == Linear ||
+				prog.Claims[big] == Linear && prog.Claims[small] == Constant {
+				if !fits[big].GrowsFasterThan(fits[small]) {
+					t.Violationf("%s: S_%s (n^%.2f) should outgrow S_%s (n^%.2f)",
+						prog.Name, big, fits[big].Exponent, small, fits[small].Exponent)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func nsHeader(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = fmt.Sprintf("S(%d)", n)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package prim
+
+import (
+	"tailspace/internal/value"
+)
+
+func registerControl() {
+	// %undef is the expander's letrec support: it returns the UNDEFINED
+	// value, so reading a letrec variable before its set! runs sticks the
+	// machine, matching the R5RS letrec restriction.
+	def("%undef", 0, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return value.Undefined{}, nil
+	})
+
+	// call-with-current-continuation is flagged: the machine itself builds
+	// the ESCAPE:(α,κ) value and applies the receiver to it, because no
+	// primitive can see the continuation register.
+	callcc := &value.Primop{Name: "call-with-current-continuation", Arity: 1, CallCC: true}
+	register(callcc)
+	register(&value.Primop{Name: "call/cc", Arity: 1, CallCC: true})
+
+	// apply re-dispatches through the evaluator: (apply f a b '(c d)) calls
+	// f with a b c d. Like call/cc it is flagged, because only the machine
+	// can perform the call.
+	register(&value.Primop{Name: "apply", Arity: -1, Spread: true})
+
+	// error sticks the machine with a message.
+	def("error", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		msg := "error"
+		if len(args) > 0 {
+			if s, ok := args[0].(value.Str); ok {
+				msg = string(s)
+			} else if s, ok := args[0].(value.Sym); ok {
+				msg = string(s)
+			}
+		}
+		return nil, errf("error", "%s", msg)
+	})
+}

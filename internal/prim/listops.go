@@ -1,0 +1,263 @@
+package prim
+
+import (
+	"tailspace/internal/value"
+)
+
+// consOf allocates a fresh pair holding car and cdr.
+func consOf(st *value.Store, car, cdr value.Value) value.Pair {
+	return value.Pair{CarLoc: st.Alloc(car), CdrLoc: st.Alloc(cdr)}
+}
+
+// listOf allocates a proper list of the given values.
+func listOf(st *value.Store, items []value.Value) value.Value {
+	var out value.Value = value.Null{}
+	for i := len(items) - 1; i >= 0; i-- {
+		out = consOf(st, items[i], out)
+	}
+	return out
+}
+
+// ListElements walks a proper list, returning its values; ok is false for an
+// improper or cyclic "list". The machine uses it to spread `apply`'s last
+// argument.
+func ListElements(st *value.Store, v value.Value) ([]value.Value, bool) {
+	return elements(st, v)
+}
+
+// elements walks a proper list, returning its values; ok is false for an
+// improper or cyclic "list".
+func elements(st *value.Store, v value.Value) (items []value.Value, ok bool) {
+	steps := 0
+	for {
+		switch x := v.(type) {
+		case value.Null:
+			return items, true
+		case value.Pair:
+			car, found := st.Get(x.CarLoc)
+			if !found {
+				return nil, false
+			}
+			items = append(items, car)
+			cdr, found := st.Get(x.CdrLoc)
+			if !found {
+				return nil, false
+			}
+			v = cdr
+			steps++
+			if steps > st.Size()+1 {
+				return nil, false // cyclic
+			}
+		default:
+			return nil, false
+		}
+	}
+}
+
+func registerLists() {
+	def("cons", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return consOf(st, args[0], args[1]), nil
+	})
+
+	def("car", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		p, err := wantPair("car", args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, ok := st.Get(p.CarLoc)
+		if !ok {
+			return nil, errf("car", "dangling car location")
+		}
+		return v, nil
+	})
+
+	def("cdr", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		p, err := wantPair("cdr", args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, ok := st.Get(p.CdrLoc)
+		if !ok {
+			return nil, errf("cdr", "dangling cdr location")
+		}
+		return v, nil
+	})
+
+	def("set-car!", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		p, err := wantPair("set-car!", args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !st.Set(p.CarLoc, args[1]) {
+			return nil, errf("set-car!", "dangling car location")
+		}
+		return value.Unspecified{}, nil
+	})
+
+	def("set-cdr!", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		p, err := wantPair("set-cdr!", args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !st.Set(p.CdrLoc, args[1]) {
+			return nil, errf("set-cdr!", "dangling cdr location")
+		}
+		return value.Unspecified{}, nil
+	})
+
+	// Compositions caar...cdddr used by the corpus.
+	access := func(name, path string) {
+		def(name, 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+			v := args[0]
+			// Apply the path right-to-left: (cadr x) = (car (cdr x)).
+			for i := len(path) - 1; i >= 0; i-- {
+				p, err := wantPair(name, v)
+				if err != nil {
+					return nil, err
+				}
+				var loc = p.CdrLoc
+				if path[i] == 'a' {
+					loc = p.CarLoc
+				}
+				next, ok := st.Get(loc)
+				if !ok {
+					return nil, errf(name, "dangling location")
+				}
+				v = next
+			}
+			return v, nil
+		})
+	}
+	access("caar", "aa")
+	access("cadr", "ad")
+	access("cdar", "da")
+	access("cddr", "dd")
+	access("caddr", "add")
+	access("cadddr", "addd")
+
+	def("list", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return listOf(st, args), nil
+	})
+
+	def("length", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		items, ok := elements(st, args[0])
+		if !ok {
+			return nil, errf("length", "not a proper list")
+		}
+		return value.NewNum(int64(len(items))), nil
+	})
+
+	def("list-ref", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		items, ok := elements(st, args[0])
+		if !ok {
+			return nil, errf("list-ref", "not a proper list")
+		}
+		i, err := wantIndex("list-ref", args[1], len(items))
+		if err != nil {
+			return nil, err
+		}
+		return items[i], nil
+	})
+
+	def("list-tail", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		n, err := wantNum("list-tail", args[1])
+		if err != nil {
+			return nil, err
+		}
+		if !n.Int.IsInt64() || n.Int.Sign() < 0 {
+			return nil, errf("list-tail", "bad index")
+		}
+		v := args[0]
+		for i := int64(0); i < n.Int.Int64(); i++ {
+			p, err := wantPair("list-tail", v)
+			if err != nil {
+				return nil, err
+			}
+			next, ok := st.Get(p.CdrLoc)
+			if !ok {
+				return nil, errf("list-tail", "dangling location")
+			}
+			v = next
+		}
+		return v, nil
+	})
+
+	def("append", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		if len(args) == 0 {
+			return value.Null{}, nil
+		}
+		var all []value.Value
+		for _, a := range args[:len(args)-1] {
+			items, ok := elements(st, a)
+			if !ok {
+				return nil, errf("append", "not a proper list")
+			}
+			all = append(all, items...)
+		}
+		// The final argument is shared, not copied, per R5RS.
+		out := args[len(args)-1]
+		for i := len(all) - 1; i >= 0; i-- {
+			out = consOf(st, all[i], out)
+		}
+		return out, nil
+	})
+
+	def("reverse", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		items, ok := elements(st, args[0])
+		if !ok {
+			return nil, errf("reverse", "not a proper list")
+		}
+		var out value.Value = value.Null{}
+		for _, it := range items {
+			out = consOf(st, it, out)
+		}
+		return out, nil
+	})
+
+	search := func(name string, match func(st *value.Store, want, have value.Value) bool, returnPair bool) {
+		def(name, 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+			v := args[1]
+			steps := 0
+			for {
+				switch x := v.(type) {
+				case value.Null:
+					return boolVal(false), nil
+				case value.Pair:
+					car, ok := st.Get(x.CarLoc)
+					if !ok {
+						return nil, errf(name, "dangling location")
+					}
+					if returnPair {
+						// assq family: car is itself a pair whose car is compared.
+						if entry, ok := car.(value.Pair); ok {
+							key, ok := st.Get(entry.CarLoc)
+							if ok && match(st, args[0], key) {
+								return car, nil
+							}
+						}
+					} else if match(st, args[0], car) {
+						return x, nil
+					}
+					cdr, ok := st.Get(x.CdrLoc)
+					if !ok {
+						return nil, errf(name, "dangling location")
+					}
+					v = cdr
+					steps++
+					if steps > st.Size()+1 {
+						return nil, errf(name, "cyclic list")
+					}
+				default:
+					return nil, errf(name, "not a proper list")
+				}
+			}
+		})
+	}
+	eqvMatch := func(st *value.Store, a, b value.Value) bool { return eqv(a, b) }
+	search("memq", eqvMatch, false)
+	search("memv", eqvMatch, false)
+	search("member", equalValues, false)
+	search("assq", eqvMatch, true)
+	search("assv", eqvMatch, true)
+	search("assoc", equalValues, true)
+}

@@ -1,0 +1,140 @@
+package prim
+
+import (
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+func registerPredicates() {
+	def("not", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return boolVal(!value.Truthy(args[0])), nil
+	})
+
+	typePred := func(name string, ok func(value.Value) bool) {
+		def(name, 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+			return boolVal(ok(args[0])), nil
+		})
+	}
+	typePred("null?", func(v value.Value) bool { _, ok := v.(value.Null); return ok })
+	typePred("pair?", func(v value.Value) bool { _, ok := v.(value.Pair); return ok })
+	typePred("number?", func(v value.Value) bool { _, ok := v.(value.Num); return ok })
+	typePred("integer?", func(v value.Value) bool { _, ok := v.(value.Num); return ok })
+	typePred("symbol?", func(v value.Value) bool { _, ok := v.(value.Sym); return ok })
+	typePred("string?", func(v value.Value) bool { _, ok := v.(value.Str); return ok })
+	typePred("char?", func(v value.Value) bool { _, ok := v.(value.Char); return ok })
+	typePred("boolean?", func(v value.Value) bool { _, ok := v.(value.Bool); return ok })
+	typePred("vector?", func(v value.Value) bool { _, ok := v.(value.Vector); return ok })
+	typePred("procedure?", value.IsProcedure)
+
+	def("eq?", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return boolVal(eqv(args[0], args[1])), nil
+	})
+	def("eqv?", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return boolVal(eqv(args[0], args[1])), nil
+	})
+	def("equal?", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return boolVal(equalValues(st, args[0], args[1])), nil
+	})
+}
+
+// eqv implements eqv? (and eq?, which we give the same, permitted,
+// behaviour): identity for allocated objects, value equality for atoms.
+// The closure tag location α — "a bug in the design of Scheme requires that
+// a location α be allocated to tag the closure [Ram94]" — is exactly what
+// gives closures their identity here.
+func eqv(a, b value.Value) bool {
+	switch x := a.(type) {
+	case value.Bool:
+		y, ok := b.(value.Bool)
+		return ok && x == y
+	case value.Num:
+		y, ok := b.(value.Num)
+		return ok && x.Int.Cmp(y.Int) == 0
+	case value.Sym:
+		y, ok := b.(value.Sym)
+		return ok && x == y
+	case value.Char:
+		y, ok := b.(value.Char)
+		return ok && x == y
+	case value.Null:
+		_, ok := b.(value.Null)
+		return ok
+	case value.Str:
+		y, ok := b.(value.Str)
+		return ok && x == y
+	case value.Unspecified:
+		_, ok := b.(value.Unspecified)
+		return ok
+	case value.Undefined:
+		_, ok := b.(value.Undefined)
+		return ok
+	case value.Pair:
+		y, ok := b.(value.Pair)
+		return ok && x.CarLoc == y.CarLoc && x.CdrLoc == y.CdrLoc
+	case value.Vector:
+		y, ok := b.(value.Vector)
+		if !ok || len(x.ElemLocs) != len(y.ElemLocs) {
+			return false
+		}
+		if len(x.ElemLocs) == 0 {
+			return true
+		}
+		return x.ElemLocs[0] == y.ElemLocs[0]
+	case value.Closure:
+		y, ok := b.(value.Closure)
+		return ok && x.Tag == y.Tag
+	case value.Escape:
+		y, ok := b.(value.Escape)
+		return ok && x.Tag == y.Tag
+	case *value.Primop:
+		y, ok := b.(*value.Primop)
+		return ok && x == y
+	}
+	return false
+}
+
+// equalValues implements equal? between two values in st.
+func equalValues(st *value.Store, a, b value.Value) bool {
+	return structurallyEqual(st, a, b, make(map[[2]env.Location]bool))
+}
+
+// structurallyEqual implements equal?: recursive structural comparison
+// through the store. The seen set guards against cyclic structures.
+func structurallyEqual(st *value.Store, a, b value.Value, seen map[[2]env.Location]bool) bool {
+	if pa, ok := a.(value.Pair); ok {
+		pb, ok := b.(value.Pair)
+		if !ok {
+			return false
+		}
+		key := [2]env.Location{pa.CarLoc, pb.CarLoc}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		ca, _ := st.Get(pa.CarLoc)
+		cb, _ := st.Get(pb.CarLoc)
+		da, _ := st.Get(pa.CdrLoc)
+		db, _ := st.Get(pb.CdrLoc)
+		return structurallyEqual(st, ca, cb, seen) && structurallyEqual(st, da, db, seen)
+	}
+	if va, ok := a.(value.Vector); ok {
+		vb, ok := b.(value.Vector)
+		if !ok || len(va.ElemLocs) != len(vb.ElemLocs) {
+			return false
+		}
+		for i := range va.ElemLocs {
+			key := [2]env.Location{va.ElemLocs[i], vb.ElemLocs[i]}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			ea, _ := st.Get(va.ElemLocs[i])
+			eb, _ := st.Get(vb.ElemLocs[i])
+			if !structurallyEqual(st, ea, eb, seen) {
+				return false
+			}
+		}
+		return true
+	}
+	return eqv(a, b)
+}

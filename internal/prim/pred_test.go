@@ -1,0 +1,134 @@
+package prim
+
+import (
+	"testing"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+func TestEqvAtomKinds(t *testing.T) {
+	st := value.NewStore()
+	cases := []struct {
+		a, b value.Value
+		want bool
+	}{
+		{value.Bool(true), value.Bool(true), true},
+		{value.Bool(true), value.Bool(false), false},
+		{value.Bool(true), value.NewNum(1), false},
+		{value.Char('a'), value.Char('a'), true},
+		{value.Char('a'), value.Char('b'), false},
+		{value.Str("x"), value.Str("x"), true},
+		{value.Str("x"), value.Str("y"), false},
+		{value.Null{}, value.Null{}, true},
+		{value.Null{}, value.Bool(false), false},
+		{value.Unspecified{}, value.Unspecified{}, true},
+		{value.Undefined{}, value.Undefined{}, true},
+		{value.Unspecified{}, value.Undefined{}, false},
+	}
+	for _, c := range cases {
+		wantBool(t, applyIn(t, st, "eqv?", c.a, c.b), c.want)
+	}
+}
+
+func TestEqvVectors(t *testing.T) {
+	st := value.NewStore()
+	v1 := applyIn(t, st, "vector", num(1), num(2))
+	v2 := applyIn(t, st, "vector", num(1), num(2))
+	wantBool(t, applyIn(t, st, "eqv?", v1, v2), false) // distinct allocations
+	wantBool(t, applyIn(t, st, "eqv?", v1, v1), true)
+	e1 := applyIn(t, st, "vector")
+	e2 := applyIn(t, st, "vector")
+	wantBool(t, applyIn(t, st, "eqv?", e1, e2), true) // empty vectors are indistinguishable
+}
+
+func TestEqvClosuresByTag(t *testing.T) {
+	st := value.NewStore()
+	lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
+	c1 := value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: env.Empty()}
+	c2 := value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: env.Empty()}
+	wantBool(t, applyIn(t, st, "eqv?", c1, c2), false)
+	wantBool(t, applyIn(t, st, "eqv?", c1, c1), true)
+}
+
+func TestEqvEscapesByTag(t *testing.T) {
+	st := value.NewStore()
+	e1 := value.Escape{Tag: st.Alloc(value.Unspecified{}), K: value.Halt{}}
+	e2 := value.Escape{Tag: st.Alloc(value.Unspecified{}), K: value.Halt{}}
+	wantBool(t, applyIn(t, st, "eqv?", e1, e2), false)
+	wantBool(t, applyIn(t, st, "eqv?", e1, e1), true)
+}
+
+func TestEqvPrimopsByIdentity(t *testing.T) {
+	st := value.NewStore()
+	plus, _ := Lookup("+")
+	minus, _ := Lookup("-")
+	wantBool(t, applyIn(t, st, "eqv?", plus, plus), true)
+	wantBool(t, applyIn(t, st, "eqv?", plus, minus), false)
+}
+
+func TestEqualVectors(t *testing.T) {
+	st := value.NewStore()
+	v1 := applyIn(t, st, "vector", num(1), applyIn(t, st, "list", num(2)))
+	v2 := applyIn(t, st, "vector", num(1), applyIn(t, st, "list", num(2)))
+	wantBool(t, applyIn(t, st, "equal?", v1, v2), true)
+	v3 := applyIn(t, st, "vector", num(1), num(9))
+	wantBool(t, applyIn(t, st, "equal?", v1, v3), false)
+	short := applyIn(t, st, "vector", num(1))
+	wantBool(t, applyIn(t, st, "equal?", v1, short), false)
+}
+
+func TestEqualMixedTypes(t *testing.T) {
+	st := value.NewStore()
+	p := applyIn(t, st, "cons", num(1), num(2))
+	wantBool(t, applyIn(t, st, "equal?", p, num(1)), false)
+	wantBool(t, applyIn(t, st, "equal?", value.Vector{}, p), false)
+	wantBool(t, applyIn(t, st, "equal?", value.Str("a"), value.Str("a")), true)
+}
+
+func TestListElementsExported(t *testing.T) {
+	st := value.NewStore()
+	l := applyIn(t, st, "list", num(1), num(2), num(3))
+	items, ok := ListElements(st, l)
+	if !ok || len(items) != 3 {
+		t.Fatalf("items=%v ok=%v", items, ok)
+	}
+	if _, ok := ListElements(st, num(5)); ok {
+		t.Fatal("non-list must fail")
+	}
+	improper := applyIn(t, st, "cons", num(1), num(2))
+	if _, ok := ListElements(st, improper); ok {
+		t.Fatal("improper list must fail")
+	}
+}
+
+func TestMemberAndAssocUseEqual(t *testing.T) {
+	st := value.NewStore()
+	inner1 := applyIn(t, st, "list", num(1), num(2))
+	inner2 := applyIn(t, st, "list", num(1), num(2))
+	l := applyIn(t, st, "list", inner1)
+	hit := applyIn(t, st, "member", inner2, l)
+	if _, isPair := hit.(value.Pair); !isPair {
+		t.Fatalf("member with equal? should hit: %#v", hit)
+	}
+	// memv uses eqv?: distinct allocations miss.
+	wantBool(t, applyIn(t, st, "memv", inner2, l), false)
+
+	entry := applyIn(t, st, "cons", inner1, value.Sym("v"))
+	al := applyIn(t, st, "list", entry)
+	got := applyIn(t, st, "assoc", inner2, al)
+	if _, isPair := got.(value.Pair); !isPair {
+		t.Fatalf("assoc with equal? should hit: %#v", got)
+	}
+	wantBool(t, applyIn(t, st, "assv", inner2, al), false)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	register(&value.Primop{Name: "+"})
+}

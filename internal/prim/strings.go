@@ -1,0 +1,241 @@
+package prim
+
+import (
+	"math/big"
+	"strings"
+
+	"tailspace/internal/value"
+)
+
+func wantStr(name string, v value.Value) (value.Str, error) {
+	s, ok := v.(value.Str)
+	if !ok {
+		return "", errf(name, "expected a string, got %T", v)
+	}
+	return s, nil
+}
+
+func wantChar(name string, v value.Value) (value.Char, error) {
+	c, ok := v.(value.Char)
+	if !ok {
+		return 0, errf(name, "expected a character, got %T", v)
+	}
+	return c, nil
+}
+
+func wantSym(name string, v value.Value) (value.Sym, error) {
+	s, ok := v.(value.Sym)
+	if !ok {
+		return "", errf(name, "expected a symbol, got %T", v)
+	}
+	return s, nil
+}
+
+func registerStrings() {
+	def("string-length", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantStr("string-length", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.NewNum(int64(len([]rune(string(s))))), nil
+	})
+
+	def("string-ref", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantStr("string-ref", args[0])
+		if err != nil {
+			return nil, err
+		}
+		runes := []rune(string(s))
+		i, err := wantIndex("string-ref", args[1], len(runes))
+		if err != nil {
+			return nil, err
+		}
+		return value.Char(runes[i]), nil
+	})
+
+	def("string-append", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			s, err := wantStr("string-append", a)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(string(s))
+		}
+		return value.Str(sb.String()), nil
+	})
+
+	def("substring", 3, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantStr("substring", args[0])
+		if err != nil {
+			return nil, err
+		}
+		runes := []rune(string(s))
+		from, err := wantIndex("substring", args[1], len(runes)+1)
+		if err != nil {
+			return nil, err
+		}
+		to, err := wantIndex("substring", args[2], len(runes)+1)
+		if err != nil {
+			return nil, err
+		}
+		if from > to {
+			return nil, errf("substring", "start %d after end %d", from, to)
+		}
+		return value.Str(string(runes[from:to])), nil
+	})
+
+	strCompare := func(name string, ok func(int) bool) {
+		def(name, 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+			a, err := wantStr(name, args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := wantStr(name, args[1])
+			if err != nil {
+				return nil, err
+			}
+			return boolVal(ok(strings.Compare(string(a), string(b)))), nil
+		})
+	}
+	strCompare("string=?", func(c int) bool { return c == 0 })
+	strCompare("string<?", func(c int) bool { return c < 0 })
+	strCompare("string>?", func(c int) bool { return c > 0 })
+	strCompare("string<=?", func(c int) bool { return c <= 0 })
+	strCompare("string>=?", func(c int) bool { return c >= 0 })
+
+	def("string->symbol", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantStr("string->symbol", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Sym(string(s)), nil
+	})
+
+	def("symbol->string", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantSym("symbol->string", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Str(string(s)), nil
+	})
+
+	def("string->list", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantStr("string->list", args[0])
+		if err != nil {
+			return nil, err
+		}
+		items := make([]value.Value, 0, len(s))
+		for _, r := range string(s) {
+			items = append(items, value.Char(r))
+		}
+		return listOf(st, items), nil
+	})
+
+	def("list->string", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		items, ok := elements(st, args[0])
+		if !ok {
+			return nil, errf("list->string", "not a proper list")
+		}
+		var sb strings.Builder
+		for _, it := range items {
+			c, err := wantChar("list->string", it)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteRune(rune(c))
+		}
+		return value.Str(sb.String()), nil
+	})
+
+	def("number->string", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		n, err := wantNum("number->string", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Str(n.Int.String()), nil
+	})
+
+	def("string->number", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		s, err := wantStr("string->number", args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, ok := new(big.Int).SetString(string(s), 10)
+		if !ok {
+			return boolVal(false), nil
+		}
+		return value.Num{Int: n}, nil
+	})
+
+	def("char->integer", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		c, err := wantChar("char->integer", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.NewNum(int64(c)), nil
+	})
+
+	def("integer->char", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		n, err := wantNum("integer->char", args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !n.Int.IsInt64() || n.Int.Int64() < 0 || n.Int.Int64() > 0x10FFFF {
+			return nil, errf("integer->char", "code point out of range")
+		}
+		return value.Char(rune(n.Int.Int64())), nil
+	})
+
+	charCompare := func(name string, ok func(int) bool) {
+		def(name, 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+			a, err := wantChar(name, args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := wantChar(name, args[1])
+			if err != nil {
+				return nil, err
+			}
+			cmp := 0
+			if a < b {
+				cmp = -1
+			} else if a > b {
+				cmp = 1
+			}
+			return boolVal(ok(cmp)), nil
+		})
+	}
+	charCompare("char=?", func(c int) bool { return c == 0 })
+	charCompare("char<?", func(c int) bool { return c < 0 })
+	charCompare("char>?", func(c int) bool { return c > 0 })
+
+	def("gcd", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		acc := new(big.Int)
+		for _, a := range args {
+			n, err := wantNum("gcd", a)
+			if err != nil {
+				return nil, err
+			}
+			acc.GCD(nil, nil, acc, new(big.Int).Abs(n.Int))
+		}
+		return value.Num{Int: acc}, nil
+	})
+
+	def("lcm", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		acc := big.NewInt(1)
+		for _, a := range args {
+			n, err := wantNum("lcm", a)
+			if err != nil {
+				return nil, err
+			}
+			abs := new(big.Int).Abs(n.Int)
+			if abs.Sign() == 0 {
+				return value.NewNum(0), nil
+			}
+			g := new(big.Int).GCD(nil, nil, acc, abs)
+			acc.Div(acc.Mul(acc, abs), g)
+		}
+		return value.Num{Int: acc}, nil
+	})
+}

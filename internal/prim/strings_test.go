@@ -1,0 +1,99 @@
+package prim
+
+import (
+	"testing"
+
+	"tailspace/internal/value"
+)
+
+func TestStringLength(t *testing.T) {
+	wantInt(t, apply(t, "string-length", value.Str("hello")), 5)
+	wantInt(t, apply(t, "string-length", value.Str("")), 0)
+}
+
+func TestStringRef(t *testing.T) {
+	v := apply(t, "string-ref", value.Str("abc"), num(1))
+	if c, ok := v.(value.Char); !ok || c != 'b' {
+		t.Fatalf("got %#v", v)
+	}
+	applyErr(t, "string-ref", value.Str("abc"), num(3))
+}
+
+func TestStringAppendAndSubstring(t *testing.T) {
+	v := apply(t, "string-append", value.Str("foo"), value.Str("bar"))
+	if s := v.(value.Str); s != "foobar" {
+		t.Fatalf("got %q", s)
+	}
+	if v := apply(t, "string-append"); v.(value.Str) != "" {
+		t.Fatal("(string-append) should be empty")
+	}
+	v = apply(t, "substring", value.Str("hello"), num(1), num(4))
+	if s := v.(value.Str); s != "ell" {
+		t.Fatalf("got %q", s)
+	}
+	applyErr(t, "substring", value.Str("hi"), num(2), num(1))
+}
+
+func TestStringComparisons(t *testing.T) {
+	wantBool(t, apply(t, "string=?", value.Str("a"), value.Str("a")), true)
+	wantBool(t, apply(t, "string<?", value.Str("a"), value.Str("b")), true)
+	wantBool(t, apply(t, "string>?", value.Str("a"), value.Str("b")), false)
+	wantBool(t, apply(t, "string<=?", value.Str("a"), value.Str("a")), true)
+	wantBool(t, apply(t, "string>=?", value.Str("b"), value.Str("a")), true)
+}
+
+func TestSymbolStringConversions(t *testing.T) {
+	if s := apply(t, "symbol->string", value.Sym("abc")).(value.Str); s != "abc" {
+		t.Fatalf("got %q", s)
+	}
+	if s := apply(t, "string->symbol", value.Str("abc")).(value.Sym); s != "abc" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestStringListConversions(t *testing.T) {
+	st := value.NewStore()
+	l := applyIn(t, st, "string->list", value.Str("ab"))
+	wantInt(t, applyIn(t, st, "length", l), 2)
+	s := applyIn(t, st, "list->string", l)
+	if s.(value.Str) != "ab" {
+		t.Fatalf("got %#v", s)
+	}
+}
+
+func TestNumberStringConversions(t *testing.T) {
+	if s := apply(t, "number->string", num(-42)).(value.Str); s != "-42" {
+		t.Fatalf("got %q", s)
+	}
+	wantInt(t, apply(t, "string->number", value.Str("123")), 123)
+	wantBool(t, apply(t, "string->number", value.Str("abc")), false)
+}
+
+func TestCharConversions(t *testing.T) {
+	wantInt(t, apply(t, "char->integer", value.Char('A')), 65)
+	if c := apply(t, "integer->char", num(97)).(value.Char); c != 'a' {
+		t.Fatalf("got %q", c)
+	}
+	applyErr(t, "integer->char", num(-1))
+}
+
+func TestCharComparisons(t *testing.T) {
+	wantBool(t, apply(t, "char=?", value.Char('a'), value.Char('a')), true)
+	wantBool(t, apply(t, "char<?", value.Char('a'), value.Char('b')), true)
+	wantBool(t, apply(t, "char>?", value.Char('a'), value.Char('b')), false)
+}
+
+func TestGcdLcm(t *testing.T) {
+	wantInt(t, apply(t, "gcd", num(12), num(18)), 6)
+	wantInt(t, apply(t, "gcd"), 0)
+	wantInt(t, apply(t, "gcd", num(-4), num(6)), 2)
+	wantInt(t, apply(t, "lcm", num(4), num(6)), 12)
+	wantInt(t, apply(t, "lcm", num(0), num(5)), 0)
+}
+
+func TestApplyPrimRegistered(t *testing.T) {
+	p, ok := Lookup("apply")
+	if !ok || !p.Spread {
+		t.Fatal("apply must be registered with the Spread flag")
+	}
+}

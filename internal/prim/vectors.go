@@ -1,0 +1,113 @@
+package prim
+
+import (
+	"math/big"
+
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+func registerVectors() {
+	def("vector", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		return value.Vector{ElemLocs: st.AllocN(args)}, nil
+	})
+
+	def("make-vector", -1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return nil, errf("make-vector", "takes a length and an optional fill")
+		}
+		n, err := wantNum("make-vector", args[0])
+		if err != nil {
+			return nil, err
+		}
+		if n.Int.Sign() < 0 || !n.Int.IsInt64() || n.Int.Int64() > 1<<26 {
+			return nil, errf("make-vector", "bad length %s", n.Int)
+		}
+		var fill value.Value = value.Num{Int: big.NewInt(0)}
+		if len(args) == 2 {
+			fill = args[1]
+		}
+		size := int(n.Int.Int64())
+		locs := make([]env.Location, size)
+		for i := range locs {
+			locs[i] = st.Alloc(fill)
+		}
+		return value.Vector{ElemLocs: locs}, nil
+	})
+
+	def("vector-length", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		v, err := wantVector("vector-length", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.NewNum(int64(len(v.ElemLocs))), nil
+	})
+
+	def("vector-ref", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		v, err := wantVector("vector-ref", args[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := wantIndex("vector-ref", args[1], len(v.ElemLocs))
+		if err != nil {
+			return nil, err
+		}
+		el, ok := st.Get(v.ElemLocs[i])
+		if !ok {
+			return nil, errf("vector-ref", "dangling element location")
+		}
+		return el, nil
+	})
+
+	def("vector-set!", 3, func(st *value.Store, args []value.Value) (value.Value, error) {
+		v, err := wantVector("vector-set!", args[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := wantIndex("vector-set!", args[1], len(v.ElemLocs))
+		if err != nil {
+			return nil, err
+		}
+		if !st.Set(v.ElemLocs[i], args[2]) {
+			return nil, errf("vector-set!", "dangling element location")
+		}
+		return value.Unspecified{}, nil
+	})
+
+	def("vector-fill!", 2, func(st *value.Store, args []value.Value) (value.Value, error) {
+		v, err := wantVector("vector-fill!", args[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range v.ElemLocs {
+			if !st.Set(l, args[1]) {
+				return nil, errf("vector-fill!", "dangling element location")
+			}
+		}
+		return value.Unspecified{}, nil
+	})
+
+	def("vector->list", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		v, err := wantVector("vector->list", args[0])
+		if err != nil {
+			return nil, err
+		}
+		items := make([]value.Value, len(v.ElemLocs))
+		for i, l := range v.ElemLocs {
+			el, ok := st.Get(l)
+			if !ok {
+				return nil, errf("vector->list", "dangling element location")
+			}
+			items[i] = el
+		}
+		return listOf(st, items), nil
+	})
+
+	def("list->vector", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		items, ok := elements(st, args[0])
+		if !ok {
+			return nil, errf("list->vector", "not a proper list")
+		}
+		return value.Vector{ElemLocs: st.AllocN(items)}, nil
+	})
+}

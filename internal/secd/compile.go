@@ -1,0 +1,300 @@
+// Package secd implements a compiler from Core Scheme to SECD machine code
+// and the SECD machine itself, in two variants:
+//
+//   - Classic: Landin's machine, where every application AP pushes the
+//     (stack, environment, control) triple onto the dump — the structural
+//     twin of Z_gc's return continuations.
+//   - TailRecursive: Ramsdell's "tail recursive SECD machine" [Ram97], the
+//     §15 reference: tail applications compile to TAP, which reuses the
+//     current dump entry, and tail conditionals to TSEL, which does not
+//     push a join; the dump therefore stays bounded on iterative programs.
+//
+// The pair demonstrates at the compiled-code level exactly what the paper's
+// Z_gc / Z_tail pair demonstrates at the semantics level, and the same
+// asymptotic space test separates them.
+package secd
+
+import (
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+	"tailspace/internal/prim"
+)
+
+// Op is an SECD opcode.
+type Op int
+
+const (
+	// LDC pushes a constant.
+	LDC Op = iota
+	// LD pushes the value at lexical address (Depth, Index).
+	LD
+	// LDG pushes a global (a standard procedure).
+	LDG
+	// LDF pushes a closure over the current environment.
+	LDF
+	// AP applies: pops a closure and N arguments, pushes (S,E,C) on the
+	// dump, and enters the closure body.
+	AP
+	// TAP is Ramsdell's tail application: like AP but the dump is reused —
+	// the caller's frame is gone, a call is a goto.
+	TAP
+	// RTN returns: pops the dump and delivers the top of stack.
+	RTN
+	// SEL branches to Then/Else code and pushes the rest of the control on
+	// the dump; the branch ends in JOIN.
+	SEL
+	// TSEL is the tail conditional: branches without saving anything.
+	TSEL
+	// JOIN pops the control saved by SEL.
+	JOIN
+	// PRIM applies a standard procedure to N stack operands directly.
+	PRIM
+	// STE stores the top of stack into lexical address (Depth, Index) and
+	// replaces it with the unspecified value.
+	STE
+)
+
+func (o Op) String() string {
+	switch o {
+	case LDC:
+		return "LDC"
+	case LD:
+		return "LD"
+	case LDG:
+		return "LDG"
+	case LDF:
+		return "LDF"
+	case AP:
+		return "AP"
+	case TAP:
+		return "TAP"
+	case RTN:
+		return "RTN"
+	case SEL:
+		return "SEL"
+	case TSEL:
+		return "TSEL"
+	case JOIN:
+		return "JOIN"
+	case PRIM:
+		return "PRIM"
+	case STE:
+		return "STE"
+	}
+	return "?"
+}
+
+// Instr is one SECD instruction.
+type Instr struct {
+	Op           Op
+	Const        ast.ConstValue // LDC
+	Depth, Index int            // LD, STE
+	Name         string         // LDG, PRIM
+	N            int            // AP, TAP, PRIM argument count
+	Code         []Instr        // LDF body
+	Then, Else   []Instr        // SEL, TSEL
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case LDC:
+		return fmt.Sprintf("LDC %v", i.Const)
+	case LD:
+		return fmt.Sprintf("LD (%d,%d)", i.Depth, i.Index)
+	case STE:
+		return fmt.Sprintf("STE (%d,%d)", i.Depth, i.Index)
+	case LDG:
+		return "LDG " + i.Name
+	case LDF:
+		return fmt.Sprintf("LDF <%d instrs>", len(i.Code))
+	case AP, TAP, PRIM:
+		if i.Op == PRIM {
+			return fmt.Sprintf("PRIM %s/%d", i.Name, i.N)
+		}
+		return fmt.Sprintf("%s %d", i.Op, i.N)
+	case SEL, TSEL:
+		return fmt.Sprintf("%s <%d|%d>", i.Op, len(i.Then), len(i.Else))
+	}
+	return i.Op.String()
+}
+
+// CompileError reports a program the SECD compiler cannot handle.
+type CompileError struct{ Msg string }
+
+func (e *CompileError) Error() string { return "secd: " + e.Msg }
+
+// ctenv is the compile-time environment: a chain of parameter frames for
+// lexical addressing.
+type ctenv struct {
+	names  []string
+	parent *ctenv
+}
+
+// Compile translates a Core Scheme expression to SECD code. Programs using
+// call/cc or apply are rejected: the classic SECD machine has no direct
+// account of either (Ramsdell's machine adds continuations separately), and
+// this compiler exists to compare dump behaviour, not to be a full Scheme.
+func Compile(e ast.Expr) ([]Instr, error) {
+	c := &compiler{}
+	code, err := c.compile(e, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return code, nil
+}
+
+// CompileSource parses, expands, and compiles program text.
+func CompileSource(src string) ([]Instr, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(e)
+}
+
+type compiler struct{}
+
+func lookupCT(env *ctenv, name string) (int, int, bool) {
+	depth := 0
+	for frame := env; frame != nil; frame = frame.parent {
+		for i, n := range frame.names {
+			if n == name {
+				return depth, i, true
+			}
+		}
+		depth++
+	}
+	return 0, 0, false
+}
+
+func (c *compiler) compile(e ast.Expr, env *ctenv, tail bool) ([]Instr, error) {
+	switch x := e.(type) {
+	case *ast.Const:
+		return c.ret([]Instr{{Op: LDC, Const: x.Value}}, tail), nil
+
+	case *ast.Var:
+		if d, i, ok := lookupCT(env, x.Name); ok {
+			return c.ret([]Instr{{Op: LD, Depth: d, Index: i}}, tail), nil
+		}
+		p, ok := prim.Lookup(x.Name)
+		if !ok {
+			return nil, &CompileError{Msg: "unbound variable " + x.Name}
+		}
+		if p.CallCC || p.Spread {
+			return nil, &CompileError{Msg: x.Name + " is not supported on the SECD machine"}
+		}
+		return c.ret([]Instr{{Op: LDG, Name: x.Name}}, tail), nil
+
+	case *ast.Lambda:
+		body, err := c.compile(x.Body, &ctenv{names: x.Params, parent: env}, true)
+		if err != nil {
+			return nil, err
+		}
+		return c.ret([]Instr{{Op: LDF, Code: body, N: len(x.Params), Name: x.Label}}, tail), nil
+
+	case *ast.If:
+		test, err := c.compile(x.Test, env, false)
+		if err != nil {
+			return nil, err
+		}
+		thn, err := c.compile(x.Then, env, tail)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.compile(x.Else, env, tail)
+		if err != nil {
+			return nil, err
+		}
+		if tail {
+			// Tail conditional: no join point is saved; the arms already
+			// end in RTN/TAP.
+			return append(test, Instr{Op: TSEL, Then: thn, Else: els}), nil
+		}
+		thn = append(thn, Instr{Op: JOIN})
+		els = append(els, Instr{Op: JOIN})
+		return append(test, Instr{Op: SEL, Then: thn, Else: els}), nil
+
+	case *ast.Set:
+		rhs, err := c.compile(x.Rhs, env, false)
+		if err != nil {
+			return nil, err
+		}
+		d, i, ok := lookupCT(env, x.Name)
+		if !ok {
+			return nil, &CompileError{Msg: "assignment to unbound variable " + x.Name}
+		}
+		return c.ret(append(rhs, Instr{Op: STE, Depth: d, Index: i}), tail), nil
+
+	case *ast.Call:
+		return c.compileCall(x, env, tail)
+	}
+	return nil, &CompileError{Msg: fmt.Sprintf("unknown expression %T", e)}
+}
+
+func (c *compiler) compileCall(call *ast.Call, env *ctenv, tail bool) ([]Instr, error) {
+	// Direct primitive application when the operator is an unshadowed
+	// standard procedure.
+	if op, ok := call.Operator().(*ast.Var); ok {
+		if _, _, bound := lookupCT(env, op.Name); !bound {
+			p, isPrim := prim.Lookup(op.Name)
+			if isPrim {
+				if p.CallCC || p.Spread {
+					return nil, &CompileError{Msg: op.Name + " is not supported on the SECD machine"}
+				}
+				var code []Instr
+				for _, arg := range call.Operands() {
+					argCode, err := c.compile(arg, env, false)
+					if err != nil {
+						return nil, err
+					}
+					code = append(code, argCode...)
+				}
+				code = append(code, Instr{Op: PRIM, Name: op.Name, N: len(call.Operands())})
+				return c.ret(code, tail), nil
+			}
+		}
+	}
+
+	// General application: arguments, then operator, then AP/TAP.
+	var code []Instr
+	for _, arg := range call.Operands() {
+		argCode, err := c.compile(arg, env, false)
+		if err != nil {
+			return nil, err
+		}
+		code = append(code, argCode...)
+	}
+	opCode, err := c.compile(call.Operator(), env, false)
+	if err != nil {
+		return nil, err
+	}
+	code = append(code, opCode...)
+	op := AP
+	if tail {
+		op = TAP
+	}
+	return append(code, Instr{Op: op, N: len(call.Operands())}), nil
+}
+
+// ret appends RTN when the expression produced a value in tail position
+// (calls in tail position end in TAP and branches in TSEL arms instead).
+func (c *compiler) ret(code []Instr, tail bool) []Instr {
+	if tail {
+		return append(code, Instr{Op: RTN})
+	}
+	return code
+}
+
+// CodeSize counts instructions recursively (a compiled-program size metric).
+func CodeSize(code []Instr) int {
+	n := 0
+	for _, i := range code {
+		n++
+		n += CodeSize(i.Code)
+		n += CodeSize(i.Then)
+		n += CodeSize(i.Else)
+	}
+	return n
+}

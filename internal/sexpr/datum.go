@@ -1,0 +1,224 @@
+// Package sexpr provides the external syntax of Scheme: a reader and writer
+// for s-expression data. The expander (internal/expand) lowers this surface
+// syntax into the Core Scheme internal syntax of the paper's Figure 1.
+package sexpr
+
+import (
+	"math/big"
+	"strings"
+)
+
+// Datum is an external representation read from program text: booleans,
+// exact integers, symbols, strings, characters, proper and improper lists,
+// and vectors.
+type Datum interface {
+	isDatum()
+	// String renders the datum in external (write) syntax.
+	String() string
+}
+
+// Bool is the #t / #f literal.
+type Bool bool
+
+// Num is an exact integer literal of unbounded precision.
+type Num struct{ Int *big.Int }
+
+// Sym is a symbol.
+type Sym string
+
+// Str is a string literal.
+type Str string
+
+// Char is a character literal.
+type Char rune
+
+// Nil is the empty list ().
+type Nil struct{}
+
+// Pair is a cons cell; proper lists are chains of Pairs ending in Nil.
+type Pair struct{ Car, Cdr Datum }
+
+// Vector is a vector literal #(...).
+type Vector []Datum
+
+func (Bool) isDatum()   {}
+func (Num) isDatum()    {}
+func (Sym) isDatum()    {}
+func (Str) isDatum()    {}
+func (Char) isDatum()   {}
+func (Nil) isDatum()    {}
+func (*Pair) isDatum()  {}
+func (Vector) isDatum() {}
+
+// NewNum builds a Num from an int64.
+func NewNum(v int64) Num { return Num{Int: big.NewInt(v)} }
+
+// List builds a proper list from the given data.
+func List(items ...Datum) Datum {
+	var d Datum = Nil{}
+	for i := len(items) - 1; i >= 0; i-- {
+		d = &Pair{Car: items[i], Cdr: d}
+	}
+	return d
+}
+
+// ImproperList builds a dotted list ending in tail.
+func ImproperList(items []Datum, tail Datum) Datum {
+	d := tail
+	for i := len(items) - 1; i >= 0; i-- {
+		d = &Pair{Car: items[i], Cdr: d}
+	}
+	return d
+}
+
+// Flatten returns the elements of a proper list and reports whether d was in
+// fact a proper list.
+func Flatten(d Datum) ([]Datum, bool) {
+	var out []Datum
+	for {
+		switch x := d.(type) {
+		case Nil:
+			return out, true
+		case *Pair:
+			out = append(out, x.Car)
+			d = x.Cdr
+		default:
+			return out, false
+		}
+	}
+}
+
+// FlattenDotted splits a possibly-dotted list into its leading elements and
+// final tail (Nil for a proper list).
+func FlattenDotted(d Datum) (items []Datum, tail Datum) {
+	for {
+		p, ok := d.(*Pair)
+		if !ok {
+			return items, d
+		}
+		items = append(items, p.Car)
+		d = p.Cdr
+	}
+}
+
+// Equal reports structural equality of two data.
+func Equal(a, b Datum) bool {
+	switch x := a.(type) {
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Num:
+		y, ok := b.(Num)
+		return ok && x.Int.Cmp(y.Int) == 0
+	case Sym:
+		y, ok := b.(Sym)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Char:
+		y, ok := b.(Char)
+		return ok && x == y
+	case Nil:
+		_, ok := b.(Nil)
+		return ok
+	case *Pair:
+		y, ok := b.(*Pair)
+		return ok && Equal(x.Car, y.Car) && Equal(x.Cdr, y.Cdr)
+	case Vector:
+		y, ok := b.(Vector)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (b Bool) String() string {
+	if bool(b) {
+		return "#t"
+	}
+	return "#f"
+}
+
+func (n Num) String() string { return n.Int.String() }
+
+func (s Sym) String() string { return string(s) }
+
+func (s Str) String() string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range string(s) {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func (c Char) String() string {
+	switch rune(c) {
+	case ' ':
+		return `#\space`
+	case '\n':
+		return `#\newline`
+	case '\t':
+		return `#\tab`
+	default:
+		return `#\` + string(rune(c))
+	}
+}
+
+func (Nil) String() string { return "()" }
+
+func (p *Pair) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(p.Car.String())
+	d := p.Cdr
+	for {
+		switch x := d.(type) {
+		case Nil:
+			sb.WriteByte(')')
+			return sb.String()
+		case *Pair:
+			sb.WriteByte(' ')
+			sb.WriteString(x.Car.String())
+			d = x.Cdr
+		default:
+			sb.WriteString(" . ")
+			sb.WriteString(x.String())
+			sb.WriteByte(')')
+			return sb.String()
+		}
+	}
+}
+
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteString("#(")
+	for i, d := range v {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(d.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

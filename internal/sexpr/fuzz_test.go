@@ -1,0 +1,73 @@
+package sexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyReaderNeverPanics drives the reader with random byte soup:
+// every input must either parse or return an error, never panic, and parsed
+// output must survive a print/re-read round trip.
+func TestPropertyReaderNeverPanics(t *testing.T) {
+	chars := []byte("()[]#\\\"';`,.|ab01 \n\t-+")
+	f := func(seed int64, length uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, int(length))
+		for i := range buf {
+			buf[i] = chars[r.Intn(len(chars))]
+		}
+		data, err := ReadAll(string(buf))
+		if err != nil {
+			return true // rejecting garbage is fine
+		}
+		for _, d := range data {
+			back, err := ReadOne(d.String())
+			if err != nil || !Equal(d, back) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyReaderArbitraryUnicode feeds arbitrary strings straight from
+// testing/quick's generator.
+func TestPropertyReaderArbitraryUnicode(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = ReadAll(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeeplyNestedInput(t *testing.T) {
+	// A pathological but legal input: 10k nested lists.
+	depth := 10000
+	src := ""
+	for i := 0; i < depth; i++ {
+		src += "("
+	}
+	src += "x"
+	for i := 0; i < depth; i++ {
+		src += ")"
+	}
+	if _, err := ReadOne(src); err != nil {
+		t.Fatalf("deep nesting should parse: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package space
+
+import (
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+// This file implements the linked-environment accounting of Figure 8: each
+// binding (an identifier paired with a location) is counted once per
+// configuration, no matter how many environments contain it. The bindings
+// reachable from the configuration — through the environment register, the
+// continuation's saved environments, and the closures and escapes held in
+// continuations and in the store — form one global set whose cardinality is
+// charged once; every other component is charged as in Figure 7 minus its
+// |Dom ρ| terms, and closures cost a single word.
+
+// linkedWalker accumulates the global binding set while measuring.
+type linkedWalker struct {
+	m        Measurer
+	bindings map[env.Binding]struct{}
+	seenCont map[value.Cont]bool
+}
+
+func newLinkedWalker(m Measurer) *linkedWalker {
+	return &linkedWalker{
+		m:        m,
+		bindings: make(map[env.Binding]struct{}),
+		seenCont: make(map[value.Cont]bool),
+	}
+}
+
+func (w *linkedWalker) addEnv(e env.Env) {
+	e.Each(func(name string, loc env.Location) {
+		w.bindings[env.Binding{Name: name, Loc: loc}] = struct{}{}
+	})
+}
+
+// valueSpace is the linked space of a value: like Figure 7 but closures cost
+// one word (their bindings enter the global set) and escapes cost one word
+// plus the linked frame space of their continuation.
+func (w *linkedWalker) valueSpace(v value.Value) int {
+	switch x := v.(type) {
+	case value.Closure:
+		w.addEnv(x.Env)
+		return 1
+	case value.Escape:
+		return 1 + w.contSpace(x.K)
+	case value.Num:
+		return w.m.Num(x)
+	case value.Str:
+		return 1 + len(x)
+	case value.Pair:
+		return 3
+	case value.Vector:
+		return 1 + len(x.ElemLocs)
+	default:
+		return 1
+	}
+}
+
+// contSpace is the linked space of a continuation: Figure 8's frame costs,
+// with every saved environment folded into the global binding set. Shared
+// continuations (an escape captured twice, or an escape whose continuation
+// is a prefix of the live one) are counted once.
+func (w *linkedWalker) contSpace(k value.Cont) int {
+	total := 0
+	for k != nil {
+		if w.seenCont[k] {
+			return total
+		}
+		w.seenCont[k] = true
+		switch x := k.(type) {
+		case value.Halt:
+			return total + 1
+		case *value.Select:
+			w.addEnv(x.Env)
+			total++
+		case *value.Assign:
+			w.addEnv(x.Env)
+			total++
+		case *value.Push:
+			w.addEnv(x.Env)
+			total += 1 + len(x.Rest) + len(x.Done)
+			for _, v := range x.Done {
+				total += w.heldValueSpace(v)
+			}
+		case *value.Call:
+			total += 1 + len(x.Args)
+			for _, v := range x.Args {
+				total += w.heldValueSpace(v)
+			}
+		case *value.Return:
+			w.addEnv(x.Env)
+			total++
+		case *value.ReturnStack:
+			w.addEnv(x.Env)
+			total++
+		}
+		k = k.Next()
+	}
+	return total
+}
+
+// heldValueSpace records the bindings of a value held by reference (in a
+// continuation) and returns the extra space it retains: its one-word
+// reference is already charged by the frame's m+n term, but the frames an
+// escape retains occupy real space (counted once — seenCont dedups).
+func (w *linkedWalker) heldValueSpace(v value.Value) int {
+	switch x := v.(type) {
+	case value.Closure:
+		w.addEnv(x.Env)
+		return 0
+	case value.Escape:
+		return w.contSpace(x.K)
+	}
+	return 0
+}
+
+// Linked computes the linked-environment space of a configuration
+// (Figure 8): the U_x counterpart of Flat.
+func (m Measurer) Linked(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	w := newLinkedWalker(m)
+	total := 0
+	if val != nil {
+		total += w.valueSpace(val)
+	}
+	w.addEnv(rho)
+	total += w.contSpace(k)
+	st.Each(func(_ env.Location, v value.Value) {
+		total += 1 + w.valueSpace(v)
+	})
+	return total + len(w.bindings)
+}

@@ -1,0 +1,125 @@
+// Package space implements the space consumed by a configuration: Figure 7
+// of the paper (flat, copied environments — the functions S_x) and Figure 8
+// (linked, shared environments — the functions U_x).
+//
+// Entities the figures omit are charged their natural word counts and noted
+// here: UNSPECIFIED, UNDEFINED, PRIMOP, the empty list, and characters cost
+// 1; strings cost 1+length; pairs cost 3 (a header and two location words);
+// escape procedures cost 1 plus the space of the continuation they retain.
+// Values held inside push and call continuations cost one word each (they
+// are references; their payloads are charged in the store), exactly as
+// Figure 7's 1+m+n accounting prescribes.
+package space
+
+import (
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+// NumberMode selects the cost model for exact integers.
+type NumberMode int
+
+const (
+	// Logarithmic charges NUM:z one word plus one word per bit, the
+	// unlimited-precision model of Figure 7 (1 + log2 z).
+	Logarithmic NumberMode = iota
+	// Fixnum charges every number two words, the fixed-precision model the
+	// paper appeals to when it says the linear programs "would be O(N) with
+	// fixed precision arithmetic".
+	Fixnum
+)
+
+// Measurer computes configuration space under a chosen number cost model.
+type Measurer struct {
+	Mode NumberMode
+}
+
+// Num is the space of NUM:z.
+func (m Measurer) Num(n value.Num) int {
+	if m.Mode == Fixnum {
+		return 2
+	}
+	return 1 + n.Int.BitLen()
+}
+
+// Value is Figure 7's space(v).
+func (m Measurer) Value(v value.Value) int {
+	switch x := v.(type) {
+	case value.Bool, value.Sym, value.Null, value.Char,
+		value.Unspecified, value.Undefined:
+		return 1
+	case *value.Primop:
+		return 1
+	case value.Num:
+		return m.Num(x)
+	case value.Str:
+		return 1 + len(x)
+	case value.Pair:
+		return 3
+	case value.Vector:
+		return 1 + len(x.ElemLocs)
+	case value.Closure:
+		return 1 + x.Env.Size()
+	case value.Escape:
+		return 1 + m.Cont(x.K)
+	}
+	return 1
+}
+
+// Cont is Figure 7's space(κ).
+func (m Measurer) Cont(k value.Cont) int {
+	total := 0
+	for k != nil {
+		switch x := k.(type) {
+		case value.Halt:
+			total++
+			return total
+		case *value.Select:
+			total += 1 + x.Env.Size()
+		case *value.Assign:
+			total += 1 + x.Env.Size()
+		case *value.Push:
+			total += 1 + len(x.Rest) + len(x.Done) + x.Env.Size()
+		case *value.Call:
+			total += 1 + len(x.Args)
+		case *value.Return:
+			total += 1 + x.Env.Size()
+		case *value.ReturnStack:
+			total += 1 + x.Env.Size()
+		}
+		k = k.Next()
+	}
+	return total
+}
+
+// Store is Figure 7's space(σ) = Σ over α ∈ σ of (1 + space(σ(α))). When the
+// store has this measurer's sizer installed (see Install), the incrementally
+// maintained total is used instead of a full walk.
+func (m Measurer) Store(st *value.Store) int {
+	if st.HasSizer() {
+		return st.SpaceTotal()
+	}
+	total := 0
+	st.Each(func(_ env.Location, v value.Value) {
+		total += 1 + m.Value(v)
+	})
+	return total
+}
+
+// Install registers this measurer's value pricing with the store so that
+// per-configuration Figure 7 measurements run in O(1) store time.
+func (m Measurer) Install(st *value.Store) {
+	st.SetSizer(m.Value)
+}
+
+// Flat computes the flat-environment space of a configuration (Figure 7).
+// For an expression configuration pass val == nil; the expression itself is
+// charged once per program by the |P| term of Definition 23, not per
+// configuration.
+func (m Measurer) Flat(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	total := rho.Size() + m.Cont(k) + m.Store(st)
+	if val != nil {
+		total += m.Value(val)
+	}
+	return total
+}

@@ -1,0 +1,264 @@
+package space
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+var log = Measurer{Mode: Logarithmic}
+var fix = Measurer{Mode: Fixnum}
+
+func TestAtomCosts(t *testing.T) {
+	for _, v := range []value.Value{
+		value.Bool(true), value.Bool(false), value.Sym("x"),
+		value.Null{}, value.Char('a'), value.Unspecified{}, value.Undefined{},
+	} {
+		if got := log.Value(v); got != 1 {
+			t.Errorf("space(%#v) = %d, want 1", v, got)
+		}
+	}
+}
+
+func TestNumberCosts(t *testing.T) {
+	// Figure 7: space(NUM:z) = 1 + log2 z.
+	cases := map[int64]int{
+		0:    1,
+		1:    2,
+		2:    3, // bitlen 2
+		1024: 12,
+	}
+	for z, want := range cases {
+		if got := log.Value(value.NewNum(z)); got != want {
+			t.Errorf("space(NUM:%d) = %d, want %d", z, got, want)
+		}
+	}
+	// Fixnum mode charges every number the same.
+	if fix.Value(value.NewNum(7)) != fix.Value(value.Num{Int: new(big.Int).Lsh(big.NewInt(1), 500)}) {
+		t.Error("fixnum mode must be size-independent")
+	}
+}
+
+func TestVectorCost(t *testing.T) {
+	v := value.Vector{ElemLocs: make([]env.Location, 5)}
+	if got := log.Value(v); got != 6 {
+		t.Fatalf("space(VEC:5) = %d, want 6", got)
+	}
+}
+
+func TestClosureCost(t *testing.T) {
+	// Figure 7: space(CLOSURE:(α,L,ρ)) = 1 + |Dom ρ|.
+	rho := env.Empty().Extend([]string{"a", "b", "c"}, []env.Location{1, 2, 3})
+	cl := value.Closure{Tag: 0, Lam: &ast.Lambda{}, Env: rho}
+	if got := log.Value(cl); got != 4 {
+		t.Fatalf("space(closure) = %d, want 4", got)
+	}
+}
+
+func TestPairAndStringCosts(t *testing.T) {
+	if got := log.Value(value.Pair{}); got != 3 {
+		t.Fatalf("pair = %d, want 3", got)
+	}
+	if got := log.Value(value.Str("abcd")); got != 5 {
+		t.Fatalf("string = %d, want 5", got)
+	}
+}
+
+func TestContCosts(t *testing.T) {
+	rho2 := env.Empty().Extend([]string{"x", "y"}, []env.Location{1, 2})
+	var k value.Cont = value.Halt{}
+	if got := log.Cont(k); got != 1 {
+		t.Fatalf("halt = %d", got)
+	}
+	k = &value.Select{Then: &ast.Var{Name: "a"}, Else: &ast.Var{Name: "b"}, Env: rho2, K: k}
+	// 1 + |Dom ρ| + space(halt) = 1 + 2 + 1
+	if got := log.Cont(k); got != 4 {
+		t.Fatalf("select = %d, want 4", got)
+	}
+	k = &value.Push{
+		Rest: []ast.Expr{&ast.Var{Name: "e"}}, RestIdx: []int{1},
+		Done: []value.Value{value.Bool(true), value.Bool(false)}, DoneIdx: []int{0, 2},
+		Env: rho2, K: k,
+	}
+	// 1 + m(1) + n(2) + 2 + 4
+	if got := log.Cont(k); got != 10 {
+		t.Fatalf("push = %d, want 10", got)
+	}
+	k2 := &value.Call{Args: []value.Value{value.Bool(true)}, K: value.Halt{}}
+	// 1 + 1 + 1
+	if got := log.Cont(k2); got != 3 {
+		t.Fatalf("call = %d, want 3", got)
+	}
+	k3 := &value.Return{Env: rho2, K: value.Halt{}}
+	if got := log.Cont(k3); got != 4 {
+		t.Fatalf("return = %d, want 4", got)
+	}
+	k4 := &value.ReturnStack{Del: []env.Location{9}, Env: rho2, K: value.Halt{}}
+	if got := log.Cont(k4); got != 4 {
+		t.Fatalf("return-stack = %d, want 4", got)
+	}
+}
+
+func TestStoreCost(t *testing.T) {
+	st := value.NewStore()
+	st.Alloc(value.NewNum(1)) // 1 + 2
+	st.Alloc(value.Null{})    // 1 + 1
+	if got := log.Store(st); got != 5 {
+		t.Fatalf("store = %d, want 5", got)
+	}
+}
+
+func TestFlatConfig(t *testing.T) {
+	st := value.NewStore()
+	loc := st.Alloc(value.NewNum(3)) // store: 1 + 3 = 4... bitlen(3)=2 → value 3, slot 4
+	rho := env.Empty().Extend([]string{"x"}, []env.Location{loc})
+	// Expression configuration: |Dom ρ| + space(halt) + space(σ) = 1 + 1 + 4.
+	if got := log.Flat(nil, rho, value.Halt{}, st); got != 6 {
+		t.Fatalf("flat expr config = %d, want 6", got)
+	}
+	// Value configuration adds space(v).
+	if got := log.Flat(value.Bool(true), rho, value.Halt{}, st); got != 7 {
+		t.Fatalf("flat value config = %d, want 7", got)
+	}
+}
+
+func TestEscapeCostIncludesContinuation(t *testing.T) {
+	rho := env.Empty().Extend([]string{"x"}, []env.Location{1})
+	esc := value.Escape{Tag: 0, K: &value.Return{Env: rho, K: value.Halt{}}}
+	// 1 + (1 + 1 + 1)
+	if got := log.Value(esc); got != 4 {
+		t.Fatalf("escape = %d, want 4", got)
+	}
+}
+
+func TestLinkedCountsSharedBindingsOnce(t *testing.T) {
+	// Two closures over the same environment: flat charges the bindings
+	// twice, linked once.
+	st := value.NewStore()
+	x := st.Alloc(value.NewNum(1))
+	y := st.Alloc(value.NewNum(2))
+	rho := env.Empty().Extend([]string{"x", "y"}, []env.Location{x, y})
+	lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
+	t1 := st.Alloc(value.Unspecified{})
+	t2 := st.Alloc(value.Unspecified{})
+	st.Alloc(value.Closure{Tag: t1, Lam: lam, Env: rho})
+	st.Alloc(value.Closure{Tag: t2, Lam: lam, Env: rho})
+
+	flat := log.Flat(nil, env.Empty(), value.Halt{}, st)
+	linked := log.Linked(nil, env.Empty(), value.Halt{}, st)
+	if linked >= flat {
+		t.Fatalf("linked (%d) must beat flat (%d) on shared environments", linked, flat)
+	}
+	// Flat: closures cost (1+2) each; linked: 1 each plus 2 shared bindings.
+	if flat-linked != 2 {
+		t.Fatalf("expected exactly 2 words saved, got %d (flat=%d linked=%d)", flat-linked, flat, linked)
+	}
+}
+
+func TestLinkedDistinctBindingsNotShared(t *testing.T) {
+	st := value.NewStore()
+	x1 := st.Alloc(value.NewNum(1))
+	x2 := st.Alloc(value.NewNum(2))
+	rho1 := env.Empty().Extend([]string{"x"}, []env.Location{x1})
+	rho2 := env.Empty().Extend([]string{"x"}, []env.Location{x2})
+	lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
+	st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho1})
+	st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho2})
+	linked := log.Linked(nil, env.Empty(), value.Halt{}, st)
+	flat := log.Flat(nil, env.Empty(), value.Halt{}, st)
+	// Same identifier, different locations: two distinct bindings, no saving.
+	if linked != flat {
+		t.Fatalf("distinct bindings must not be merged: linked=%d flat=%d", linked, flat)
+	}
+}
+
+func TestLinkedConfigEnvShared(t *testing.T) {
+	// The configuration register and a continuation frame share an
+	// environment: linked counts it once.
+	st := value.NewStore()
+	x := st.Alloc(value.NewNum(1))
+	rho := env.Empty().Extend([]string{"x"}, []env.Location{x})
+	k := &value.Return{Env: rho, K: value.Halt{}}
+	flat := log.Flat(nil, rho, k, st)
+	linked := log.Linked(nil, rho, k, st)
+	if flat-linked != 1 {
+		t.Fatalf("one shared binding should save one word: flat=%d linked=%d", flat, linked)
+	}
+}
+
+func TestLinkedSharedEscapeContinuationCountedOnce(t *testing.T) {
+	// An escape whose continuation is the live continuation must not double
+	// count the frames.
+	st := value.NewStore()
+	rho := env.Empty().Extend([]string{"x"}, []env.Location{st.Alloc(value.NewNum(1))})
+	var live value.Cont = &value.Return{Env: rho, K: value.Halt{}}
+	st.Alloc(value.Escape{Tag: st.Alloc(value.Unspecified{}), K: live})
+	withEscape := log.Linked(nil, env.Empty(), live, st)
+
+	st2 := value.NewStore()
+	rho2 := env.Empty().Extend([]string{"x"}, []env.Location{st2.Alloc(value.NewNum(1))})
+	var live2 value.Cont = &value.Return{Env: rho2, K: value.Halt{}}
+	st2.Alloc(value.Unspecified{}) // tag placeholder for comparability
+	st2.Alloc(value.Unspecified{}) // escape replaced by an atom
+	withoutEscape := log.Linked(nil, env.Empty(), live2, st2)
+
+	// The escape adds its own word, but the shared frames add nothing.
+	if withEscape-withoutEscape > 1 {
+		t.Fatalf("shared continuation double-counted: with=%d without=%d", withEscape, withoutEscape)
+	}
+}
+
+func TestPropertyLinkedNeverExceedsFlat(t *testing.T) {
+	// Build random configurations and check U <= S pointwise.
+	f := func(names []string, numVals []int64, depth uint8) bool {
+		st := value.NewStore()
+		var locs []env.Location
+		for _, n := range numVals {
+			locs = append(locs, st.Alloc(value.NewNum(n)))
+		}
+		if len(locs) == 0 {
+			locs = append(locs, st.Alloc(value.Null{}))
+		}
+		clean := make([]string, 0, len(names))
+		for _, n := range names {
+			if n != "" {
+				clean = append(clean, n)
+			}
+		}
+		used := make([]env.Location, len(clean))
+		for i := range clean {
+			used[i] = locs[i%len(locs)]
+		}
+		rho := env.Empty().Extend(clean, used)
+		var k value.Cont = value.Halt{}
+		for i := 0; i < int(depth%5); i++ {
+			k = &value.Return{Env: rho, K: k}
+		}
+		lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
+		st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho})
+		flat := log.Flat(nil, rho, k, st)
+		linked := log.Linked(nil, rho, k, st)
+		return linked <= flat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFixnumNeverExceedsLogForBigNums(t *testing.T) {
+	f := func(raw int64) bool {
+		z := raw
+		if z < 0 {
+			z = -z
+		}
+		n := value.Num{Int: big.NewInt(z | (1 << 40))} // force bignum-sized
+		return fix.Value(n) <= log.Value(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package value
+
+import (
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+)
+
+// Cont is a continuation κ of Figure 4:
+//
+//	κ ::= halt
+//	    | select:(E1, E2, ρ, κ)
+//	    | assign:(I, ρ, κ)
+//	    | push:((E,...), (v,...), π, ρ, κ)
+//	    | call:((v,...), κ)
+//	    | return:(ρ, κ)        (Z_gc only)
+//	    | return:(A, ρ, κ)     (Z_stack only)
+type Cont interface {
+	isCont()
+	// Next returns the saved continuation, or nil for halt.
+	Next() Cont
+}
+
+// Halt is the initial continuation.
+type Halt struct{}
+
+// Select is select:(E1, E2, ρ, κ) — awaiting the test value of an if.
+type Select struct {
+	Then, Else ast.Expr
+	Env        env.Env
+	K          Cont
+}
+
+// Assign is assign:(I, ρ, κ) — awaiting the right-hand side of a set!.
+type Assign struct {
+	Name string
+	Env  env.Env
+	K    Cont
+}
+
+// Push is push:((E,...), (v,...), π, ρ, κ) — evaluating the subexpressions
+// of a procedure call. Rest holds the expressions still to evaluate, in
+// evaluation order; Done holds the values computed so far. The permutation π
+// is represented by the original positions RestIdx/DoneIdx so the call can
+// be reassembled in source order when evaluation finishes.
+type Push struct {
+	Rest    []ast.Expr
+	RestIdx []int
+	Done    []Value
+	DoneIdx []int
+	// CurIdx is the source position of the subexpression currently being
+	// evaluated, so values can be reassembled in source order under any π.
+	CurIdx int
+	Env    env.Env
+	K      Cont
+}
+
+// Call is call:((v1,...,vm), κ) — the operands are ready and the machine is
+// delivering the operator value.
+type Call struct {
+	Args []Value
+	K    Cont
+}
+
+// Return is return:(ρ, κ), the continuation Z_gc pushes on every procedure
+// call (Section 8): it wastes space for no reason, making Z_gc improperly
+// tail recursive.
+type Return struct {
+	Env env.Env
+	K   Cont
+}
+
+// ReturnStack is return:(A, ρ, κ), the continuation Z_stack pushes. The
+// locations in Del are deleted from the store when the continuation is
+// invoked — an Algol-like deletion strategy. If a deleted location is still
+// referenced the computation is stuck (a dangling pointer).
+type ReturnStack struct {
+	Del []env.Location
+	Env env.Env
+	K   Cont
+}
+
+func (Halt) isCont()         {}
+func (*Select) isCont()      {}
+func (*Assign) isCont()      {}
+func (*Push) isCont()        {}
+func (*Call) isCont()        {}
+func (*Return) isCont()      {}
+func (*ReturnStack) isCont() {}
+
+func (Halt) Next() Cont           { return nil }
+func (k *Select) Next() Cont      { return k.K }
+func (k *Assign) Next() Cont      { return k.K }
+func (k *Push) Next() Cont        { return k.K }
+func (k *Call) Next() Cont        { return k.K }
+func (k *Return) Next() Cont      { return k.K }
+func (k *ReturnStack) Next() Cont { return k.K }
+
+// RootReturnEnvironments is an ablation switch for the experiments: when
+// true, the saved environments of return continuations are treated as GC
+// roots (the maximally literal reading of the garbage collection rule).
+// Under that reading Z_gc retains everything Z_stack retains and the paper's
+// Theorem 25(a) separation collapses — which is exactly why the default is
+// the charged-but-dead reading (see DESIGN.md). Only the ablation experiment
+// flips this, single-threaded.
+var RootReturnEnvironments = false
+
+// ContLocations appends the store locations occurring within κ.
+func ContLocations(k Cont, out []env.Location) []env.Location {
+	for k != nil {
+		switch x := k.(type) {
+		case Halt:
+			return out
+		case *Select:
+			out = append(out, x.Env.Locations()...)
+		case *Assign:
+			out = append(out, x.Env.Locations()...)
+		case *Push:
+			out = append(out, x.Env.Locations()...)
+			for _, v := range x.Done {
+				out = Locations(v, out)
+			}
+		case *Call:
+			for _, v := range x.Args {
+				out = Locations(v, out)
+			}
+		case *Return:
+			// The environment a return continuation restores is dead: no
+			// rule ever dereferences it — the next continuation restores its
+			// own environment (Section 8: "these rules waste space for no
+			// reason"). It is charged by Figure 7 (1 + |Dom ρ|) but it is
+			// not a root, which is what keeps Z_gc free of the Theorem 25(a)
+			// quadratic blowup that Z_stack's A-retention causes.
+			if RootReturnEnvironments {
+				out = append(out, x.Env.Locations()...)
+			}
+		case *ReturnStack:
+			// Same dead environment as Return, but the deletion set A roots
+			// its locations: a stack frame keeps its variables alive until
+			// it returns. This retention — not the deletion itself — is what
+			// makes Z_stack asymptotically worse than a garbage collector
+			// (Section 5, Theorem 25(a)).
+			out = append(out, x.Del...)
+		}
+		k = k.Next()
+	}
+	return out
+}
+
+// Depth returns the number of continuation frames below κ, halt included.
+// It is a diagnostic ("control stack depth"), not a space measure.
+func Depth(k Cont) int {
+	n := 0
+	for k != nil {
+		n++
+		k = k.Next()
+	}
+	return n
+}

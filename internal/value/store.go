@@ -1,0 +1,180 @@
+package value
+
+import (
+	"math/rand"
+	"sort"
+
+	"tailspace/internal/env"
+)
+
+// Store is the σ of Figure 4: a finite map from locations to values. It also
+// carries the deterministic random source used by the `random` primitive
+// (Theorem 26's program calls it) so whole runs are reproducible.
+type Store struct {
+	vals map[env.Location]Value
+	next env.Location
+	// Allocs counts every allocation ever performed; it is monotone and
+	// unaffected by garbage collection.
+	Allocs int
+	Rand   *rand.Rand
+
+	// sizeFn, when installed, prices a stored value in words; spaceTotal
+	// maintains Σ over α ∈ σ of (1 + sizeFn(σ(α))) incrementally, so the
+	// per-step Figure 7 measurement is O(1) instead of O(|σ|). Values are
+	// structurally immutable once stored (mutation replaces the slot), so
+	// per-slot prices never go stale.
+	sizeFn     func(Value) int
+	spaceTotal int
+}
+
+// NewStore returns an empty store with a fixed-seed random source.
+func NewStore() *Store {
+	return &Store{
+		vals: make(map[env.Location]Value),
+		Rand: rand.New(rand.NewSource(0x5ce4e5)),
+	}
+}
+
+// SetSizer installs a value pricing function and (re)computes the running
+// store-space total.
+func (s *Store) SetSizer(f func(Value) int) {
+	s.sizeFn = f
+	s.spaceTotal = 0
+	for _, v := range s.vals {
+		s.spaceTotal += 1 + f(v)
+	}
+}
+
+// SpaceTotal returns Σ (1 + sizeFn(σ(α))) as maintained incrementally; it is
+// only meaningful after SetSizer.
+func (s *Store) SpaceTotal() int { return s.spaceTotal }
+
+// HasSizer reports whether a pricing function is installed.
+func (s *Store) HasSizer() bool { return s.sizeFn != nil }
+
+// Alloc binds a fresh location to v and returns it.
+func (s *Store) Alloc(v Value) env.Location {
+	l := s.next
+	s.next++
+	s.vals[l] = v
+	s.Allocs++
+	if s.sizeFn != nil {
+		s.spaceTotal += 1 + s.sizeFn(v)
+	}
+	return l
+}
+
+// AllocN allocates n fresh locations initialized to the given values.
+func (s *Store) AllocN(vs []Value) []env.Location {
+	out := make([]env.Location, len(vs))
+	for i, v := range vs {
+		out[i] = s.Alloc(v)
+	}
+	return out
+}
+
+// Get returns σ(α) and reports whether α ∈ Dom σ.
+func (s *Store) Get(l env.Location) (Value, bool) {
+	v, ok := s.vals[l]
+	return v, ok
+}
+
+// Set updates σ(α); α must already be allocated.
+func (s *Store) Set(l env.Location, v Value) bool {
+	old, ok := s.vals[l]
+	if !ok {
+		return false
+	}
+	s.vals[l] = v
+	if s.sizeFn != nil {
+		s.spaceTotal += s.sizeFn(v) - s.sizeFn(old)
+	}
+	return true
+}
+
+// Delete removes α from the store (the Z_stack deletion strategy).
+func (s *Store) Delete(l env.Location) {
+	if v, ok := s.vals[l]; ok && s.sizeFn != nil {
+		s.spaceTotal -= 1 + s.sizeFn(v)
+	}
+	delete(s.vals, l)
+}
+
+// Size is |Dom σ|, the number of live locations.
+func (s *Store) Size() int { return len(s.vals) }
+
+// Each calls f for every live (location, value) pair.
+func (s *Store) Each(f func(l env.Location, v Value)) {
+	for l, v := range s.vals {
+		f(l, v)
+	}
+}
+
+// Locations returns Dom σ in ascending order.
+func (s *Store) Locations() []env.Location {
+	out := make([]env.Location, 0, len(s.vals))
+	for l := range s.vals {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reachable computes the set of locations reachable from roots through the
+// values in the store — the reachability relation of the garbage collection
+// rule in Figure 5.
+func (s *Store) Reachable(roots []env.Location) map[env.Location]bool {
+	seen := make(map[env.Location]bool, len(roots))
+	stack := append([]env.Location(nil), roots...)
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		v, ok := s.vals[l]
+		if !ok {
+			continue
+		}
+		stack = Locations(v, stack)
+	}
+	return seen
+}
+
+// Collect applies the garbage collection rule: every location not reachable
+// from roots is removed from the store. It returns the number of locations
+// collected.
+func (s *Store) Collect(roots []env.Location) int {
+	reach := s.Reachable(roots)
+	collected := 0
+	for l, v := range s.vals {
+		if !reach[l] {
+			if s.sizeFn != nil {
+				s.spaceTotal -= 1 + s.sizeFn(v)
+			}
+			delete(s.vals, l)
+			collected++
+		}
+	}
+	return collected
+}
+
+// OccursIn reports whether any location in dels occurs within the remaining
+// store (excluding the candidate locations themselves), i.e. whether the
+// Z_stack deletion would create a dangling pointer through the store.
+func (s *Store) OccursIn(dels map[env.Location]bool) bool {
+	var scratch []env.Location
+	for l, v := range s.vals {
+		if dels[l] {
+			continue
+		}
+		scratch = Locations(v, scratch[:0])
+		for _, ref := range scratch {
+			if dels[ref] {
+				return true
+			}
+		}
+	}
+	return false
+}

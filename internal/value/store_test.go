@@ -1,0 +1,163 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tailspace/internal/env"
+)
+
+func sizeOf(v Value) int {
+	// A simple pricing function for the incremental-total tests.
+	switch x := v.(type) {
+	case Str:
+		return 1 + len(x)
+	case Pair:
+		return 3
+	case Vector:
+		return 1 + len(x.ElemLocs)
+	default:
+		return 1
+	}
+}
+
+func TestSizerInstallRecomputes(t *testing.T) {
+	s := NewStore()
+	s.Alloc(Str("abc"))
+	s.Alloc(Null{})
+	if s.HasSizer() {
+		t.Fatal("no sizer yet")
+	}
+	s.SetSizer(sizeOf)
+	if !s.HasSizer() {
+		t.Fatal("sizer should be installed")
+	}
+	// (1+4) + (1+1)
+	if got := s.SpaceTotal(); got != 7 {
+		t.Fatalf("total = %d, want 7", got)
+	}
+}
+
+func TestSizerTracksMutations(t *testing.T) {
+	s := NewStore()
+	s.SetSizer(sizeOf)
+	l := s.Alloc(Str("abcd")) // +6
+	if s.SpaceTotal() != 6 {
+		t.Fatalf("after alloc: %d", s.SpaceTotal())
+	}
+	s.Set(l, Null{}) // 6 - 5 + 1
+	if s.SpaceTotal() != 2 {
+		t.Fatalf("after set: %d", s.SpaceTotal())
+	}
+	s.Delete(l)
+	if s.SpaceTotal() != 0 {
+		t.Fatalf("after delete: %d", s.SpaceTotal())
+	}
+	s.Delete(l) // double delete is a no-op
+	if s.SpaceTotal() != 0 {
+		t.Fatalf("after double delete: %d", s.SpaceTotal())
+	}
+}
+
+func TestSizerTracksCollection(t *testing.T) {
+	s := NewStore()
+	s.SetSizer(sizeOf)
+	keep := s.Alloc(NewNum(1))
+	s.Alloc(Str("garbage"))
+	s.Collect([]env.Location{keep})
+	if s.SpaceTotal() != 2 {
+		t.Fatalf("after collect: %d", s.SpaceTotal())
+	}
+}
+
+// TestPropertySizerNeverDrifts drives random store operations and checks
+// the incremental total against a full walk after every step.
+func TestPropertySizerNeverDrifts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		s.SetSizer(sizeOf)
+		var live []env.Location
+		for i := 0; i < 60; i++ {
+			switch r.Intn(4) {
+			case 0:
+				live = append(live, s.Alloc(Str(string(rune('a'+r.Intn(26))))))
+			case 1:
+				if len(live) > 0 {
+					s.Set(live[r.Intn(len(live))], NewNum(int64(r.Intn(100))))
+				}
+			case 2:
+				if len(live) > 0 {
+					i := r.Intn(len(live))
+					s.Delete(live[i])
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 3:
+				roots := live
+				if len(roots) > 1 {
+					roots = roots[:len(roots)/2]
+				}
+				s.Collect(roots)
+				live = append([]env.Location{}, roots...)
+			}
+			walked := 0
+			s.Each(func(_ env.Location, v Value) { walked += 1 + sizeOf(v) })
+			if walked != s.SpaceTotal() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocationsOrderedAndComplete(t *testing.T) {
+	s := NewStore()
+	a := s.Alloc(Null{})
+	b := s.Alloc(Null{})
+	c := s.Alloc(Null{})
+	s.Delete(b)
+	locs := s.Locations()
+	if len(locs) != 2 || locs[0] != a || locs[1] != c {
+		t.Fatalf("locations = %v", locs)
+	}
+}
+
+func TestAllocN(t *testing.T) {
+	s := NewStore()
+	locs := s.AllocN([]Value{NewNum(1), NewNum(2)})
+	if len(locs) != 2 {
+		t.Fatalf("locs = %v", locs)
+	}
+	v, _ := s.Get(locs[1])
+	if v.(Num).Int.Int64() != 2 {
+		t.Fatal("wrong value")
+	}
+}
+
+func TestContNextChains(t *testing.T) {
+	rho := env.Empty()
+	var k Cont = Halt{}
+	frames := []Cont{
+		&Select{Env: rho, K: k},
+		&Assign{Env: rho, K: k},
+		&Push{Env: rho, K: k},
+		&Call{K: k},
+		&Return{Env: rho, K: k},
+		&ReturnStack{Env: rho, K: k},
+	}
+	for _, f := range frames {
+		if f.Next() == nil {
+			t.Fatalf("%T must expose its saved continuation", f)
+		}
+		if _, ok := f.Next().(Halt); !ok {
+			t.Fatalf("%T.Next() = %T", f, f.Next())
+		}
+	}
+	if (Halt{}).Next() != nil {
+		t.Fatal("halt has no next")
+	}
+}
