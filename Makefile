@@ -1,0 +1,23 @@
+# Developer entry points; `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: check build test vet bench spacelab
+
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+spacelab:
+	$(GO) run ./cmd/spacelab all

@@ -242,6 +242,42 @@ func BenchmarkMachine(b *testing.B) {
 	}
 }
 
+// BenchmarkMeterFullVsDelta compares the two space.Meter implementations on
+// a long-running loop whose live store is large: a global pins a 4000-pair
+// list (built tail-recursively, so the build phase is shallow too) while a
+// constant-space countdown runs, so the FullMeter oracle walks
+// every live cell at every transition while the DeltaMeter only absorbs the
+// O(1) cells each step touches. Collection is periodic (the §12 mode) so the
+// collector's own reachability walk — which both meters pay alike —
+// amortizes away and the meters' costs dominate. The "delta" sub-bench must
+// run at least 3x faster than "full" (the ratio widens with the list).
+func BenchmarkMeterFullVsDelta(b *testing.B) {
+	const program = `
+(define (build k acc) (if (zero? k) acc (build (- k 1) (cons k acc))))
+(define big (build 4000 0))
+(define (f m) (if (zero? m) 0 (f (- m 1))))`
+	run := func(b *testing.B, meter func() space.Meter) {
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunApplication(program, "(quote 2000)", core.Options{
+				Variant: core.Tail, Measure: true, FlatOnly: true,
+				GCEvery: 50, NumberMode: space.Fixnum, Meter: meter(),
+			})
+			if err != nil || res.Err != nil {
+				b.Fatalf("%v %v", err, res.Err)
+			}
+			steps = res.Steps
+		}
+		b.ReportMetric(float64(steps), "steps/run")
+	}
+	b.Run("full", func(b *testing.B) {
+		run(b, func() space.Meter { return space.NewFullMeter(space.Fixnum) })
+	})
+	b.Run("delta", func(b *testing.B) {
+		run(b, func() space.Meter { return space.NewDeltaMeter(space.Fixnum) })
+	})
+}
+
 // BenchmarkMeasuredRun quantifies the cost of the space-accounting harness
 // itself: the same run with and without Figure 7/8 metering.
 func BenchmarkMeasuredRun(b *testing.B) {

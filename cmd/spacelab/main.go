@@ -1,27 +1,34 @@
 // Command spacelab regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md's experiment index):
 //
-//	spacelab fig2          Figure 2: static frequency of tail calls
-//	spacelab hierarchy     Figure 6 / Theorem 24: the space-class hierarchy
-//	spacelab thm25         Theorem 25: the four separation programs
-//	spacelab thm26         Theorem 26 / §13: flat vs linked environments
-//	spacelab findleftmost  §4: find-leftmost space vs tree shape
-//	spacelab gcfactor      §12: periodic-collection constant factor R
-//	spacelab mta           §14: Cheney-on-the-MTA frame collection
-//	spacelab denot         §16: denotational semantics agreement
-//	spacelab algol         §5/§8: the Algol-like subset of the corpus
-//	spacelab cps           §1/[Ste78]: CPS conversion shape and space
-//	spacelab secd          §15 [Ram97]: classic vs tail recursive SECD
-//	spacelab controlspace  §16: static control-space verdicts vs measurement
-//	spacelab ablation      why return environments must be charged-but-dead
-//	spacelab corollary20   Corollary 20: answer agreement across machines
-//	spacelab all           everything above, in order
+//	spacelab [flags] fig2          Figure 2: static frequency of tail calls
+//	spacelab [flags] hierarchy     Figure 6 / Theorem 24: the space-class hierarchy
+//	spacelab [flags] thm25         Theorem 25: the four separation programs
+//	spacelab [flags] thm26         Theorem 26 / §13: flat vs linked environments
+//	spacelab [flags] findleftmost  §4: find-leftmost space vs tree shape
+//	spacelab [flags] gcfactor      §12: periodic-collection constant factor R
+//	spacelab [flags] mta           §14: Cheney-on-the-MTA frame collection
+//	spacelab [flags] denot         §16: denotational semantics agreement
+//	spacelab [flags] algol         §5/§8: the Algol-like subset of the corpus
+//	spacelab [flags] cps           §1/[Ste78]: CPS conversion shape and space
+//	spacelab [flags] secd          §15 [Ram97]: classic vs tail recursive SECD
+//	spacelab [flags] controlspace  §16: static control-space verdicts vs measurement
+//	spacelab [flags] ablation      why return environments must be charged-but-dead
+//	spacelab [flags] corollary20   Corollary 20: answer agreement across machines
+//	spacelab [flags] all           everything above, in order
+//
+// Flags:
+//
+//	-jobs N   bound the number of measurement runs in flight (default: GOMAXPROCS)
+//	-json     emit the tables as JSON (machine-readable, for trend tracking)
 //
 // Every experiment prints its table and its pass/fail verdict against the
 // paper's claims; the process exits non-zero if any claim failed.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sync"
@@ -31,12 +38,21 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
+	fs := flag.NewFlagSet("spacelab", flag.ExitOnError)
+	fs.Usage = usage
+	jobs := fs.Int("jobs", 0, "max measurement runs in flight (<1 means GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of rendered text")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 1 {
 		usage()
+		os.Exit(2)
 	}
+	experiments.SetJobs(*jobs)
+
+	command := fs.Arg(0)
 	var tables []experiments.Table
 	var err error
-	switch os.Args[1] {
+	switch command {
 	case "fig2":
 		tables, err = one(experiments.Fig2())
 	case "hierarchy":
@@ -69,6 +85,7 @@ func main() {
 		tables, err = all()
 	default:
 		usage()
+		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spacelab:", err)
@@ -76,14 +93,59 @@ func main() {
 	}
 	failed := false
 	for _, t := range tables {
-		fmt.Println(t.Render())
 		if !t.Ok() {
 			failed = true
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, command, tables, !failed); err != nil {
+			fmt.Fprintln(os.Stderr, "spacelab:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, t := range tables {
+			fmt.Println(t.Render())
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// jsonTable mirrors experiments.Table for machine-readable output; Ok is
+// materialized so trend trackers need not re-derive it from violations.
+type jsonTable struct {
+	Title      string     `json:"title"`
+	Header     []string   `json:"header,omitempty"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	Violations []string   `json:"violations,omitempty"`
+	Ok         bool       `json:"ok"`
+}
+
+type jsonReport struct {
+	Command string      `json:"command"`
+	Jobs    int         `json:"jobs"`
+	Ok      bool        `json:"ok"`
+	Tables  []jsonTable `json:"tables"`
+}
+
+func writeJSON(w *os.File, command string, tables []experiments.Table, ok bool) error {
+	report := jsonReport{
+		Command: command,
+		Jobs:    experiments.Jobs(),
+		Ok:      ok,
+		Tables:  make([]jsonTable, len(tables)),
+	}
+	for i, t := range tables {
+		report.Tables[i] = jsonTable{
+			Title: t.Title, Header: t.Header, Rows: t.Rows,
+			Notes: t.Notes, Violations: t.Violations, Ok: t.Ok(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 func one(t experiments.Table, err error) ([]experiments.Table, error) {
@@ -92,9 +154,10 @@ func one(t experiments.Table, err error) ([]experiments.Table, error) {
 
 func all() ([]experiments.Table, error) {
 	// Every experiment is independent and deterministic, so they run
-	// concurrently; results are collected in a fixed presentation order.
-	// The return-environment ablation flips a process-wide switch, so it
-	// runs by itself afterwards.
+	// concurrently (their measurement grids share the -jobs worker pool);
+	// results are collected in a fixed presentation order. The
+	// return-environment ablation flips a process-wide switch, so it runs by
+	// itself afterwards.
 	jobs := []func() (experiments.Table, error){
 		experiments.Fig2,
 		func() (experiments.Table, error) {
@@ -172,6 +235,9 @@ func corpusPrograms() map[string]string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spacelab fig2|hierarchy|thm25|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all")
-	os.Exit(2)
+	fmt.Fprintln(os.Stderr, `usage: spacelab [-jobs N] [-json] <experiment>
+experiments: fig2|hierarchy|thm25|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all
+flags:
+  -jobs N   bound the number of measurement runs in flight (default GOMAXPROCS)
+  -json     emit tables as JSON for trend tracking`)
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tailspace/internal/corpus"
+	"tailspace/internal/space"
+)
+
+// TestDeltaMeterMatchesFullMeterOnCorpus is the differential suite for the
+// metering pipeline: every corpus program under every reference
+// implementation, measured once with the incremental DeltaMeter and once
+// with the from-scratch FullMeter oracle. The peaks must be bit-identical —
+// the delta meter is an optimization, not an approximation.
+//
+// MaxSteps is capped well below the default: both meters observe the same
+// transition prefix, so peaks stay comparable even on runs that hit the
+// bound, and the full Figure 8 walk per step — O(steps × reachable cells),
+// quadratic on deep-continuation programs — would otherwise dominate the
+// suite's runtime.
+func TestDeltaMeterMatchesFullMeterOnCorpus(t *testing.T) {
+	maxSteps := 1_200
+	if testing.Short() {
+		maxSteps = 500
+	}
+	for _, v := range Variants {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range corpus.All() {
+				opts := Options{
+					Variant: v, Measure: true, GCEvery: 1,
+					MaxSteps: maxSteps, NumberMode: space.Fixnum,
+				}
+				opts.Meter = space.NewFullMeter(space.Fixnum)
+				full, err := RunProgram(p.Source, opts)
+				if err != nil {
+					t.Fatalf("%s: full meter: %v", p.Name, err)
+				}
+				opts.Meter = space.NewDeltaMeter(space.Fixnum)
+				delta, err := RunProgram(p.Source, opts)
+				if err != nil {
+					t.Fatalf("%s: delta meter: %v", p.Name, err)
+				}
+				if diff := diffResults(full, delta); diff != "" {
+					t.Errorf("%s [%s]: meters disagree: %s", p.Name, v, diff)
+				}
+			}
+		})
+	}
+}
+
+func diffResults(full, delta Result) string {
+	if full.PeakFlat != delta.PeakFlat {
+		return fmt.Sprintf("PeakFlat full=%d delta=%d", full.PeakFlat, delta.PeakFlat)
+	}
+	if full.PeakLinked != delta.PeakLinked {
+		return fmt.Sprintf("PeakLinked full=%d delta=%d", full.PeakLinked, delta.PeakLinked)
+	}
+	if full.PeakHeap != delta.PeakHeap {
+		return fmt.Sprintf("PeakHeap full=%d delta=%d", full.PeakHeap, delta.PeakHeap)
+	}
+	if full.Steps != delta.Steps {
+		return fmt.Sprintf("Steps full=%d delta=%d", full.Steps, delta.Steps)
+	}
+	if full.Answer != delta.Answer {
+		return fmt.Sprintf("Answer full=%q delta=%q", full.Answer, delta.Answer)
+	}
+	if !sameRunError(full.Err, delta.Err) {
+		return fmt.Sprintf("Err full=%v delta=%v", full.Err, delta.Err)
+	}
+	return ""
+}
+
+func sameRunError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if errors.Is(a, ErrMaxSteps) && errors.Is(b, ErrMaxSteps) {
+		return true
+	}
+	return a.Error() == b.Error()
+}

@@ -18,10 +18,14 @@ type Options struct {
 	// MaxSteps bounds the computation; 0 means the default (5 million).
 	MaxSteps int
 	// GCEvery applies the garbage collection rule after every k-th
-	// transition. 1 — the default — is the space-efficient computation of
-	// Definition 21 (collect whenever garbage remains); 0 disables the rule
-	// entirely; larger values model the Section 12 argument that a real
-	// collector running every k steps stays within a constant factor R.
+	// transition. 0 — the zero value — selects the default policy: collect
+	// after every transition when Measure is set (the space-efficient
+	// computations of Definition 21), never otherwise. GCEveryOff (-1)
+	// disables the rule unconditionally; combining it with Measure is an
+	// error (ErrMeasureNeedsGC), because peaks over a collection-free
+	// computation would report uncollected garbage as live space. Values
+	// larger than 1 model the Section 12 argument that a real collector
+	// running every k steps stays within a constant factor R.
 	GCEvery int
 	// Order resolves the nondeterministic permutation π.
 	Order ArgOrder
@@ -37,6 +41,12 @@ type Options struct {
 	FlatOnly bool
 	// NumberMode selects the integer cost model for measurement.
 	NumberMode space.NumberMode
+	// Meter overrides the space meter used when Measure is set. nil — the
+	// default — builds a fresh space.DeltaMeter (incremental, O(cells
+	// touched) per transition) for each run; pass space.NewFullMeter to
+	// measure with the from-scratch recomputation oracle instead. A Meter
+	// carries per-run state and must not be shared between concurrent runs.
+	Meter space.Meter
 	// Seed, when non-zero, reseeds the store's random source.
 	Seed int64
 	// Trace, when set, receives one TracePoint per transition (after the GC
@@ -54,6 +64,10 @@ type TracePoint struct {
 }
 
 const defaultMaxSteps = 5_000_000
+
+// GCEveryOff disables the garbage collection rule unconditionally (see
+// Options.GCEvery).
+const GCEveryOff = -1
 
 // Result reports a finished (or stuck) run.
 type Result struct {
@@ -89,12 +103,18 @@ type Result struct {
 // ErrMaxSteps reports that a run exceeded its step bound.
 var ErrMaxSteps = errors.New("core: maximum step count exceeded")
 
+// ErrMeasureNeedsGC reports Options.Measure combined with GCEveryOff: space
+// accounting over a computation that never collects would report uncollected
+// garbage as live space, so the combination is rejected rather than silently
+// re-enabling the rule.
+var ErrMeasureNeedsGC = errors.New("core: Options.Measure requires the GC rule (GCEvery >= 0)")
+
 // Runner drives a machine from an initial configuration to a final one,
 // applying the garbage collection rule and recording space peaks.
 type Runner struct {
 	opts    Options
 	machine *Machine
-	meter   space.Measurer
+	meter   space.Meter
 }
 
 // NewRunner prepares a run of program expression e applied under opts. The
@@ -106,11 +126,18 @@ func NewRunner(opts Options) *Runner {
 	if opts.Variant.Name == "" {
 		opts.Variant = Tail
 	}
-	return &Runner{opts: opts, meter: space.Measurer{Mode: opts.NumberMode}}
+	meter := opts.Meter
+	if meter == nil {
+		meter = space.NewDeltaMeter(opts.NumberMode)
+	}
+	return &Runner{opts: opts, meter: meter}
 }
 
 // Run evaluates e from (E, ρ0, halt, σ0).
 func (r *Runner) Run(e ast.Expr) Result {
+	if r.opts.Measure && r.opts.GCEvery < 0 {
+		return Result{ProgramSize: e.Size(), Err: ErrMeasureNeedsGC}
+	}
 	rho0, st := prim.Global()
 	if r.opts.Seed != 0 {
 		st.Rand.Seed(r.opts.Seed)
@@ -119,17 +146,20 @@ func (r *Runner) Run(e ast.Expr) Result {
 	r.machine.SetOrder(r.opts.Order)
 	r.machine.SetStackStrict(r.opts.StackStrict)
 	if r.opts.Measure {
-		r.meter.Install(st)
+		r.meter.Attach(st)
 	}
 
 	res := Result{ProgramSize: e.Size(), Store: st}
 	s := EvalState(e, rho0, value.Halt{})
 
 	gcEvery := r.opts.GCEvery
-	if gcEvery == 0 && r.opts.Measure {
-		// Space-efficient computations (Definition 21) require the GC rule
-		// whenever applicable; measurement without it would report
-		// uncollected garbage as live space.
+	switch {
+	case gcEvery < 0:
+		// GCEveryOff: the rule never fires.
+		gcEvery = 0
+	case gcEvery == 0 && r.opts.Measure:
+		// Default policy: space-efficient computations (Definition 21)
+		// require the GC rule whenever garbage remains.
 		gcEvery = 1
 	}
 

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// --- Options.GCEvery contract -------------------------------------------
+
+func TestMeasureWithGCOffIsAnError(t *testing.T) {
+	res, err := RunApplication(countdownLoop, numInput(10), Options{
+		Variant: Tail, Measure: true, GCEvery: GCEveryOff,
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !errors.Is(res.Err, ErrMeasureNeedsGC) {
+		t.Fatalf("res.Err = %v, want ErrMeasureNeedsGC", res.Err)
+	}
+	if res.Steps != 0 || res.PeakFlat != 0 {
+		t.Fatalf("rejected run still executed: steps=%d peak=%d", res.Steps, res.PeakFlat)
+	}
+}
+
+func TestGCEveryZeroWithoutMeasureNeverCollects(t *testing.T) {
+	res, err := RunApplication(countdownLoop, numInput(50), Options{Variant: Tail})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Collections != 0 {
+		t.Fatalf("GCEvery=0 without Measure collected %d times", res.Collections)
+	}
+}
+
+func TestGCEveryOffWithoutMeasureNeverCollects(t *testing.T) {
+	res, err := RunApplication(countdownLoop, numInput(50), Options{
+		Variant: Tail, GCEvery: GCEveryOff,
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Collections != 0 {
+		t.Fatalf("GCEveryOff collected %d times", res.Collections)
+	}
+}
+
+func TestGCEveryZeroWithMeasureDefaultsToEveryStep(t *testing.T) {
+	// Definition 21's space-efficient computations: Measure with the default
+	// GCEvery must behave exactly like an explicit collect-every-step run.
+	def := measure(t, Tail, countdownLoop, 50, flatOnly, func(o *Options) { o.GCEvery = 0 })
+	if def.Err != nil {
+		t.Fatal(def.Err)
+	}
+	everyStep := measure(t, Tail, countdownLoop, 50, flatOnly)
+	if def.Collections == 0 || def.Collected == 0 {
+		t.Fatalf("default policy never collected (collections=%d)", def.Collections)
+	}
+	if def.Collections != everyStep.Collections || def.Collected != everyStep.Collected ||
+		def.PeakFlat != everyStep.PeakFlat {
+		t.Fatalf("default policy differs from GCEvery=1: {%d %d %d} vs {%d %d %d}",
+			def.Collections, def.Collected, def.PeakFlat,
+			everyStep.Collections, everyStep.Collected, everyStep.PeakFlat)
+	}
+}
+
+// --- TracePoint emission -------------------------------------------------
+
+// collectTrace runs countdown(n) under Z_tail with a trace hook installed.
+func collectTrace(t *testing.T, n int, tweak ...func(*Options)) (Result, []TracePoint) {
+	t.Helper()
+	var trace []TracePoint
+	opts := append([]func(*Options){func(o *Options) {
+		o.Trace = func(p TracePoint) { trace = append(trace, p) }
+	}}, tweak...)
+	res := measure(t, Tail, countdownLoop, n, opts...)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res, trace
+}
+
+func TestTraceCoversEveryStepInOrder(t *testing.T) {
+	res, trace := collectTrace(t, 25)
+	// One sample per configuration: the initial one plus one per transition.
+	if len(trace) != res.Steps+1 {
+		t.Fatalf("len(trace) = %d, want Steps+1 = %d", len(trace), res.Steps+1)
+	}
+	for i, p := range trace {
+		if p.Step != i {
+			t.Fatalf("trace[%d].Step = %d: samples out of order", i, p.Step)
+		}
+		if p.Flat <= 0 {
+			t.Fatalf("trace[%d].Flat = %d, want positive", i, p.Flat)
+		}
+		if p.Linked <= 0 || p.Linked > p.Flat {
+			t.Fatalf("trace[%d]: Linked = %d, Flat = %d, want 0 < Linked <= Flat", i, p.Linked, p.Flat)
+		}
+	}
+	// Trace samples already include |P|, so the recorded peak is exactly the
+	// max over the trace.
+	peak := 0
+	for _, p := range trace {
+		if p.Flat > peak {
+			peak = p.Flat
+		}
+	}
+	if res.PeakFlat != peak {
+		t.Fatalf("PeakFlat = %d, want max(trace.Flat) = %d", res.PeakFlat, peak)
+	}
+}
+
+func TestTraceStepNumberingWithSparseGC(t *testing.T) {
+	// GCEvery > 1 changes when the GC rule runs, not which configurations
+	// are sampled: numbering must stay dense.
+	res, trace := collectTrace(t, 25, func(o *Options) { o.GCEvery = 7 })
+	if len(trace) != res.Steps+1 {
+		t.Fatalf("len(trace) = %d, want %d", len(trace), res.Steps+1)
+	}
+	for i, p := range trace {
+		if p.Step != i {
+			t.Fatalf("trace[%d].Step = %d with GCEvery=7", i, p.Step)
+		}
+	}
+	if res.Collections >= res.Steps {
+		t.Fatalf("GCEvery=7 collected %d times over %d steps", res.Collections, res.Steps)
+	}
+}
+
+func TestTraceFlatOnlyLeavesLinkedZero(t *testing.T) {
+	_, trace := collectTrace(t, 25, flatOnly)
+	for i, p := range trace {
+		if p.Linked != 0 {
+			t.Fatalf("trace[%d].Linked = %d under FlatOnly, want 0", i, p.Linked)
+		}
+		if p.Flat <= 0 {
+			t.Fatalf("trace[%d].Flat = %d under FlatOnly, want positive", i, p.Flat)
+		}
+	}
+}
+
+func TestTraceWithoutMeasureSamplesHeapOnly(t *testing.T) {
+	// The trace hook still fires without Measure — a heap/depth profile is
+	// cheap — but the Figure 7/8 fields stay zero.
+	var trace []TracePoint
+	res, err := RunApplication(countdownLoop, numInput(10), Options{
+		Variant: Tail,
+		Trace:   func(p TracePoint) { trace = append(trace, p) },
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(trace) != res.Steps+1 {
+		t.Fatalf("len(trace) = %d, want %d", len(trace), res.Steps+1)
+	}
+	for i, p := range trace {
+		if p.Step != i {
+			t.Fatalf("trace[%d].Step = %d", i, p.Step)
+		}
+		if p.Flat != 0 || p.Linked != 0 {
+			t.Fatalf("trace[%d] measured space without Measure: flat=%d linked=%d", i, p.Flat, p.Linked)
+		}
+		if p.Heap <= 0 {
+			t.Fatalf("trace[%d].Heap = %d, want positive (globals are live)", i, p.Heap)
+		}
+	}
+}

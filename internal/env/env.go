@@ -22,6 +22,11 @@ type Binding struct {
 // Env is a finite map from identifiers to locations.
 type Env struct {
 	m map[string]Location
+	// size caches |Dom ρ| at construction — the rib-size accounting behind
+	// Figure 7's 1+|Dom ρ| frame charges. Meters price every environment of
+	// every configuration on every transition, so the charge must stay O(1)
+	// even if the backing representation moves to linked ribs.
+	size int
 }
 
 // Empty returns the empty environment { }.
@@ -34,7 +39,7 @@ func FromBindings(bs ...Binding) Env {
 	for _, b := range bs {
 		m[b.Name] = b.Loc
 	}
-	return Env{m: m}
+	return Env{m: m, size: len(m)}
 }
 
 // Lookup returns ρ(I) and reports whether I ∈ Dom ρ.
@@ -56,7 +61,7 @@ func (e Env) Extend(names []string, locs []Location) Env {
 	for i, n := range names {
 		m[n] = locs[i]
 	}
-	return Env{m: m}
+	return Env{m: m, size: len(m)}
 }
 
 // Restrict returns ρ | keep, the environment restricted to the identifiers
@@ -68,7 +73,7 @@ func (e Env) Restrict(keep map[string]struct{}) Env {
 			m[k] = v
 		}
 	}
-	return Env{m: m}
+	return Env{m: m, size: len(m)}
 }
 
 // RestrictTo returns ρ | {names...}.
@@ -80,8 +85,9 @@ func (e Env) RestrictTo(names ...string) Env {
 	return e.Restrict(keep)
 }
 
-// Size is |Dom ρ|, the flat-environment space charge.
-func (e Env) Size() int { return len(e.m) }
+// Size is |Dom ρ|, the flat-environment space charge, read from the cached
+// rib-size account (O(1), representation-independent).
+func (e Env) Size() int { return e.size }
 
 // IsEmpty reports whether ρ = { }.
 func (e Env) IsEmpty() bool { return len(e.m) == 0 }

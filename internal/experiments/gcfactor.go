@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"tailspace/internal/core"
 	"tailspace/internal/space"
@@ -35,18 +36,28 @@ func GCFactor(n int, periods []int) (Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("S (k=%d)", k), "ratio")
 	}
 
-	ratios := make(map[int][]float64) // period -> ratio per n
-	for _, nn := range ns {
-		base, err := measureWithPeriod(nn, 1)
+	// Measure the whole (n × period) grid — the k=1 baseline included — on
+	// the shared worker pool, then assemble rows and ratios sequentially.
+	ks := append([]int{1}, periods...)
+	peaks := make([]int, len(ns)*len(ks))
+	err := runGrid(len(peaks), func(i int) error {
+		peak, err := measureWithPeriod(ns[i/len(ks)], ks[i%len(ks)])
 		if err != nil {
-			return t, err
+			return err
 		}
+		peaks[i] = peak
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+
+	ratios := make(map[int][]float64) // period -> ratio per n
+	for ni, nn := range ns {
+		base := peaks[ni*len(ks)]
 		row := []string{itoa(nn), itoa(base)}
-		for _, k := range periods {
-			peak, err := measureWithPeriod(nn, k)
-			if err != nil {
-				return t, err
-			}
+		for ki, k := range periods {
+			peak := peaks[ni*len(ks)+ki+1]
 			ratio := float64(peak) / float64(base)
 			ratios[k] = append(ratios[k], ratio)
 			row = append(row, itoa(peak), fmt.Sprintf("%.2f", ratio))
@@ -95,29 +106,47 @@ func Corollary20(programs map[string]string) (Table, error) {
 		Header: []string{"program", "answer", "runs"},
 	}
 	orders := []core.ArgOrder{core.LeftToRight, core.RightToLeft, core.RandomOrder}
-	for name, src := range programs {
-		want := ""
-		runs := 0
-		for _, v := range core.Variants {
-			for _, o := range orders {
-				res, err := core.RunProgram(src, core.Options{
-					Variant: v, Order: o, Seed: 42, MaxSteps: 5_000_000,
-				})
-				if err != nil {
-					return t, fmt.Errorf("corollary20: %s: %w", name, err)
-				}
-				if res.Err != nil {
-					return t, fmt.Errorf("corollary20: %s [%s]: %w", name, v, res.Err)
-				}
-				if want == "" {
-					want = res.Answer
-				} else if res.Answer != want {
-					t.Violationf("%s: [%s/order %v] answered %q, others %q", name, v, o, res.Answer, want)
-				}
-				runs++
+	names := make([]string, 0, len(programs))
+	for name := range programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// One answer per (program, machine, order) cell, computed on the shared
+	// pool; agreement is checked sequentially against the first cell of each
+	// program's block.
+	perProgram := len(core.Variants) * len(orders)
+	answers := make([]string, len(names)*perProgram)
+	err := runGrid(len(answers), func(i int) error {
+		name := names[i/perProgram]
+		v := core.Variants[i%perProgram/len(orders)]
+		o := orders[i%len(orders)]
+		res, err := core.RunProgram(programs[name], core.Options{
+			Variant: v, Order: o, Seed: 42, MaxSteps: 5_000_000,
+		})
+		if err != nil {
+			return fmt.Errorf("corollary20: %s: %w", name, err)
+		}
+		if res.Err != nil {
+			return fmt.Errorf("corollary20: %s [%s]: %w", name, v, res.Err)
+		}
+		answers[i] = res.Answer
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+
+	for ni, name := range names {
+		want := answers[ni*perProgram]
+		for j := 1; j < perProgram; j++ {
+			if got := answers[ni*perProgram+j]; got != want {
+				v := core.Variants[j/len(orders)]
+				o := orders[j%len(orders)]
+				t.Violationf("%s: [%s/order %v] answered %q, others %q", name, v, o, got, want)
 			}
 		}
-		t.AddRow(name, truncate(want, 32), itoa(runs))
+		t.AddRow(name, truncate(want, 32), itoa(perProgram))
 	}
 	return t, nil
 }

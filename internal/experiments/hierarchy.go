@@ -36,25 +36,41 @@ func Hierarchy(programs map[string]string, n int) (Table, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		src := programs[name]
+
+	// The full (program × machine) grid runs on the shared worker pool; the
+	// table rows and inequality checks are assembled sequentially afterwards,
+	// so the output is identical to a sequential run.
+	type cell struct{ flat, linked int }
+	cells := make([]cell, len(names)*len(core.Variants))
+	err := runGrid(len(cells), func(i int) error {
+		name := names[i/len(core.Variants)]
+		v := core.Variants[i%len(core.Variants)]
+		res, err := core.RunApplication(programs[name], fmt.Sprintf("(quote %d)", n), core.Options{
+			Variant: v, Measure: true, GCEvery: 1, MaxSteps: 5_000_000,
+			NumberMode: space.Fixnum,
+		})
+		if err != nil {
+			return fmt.Errorf("hierarchy: %s [%s]: %w", name, v, err)
+		}
+		if res.Err != nil {
+			return fmt.Errorf("hierarchy: %s [%s]: %w", name, v, res.Err)
+		}
+		cells[i] = cell{flat: res.PeakFlat, linked: res.PeakLinked}
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+
+	for ni, name := range names {
 		flat := map[string]int{}
 		linked := map[string]int{}
 		row := []string{name}
-		for _, v := range core.Variants {
-			res, err := core.RunApplication(src, fmt.Sprintf("(quote %d)", n), core.Options{
-				Variant: v, Measure: true, GCEvery: 1, MaxSteps: 5_000_000,
-				NumberMode: space.Fixnum,
-			})
-			if err != nil {
-				return t, fmt.Errorf("hierarchy: %s [%s]: %w", name, v, err)
-			}
-			if res.Err != nil {
-				return t, fmt.Errorf("hierarchy: %s [%s]: %w", name, v, res.Err)
-			}
-			flat[v.Name] = res.PeakFlat
-			linked[v.Name] = res.PeakLinked
-			row = append(row, fmt.Sprintf("%d (%d)", res.PeakFlat, res.PeakLinked))
+		for vi, v := range core.Variants {
+			c := cells[ni*len(core.Variants)+vi]
+			flat[v.Name] = c.flat
+			linked[v.Name] = c.linked
+			row = append(row, fmt.Sprintf("%d (%d)", c.flat, c.linked))
 		}
 		t.Rows = append(t.Rows, row)
 		for _, c := range hierarchyChecks {

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Experiment grids — (program × machine × size) — are embarrassingly
+// parallel: every run builds its own store, machine, and meter, and the only
+// process-wide mutable state is the ablation switch, which runs by itself.
+// The grid helpers below fan runs out over a package-wide bounded pool so
+// sweeps scale with the hardware while results stay byte-identical to a
+// sequential run: outputs land in their input's slot and the lowest-index
+// error wins.
+
+var (
+	poolMu  sync.Mutex
+	poolSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+)
+
+// SetJobs bounds the number of measurement runs in flight across all
+// experiments (the spacelab -jobs flag). n < 1 restores the default,
+// GOMAXPROCS. Grids already in flight keep their previous bound.
+func SetJobs(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	poolMu.Lock()
+	poolSem = make(chan struct{}, n)
+	poolMu.Unlock()
+}
+
+// Jobs reports the current bound.
+func Jobs() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return cap(poolSem)
+}
+
+// runGrid runs task(0), ..., task(n-1) on the shared bounded pool and waits
+// for all of them. Each task writes its result into caller-owned slot i, so
+// output order is deterministic; the returned error is the lowest-index one.
+func runGrid(n int, task func(i int) error) error {
+	if n == 1 {
+		return task(0)
+	}
+	poolMu.Lock()
+	sem := poolSem
+	poolMu.Unlock()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = task(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

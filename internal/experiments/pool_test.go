@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunGridPreservesOrderAndBound(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(3)
+	if Jobs() != 3 {
+		t.Fatalf("Jobs() = %d", Jobs())
+	}
+
+	var inFlight, maxInFlight int64
+	var mu sync.Mutex
+	out := make([]int, 50)
+	err := runGrid(len(out), func(i int) error {
+		cur := atomic.AddInt64(&inFlight, 1)
+		defer atomic.AddInt64(&inFlight, -1)
+		mu.Lock()
+		if cur > maxInFlight {
+			maxInFlight = cur
+		}
+		mu.Unlock()
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight > 3 {
+		t.Fatalf("pool bound violated: %d tasks in flight", maxInFlight)
+	}
+	for i, got := range out {
+		if got != i*i {
+			t.Fatalf("slot %d = %d", i, got)
+		}
+	}
+}
+
+func TestRunGridReturnsLowestIndexError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	err := runGrid(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("err = %v, want task 3's", err)
+	}
+}
+
+func TestRunGridSingleTaskRunsInline(t *testing.T) {
+	sentinel := errors.New("inline")
+	if err := runGrid(1, func(int) error { return sentinel }); err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestHierarchyDeterministicAcrossJobs renders the hierarchy table at one
+// and at several workers: parallel scheduling must not change a byte.
+func TestHierarchyDeterministicAcrossJobs(t *testing.T) {
+	defer SetJobs(0)
+	probe := map[string]string{
+		"countdown":     CountdownLoop,
+		"vector-frames": VectorFrames,
+	}
+	SetJobs(1)
+	serial, err := Hierarchy(probe, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetJobs(8)
+	parallel, err := Hierarchy(probe, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Fatalf("parallel run changed the table:\n--- jobs=1\n%s\n--- jobs=8\n%s",
+			serial.Render(), parallel.Render())
+	}
+}

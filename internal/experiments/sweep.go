@@ -84,7 +84,12 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 	if maxSteps == 0 {
 		maxSteps = 5_000_000
 	}
-	for _, n := range ns {
+	// Each input size is an independent run with its own store and meter, so
+	// the sweep fans out over the shared worker pool; points land in input
+	// order.
+	points := make([]SeriesPoint, len(ns))
+	err := runGrid(len(ns), func(i int) error {
+		n := ns[i]
 		res, err := core.RunApplication(gen(n), fmt.Sprintf("(quote %d)", n), core.Options{
 			Variant:    v,
 			Measure:    true,
@@ -95,15 +100,20 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 			Order:      opts.Order,
 		})
 		if err != nil {
-			return s, fmt.Errorf("%s [%s] n=%d: %w", label, v, n, err)
+			return fmt.Errorf("%s [%s] n=%d: %w", label, v, n, err)
 		}
 		if res.Err != nil {
-			return s, fmt.Errorf("%s [%s] n=%d: %w", label, v, n, res.Err)
+			return fmt.Errorf("%s [%s] n=%d: %w", label, v, n, res.Err)
 		}
-		s.Points = append(s.Points, SeriesPoint{
+		points[i] = SeriesPoint{
 			N: n, Flat: res.PeakFlat, Linked: res.PeakLinked,
 			Heap: res.PeakHeap, Steps: res.Steps, ContDepth: res.PeakContDepth,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return s, err
 	}
+	s.Points = points
 	return s, nil
 }

@@ -91,27 +91,21 @@ func TestLinkedEscapeHeldInContinuationChargesFrames(t *testing.T) {
 	}
 }
 
-func TestInstallMakesStoreIncremental(t *testing.T) {
+func TestDeltaMeterStoreAccountStaysExact(t *testing.T) {
 	st := value.NewStore()
 	st.Alloc(value.NewNum(7))
-	log.Install(st)
-	if !st.HasSizer() {
-		t.Fatal("sizer must be installed")
+	d := NewDeltaMeter(Logarithmic)
+	d.Attach(st)
+	if got, walked := d.total, log.Store(st); got != walked {
+		t.Fatalf("attached store account %d != walked %d", got, walked)
 	}
-	walked := 0
-	st.Each(func(_ env.Location, v value.Value) { walked += 1 + log.Value(v) })
-	if got := log.Store(st); got != walked {
-		t.Fatalf("cached store space %d != walked %d", got, walked)
-	}
-	// Mutations keep the cache exact.
+	// Mutations keep the account exact.
 	l := st.Alloc(value.Str("abcdef"))
 	st.Set(l, value.NewNum(3))
 	st.Delete(l)
 	st.Alloc(value.Pair{})
-	walked = 0
-	st.Each(func(_ env.Location, v value.Value) { walked += 1 + log.Value(v) })
-	if got := st.SpaceTotal(); got != walked {
-		t.Fatalf("cache drifted: %d != %d", got, walked)
+	if got, walked := d.total, log.Store(st); got != walked {
+		t.Fatalf("account drifted: %d != %d", got, walked)
 	}
 }
 

@@ -1,0 +1,205 @@
+package space
+
+import (
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+// Meter prices configurations during a run. The Runner calls Attach once per
+// run (before the first observation) and then Flat — and, unless the run is
+// flat-only, Linked — on every transition.
+//
+// Two implementations exist. FullMeter recomputes Figure 7/8 space from
+// scratch on every observation: O(configuration) per transition, kept as the
+// oracle. DeltaMeter maintains the Figure 7 account incrementally through
+// the store's alloc/write/delete hooks and a continuation memo, so a
+// transition costs O(cells touched). The two are differentially tested to
+// produce bit-identical peaks over the whole corpus.
+//
+// A Meter instance carries per-run state and must not be shared between
+// concurrent runs; the Runner builds a fresh one per run unless the caller
+// supplies their own.
+type Meter interface {
+	// Attach prepares the meter to measure a run over st, resetting any
+	// per-run state and installing whatever store hooks it needs.
+	Attach(st *value.Store)
+	// Flat is the Figure 7 (flat-environment) space of the configuration;
+	// val is nil for expression configurations.
+	Flat(val value.Value, rho env.Env, k value.Cont, st *value.Store) int
+	// Linked is the Figure 8 (linked-environment) space of the configuration.
+	Linked(val value.Value, rho env.Env, k value.Cont, st *value.Store) int
+}
+
+// FullMeter is the oracle: every observation recomputes the configuration
+// space from scratch by walking the environment, the continuation, and the
+// whole store. It holds no state, costs O(configuration) per transition, and
+// exists to guard DeltaMeter — and any future meter — differentially.
+type FullMeter struct {
+	M Measurer
+}
+
+// NewFullMeter returns the from-scratch recomputation oracle.
+func NewFullMeter(mode NumberMode) *FullMeter {
+	return &FullMeter{M: Measurer{Mode: mode}}
+}
+
+// Attach is a no-op: the oracle keeps no per-run state.
+func (f *FullMeter) Attach(*value.Store) {}
+
+// Flat recomputes Figure 7 space with a full walk.
+func (f *FullMeter) Flat(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	return f.M.Flat(val, rho, k, st)
+}
+
+// Linked recomputes Figure 8 space with a full walk.
+func (f *FullMeter) Linked(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	return f.M.Linked(val, rho, k, st)
+}
+
+// deltaMemoLimit bounds the continuation memo. Continuation frames are
+// immutable, so entries never go stale — the limit only bounds memory on
+// very long runs. When it trips, the memo is rebuilt lazily along the live
+// chain; peaks are unaffected.
+const deltaMemoLimit = 1 << 17
+
+// DeltaMeter maintains the Figure 7 account incrementally:
+//
+//   - the store term Σ (1 + space(σ(α))) is kept as a running total updated
+//     through the StoreObserver hooks, so it is O(1) to read and O(cells
+//     touched) to maintain;
+//   - the continuation term space(κ) is memoized per frame: frames are
+//     immutable and chain through Next(), so the cumulative space below any
+//     frame is computed once, making the per-transition cost O(frames pushed
+//     since the last observation) — amortized O(1);
+//   - the environment term |Dom ρ| reads the rib-size account cached by
+//     internal/env at construction.
+//
+// Linked (Figure 8) space is a whole-configuration union of binding sets and
+// remains a full walk in both meters; runs that need speed set FlatOnly.
+type DeltaMeter struct {
+	M Measurer
+
+	st       *value.Store
+	total    int // Σ over α ∈ σ of (1 + space(σ(α))), maintained via hooks
+	contMemo map[value.Cont]int
+	scratch  []value.Cont
+}
+
+// NewDeltaMeter returns an incremental Figure 7 meter.
+func NewDeltaMeter(mode NumberMode) *DeltaMeter {
+	return &DeltaMeter{M: Measurer{Mode: mode}}
+}
+
+// Attach resets the meter's account to st's current contents and registers
+// for its mutation hooks. Attaching to the store the meter already watches
+// is a no-op.
+func (d *DeltaMeter) Attach(st *value.Store) {
+	if d.st == st {
+		return
+	}
+	if d.st != nil {
+		d.st.RemoveObserver(d)
+	}
+	d.st = st
+	d.contMemo = make(map[value.Cont]int)
+	d.total = 0
+	st.Each(func(_ env.Location, v value.Value) {
+		d.total += 1 + d.valueSpace(v)
+	})
+	st.AddObserver(d)
+}
+
+// StoreAlloc implements value.StoreObserver.
+func (d *DeltaMeter) StoreAlloc(_ env.Location, v value.Value) {
+	d.total += 1 + d.valueSpace(v)
+}
+
+// StoreSet implements value.StoreObserver.
+func (d *DeltaMeter) StoreSet(_ env.Location, old, v value.Value) {
+	d.total += d.valueSpace(v) - d.valueSpace(old)
+}
+
+// StoreDelete implements value.StoreObserver.
+func (d *DeltaMeter) StoreDelete(_ env.Location, v value.Value) {
+	d.total -= 1 + d.valueSpace(v)
+}
+
+// Flat assembles Figure 7 space from the incremental accounts. It must be
+// bit-identical to FullMeter.Flat: same value pricing, same frame charges,
+// same store sum — only the evaluation strategy differs.
+func (d *DeltaMeter) Flat(val value.Value, rho env.Env, k value.Cont, _ *value.Store) int {
+	total := rho.Size() + d.contSpace(k) + d.total
+	if val != nil {
+		total += d.valueSpace(val)
+	}
+	return total
+}
+
+// Linked delegates to the shared Figure 8 walk (see the type comment).
+func (d *DeltaMeter) Linked(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	return d.M.Linked(val, rho, k, st)
+}
+
+// valueSpace prices a value exactly as Measurer.Value, except that escape
+// procedures read the continuation memo instead of walking their retained
+// frames.
+func (d *DeltaMeter) valueSpace(v value.Value) int {
+	if esc, ok := v.(value.Escape); ok {
+		return 1 + d.contSpace(esc.K)
+	}
+	return d.M.Value(v)
+}
+
+// contSpace returns Figure 7's space(κ) from the memo, computing and caching
+// the cumulative space of any unmemoized suffix. Frames are immutable, so a
+// cached cumulative total never changes.
+func (d *DeltaMeter) contSpace(k value.Cont) int {
+	if k == nil {
+		return 0
+	}
+	if total, ok := d.contMemo[k]; ok {
+		return total
+	}
+	if len(d.contMemo) > deltaMemoLimit {
+		d.contMemo = make(map[value.Cont]int)
+	}
+	stack := d.scratch[:0]
+	base := 0
+	for cur := k; cur != nil; cur = cur.Next() {
+		if total, ok := d.contMemo[cur]; ok {
+			base = total
+			break
+		}
+		stack = append(stack, cur)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		base += d.frameSpace(stack[i])
+		d.contMemo[stack[i]] = base
+	}
+	d.scratch = stack[:0]
+	return base
+}
+
+// frameSpace is the Figure 7 charge of a single continuation frame — the
+// per-frame increments of Measurer.Cont. Values held in push and call
+// continuations cost one word each through the m+n terms; their payloads are
+// charged in the store.
+func (d *DeltaMeter) frameSpace(k value.Cont) int {
+	switch x := k.(type) {
+	case value.Halt:
+		return 1
+	case *value.Select:
+		return 1 + x.Env.Size()
+	case *value.Assign:
+		return 1 + x.Env.Size()
+	case *value.Push:
+		return 1 + len(x.Rest) + len(x.Done) + x.Env.Size()
+	case *value.Call:
+		return 1 + len(x.Args)
+	case *value.Return:
+		return 1 + x.Env.Size()
+	case *value.ReturnStack:
+		return 1 + x.Env.Size()
+	}
+	return 0
+}

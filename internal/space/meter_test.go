@@ -1,0 +1,129 @@
+package space
+
+import (
+	"testing"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+// buildConfig assembles a configuration with every frame kind, an escape in
+// the store, and a value register, over a small populated store.
+func buildConfig() (value.Value, env.Env, value.Cont, *value.Store) {
+	st := value.NewStore()
+	a := st.Alloc(value.NewNum(7))
+	b := st.Alloc(value.Str("hello"))
+	st.Alloc(value.Pair{CarLoc: a, CdrLoc: b})
+
+	rho := env.Empty().Extend([]string{"x", "y"}, []env.Location{a, b})
+	var k value.Cont = value.Halt{}
+	k = &value.Return{Env: rho, K: k}
+	k = &value.Call{Args: []value.Value{value.NewNum(3)}, K: k}
+	k = &value.Push{
+		Rest: []ast.Expr{&ast.Var{Name: "e"}}, RestIdx: []int{1},
+		Done: []value.Value{value.Bool(true)}, DoneIdx: []int{0},
+		Env: rho, K: k,
+	}
+	st.Alloc(value.Escape{K: k})
+	k = &value.Select{Then: &ast.Var{Name: "a"}, Else: &ast.Var{Name: "b"}, Env: rho, K: k}
+
+	return value.Closure{Lam: &ast.Lambda{}, Env: rho}, rho, k, st
+}
+
+func TestDeltaMeterMatchesOracleOnStaticConfig(t *testing.T) {
+	for _, mode := range []NumberMode{Logarithmic, Fixnum} {
+		val, rho, k, st := buildConfig()
+		full := NewFullMeter(mode)
+		delta := NewDeltaMeter(mode)
+		delta.Attach(st)
+		if got, want := delta.Flat(val, rho, k, st), full.Flat(val, rho, k, st); got != want {
+			t.Errorf("mode %v: delta flat %d != oracle %d", mode, got, want)
+		}
+		if got, want := delta.Flat(nil, rho, k, st), full.Flat(nil, rho, k, st); got != want {
+			t.Errorf("mode %v: delta flat (expr config) %d != oracle %d", mode, got, want)
+		}
+		if got, want := delta.Linked(val, rho, k, st), full.Linked(val, rho, k, st); got != want {
+			t.Errorf("mode %v: delta linked %d != oracle %d", mode, got, want)
+		}
+	}
+}
+
+func TestDeltaMeterTracksMutationsExactly(t *testing.T) {
+	val, rho, k, st := buildConfig()
+	full := NewFullMeter(Fixnum)
+	delta := NewDeltaMeter(Fixnum)
+	delta.Attach(st)
+
+	check := func(stage string) {
+		t.Helper()
+		if got, want := delta.Flat(val, rho, k, st), full.Flat(val, rho, k, st); got != want {
+			t.Fatalf("%s: delta %d != oracle %d", stage, got, want)
+		}
+	}
+	check("initial")
+	l := st.Alloc(value.Str("mutate me"))
+	check("after alloc")
+	st.Set(l, value.NewNum(12))
+	check("after set")
+	st.Delete(l)
+	check("after delete")
+	st.Collect(rho.Locations())
+	check("after collect")
+}
+
+// TestDeltaMeterContMemoSurvivesPruning forces the memo over its limit and
+// checks the recomputed chain totals stay identical to the oracle walk.
+func TestDeltaMeterContMemoSurvivesPruning(t *testing.T) {
+	st := value.NewStore()
+	rho := env.Empty()
+	delta := NewDeltaMeter(Fixnum)
+	delta.Attach(st)
+	m := Measurer{Mode: Fixnum}
+
+	var k value.Cont = value.Halt{}
+	for i := 0; i < 64; i++ {
+		k = &value.Return{Env: rho, K: k}
+	}
+	if got, want := delta.contSpace(k), m.Cont(k); got != want {
+		t.Fatalf("before pruning: %d != %d", got, want)
+	}
+	delta.contMemo = make(map[value.Cont]int, deltaMemoLimit+2)
+	for i := 0; i < deltaMemoLimit+1; i++ {
+		delta.contMemo[&value.Return{Env: rho}] = i
+	}
+	if got, want := delta.contSpace(&value.Select{Env: rho, K: k}), 1+m.Cont(k); got != want {
+		t.Fatalf("after pruning: %d != %d", got, want)
+	}
+	if len(delta.contMemo) > 70 {
+		t.Fatalf("memo was not pruned: %d entries", len(delta.contMemo))
+	}
+}
+
+// TestDeltaMeterReattachResets re-attaches one meter to a second store and
+// checks the account restarts from that store's contents.
+func TestDeltaMeterReattachResets(t *testing.T) {
+	st1 := value.NewStore()
+	st1.Alloc(value.Str("old"))
+	delta := NewDeltaMeter(Fixnum)
+	delta.Attach(st1)
+
+	st2 := value.NewStore()
+	st2.Alloc(value.NewNum(1))
+	delta.Attach(st2)
+	m := Measurer{Mode: Fixnum}
+	if got, want := delta.total, m.Store(st2); got != want {
+		t.Fatalf("after re-attach: account %d != new store %d", got, want)
+	}
+	// The first store no longer notifies the meter.
+	st1.Alloc(value.Str("should not count"))
+	if got, want := delta.total, m.Store(st2); got != want {
+		t.Fatalf("old store still observed: %d != %d", got, want)
+	}
+	// Re-attaching to the current store is a no-op, not a double count.
+	delta.Attach(st2)
+	st2.Alloc(value.NewNum(2))
+	if got, want := delta.total, m.Store(st2); got != want {
+		t.Fatalf("double registration: %d != %d", got, want)
+	}
+}

@@ -92,24 +92,15 @@ func (m Measurer) Cont(k value.Cont) int {
 	return total
 }
 
-// Store is Figure 7's space(σ) = Σ over α ∈ σ of (1 + space(σ(α))). When the
-// store has this measurer's sizer installed (see Install), the incrementally
-// maintained total is used instead of a full walk.
+// Store is Figure 7's space(σ) = Σ over α ∈ σ of (1 + space(σ(α))),
+// computed by a full walk. DeltaMeter maintains the same sum incrementally
+// through the store's mutation hooks.
 func (m Measurer) Store(st *value.Store) int {
-	if st.HasSizer() {
-		return st.SpaceTotal()
-	}
 	total := 0
 	st.Each(func(_ env.Location, v value.Value) {
 		total += 1 + m.Value(v)
 	})
 	return total
-}
-
-// Install registers this measurer's value pricing with the store so that
-// per-configuration Figure 7 measurements run in O(1) store time.
-func (m Measurer) Install(st *value.Store) {
-	st.SetSizer(m.Value)
 }
 
 // Flat computes the flat-environment space of a configuration (Figure 7).

@@ -7,6 +7,23 @@ import (
 	"tailspace/internal/env"
 )
 
+// StoreObserver receives a notification for every mutation of a store: one
+// call per allocation, write, and deletion (garbage collection reports each
+// collected location as a deletion). Meters use these hooks to maintain
+// incremental space accounts in O(cells touched) per transition instead of
+// re-walking the whole store; values are structurally immutable once stored
+// (mutation replaces the slot), so a price computed at notification time
+// never goes stale.
+type StoreObserver interface {
+	// StoreAlloc reports that a fresh location l was bound to v.
+	StoreAlloc(l env.Location, v Value)
+	// StoreSet reports that σ(l) was replaced: old is the previous value.
+	StoreSet(l env.Location, old, v Value)
+	// StoreDelete reports that l was removed while holding v (explicit
+	// deletion or garbage collection).
+	StoreDelete(l env.Location, v Value)
+}
+
 // Store is the σ of Figure 4: a finite map from locations to values. It also
 // carries the deterministic random source used by the `random` primitive
 // (Theorem 26's program calls it) so whole runs are reproducible.
@@ -18,13 +35,7 @@ type Store struct {
 	Allocs int
 	Rand   *rand.Rand
 
-	// sizeFn, when installed, prices a stored value in words; spaceTotal
-	// maintains Σ over α ∈ σ of (1 + sizeFn(σ(α))) incrementally, so the
-	// per-step Figure 7 measurement is O(1) instead of O(|σ|). Values are
-	// structurally immutable once stored (mutation replaces the slot), so
-	// per-slot prices never go stale.
-	sizeFn     func(Value) int
-	spaceTotal int
+	observers []StoreObserver
 }
 
 // NewStore returns an empty store with a fixed-seed random source.
@@ -35,22 +46,27 @@ func NewStore() *Store {
 	}
 }
 
-// SetSizer installs a value pricing function and (re)computes the running
-// store-space total.
-func (s *Store) SetSizer(f func(Value) int) {
-	s.sizeFn = f
-	s.spaceTotal = 0
-	for _, v := range s.vals {
-		s.spaceTotal += 1 + f(v)
+// AddObserver registers o for mutation notifications. Adding the same
+// observer twice is a no-op (a meter re-attached to the store it is already
+// watching must not double-count).
+func (s *Store) AddObserver(o StoreObserver) {
+	for _, have := range s.observers {
+		if have == o {
+			return
+		}
 	}
+	s.observers = append(s.observers, o)
 }
 
-// SpaceTotal returns Σ (1 + sizeFn(σ(α))) as maintained incrementally; it is
-// only meaningful after SetSizer.
-func (s *Store) SpaceTotal() int { return s.spaceTotal }
-
-// HasSizer reports whether a pricing function is installed.
-func (s *Store) HasSizer() bool { return s.sizeFn != nil }
+// RemoveObserver unregisters o.
+func (s *Store) RemoveObserver(o StoreObserver) {
+	for i, have := range s.observers {
+		if have == o {
+			s.observers = append(s.observers[:i], s.observers[i+1:]...)
+			return
+		}
+	}
+}
 
 // Alloc binds a fresh location to v and returns it.
 func (s *Store) Alloc(v Value) env.Location {
@@ -58,8 +74,8 @@ func (s *Store) Alloc(v Value) env.Location {
 	s.next++
 	s.vals[l] = v
 	s.Allocs++
-	if s.sizeFn != nil {
-		s.spaceTotal += 1 + s.sizeFn(v)
+	for _, o := range s.observers {
+		o.StoreAlloc(l, v)
 	}
 	return l
 }
@@ -86,18 +102,23 @@ func (s *Store) Set(l env.Location, v Value) bool {
 		return false
 	}
 	s.vals[l] = v
-	if s.sizeFn != nil {
-		s.spaceTotal += s.sizeFn(v) - s.sizeFn(old)
+	for _, o := range s.observers {
+		o.StoreSet(l, old, v)
 	}
 	return true
 }
 
-// Delete removes α from the store (the Z_stack deletion strategy).
+// Delete removes α from the store (the Z_stack deletion strategy). Deleting
+// an absent location is a no-op.
 func (s *Store) Delete(l env.Location) {
-	if v, ok := s.vals[l]; ok && s.sizeFn != nil {
-		s.spaceTotal -= 1 + s.sizeFn(v)
+	v, ok := s.vals[l]
+	if !ok {
+		return
 	}
 	delete(s.vals, l)
+	for _, o := range s.observers {
+		o.StoreDelete(l, v)
+	}
 }
 
 // Size is |Dom σ|, the number of live locations.
@@ -150,10 +171,10 @@ func (s *Store) Collect(roots []env.Location) int {
 	collected := 0
 	for l, v := range s.vals {
 		if !reach[l] {
-			if s.sizeFn != nil {
-				s.spaceTotal -= 1 + s.sizeFn(v)
-			}
 			delete(s.vals, l)
+			for _, o := range s.observers {
+				o.StoreDelete(l, v)
+			}
 			collected++
 		}
 	}

@@ -22,62 +22,69 @@ func sizeOf(v Value) int {
 	}
 }
 
-func TestSizerInstallRecomputes(t *testing.T) {
-	s := NewStore()
-	s.Alloc(Str("abc"))
-	s.Alloc(Null{})
-	if s.HasSizer() {
-		t.Fatal("no sizer yet")
-	}
-	s.SetSizer(sizeOf)
-	if !s.HasSizer() {
-		t.Fatal("sizer should be installed")
-	}
-	// (1+4) + (1+1)
-	if got := s.SpaceTotal(); got != 7 {
-		t.Fatalf("total = %d, want 7", got)
-	}
-}
+// accountant is a test StoreObserver maintaining Σ (1 + sizeOf(σ(α))) — the
+// shape of incremental account the space meters build on these hooks.
+type accountant struct{ total int }
 
-func TestSizerTracksMutations(t *testing.T) {
+func (a *accountant) StoreAlloc(_ env.Location, v Value)    { a.total += 1 + sizeOf(v) }
+func (a *accountant) StoreSet(_ env.Location, old, v Value) { a.total += sizeOf(v) - sizeOf(old) }
+func (a *accountant) StoreDelete(_ env.Location, v Value)   { a.total -= 1 + sizeOf(v) }
+
+func TestObserverTracksMutations(t *testing.T) {
 	s := NewStore()
-	s.SetSizer(sizeOf)
+	a := &accountant{}
+	s.AddObserver(a)
+	s.AddObserver(a) // double registration is a no-op
 	l := s.Alloc(Str("abcd")) // +6
-	if s.SpaceTotal() != 6 {
-		t.Fatalf("after alloc: %d", s.SpaceTotal())
+	if a.total != 6 {
+		t.Fatalf("after alloc: %d", a.total)
 	}
 	s.Set(l, Null{}) // 6 - 5 + 1
-	if s.SpaceTotal() != 2 {
-		t.Fatalf("after set: %d", s.SpaceTotal())
+	if a.total != 2 {
+		t.Fatalf("after set: %d", a.total)
 	}
 	s.Delete(l)
-	if s.SpaceTotal() != 0 {
-		t.Fatalf("after delete: %d", s.SpaceTotal())
+	if a.total != 0 {
+		t.Fatalf("after delete: %d", a.total)
 	}
 	s.Delete(l) // double delete is a no-op
-	if s.SpaceTotal() != 0 {
-		t.Fatalf("after double delete: %d", s.SpaceTotal())
+	if a.total != 0 {
+		t.Fatalf("after double delete: %d", a.total)
 	}
 }
 
-func TestSizerTracksCollection(t *testing.T) {
+func TestObserverSeesCollection(t *testing.T) {
 	s := NewStore()
-	s.SetSizer(sizeOf)
+	a := &accountant{}
+	s.AddObserver(a)
 	keep := s.Alloc(NewNum(1))
 	s.Alloc(Str("garbage"))
 	s.Collect([]env.Location{keep})
-	if s.SpaceTotal() != 2 {
-		t.Fatalf("after collect: %d", s.SpaceTotal())
+	if a.total != 2 {
+		t.Fatalf("after collect: %d", a.total)
 	}
 }
 
-// TestPropertySizerNeverDrifts drives random store operations and checks
+func TestRemoveObserverStopsNotifications(t *testing.T) {
+	s := NewStore()
+	a := &accountant{}
+	s.AddObserver(a)
+	s.Alloc(Null{})
+	s.RemoveObserver(a)
+	s.Alloc(Str("unseen"))
+	if a.total != 2 {
+		t.Fatalf("total = %d, want 2 (only the first alloc observed)", a.total)
+	}
+}
+
+// TestPropertyObserverNeverDrifts drives random store operations and checks
 // the incremental total against a full walk after every step.
-func TestPropertySizerNeverDrifts(t *testing.T) {
+func TestPropertyObserverNeverDrifts(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		s := NewStore()
-		s.SetSizer(sizeOf)
+		a := &accountant{}
+		s.AddObserver(a)
 		var live []env.Location
 		for i := 0; i < 60; i++ {
 			switch r.Intn(4) {
@@ -103,7 +110,7 @@ func TestPropertySizerNeverDrifts(t *testing.T) {
 			}
 			walked := 0
 			s.Each(func(_ env.Location, v Value) { walked += 1 + sizeOf(v) })
-			if walked != s.SpaceTotal() {
+			if walked != a.total {
 				return false
 			}
 		}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the full local gate: build, vet, race-enabled tests.
+# Usage: scripts/check.sh [extra go test flags...]
+# CI and `make check` both run this; keep it dependency-free (POSIX sh).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "==> check OK"

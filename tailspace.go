@@ -54,6 +54,10 @@ const (
 // iterates these; MTA is available by name).
 var Variants = []Variant{Stack, GC, Tail, Evlis, Free, SFS}
 
+// GCEveryOff, as Options.GCEvery, disables the garbage collection rule
+// unconditionally instead of selecting the default policy.
+const GCEveryOff = core.GCEveryOff
+
 // Order selects the permutation π used to evaluate call subexpressions —
 // nondeterministic in the paper, a policy here.
 type Order int
@@ -80,7 +84,9 @@ type Options struct {
 	MaxSteps int
 	// GCEvery applies the garbage collection rule every k-th step; 0 means
 	// the default (after every step when measuring — the space-efficient
-	// computations of Definition 21 — and never otherwise).
+	// computations of Definition 21 — and never otherwise). GCEveryOff
+	// disables the rule unconditionally; combining it with Measure is an
+	// error, since peaks without collection would count garbage as live.
 	GCEvery int
 	// Order resolves the argument-evaluation permutation.
 	Order Order
