@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench spacelab
+.PHONY: check build test vet bench bench-json spacelab
 
 check:
 	sh scripts/check.sh
@@ -18,6 +18,12 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Archive today's benchmark numbers as JSON (BENCH_YYYY-MM-DD.json) for
+# trend tracking; cmd/benchjson parses the go test -bench text output.
+bench-json:
+	$(GO) test -bench . -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+	@echo wrote BENCH_$$(date +%Y-%m-%d).json
 
 spacelab:
 	$(GO) run ./cmd/spacelab all

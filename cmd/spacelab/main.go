@@ -22,8 +22,21 @@
 //	-jobs N   bound the number of measurement runs in flight (default: GOMAXPROCS)
 //	-json     emit the tables as JSON (machine-readable, for trend tracking)
 //
-// Every experiment prints its table and its pass/fail verdict against the
-// paper's claims; the process exits non-zero if any claim failed.
+// Two single-program observability modes sit beside the experiments:
+//
+//	spacelab -explain-peak <program> [-machine M] [-steps N]
+//	    run with peak attribution and report, per machine, which source
+//	    expression — under which transition rule — realized the flat-space
+//	    peak S_X
+//	spacelab -profile <program> [-machine M] [-trace f.jsonl] [-chrome f.json] [-ring N]
+//	    run once with the structured event stream attached, print the run's
+//	    metric registry, and optionally export the retained events as JSONL
+//	    or as a Chrome trace_event file (loadable in Perfetto)
+//
+// <program> is either a path to a Scheme source file or the name of a corpus
+// program. Every experiment prints its table and its pass/fail verdict
+// against the paper's claims; the process exits non-zero if any claim failed
+// or any run ended without an answer (stuck, or out of steps).
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 
 	"tailspace/internal/corpus"
 	"tailspace/internal/experiments"
+	"tailspace/internal/obs"
 )
 
 func main() {
@@ -42,7 +56,25 @@ func main() {
 	fs.Usage = usage
 	jobs := fs.Int("jobs", 0, "max measurement runs in flight (<1 means GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of rendered text")
+	explain := fs.String("explain-peak", "", "attribute the flat-space peak of a program (file or corpus name)")
+	prof := fs.String("profile", "", "profile one run of a program (file or corpus name) with the event stream attached")
+	machine := fs.String("machine", "", "restrict -explain-peak / select -profile machine (tail|gc|stack|evlis|free|sfs)")
+	traceOut := fs.String("trace", "", "with -profile: write the retained events as JSONL to this file")
+	chromeOut := fs.String("chrome", "", "with -profile: write a Chrome trace_event file (Perfetto-loadable)")
+	ringCap := fs.Int("ring", obs.DefaultRingCapacity, "with -profile: event ring-buffer capacity (oldest events drop beyond it)")
+	steps := fs.Int("steps", 5_000_000, "with -explain-peak/-profile: step bound")
 	fs.Parse(os.Args[1:])
+
+	if *explain != "" || *prof != "" {
+		if fs.NArg() != 0 || (*explain != "" && *prof != "") {
+			usage()
+			os.Exit(2)
+		}
+		if *explain != "" {
+			os.Exit(explainPeak(*explain, *machine, *steps))
+		}
+		os.Exit(runProfile(*prof, *machine, *traceOut, *chromeOut, *ringCap, *steps))
+	}
 	if fs.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -93,7 +125,9 @@ func main() {
 	}
 	failed := false
 	for _, t := range tables {
-		if !t.Ok() {
+		// A failed claim or a run that never produced an answer (stuck, or
+		// out of steps) both fail the invocation.
+		if !t.Ok() || !t.Complete() {
 			failed = true
 		}
 	}
@@ -112,15 +146,18 @@ func main() {
 	}
 }
 
-// jsonTable mirrors experiments.Table for machine-readable output; Ok is
-// materialized so trend trackers need not re-derive it from violations.
+// jsonTable mirrors experiments.Table for machine-readable output; Ok and
+// Complete are materialized so trend trackers need not re-derive them.
 type jsonTable struct {
-	Title      string     `json:"title"`
-	Header     []string   `json:"header,omitempty"`
-	Rows       [][]string `json:"rows"`
-	Notes      []string   `json:"notes,omitempty"`
-	Violations []string   `json:"violations,omitempty"`
-	Ok         bool       `json:"ok"`
+	Title      string           `json:"title"`
+	Header     []string         `json:"header,omitempty"`
+	Rows       [][]string       `json:"rows"`
+	Notes      []string         `json:"notes,omitempty"`
+	Violations []string         `json:"violations,omitempty"`
+	Incomplete []string         `json:"incomplete,omitempty"`
+	Metrics    map[string]int64 `json:"metrics,omitempty"`
+	Ok         bool             `json:"ok"`
+	Complete   bool             `json:"complete"`
 }
 
 type jsonReport struct {
@@ -138,10 +175,15 @@ func writeJSON(w *os.File, command string, tables []experiments.Table, ok bool) 
 		Tables:  make([]jsonTable, len(tables)),
 	}
 	for i, t := range tables {
-		report.Tables[i] = jsonTable{
+		jt := jsonTable{
 			Title: t.Title, Header: t.Header, Rows: t.Rows,
-			Notes: t.Notes, Violations: t.Violations, Ok: t.Ok(),
+			Notes: t.Notes, Violations: t.Violations,
+			Incomplete: t.Incomplete, Ok: t.Ok(), Complete: t.Complete(),
 		}
+		if t.Metrics != nil {
+			jt.Metrics = t.Metrics.Snapshot()
+		}
+		report.Tables[i] = jt
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -236,8 +278,18 @@ func corpusPrograms() map[string]string {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: spacelab [-jobs N] [-json] <experiment>
+       spacelab -explain-peak <program> [-machine M] [-steps N]
+       spacelab -profile <program> [-machine M] [-trace f.jsonl] [-chrome f.json] [-ring N] [-steps N]
 experiments: fig2|hierarchy|thm25|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all
+<program> is a Scheme source file or a corpus program name.
 flags:
-  -jobs N   bound the number of measurement runs in flight (default GOMAXPROCS)
-  -json     emit tables as JSON for trend tracking`)
+  -jobs N          bound the number of measurement runs in flight (default GOMAXPROCS)
+  -json            emit tables as JSON for trend tracking
+  -explain-peak P  attribute the flat-space peak of P under every machine (or -machine M)
+  -profile P       run P once with the event stream attached and print its metrics
+  -machine M       one of tail|gc|stack|evlis|free|sfs (profile default: tail)
+  -trace FILE      with -profile: write retained events as JSONL
+  -chrome FILE     with -profile: write a Chrome trace_event file (Perfetto-loadable)
+  -ring N          with -profile: ring-buffer capacity (default 65536; oldest events drop)
+  -steps N         with -explain-peak/-profile: step bound (default 5000000)`)
 }

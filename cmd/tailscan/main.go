@@ -6,10 +6,15 @@
 // input-independent (a stack-like-leak linter). With no arguments it scans
 // the bundled benchmark corpus.
 //
-//	tailscan [file.scm ...]
+//	tailscan [-json] [file.scm ...]
+//
+// -json emits the same information machine-readably: the Figure 2 table for
+// the corpus scan, or one record per named file.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -19,19 +24,44 @@ import (
 )
 
 func main() {
-	if len(os.Args) == 1 {
+	fs := flag.NewFlagSet("tailscan", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit results as JSON instead of a rendered table")
+	fs.Parse(os.Args[1:])
+
+	if fs.NArg() == 0 {
 		table, err := experiments.Fig2()
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(struct {
+				Title  string     `json:"title"`
+				Header []string   `json:"header"`
+				Rows   [][]string `json:"rows"`
+				Notes  []string   `json:"notes,omitempty"`
+			}{table.Title, table.Header, table.Rows, table.Notes})
+			return
 		}
 		fmt.Println(table.Render())
 		_ = corpus.All()
 		return
 	}
 
+	type fileReport struct {
+		Program  string   `json:"program"`
+		Calls    int      `json:"calls"`
+		NonTail  float64  `json:"nonTailPct"`
+		Tail     float64  `json:"tailPct"`
+		SelfTail float64  `json:"selfTailPct"`
+		Control  string   `json:"control"`
+		Findings []string `json:"findings,omitempty"`
+	}
+	var reports []fileReport
 	var total analysis.CallStats
-	fmt.Printf("%-24s %8s %12s %10s %10s %12s\n", "program", "calls", "non-tail %", "tail %", "self %", "control")
-	for _, path := range os.Args[1:] {
+	if !*jsonOut {
+		fmt.Printf("%-24s %8s %12s %10s %10s %12s\n", "program", "calls", "non-tail %", "tail %", "self %", "control")
+	}
+	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
@@ -45,13 +75,36 @@ func main() {
 			fatal(err)
 		}
 		total.Add(s)
+		if *jsonOut {
+			reports = append(reports, fileReport{
+				Program: path, Calls: s.Calls,
+				NonTail:  s.Percent(s.NonTail),
+				Tail:     s.Percent(s.Tail()),
+				SelfTail: s.Percent(s.SelfColumn()),
+				Control:  rep.Verdict.String(),
+				Findings: rep.Findings,
+			})
+			continue
+		}
 		printRowWithControl(path, s, rep)
 		for _, f := range rep.Findings {
 			fmt.Println("    " + f)
 		}
 	}
-	if len(os.Args) > 2 {
+	if *jsonOut {
+		emitJSON(reports)
+		return
+	}
+	if fs.NArg() > 1 {
 		printRow("TOTAL", total)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

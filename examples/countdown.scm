@@ -1,0 +1,11 @@
+; The iterative countdown loop of Section 2: properly tail recursive
+; implementations run it in constant space, because the call in tail
+; position is a goto that passes arguments.
+;
+;   spacelab -explain-peak examples/countdown.scm
+;   spacelab -profile examples/countdown.scm -machine gc -chrome trace.json
+(define (f n)
+  (if (zero? n)
+      0
+      (f (- n 1))))
+(f 100)

@@ -1,0 +1,15 @@
+; A non-tail-recursive sum over a built list: the pending (+ x ...) work
+; accumulates one return continuation per element, so the flat-space peak
+; lands deep inside the recursion — a useful contrast to countdown.scm for
+; -explain-peak, which names the expression holding the peak.
+;
+;   spacelab -explain-peak examples/sumlist.scm
+(define (build n)
+  (if (zero? n)
+      '()
+      (cons n (build (- n 1)))))
+(define (sum xs)
+  (if (null? xs)
+      0
+      (+ (car xs) (sum (cdr xs)))))
+(sum (build 40))

@@ -1,0 +1,19 @@
+package ast
+
+// Number assigns a stable ID to every node of the tree rooted at root:
+// pre-order, starting at 1 (parents before children, in syntactic order).
+// The IDs let diagnostics — allocation-site events, peak attribution — name
+// an AST node compactly and stably across runs of the same program. All
+// Expr implementations are pointers, so the map key is node identity.
+func Number(root Expr) map[Expr]int {
+	ids := make(map[Expr]int)
+	next := 1
+	Walk(root, func(e Expr) bool {
+		if _, seen := ids[e]; !seen {
+			ids[e] = next
+			next++
+		}
+		return true
+	})
+	return ids
+}

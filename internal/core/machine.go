@@ -37,6 +37,9 @@ type Machine struct {
 	// Algol-like subset the two coincide and both realize S_stack.
 	stackStrict bool
 	steps       int
+	// lastRule tags the rule the most recent Step fired, for per-rule
+	// accounting and the observability event stream.
+	lastRule Rule
 }
 
 // NewMachine builds a machine over the given store.
@@ -65,10 +68,16 @@ func (m *Machine) stuck(format string, args ...any) error {
 	return &StuckError{Reason: fmt.Sprintf(format, args...), Step: m.steps}
 }
 
+// LastRule reports which rule the most recent Step fired: RuleNone before
+// the first step and when Step reported done; when Step returned an error
+// the tag names the rule that stuck.
+func (m *Machine) LastRule() Rule { return m.lastRule }
+
 // Step performs one transition. It returns the next state; done is true when
 // s was already final (in which case next == s).
 func (m *Machine) Step(s State) (next State, done bool, err error) {
 	m.steps++
+	m.lastRule = RuleNone
 	if s.Expr != nil {
 		return m.stepExpr(s)
 	}
@@ -80,9 +89,11 @@ func (m *Machine) Step(s State) (next State, done bool, err error) {
 func (m *Machine) stepExpr(s State) (State, bool, error) {
 	switch e := s.Expr.(type) {
 	case *ast.Const:
+		m.lastRule = RuleConst
 		return ValueState(constValue(e.Value), s.Env, s.K), false, nil
 
 	case *ast.Var:
+		m.lastRule = RuleVar
 		// An identifier evaluates to its R-value; if I ∉ Dom ρ,
 		// ρ(I) ∉ Dom σ, or σ(ρ(I)) = UNDEFINED, the computation sticks.
 		loc, ok := s.Env.Lookup(e.Name)
@@ -100,6 +111,7 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 
 	case *ast.Lambda:
 		// A lambda evaluates to a closure tagged by a fresh location α.
+		m.lastRule = RuleLambda
 		clEnv := s.Env
 		if m.variant.FreeClosures {
 			clEnv = s.Env.Restrict(m.fv.Free(e))
@@ -108,6 +120,7 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 		return ValueState(value.Closure{Tag: tag, Lam: e, Env: clEnv}, s.Env, s.K), false, nil
 
 	case *ast.If:
+		m.lastRule = RuleIf
 		contEnv := s.Env
 		if m.variant.RestrictConts {
 			contEnv = s.Env.Restrict(m.fv.Free(e.Then).Union(m.fv.Free(e.Else)))
@@ -116,6 +129,7 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 		return EvalState(e.Test, s.Env, k), false, nil
 
 	case *ast.Set:
+		m.lastRule = RuleSet
 		contEnv := s.Env
 		if m.variant.RestrictConts {
 			contEnv = s.Env.RestrictTo(e.Name)
@@ -124,6 +138,7 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 		return EvalState(e.Rhs, s.Env, k), false, nil
 
 	case *ast.Call:
+		m.lastRule = RuleCall
 		order := m.evalOrder(len(e.Exprs))
 		first := order[0]
 		rest := make([]ast.Expr, len(order)-1)
@@ -164,17 +179,20 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 	case value.Halt:
 		if !s.Env.IsEmpty() {
 			// (v, ρ', halt, σ) → (v, { }, halt, σ)
+			m.lastRule = RuleHaltEnv
 			return ValueState(s.Val, env.Empty(), k), false, nil
 		}
 		return s, true, nil
 
 	case *value.Select:
+		m.lastRule = RuleSelect
 		if value.Truthy(s.Val) {
 			return EvalState(k.Then, k.Env, k.K), false, nil
 		}
 		return EvalState(k.Else, k.Env, k.K), false, nil
 
 	case *value.Assign:
+		m.lastRule = RuleAssign
 		loc, ok := k.Env.Lookup(k.Name)
 		if !ok {
 			return s, false, m.stuck("assignment to unbound variable %s", k.Name)
@@ -193,6 +211,7 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 		doneIdx[len(k.DoneIdx)] = k.CurIdx
 
 		if len(k.Rest) > 0 {
+			m.lastRule = RulePushNext
 			nextExpr := k.Rest[0]
 			rest := k.Rest[1:]
 			nk := &value.Push{
@@ -209,6 +228,7 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 
 		// All subexpressions evaluated: reassemble in source order and
 		// deliver the operator with a call continuation.
+		m.lastRule = RulePushCall
 		vals := make([]value.Value, len(done))
 		for i, idx := range doneIdx {
 			vals[idx] = done[i]
@@ -220,9 +240,11 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 
 	case *value.Return:
 		// (v, ρ, return:(ρ',κ), σ) → (v, ρ', κ, σ)
+		m.lastRule = RuleReturn
 		return ValueState(s.Val, k.Env, k.K), false, nil
 
 	case *value.ReturnStack:
+		m.lastRule = RuleReturnStack
 		return m.stackReturn(s, k)
 	}
 	return s, false, m.stuck("unknown continuation form %T", s.K)
@@ -259,10 +281,13 @@ func (m *Machine) applyProcedure(s State, op value.Value, args []value.Value, k 
 		case CallTail:
 			// A procedure call is just a goto that changes the environment
 			// register: no continuation is created.
+			m.lastRule = RuleApplyTail
 			cont = k
 		case CallReturn:
+			m.lastRule = RuleApplyReturn
 			cont = &value.Return{Env: s.Env, K: k}
 		case CallStackReturn:
+			m.lastRule = RuleApplyStack
 			del := make([]env.Location, len(locs))
 			copy(del, locs)
 			cont = &value.ReturnStack{Del: del, Env: s.Env, K: k}
@@ -270,6 +295,7 @@ func (m *Machine) applyProcedure(s State, op value.Value, args []value.Value, k 
 		return EvalState(lam.Body, bodyEnv, cont), false, nil
 
 	case value.Escape:
+		m.lastRule = RuleApplyEscape
 		if len(args) != 1 {
 			return s, false, m.stuck("continuation invoked with %d arguments, want 1", len(args))
 		}
@@ -277,6 +303,9 @@ func (m *Machine) applyProcedure(s State, op value.Value, args []value.Value, k 
 		return ValueState(args[0], env.Empty(), proc.K), false, nil
 
 	case *value.Primop:
+		// call/cc and apply recurse into applyProcedure, so the tag they
+		// leave behind is the rule of the application they end in.
+		m.lastRule = RuleApplyPrimop
 		if proc.CallCC {
 			if len(args) != 1 {
 				return s, false, m.stuck("%s expects 1 argument, got %d", proc.Name, len(args))

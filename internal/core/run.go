@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"tailspace/internal/ast"
+	"tailspace/internal/env"
 	"tailspace/internal/expand"
+	"tailspace/internal/obs"
 	"tailspace/internal/prim"
 	"tailspace/internal/space"
 	"tailspace/internal/value"
@@ -51,7 +53,26 @@ type Options struct {
 	Seed int64
 	// Trace, when set, receives one TracePoint per transition (after the GC
 	// rule has run) — the space-over-time series behind a space profile.
+	// The hook fires with or without Measure; TracePoint.Measured tells a
+	// sink whether the Flat/Linked fields were actually computed (without
+	// Measure they are zero because they were never measured, not because
+	// the configuration was free).
 	Trace func(TracePoint)
+	// Events, when set, receives the structured observability stream: one
+	// transition event per step (tagged with the machine rule that fired),
+	// one event per GC-rule application (with the cells it reclaimed), one
+	// event per store allocation (attributed to the allocating expression),
+	// and one event per peak update. A nil sink costs nothing beyond a few
+	// nil checks; use an obs.Ring to keep long traces bounded-memory.
+	Events obs.Sink
+	// AttributePeak, combined with Measure, rebuilds a peak-attribution
+	// snapshot whenever the flat-space peak is raised; after the run,
+	// Result.Peak names the source expression, machine rule, continuation
+	// chain, and live ribs of the configuration that realized S_X(P, D).
+	// Each rebuild is bounded (it snapshots at most a fixed number of
+	// frames), but monotonically growing runs rebuild often; leave it off
+	// for plain sweeps.
+	AttributePeak bool
 }
 
 // TracePoint is one sample of a run's space profile.
@@ -61,6 +82,11 @@ type TracePoint struct {
 	Linked    int // Figure 8 space (0 when FlatOnly)
 	Heap      int // live store locations
 	ContDepth int
+	// Measured distinguishes "measured as zero" from "not measured": it is
+	// true iff the run had Options.Measure set, i.e. iff Flat (and, unless
+	// FlatOnly, Linked) carry real Figure 7/8 measurements. Heap and
+	// ContDepth are always sampled.
+	Measured bool
 }
 
 const defaultMaxSteps = 5_000_000
@@ -93,6 +119,14 @@ type Result struct {
 	// locations they reclaimed.
 	Collections int
 	Collected   int
+	// Metrics is the run's counter/gauge registry: transitions by rule,
+	// GC activity, allocation totals, and the peaks as gauges. It is always
+	// populated (per-rule counting is a dense array increment per step);
+	// the per-rule counters sum to Steps.
+	Metrics *obs.Metrics
+	// Peak attributes the flat-space peak; nil unless Options.AttributePeak
+	// and Options.Measure were both set.
+	Peak *obs.PeakReport
 	// Err is nil on normal termination; a *StuckError for stuck
 	// computations; ErrMaxSteps when the step bound was hit.
 	Err error
@@ -110,11 +144,21 @@ var ErrMaxSteps = errors.New("core: maximum step count exceeded")
 var ErrMeasureNeedsGC = errors.New("core: Options.Measure requires the GC rule (GCEvery >= 0)")
 
 // Runner drives a machine from an initial configuration to a final one,
-// applying the garbage collection rule and recording space peaks.
+// applying the garbage collection rule, recording space peaks, and feeding
+// the observability layer (per-rule counters, the event stream, and peak
+// attribution).
 type Runner struct {
 	opts    Options
 	machine *Machine
 	meter   space.Meter
+
+	ruleCounts [NumRules]int64
+	peaks      space.Peaks
+	// lastExpr is the most recently evaluated expression, the attribution
+	// target for allocations and peaks reached in value configurations.
+	lastExpr ast.Expr
+	nodeIDs  map[ast.Expr]int
+	tap      *allocTap
 }
 
 // NewRunner prepares a run of program expression e applied under opts. The
@@ -134,7 +178,7 @@ func NewRunner(opts Options) *Runner {
 }
 
 // Run evaluates e from (E, ρ0, halt, σ0).
-func (r *Runner) Run(e ast.Expr) Result {
+func (r *Runner) Run(e ast.Expr) (res Result) {
 	if r.opts.Measure && r.opts.GCEvery < 0 {
 		return Result{ProgramSize: e.Size(), Err: ErrMeasureNeedsGC}
 	}
@@ -149,7 +193,30 @@ func (r *Runner) Run(e ast.Expr) Result {
 		r.meter.Attach(st)
 	}
 
-	res := Result{ProgramSize: e.Size(), Store: st}
+	// Observability setup. The runner always counts transitions per rule
+	// (a dense array increment per step); everything else is wired only on
+	// request so an unobserved run pays a few nil checks.
+	r.ruleCounts = [NumRules]int64{}
+	r.peaks = space.Peaks{}
+	r.lastExpr = e
+	observing := r.opts.Events != nil
+	if observing || r.opts.AttributePeak {
+		r.nodeIDs = ast.Number(e)
+	}
+	if observing {
+		r.peaks.OnUpdate = func(kind space.PeakKind, step, v int) {
+			r.opts.Events.Emit(obs.Event{Type: obs.EventPeak, Step: step, Peak: kind.String(), Value: v})
+		}
+		// The allocation tap attributes store allocations to the allocating
+		// expression; it attaches after the globals are installed, so only
+		// the program's own allocations are streamed.
+		r.tap = &allocTap{sink: r.opts.Events, ids: r.nodeIDs, expr: e}
+		st.AddObserver(r.tap)
+		defer st.RemoveObserver(r.tap)
+	}
+	defer func() { res.Metrics = r.buildMetrics(&res, st) }()
+
+	res = Result{ProgramSize: e.Size(), Store: st}
 	s := EvalState(e, rho0, value.Halt{})
 
 	gcEvery := r.opts.GCEvery
@@ -163,11 +230,18 @@ func (r *Runner) Run(e ast.Expr) Result {
 		gcEvery = 1
 	}
 
-	r.observe(&res, s, st)
+	r.observe(&res, s, st, RuleNone)
 	for {
 		if res.Steps >= r.opts.MaxSteps {
 			res.Err = ErrMaxSteps
 			return res
+		}
+		if s.Expr != nil {
+			r.lastExpr = s.Expr
+		}
+		if r.tap != nil {
+			r.tap.step = res.Steps + 1
+			r.tap.expr = r.lastExpr
 		}
 		next, done, err := r.machine.Step(s)
 		if err != nil {
@@ -181,50 +255,133 @@ func (r *Runner) Run(e ast.Expr) Result {
 		}
 		s = next
 		res.Steps++
+		r.ruleCounts[r.machine.LastRule()]++
 		if gcEvery > 0 && res.Steps%gcEvery == 0 {
 			if r.opts.Variant.CompressFrames {
 				s.K = CompressReturnChains(s.K)
 			}
 			collected := st.Collect(s.Roots())
+			if observing {
+				r.opts.Events.Emit(obs.Event{
+					Type: obs.EventGC, Step: res.Steps,
+					Reclaimed: collected, Heap: st.Size(),
+				})
+			}
 			if collected > 0 {
 				res.Collections++
 				res.Collected += collected
 			}
 		}
-		r.observe(&res, s, st)
+		r.observe(&res, s, st, r.machine.LastRule())
 	}
 }
 
-func (r *Runner) observe(res *Result, s State, st *value.Store) {
+// observe samples the configuration s that rule just produced: peaks,
+// trace points, and transition events.
+func (r *Runner) observe(res *Result, s State, st *value.Store, rule Rule) {
 	heap := st.Size()
-	if heap > res.PeakHeap {
-		res.PeakHeap = heap
-	}
 	depth := value.Depth(s.K)
-	if depth > res.PeakContDepth {
-		res.PeakContDepth = depth
-	}
-	if !r.opts.Measure {
-		if r.opts.Trace != nil {
-			r.opts.Trace(TracePoint{Step: res.Steps, Heap: heap, ContDepth: depth})
+	r.peaks.Observe(space.PeakHeap, res.Steps, heap)
+	r.peaks.Observe(space.PeakContDepth, res.Steps, depth)
+	res.PeakHeap = r.peaks.Get(space.PeakHeap)
+	res.PeakContDepth = r.peaks.Get(space.PeakContDepth)
+
+	var flat, linked int
+	if r.opts.Measure {
+		flat = res.ProgramSize + r.meter.Flat(s.Val, s.Env, s.K, st)
+		if r.peaks.Observe(space.PeakFlat, res.Steps, flat) && r.opts.AttributePeak {
+			res.Peak = r.attributePeak(res.Steps, flat, s, st, rule)
 		}
-		return
-	}
-	flat := res.ProgramSize + r.meter.Flat(s.Val, s.Env, s.K, st)
-	if flat > res.PeakFlat {
-		res.PeakFlat = flat
-	}
-	linked := 0
-	if !r.opts.FlatOnly {
-		linked = res.ProgramSize + r.meter.Linked(s.Val, s.Env, s.K, st)
-		if linked > res.PeakLinked {
-			res.PeakLinked = linked
+		res.PeakFlat = r.peaks.Get(space.PeakFlat)
+		if !r.opts.FlatOnly {
+			linked = res.ProgramSize + r.meter.Linked(s.Val, s.Env, s.K, st)
+			r.peaks.Observe(space.PeakLinked, res.Steps, linked)
+			res.PeakLinked = r.peaks.Get(space.PeakLinked)
 		}
 	}
 	if r.opts.Trace != nil {
-		r.opts.Trace(TracePoint{Step: res.Steps, Flat: flat, Linked: linked, Heap: heap, ContDepth: depth})
+		r.opts.Trace(TracePoint{
+			Step: res.Steps, Flat: flat, Linked: linked,
+			Heap: heap, ContDepth: depth, Measured: r.opts.Measure,
+		})
+	}
+	if r.opts.Events != nil && res.Steps > 0 {
+		r.opts.Events.Emit(obs.Event{
+			Type: obs.EventTransition, Step: res.Steps, Rule: rule.String(),
+			Flat: flat, Linked: linked, Heap: heap, Depth: depth,
+			Measured: r.opts.Measure,
+		})
 	}
 }
+
+// attributePeak snapshots the configuration that raised the flat peak.
+func (r *Runner) attributePeak(step, flat int, s State, st *value.Store, rule Rule) *obs.PeakReport {
+	expr := s.Expr
+	if expr == nil {
+		expr = r.lastExpr
+	}
+	var exprStr string
+	var nodeID int
+	if expr != nil {
+		exprStr = expr.String()
+		nodeID = r.nodeIDs[expr]
+	}
+	return obs.NewPeakReport(r.opts.Variant.Name, step, flat, rule.String(),
+		exprStr, nodeID, s.Env, s.K, st, r.opts.NumberMode)
+}
+
+// buildMetrics assembles the run's registry from the dense per-rule counts
+// and the Result's accumulated totals.
+func (r *Runner) buildMetrics(res *Result, st *value.Store) *obs.Metrics {
+	m := obs.NewMetrics()
+	m.Inc(obs.MetricSteps, int64(res.Steps))
+	for rule, n := range r.ruleCounts {
+		if n > 0 {
+			m.Inc(obs.MetricRulePrefix+Rule(rule).String(), n)
+		}
+	}
+	m.Inc(obs.MetricCollections, int64(res.Collections))
+	m.Inc(obs.MetricReclaimed, int64(res.Collected))
+	if st != nil {
+		m.Inc(obs.MetricAllocs, int64(st.Allocs))
+	}
+	m.SetMax(obs.MetricContDepthMax, int64(res.PeakContDepth))
+	m.SetMax(obs.MetricHeapPeak, int64(res.PeakHeap))
+	if r.opts.Measure {
+		m.SetMax(obs.MetricFlatPeak, int64(res.PeakFlat))
+		if !r.opts.FlatOnly {
+			m.SetMax(obs.MetricLinkedPeak, int64(res.PeakLinked))
+		}
+	}
+	return m
+}
+
+// allocTap is the store observer behind EventAlloc: the runner points it at
+// the expression being evaluated before every transition, and every
+// allocation the transition performs is attributed to that expression.
+type allocTap struct {
+	sink obs.Sink
+	ids  map[ast.Expr]int
+	step int
+	expr ast.Expr
+}
+
+// StoreAlloc implements value.StoreObserver.
+func (t *allocTap) StoreAlloc(l env.Location, _ value.Value) {
+	ev := obs.Event{Type: obs.EventAlloc, Step: t.step, Loc: int(l)}
+	if t.expr != nil {
+		ev.NodeID = t.ids[t.expr]
+		ev.Expr = obs.Abbrev(t.expr.String(), 60)
+	}
+	t.sink.Emit(ev)
+}
+
+// StoreSet implements value.StoreObserver (writes are not allocation sites).
+func (t *allocTap) StoreSet(env.Location, value.Value, value.Value) {}
+
+// StoreDelete implements value.StoreObserver (reclamation is summarized by
+// the GC events instead of one event per cell).
+func (t *allocTap) StoreDelete(env.Location, value.Value) {}
 
 // RunProgram parses, expands, and runs program source text.
 func RunProgram(src string, opts Options) (Result, error) {

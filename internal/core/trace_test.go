@@ -95,6 +95,9 @@ func TestTraceCoversEveryStepInOrder(t *testing.T) {
 		if p.Step != i {
 			t.Fatalf("trace[%d].Step = %d: samples out of order", i, p.Step)
 		}
+		if !p.Measured {
+			t.Fatalf("trace[%d].Measured = false on a Measure run", i)
+		}
 		if p.Flat <= 0 {
 			t.Fatalf("trace[%d].Flat = %d, want positive", i, p.Flat)
 		}
@@ -164,6 +167,9 @@ func TestTraceWithoutMeasureSamplesHeapOnly(t *testing.T) {
 	for i, p := range trace {
 		if p.Step != i {
 			t.Fatalf("trace[%d].Step = %d", i, p.Step)
+		}
+		if p.Measured {
+			t.Fatalf("trace[%d].Measured = true without Measure", i)
 		}
 		if p.Flat != 0 || p.Linked != 0 {
 			t.Fatalf("trace[%d] measured space without Measure: flat=%d linked=%d", i, p.Flat, p.Linked)

@@ -60,10 +60,12 @@ func CPSExperiment() (Table, error) {
 		}
 
 		res := core.NewRunner(core.Options{Variant: core.Tail, MaxSteps: 8_000_000}).Run(converted)
+		t.Absorb(res.Metrics)
 		verdict := res.Answer
 		if res.Err != nil {
 			verdict = "ERROR"
 			t.Violationf("%s: CPS program failed: %v", p.Name, res.Err)
+			t.Incompletef("%s: CPS run ended without an answer: %v", p.Name, res.Err)
 		} else if res.Answer != p.Answer {
 			t.Violationf("%s: CPS answered %q, want %q", p.Name, res.Answer, p.Answer)
 		}

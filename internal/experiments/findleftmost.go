@@ -35,6 +35,8 @@ func FindLeftmost(ns []int) (Table, error) {
 	if err != nil {
 		return t, err
 	}
+	t.Absorb(right.Metrics)
+	t.Absorb(left.Metrics)
 
 	rowFor := func(label string, peaks []int) {
 		row := []string{label}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tailspace/internal/core"
+	"tailspace/internal/obs"
 	"tailspace/internal/space"
 )
 
@@ -40,7 +41,10 @@ func Hierarchy(programs map[string]string, n int) (Table, error) {
 	// The full (program × machine) grid runs on the shared worker pool; the
 	// table rows and inequality checks are assembled sequentially afterwards,
 	// so the output is identical to a sequential run.
-	type cell struct{ flat, linked int }
+	type cell struct {
+		flat, linked int
+		metrics      *obs.Metrics
+	}
 	cells := make([]cell, len(names)*len(core.Variants))
 	err := runGrid(len(cells), func(i int) error {
 		name := names[i/len(core.Variants)]
@@ -55,11 +59,14 @@ func Hierarchy(programs map[string]string, n int) (Table, error) {
 		if res.Err != nil {
 			return fmt.Errorf("hierarchy: %s [%s]: %w", name, v, res.Err)
 		}
-		cells[i] = cell{flat: res.PeakFlat, linked: res.PeakLinked}
+		cells[i] = cell{flat: res.PeakFlat, linked: res.PeakLinked, metrics: res.Metrics}
 		return nil
 	})
 	if err != nil {
 		return t, err
+	}
+	for _, c := range cells {
+		t.Absorb(c.metrics)
 	}
 
 	for ni, name := range names {

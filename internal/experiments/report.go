@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"tailspace/internal/obs"
 )
 
 // Table is a rendered experiment artifact: the rows the paper's figure or
@@ -15,10 +17,23 @@ type Table struct {
 	// Violations lists any asymptotic claims of the paper that the
 	// measurements failed to reproduce (empty on success).
 	Violations []string
+	// Incomplete lists runs that never produced an answer — stuck
+	// configurations or MaxSteps exhaustion — so a grid whose cells died is
+	// distinguishable from one whose claims held. An expected sticking (e.g.
+	// the strict Z_stack deletion policy refusing a dangling frame) is a row,
+	// not an Incomplete entry.
+	Incomplete []string
+	// Metrics aggregates the per-run registries of every cell in the grid:
+	// counters (transitions by rule, GC work, allocations) sum, gauges
+	// (peaks) take the maximum.
+	Metrics *obs.Metrics
 }
 
 // Ok reports whether every claim checked by the experiment held.
 func (t Table) Ok() bool { return len(t.Violations) == 0 }
+
+// Complete reports whether every run of the experiment produced an answer.
+func (t Table) Complete() bool { return len(t.Incomplete) == 0 }
 
 // AddRow appends a row of cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
@@ -26,6 +41,22 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 // Violationf records a failed claim.
 func (t *Table) Violationf(format string, args ...any) {
 	t.Violations = append(t.Violations, fmt.Sprintf(format, args...))
+}
+
+// Incompletef records a run that ended stuck or out of steps.
+func (t *Table) Incompletef(format string, args ...any) {
+	t.Incomplete = append(t.Incomplete, fmt.Sprintf(format, args...))
+}
+
+// Absorb merges a run's metrics registry into the table's aggregate.
+func (t *Table) Absorb(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	if t.Metrics == nil {
+		t.Metrics = obs.NewMetrics()
+	}
+	t.Metrics.Merge(m)
 }
 
 // Notef records a free-form observation.
@@ -64,6 +95,9 @@ func (t Table) Render() string {
 	}
 	for _, n := range t.Notes {
 		sb.WriteString("note: " + n + "\n")
+	}
+	for _, inc := range t.Incomplete {
+		sb.WriteString("INCOMPLETE: " + inc + "\n")
 	}
 	for _, v := range t.Violations {
 		sb.WriteString("VIOLATION: " + v + "\n")

@@ -81,6 +81,7 @@ func SECDExperiment(ns []int) (Table, error) {
 			res := secd.Run(code, mode, 8_000_000)
 			if res.Err != nil {
 				t.Violationf("%s [%s]: %v", p.Name, mode, res.Err)
+				t.Incompletef("%s [%s]: run ended without an answer: %v", p.Name, mode, res.Err)
 				continue
 			}
 			if res.Answer != p.Answer {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tailspace/internal/core"
+	"tailspace/internal/obs"
 	"tailspace/internal/space"
 )
 
@@ -22,6 +23,10 @@ type Series struct {
 	Label   string
 	Variant core.Variant
 	Points  []SeriesPoint
+	// Metrics aggregates the per-run registries across the sweep: counters
+	// (transitions by rule, GC work, allocations) sum over the inputs, gauges
+	// (peaks) take the maximum.
+	Metrics *obs.Metrics
 }
 
 // Ns returns the swept input sizes.
@@ -86,8 +91,9 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 	}
 	// Each input size is an independent run with its own store and meter, so
 	// the sweep fans out over the shared worker pool; points land in input
-	// order.
+	// order and the per-run metric registries are merged afterwards.
 	points := make([]SeriesPoint, len(ns))
+	metrics := make([]*obs.Metrics, len(ns))
 	err := runGrid(len(ns), func(i int) error {
 		n := ns[i]
 		res, err := core.RunApplication(gen(n), fmt.Sprintf("(quote %d)", n), core.Options{
@@ -109,11 +115,16 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 			N: n, Flat: res.PeakFlat, Linked: res.PeakLinked,
 			Heap: res.PeakHeap, Steps: res.Steps, ContDepth: res.PeakContDepth,
 		}
+		metrics[i] = res.Metrics
 		return nil
 	})
 	if err != nil {
 		return s, err
 	}
 	s.Points = points
+	s.Metrics = obs.NewMetrics()
+	for _, m := range metrics {
+		s.Metrics.Merge(m)
+	}
 	return s, nil
 }

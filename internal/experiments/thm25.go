@@ -53,6 +53,7 @@ func RunSeparation(prog SeparationProgram) (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		t.Absorb(series.Metrics)
 		fit := series.FitFlat()
 		fits[name] = fit
 		claim := prog.Claims[name]

@@ -43,6 +43,7 @@ func Thm26(ns []int) (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		t.Absorb(series.Metrics)
 		var peaks []int
 		if c.linked {
 			peaks = series.LinkedPeaks()

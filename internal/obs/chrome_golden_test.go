@@ -1,0 +1,101 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tailspace/internal/core"
+	"tailspace/internal/obs"
+	"tailspace/internal/space"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the exact Chrome trace_event bytes produced for
+// a small countdown run: the export is deterministic (seeded store, stable
+// field ordering), so any drift in the event stream or the format shows up as
+// a diff. Regenerate with: go test ./internal/obs -run ChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	const src = `(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 3)`
+	ring := obs.NewRing(0)
+	res, err := core.RunProgram(src, core.Options{
+		Variant: core.Tail, Measure: true, GCEvery: 1,
+		NumberMode: space.Fixnum, Events: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events on a tiny run", ring.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, "countdown [tail]", ring.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	gcs := 0
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "gc" {
+			gcs++
+		}
+	}
+	if gcs != res.Steps {
+		t.Fatalf("GC-rule events %d, want one per step %d", gcs, res.Steps)
+	}
+
+	golden := filepath.Join("testdata", "chrome_countdown.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from golden file %s (re-run with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestJSONLRoundTrip checks the JSONL export decodes back to the emitted
+// events, field for field.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []obs.Event{
+		{Type: obs.EventTransition, Step: 1, Rule: "call", Flat: 10, Linked: 8, Heap: 3, Depth: 2, Measured: true},
+		{Type: obs.EventGC, Step: 2, Reclaimed: 4, Heap: 2},
+		{Type: obs.EventAlloc, Step: 3, Loc: 17, NodeID: 5, Expr: "(cons x y)"},
+		{Type: obs.EventPeak, Step: 3, Peak: "flat", Value: 42},
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	for i, want := range events {
+		var got obs.Event
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("line %d: round-tripped %+v, want %+v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package obs is the observability layer over the reference
+// implementations: a structured event stream (transitions tagged with the
+// machine rule that fired, garbage collections with the cells they
+// reclaimed, store allocations attributed to the allocating expression, and
+// peak updates), a per-run metrics registry, and peak attribution reports
+// that name the source expression and machine rule live when a space
+// supremum was reached.
+//
+// The paper's claims are statements about peaks — S_X(P, D) is a sup over
+// the configurations of a computation — and this package answers the
+// question the raw peak value cannot: *where* the sup came from. Events flow
+// from the runner into a pluggable Sink; the bundled Ring keeps the stream
+// bounded-memory on multi-million-step runs, and the JSONL and Chrome
+// trace_event exporters turn a retained stream into files that external
+// tools (jq, chrome://tracing, Perfetto) can load.
+package obs
+
+// EventType discriminates the entries of the event stream.
+type EventType string
+
+const (
+	// EventTransition is one machine transition: the rule that fired plus
+	// the space sample of the configuration it produced.
+	EventTransition EventType = "transition"
+	// EventGC is one application of the garbage collection rule.
+	EventGC EventType = "gc"
+	// EventAlloc is one store allocation, attributed to the source
+	// expression whose evaluation performed it.
+	EventAlloc EventType = "alloc"
+	// EventPeak records that a running maximum (flat, linked, heap, or
+	// continuation depth) was raised.
+	EventPeak EventType = "peak"
+)
+
+// Event is one entry of the structured event stream. Only the fields
+// relevant to its Type are populated; zero-valued fields are omitted from
+// the JSONL encoding.
+type Event struct {
+	Type EventType `json:"type"`
+	// Step is the transition count when the event fired (0 is the initial
+	// configuration).
+	Step int `json:"step"`
+
+	// Rule tags a transition with the Figure 5 / §8–10 rule that fired.
+	Rule string `json:"rule,omitempty"`
+	// Flat and Linked are the Figure 7 / Figure 8 space samples of the
+	// configuration (including |P|); Heap is the live-location count and
+	// Depth the continuation chain length. Measured distinguishes "zero" from
+	// "not measured": without space accounting Flat and Linked were never
+	// computed.
+	Flat     int  `json:"flat,omitempty"`
+	Linked   int  `json:"linked,omitempty"`
+	Heap     int  `json:"heap,omitempty"`
+	Depth    int  `json:"depth,omitempty"`
+	Measured bool `json:"measured,omitempty"`
+
+	// Reclaimed is the number of locations a garbage collection removed.
+	Reclaimed int `json:"reclaimed,omitempty"`
+
+	// Loc is the allocated store location; NodeID and Expr identify the
+	// allocating expression (pre-order AST node ID and abbreviated source).
+	Loc    int    `json:"loc,omitempty"`
+	NodeID int    `json:"node,omitempty"`
+	Expr   string `json:"expr,omitempty"`
+
+	// Peak names the raised maximum ("flat", "linked", "heap", "depth") and
+	// Value its new value.
+	Peak  string `json:"peak,omitempty"`
+	Value int    `json:"value,omitempty"`
+}
+
+// Sink receives events as the run produces them. Implementations must be
+// cheap: Emit is called once or more per transition. A nil Sink in the
+// runner's options disables the stream entirely (zero overhead beyond a nil
+// check).
+type Sink interface {
+	Emit(Event)
+}
+
+// Abbrev truncates a source rendering to at most n runes, marking the cut
+// with an ellipsis, so events and reports stay one-line readable.
+func Abbrev(s string, n int) string {
+	if n <= 0 || len(s) <= n {
+		return s
+	}
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}

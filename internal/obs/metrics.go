@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// Canonical metric names. Counters accumulate over a run (and sum across a
+// grid); gauges are maxima (and take the max across a grid).
+const (
+	// MetricSteps counts machine transitions (excluding GC-rule
+	// applications), equal to Result.Steps.
+	MetricSteps = "machine.steps"
+	// MetricRulePrefix prefixes one counter per transition rule, e.g.
+	// "machine.rule.apply-tail". Their sum equals MetricSteps.
+	MetricRulePrefix = "machine.rule."
+	// MetricCollections and MetricReclaimed count GC-rule applications that
+	// reclaimed at least one cell, and the cells they reclaimed.
+	MetricCollections = "gc.collections"
+	MetricReclaimed   = "gc.reclaimed"
+	// MetricAllocs counts store allocations (monotone, GC-independent).
+	MetricAllocs = "store.allocs"
+	// Gauges: the run's peaks.
+	MetricContDepthMax = "cont.depth.max"
+	MetricFlatPeak     = "space.flat.peak"
+	MetricLinkedPeak   = "space.linked.peak"
+	MetricHeapPeak     = "space.heap.peak"
+)
+
+// Metrics is a per-run registry of named counters and gauges. It is not
+// safe for concurrent use; a run owns its registry, and grid aggregation
+// merges finished registries sequentially.
+type Metrics struct {
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: map[string]int64{}, gauges: map[string]int64{}}
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta int64) { m.counters[name] += delta }
+
+// SetMax raises the named gauge to v if v is larger.
+func (m *Metrics) SetMax(name string, v int64) {
+	if cur, ok := m.gauges[name]; !ok || v > cur {
+		m.gauges[name] = v
+	}
+}
+
+// Counter reads a counter (0 when absent).
+func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// Gauge reads a gauge (0 when absent).
+func (m *Metrics) Gauge(name string) int64 { return m.gauges[name] }
+
+// SumCounters sums every counter whose name starts with prefix.
+func (m *Metrics) SumCounters(prefix string) int64 {
+	var total int64
+	for name, v := range m.counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Merge folds other into m: counters add, gauges take the maximum. This is
+// the per-grid aggregation rule — transition totals accumulate across cells
+// while peaks report the worst cell.
+func (m *Metrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.counters {
+		m.counters[name] += v
+	}
+	for name, v := range other.gauges {
+		m.SetMax(name, v)
+	}
+}
+
+// Snapshot returns every metric in one map (counters and gauges share the
+// namespace by construction).
+func (m *Metrics) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.counters)+len(m.gauges))
+	for name, v := range m.counters {
+		out[name] = v
+	}
+	for name, v := range m.gauges {
+		out[name] = v
+	}
+	return out
+}
+
+// Names returns every metric name in sorted order, for deterministic
+// rendering.
+func (m *Metrics) Names() []string {
+	out := make([]string, 0, len(m.counters)+len(m.gauges))
+	for name := range m.counters {
+		out = append(out, name)
+	}
+	for name := range m.gauges {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalJSON encodes the snapshot, so a Result (or an aggregated grid)
+// serializes its metrics as a flat name→value object.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}

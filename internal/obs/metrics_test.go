@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(MetricRulePrefix+"var", 3)
+	m.Inc(MetricRulePrefix+"var", 2)
+	m.Inc(MetricRulePrefix+"if", 1)
+	m.Inc(MetricSteps, 6)
+	m.SetMax(MetricFlatPeak, 10)
+	m.SetMax(MetricFlatPeak, 7) // lower: must not regress
+	if got := m.Counter(MetricRulePrefix + "var"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := m.SumCounters(MetricRulePrefix); got != 6 {
+		t.Fatalf("SumCounters(rule) = %d, want 6", got)
+	}
+	if got := m.Gauge(MetricFlatPeak); got != 10 {
+		t.Fatalf("gauge = %d, want max 10", got)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := NewMetrics()
+	a.Inc(MetricSteps, 10)
+	a.SetMax(MetricHeapPeak, 4)
+	b := NewMetrics()
+	b.Inc(MetricSteps, 5)
+	b.SetMax(MetricHeapPeak, 9)
+	b.SetMax(MetricContDepthMax, 2)
+	a.Merge(b)
+	a.Merge(nil) // nil registries (e.g. a cell that never ran) are ignored
+	if got := a.Counter(MetricSteps); got != 15 {
+		t.Fatalf("merged counter = %d, want sum 15", got)
+	}
+	if got := a.Gauge(MetricHeapPeak); got != 9 {
+		t.Fatalf("merged gauge = %d, want max 9", got)
+	}
+	if got := a.Gauge(MetricContDepthMax); got != 2 {
+		t.Fatalf("merged new gauge = %d, want 2", got)
+	}
+}
+
+func TestMetricsMarshalJSONIsFlat(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(MetricSteps, 3)
+	m.SetMax(MetricHeapPeak, 8)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded[MetricSteps] != 3 || decoded[MetricHeapPeak] != 8 {
+		t.Fatalf("decoded %v", decoded)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+// DefaultRingCapacity is the ring size used when a caller passes a
+// non-positive capacity: large enough to hold an entire medium run, small
+// enough that a 5M-step trace stays bounded.
+const DefaultRingCapacity = 1 << 16
+
+// Ring is a bounded in-memory event buffer implementing Sink: it retains
+// the most recent events and overwrites the oldest once full, so attaching
+// it to a multi-million-step run costs O(capacity) memory, not O(steps).
+// Exporters drain the retained tail after the run finishes.
+type Ring struct {
+	buf   []Event
+	next  int // index the next event lands in
+	total int // events ever emitted
+}
+
+// NewRing returns a ring retaining the last capacity events
+// (DefaultRingCapacity when capacity < 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Capacity is the maximum number of events retained.
+func (r *Ring) Capacity() int { return cap(r.buf) }
+
+// Len is the number of events currently retained.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total is the number of events ever emitted.
+func (r *Ring) Total() int { return r.total }
+
+// Dropped is the number of emitted events the ring has overwritten.
+func (r *Ring) Dropped() int { return r.total - len(r.buf) }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if r.total > len(r.buf) {
+		// Full: oldest entry is at next.
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// Drain emits the retained events, oldest first, into another sink.
+func (r *Ring) Drain(s Sink) {
+	for _, e := range r.Events() {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "testing"
+
+func TestRingBelowCapacityRetainsEverything(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Type: EventTransition, Step: i})
+	}
+	if r.Len() != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 5/5/0", r.Len(), r.Total(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if e.Step != i {
+			t.Fatalf("event %d has step %d", i, e.Step)
+		}
+	}
+}
+
+func TestRingOverflowDropsOldestFirst(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Emit(Event{Type: EventTransition, Step: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	if r.Total() != 11 || r.Dropped() != 7 {
+		t.Fatalf("total=%d dropped=%d, want 11/7", r.Total(), r.Dropped())
+	}
+	got := r.Events()
+	// The retained tail is the newest four events, oldest first, even though
+	// the write cursor is mid-buffer.
+	want := []int{7, 8, 9, 10}
+	for i, e := range got {
+		if e.Step != want[i] {
+			t.Fatalf("Events()[%d].Step = %d, want %d (got %v)", i, e.Step, want[i], steps(got))
+		}
+	}
+}
+
+func TestRingDrainPreservesOrder(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Emit(Event{Step: i})
+	}
+	var dst Ring
+	dst.buf = make([]Event, 0, 16)
+	r.Drain(&dst)
+	got := steps(dst.Events())
+	if len(got) != 3 || got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("drained steps %v, want [4 5 6]", got)
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	if c := NewRing(0).Capacity(); c != DefaultRingCapacity {
+		t.Fatalf("NewRing(0).Capacity() = %d, want %d", c, DefaultRingCapacity)
+	}
+	if c := NewRing(-3).Capacity(); c != DefaultRingCapacity {
+		t.Fatalf("NewRing(-3).Capacity() = %d, want %d", c, DefaultRingCapacity)
+	}
+}
+
+func steps(events []Event) []int {
+	out := make([]int, len(events))
+	for i, e := range events {
+		out[i] = e.Step
+	}
+	return out
+}

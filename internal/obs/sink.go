@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLSink streams events to a writer as one JSON object per line — the
+// interchange format for ad-hoc tooling (jq, pandas). It buffers nothing, so
+// it is bounded-memory on its own; put a Ring in front when only the tail of
+// a long run is wanted.
+type JSONLSink struct {
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink. The first write error is retained and later emits
+// become no-ops; check Err after the run.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err reports the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// WriteJSONL writes events as JSON lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	s := NewJSONLSink(w)
+	for _, e := range events {
+		s.Emit(e)
+	}
+	return s.Err()
+}
+
+// WriteChromeTrace renders events in the Chrome trace_event JSON format, so
+// a run's space profile loads directly in chrome://tracing or Perfetto. The
+// mapping, with one microsecond of trace time per machine step:
+//
+//   - each transition becomes a 1µs complete event ("ph":"X") named after
+//     its rule, on the "machine" thread, plus counter events ("ph":"C")
+//     for the space series (flat/linked) and the live series (heap/depth);
+//   - each garbage collection becomes an instant event ("ph":"i") named
+//     "gc" carrying the reclaimed cell count;
+//   - each allocation becomes an instant event named "alloc" carrying the
+//     location and the allocating expression;
+//   - each peak update becomes an instant event "peak <kind>" with the new
+//     value.
+//
+// label names the process (conventionally "tailspace (<machine>)"). The
+// output is deterministic: events are written in stream order with stable
+// field ordering.
+func WriteChromeTrace(w io.Writer, label string, events []Event) error {
+	bw := &errWriter{w: w}
+	bw.printf(`{"traceEvents":[`)
+	bw.printf("\n"+` {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":%s}}`, jstr(label))
+	bw.printf(",\n" + ` {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"machine"}}`)
+	for _, e := range events {
+		switch e.Type {
+		case EventTransition:
+			bw.printf(",\n"+` {"name":%s,"cat":"rule","ph":"X","ts":%d,"dur":1,"pid":1,"tid":1}`,
+				jstr(e.Rule), e.Step)
+			if e.Measured {
+				bw.printf(",\n"+` {"name":"space","ph":"C","ts":%d,"pid":1,"args":{"flat":%d,"linked":%d}}`,
+					e.Step, e.Flat, e.Linked)
+			}
+			bw.printf(",\n"+` {"name":"live","ph":"C","ts":%d,"pid":1,"args":{"heap":%d,"depth":%d}}`,
+				e.Step, e.Heap, e.Depth)
+		case EventGC:
+			bw.printf(",\n"+` {"name":"gc","cat":"gc","ph":"i","ts":%d,"pid":1,"tid":1,"s":"t","args":{"reclaimed":%d,"heap":%d}}`,
+				e.Step, e.Reclaimed, e.Heap)
+		case EventAlloc:
+			bw.printf(",\n"+` {"name":"alloc","cat":"alloc","ph":"i","ts":%d,"pid":1,"tid":1,"s":"t","args":{"loc":%d,"node":%d,"expr":%s}}`,
+				e.Step, e.Loc, e.NodeID, jstr(e.Expr))
+		case EventPeak:
+			bw.printf(",\n"+` {"name":%s,"cat":"peak","ph":"i","ts":%d,"pid":1,"tid":1,"s":"t","args":{"value":%d}}`,
+				jstr("peak "+e.Peak), e.Step, e.Value)
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// jstr renders a string as a JSON literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -180,26 +180,9 @@ func (d *DeltaMeter) contSpace(k value.Cont) int {
 	return base
 }
 
-// frameSpace is the Figure 7 charge of a single continuation frame — the
-// per-frame increments of Measurer.Cont. Values held in push and call
-// continuations cost one word each through the m+n terms; their payloads are
-// charged in the store.
+// frameSpace is the Figure 7 charge of a single continuation frame, shared
+// with the oracle through Measurer.Frame so the two meters can never
+// disagree on per-frame pricing.
 func (d *DeltaMeter) frameSpace(k value.Cont) int {
-	switch x := k.(type) {
-	case value.Halt:
-		return 1
-	case *value.Select:
-		return 1 + x.Env.Size()
-	case *value.Assign:
-		return 1 + x.Env.Size()
-	case *value.Push:
-		return 1 + len(x.Rest) + len(x.Done) + x.Env.Size()
-	case *value.Call:
-		return 1 + len(x.Args)
-	case *value.Return:
-		return 1 + x.Env.Size()
-	case *value.ReturnStack:
-		return 1 + x.Env.Size()
-	}
-	return 0
+	return d.M.Frame(k)
 }

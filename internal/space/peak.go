@@ -1,0 +1,59 @@
+package space
+
+// PeakKind identifies one of the running maxima a run tracks: the paper's
+// S_X and U_X samples plus the heap and control-depth diagnostics.
+type PeakKind uint8
+
+const (
+	// PeakFlat is |P| + Figure 7 space — the S_X(P, D) sample.
+	PeakFlat PeakKind = iota
+	// PeakLinked is |P| + Figure 8 space — the U_X(P, D) sample.
+	PeakLinked
+	// PeakHeap is the live-location count |Dom σ|.
+	PeakHeap
+	// PeakContDepth is the continuation chain length.
+	PeakContDepth
+	numPeakKinds
+)
+
+// String names the kind as the event stream spells it.
+func (k PeakKind) String() string {
+	switch k {
+	case PeakFlat:
+		return "flat"
+	case PeakLinked:
+		return "linked"
+	case PeakHeap:
+		return "heap"
+	case PeakContDepth:
+		return "depth"
+	}
+	return "unknown"
+}
+
+// Peaks tracks the running maxima of a run and notifies an optional
+// callback whenever one is raised — the hook the observability layer uses
+// for peak-update events and peak attribution. The zero value is ready to
+// use; both meters' measurements flow through Observe.
+type Peaks struct {
+	// OnUpdate, when set, fires after a maximum is raised, with the kind,
+	// the step that raised it, and the new value.
+	OnUpdate func(kind PeakKind, step, value int)
+
+	vals [numPeakKinds]int
+}
+
+// Observe offers a sample and reports whether it raised the maximum.
+func (p *Peaks) Observe(kind PeakKind, step, value int) bool {
+	if value <= p.vals[kind] {
+		return false
+	}
+	p.vals[kind] = value
+	if p.OnUpdate != nil {
+		p.OnUpdate(kind, step, value)
+	}
+	return true
+}
+
+// Get reads the current maximum for kind (0 before any observation).
+func (p *Peaks) Get(kind PeakKind) int { return p.vals[kind] }

@@ -1,0 +1,48 @@
+package space
+
+import "testing"
+
+func TestPeaksObserveRaisesAndNotifies(t *testing.T) {
+	var p Peaks
+	type update struct {
+		kind        PeakKind
+		step, value int
+	}
+	var got []update
+	p.OnUpdate = func(kind PeakKind, step, value int) {
+		got = append(got, update{kind, step, value})
+	}
+	if !p.Observe(PeakFlat, 1, 10) {
+		t.Fatal("first observation must raise the maximum")
+	}
+	if p.Observe(PeakFlat, 2, 10) || p.Observe(PeakFlat, 3, 4) {
+		t.Fatal("equal or lower samples must not raise the maximum")
+	}
+	if !p.Observe(PeakFlat, 4, 11) {
+		t.Fatal("larger sample must raise the maximum")
+	}
+	p.Observe(PeakHeap, 5, 3)
+	if p.Get(PeakFlat) != 11 || p.Get(PeakHeap) != 3 || p.Get(PeakLinked) != 0 {
+		t.Fatalf("maxima flat=%d heap=%d linked=%d", p.Get(PeakFlat), p.Get(PeakHeap), p.Get(PeakLinked))
+	}
+	want := []update{{PeakFlat, 1, 10}, {PeakFlat, 4, 11}, {PeakHeap, 5, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d updates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("update %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPeakKindStrings(t *testing.T) {
+	names := map[PeakKind]string{
+		PeakFlat: "flat", PeakLinked: "linked", PeakHeap: "heap", PeakContDepth: "depth",
+	}
+	for kind, want := range names {
+		if kind.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}

@@ -66,30 +66,39 @@ func (m Measurer) Value(v value.Value) int {
 	return 1
 }
 
-// Cont is Figure 7's space(κ).
+// Cont is Figure 7's space(κ): the sum of the per-frame charges.
 func (m Measurer) Cont(k value.Cont) int {
 	total := 0
 	for k != nil {
-		switch x := k.(type) {
-		case value.Halt:
-			total++
-			return total
-		case *value.Select:
-			total += 1 + x.Env.Size()
-		case *value.Assign:
-			total += 1 + x.Env.Size()
-		case *value.Push:
-			total += 1 + len(x.Rest) + len(x.Done) + x.Env.Size()
-		case *value.Call:
-			total += 1 + len(x.Args)
-		case *value.Return:
-			total += 1 + x.Env.Size()
-		case *value.ReturnStack:
-			total += 1 + x.Env.Size()
-		}
+		total += m.Frame(k)
 		k = k.Next()
 	}
 	return total
+}
+
+// Frame is the Figure 7 charge of a single continuation frame — the
+// per-frame increment of Cont. Values held in push and call continuations
+// cost one word each through the m+n terms; their payloads are charged in
+// the store. DeltaMeter's memo and the peak-attribution reports both price
+// frames through this single definition.
+func (m Measurer) Frame(k value.Cont) int {
+	switch x := k.(type) {
+	case value.Halt:
+		return 1
+	case *value.Select:
+		return 1 + x.Env.Size()
+	case *value.Assign:
+		return 1 + x.Env.Size()
+	case *value.Push:
+		return 1 + len(x.Rest) + len(x.Done) + x.Env.Size()
+	case *value.Call:
+		return 1 + len(x.Args)
+	case *value.Return:
+		return 1 + x.Env.Size()
+	case *value.ReturnStack:
+		return 1 + x.Env.Size()
+	}
+	return 0
 }
 
 // Store is Figure 7's space(σ) = Σ over α ∈ σ of (1 + space(σ(α))),

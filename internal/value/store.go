@@ -11,9 +11,10 @@ import (
 // call per allocation, write, and deletion (garbage collection reports each
 // collected location as a deletion). Meters use these hooks to maintain
 // incremental space accounts in O(cells touched) per transition instead of
-// re-walking the whole store; values are structurally immutable once stored
-// (mutation replaces the slot), so a price computed at notification time
-// never goes stale.
+// re-walking the whole store; the observability layer uses the same hooks to
+// attribute allocations to the expression being evaluated. Values are
+// structurally immutable once stored (mutation replaces the slot), so a
+// price computed at notification time never goes stale.
 type StoreObserver interface {
 	// StoreAlloc reports that a fresh location l was bound to v.
 	StoreAlloc(l env.Location, v Value)

@@ -34,7 +34,7 @@ func TestObserverTracksMutations(t *testing.T) {
 	s := NewStore()
 	a := &accountant{}
 	s.AddObserver(a)
-	s.AddObserver(a) // double registration is a no-op
+	s.AddObserver(a)          // double registration is a no-op
 	l := s.Alloc(Str("abcd")) // +6
 	if a.total != 6 {
 		t.Fatalf("after alloc: %d", a.total)
