@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestLintGoldenJSON pins the exact bytes of `tailscan -lint -json` for the
+// two bundled leak examples. The analyzer's output is deterministic (node
+// IDs from a pre-order numbering, sorted capture sets, fixed relation
+// order), so any drift in a verdict, a leak diagnostic, or the JSON shape
+// shows up as a diff. Regenerate with:
+//
+//	go test ./cmd/tailscan -run LintGoldenJSON -update
+func TestLintGoldenJSON(t *testing.T) {
+	var sources []namedSource
+	for _, path := range []string{
+		filepath.Join("..", "..", "examples", "retained-closure.scm"),
+		filepath.Join("..", "..", "examples", "evlis-leak.scm"),
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The golden file uses the repo-relative name the README shows.
+		sources = append(sources, namedSource{name: filepath.ToSlash(path[len("../../"):]), src: string(data)})
+	}
+
+	reports, err := lintAll(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Confirmed() {
+			t.Errorf("%s: expected a confirmed leak, got none (ordering %s)", r.Program, r.Ordering)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := writeLintJSON(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("lint output is not valid JSON:\n%s", buf.String())
+	}
+
+	golden := filepath.Join("testdata", "lint_examples.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("lint JSON drifted from golden file %s (re-run with -update if intended)\ngot:\n%s", golden, buf.String())
+	}
+}

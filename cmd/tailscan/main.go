@@ -1,21 +1,27 @@
 // Command tailscan classifies every procedure call of the given Scheme
 // source files as non-tail, tail, or self-tail (Definitions 1 and 2 of the
-// paper), prints a Figure 2 style frequency table, and — for named files —
-// reports each program's static control-space verdict: whether its
-// continuation depth under the properly tail recursive machine is provably
-// input-independent (a stack-like-leak linter). With no arguments it scans
-// the bundled benchmark corpus.
+// paper), prints a Figure 2 style frequency table, and reports each
+// program's static control-space verdict: whether its continuation depth
+// under the properly tail recursive machine is provably input-independent.
+// With no arguments it scans the bundled benchmark corpus through the same
+// per-program report path.
 //
-//	tailscan [-json] [file.scm ...]
+//	tailscan [-json] [-lint] [file.scm ...]
+//
+// -lint runs the space-leak analyzer instead: per-closure capture reports,
+// structured leak diagnostics (which machine pair each leak separates), and
+// the predicted per-machine space ordering. The exit status is non-zero
+// when a confirmed leak is found.
 //
 // -json emits the same information machine-readably: the Figure 2 table for
-// the corpus scan, or one record per named file.
+// the corpus scan, or one record per program.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tailspace/internal/analysis"
@@ -23,12 +29,64 @@ import (
 	"tailspace/internal/experiments"
 )
 
+// namedSource is one program to report on, from a file or the corpus.
+type namedSource struct {
+	name, src string
+}
+
 func main() {
 	fs := flag.NewFlagSet("tailscan", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit results as JSON instead of a rendered table")
+	lint := fs.Bool("lint", false, "run the space-leak analyzer; exit non-zero on confirmed leaks")
 	fs.Parse(os.Args[1:])
 
+	var sources []namedSource
 	if fs.NArg() == 0 {
+		for _, p := range corpus.All() {
+			sources = append(sources, namedSource{name: p.Name, src: p.Source})
+		}
+	} else {
+		for _, path := range fs.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			sources = append(sources, namedSource{name: path, src: string(data)})
+		}
+	}
+
+	if *lint {
+		reports, err := lintAll(sources)
+		if err != nil {
+			fatal(err)
+		}
+		confirmed := 0
+		for _, r := range reports {
+			if r.Confirmed() {
+				confirmed++
+			}
+		}
+		if *jsonOut {
+			if err := writeLintJSON(os.Stdout, reports); err != nil {
+				fatal(err)
+			}
+		} else {
+			for _, r := range reports {
+				fmt.Print(r.Render())
+			}
+			if confirmed > 0 {
+				fmt.Printf("%d of %d programs have confirmed space leaks\n", confirmed, len(reports))
+			}
+		}
+		if confirmed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if fs.NArg() == 0 {
+		// Corpus mode leads with the aggregate Figure 2 table, then falls
+		// through to the same per-program report path as named files.
 		table, err := experiments.Fig2()
 		if err != nil {
 			fatal(err)
@@ -43,8 +101,6 @@ func main() {
 			return
 		}
 		fmt.Println(table.Render())
-		_ = corpus.All()
-		return
 	}
 
 	type fileReport struct {
@@ -61,23 +117,19 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("%-24s %8s %12s %10s %10s %12s\n", "program", "calls", "non-tail %", "tail %", "self %", "control")
 	}
-	for _, path := range fs.Args() {
-		data, err := os.ReadFile(path)
+	for _, src := range sources {
+		s, err := analysis.AnalyzeSource(src.name, src.src)
 		if err != nil {
 			fatal(err)
 		}
-		s, err := analysis.AnalyzeSource(path, string(data))
-		if err != nil {
-			fatal(err)
-		}
-		rep, err := analysis.ControlSpaceSource(string(data))
+		rep, err := analysis.ControlSpaceSource(src.src)
 		if err != nil {
 			fatal(err)
 		}
 		total.Add(s)
 		if *jsonOut {
 			reports = append(reports, fileReport{
-				Program: path, Calls: s.Calls,
+				Program: src.name, Calls: s.Calls,
 				NonTail:  s.Percent(s.NonTail),
 				Tail:     s.Percent(s.Tail()),
 				SelfTail: s.Percent(s.SelfColumn()),
@@ -86,7 +138,7 @@ func main() {
 			})
 			continue
 		}
-		printRowWithControl(path, s, rep)
+		printRowWithControl(src.name, s, rep)
 		for _, f := range rep.Findings {
 			fmt.Println("    " + f)
 		}
@@ -95,9 +147,30 @@ func main() {
 		emitJSON(reports)
 		return
 	}
-	if fs.NArg() > 1 {
+	if len(sources) > 1 {
 		printRow("TOTAL", total)
 	}
+}
+
+// lintAll runs the leak analyzer over every source.
+func lintAll(sources []namedSource) ([]*analysis.LintReport, error) {
+	var reports []*analysis.LintReport
+	for _, src := range sources {
+		r, err := analysis.LintSource(src.name, src.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src.name, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// writeLintJSON encodes lint reports the way -lint -json prints them; the
+// golden test pins these exact bytes.
+func writeLintJSON(w io.Writer, reports []*analysis.LintReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }
 
 func emitJSON(v any) {

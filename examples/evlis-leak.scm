@@ -1,0 +1,22 @@
+; A continuation-environment park. The recursive call happens while (rest)
+; -- the last and only subexpression of ((rest)) -- is being evaluated, so
+; the pending push continuation holds the environment, dead vector v
+; included, for the whole recursion: quadratic on Z_tail, Z_gc, Z_stack and
+; Z_free. Z_evlis stores the empty environment when the last remaining
+; subexpression is evaluated, and Z_sfs restricts continuation environments
+; to live variables: both stay linear.
+;
+;   tailscan -lint examples/evlis-leak.scm
+;
+; The linter reports an evlis-env leak separating evlis<tail (and
+; sfs<free), and the differential grid in internal/experiments confirms
+; the gap on the meters.
+(define (leak n)
+  (define (rest)
+    (begin (leak (- n 1))
+           (lambda () n)))
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        ((rest)))))
+(leak 64)

@@ -1,0 +1,17 @@
+; A closure created inside a recursive activation. Machines without the
+; free-variable rule (Z_tail, Z_gc, Z_stack, Z_evlis) close it over the
+; whole environment -- the dead vector v included -- so the recursion its
+; body performs retains one vector per level: quadratic space. Z_free and
+; Z_sfs capture only the free variables (n, leak) and stay linear.
+;
+;   tailscan -lint examples/retained-closure.scm
+;
+; The linter reports a retained-closure leak separating free<tail, and the
+; differential grid in internal/experiments confirms the gap on the meters.
+(define (leak n)
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        ((lambda ()
+           (begin (leak (- n 1)) n))))))
+(leak 64)

@@ -1,0 +1,281 @@
+package analysis
+
+// This file classifies bindings by what the machines can be forced to
+// retain through them. A binding is *unsafe* when the size of the value
+// reachable from it can grow with the program's input; *fresh* when the
+// value is allocated anew each time the binding is made (so a recursion
+// making the binding per level allocates per level); and *sized* when the
+// allocation's extent tracks an input-derived magnitude (make-vector of
+// something computed from the input — the paper's separation programs all
+// hinge on such a binding). The leak detectors claim a machine-pair
+// separation only for bindings that are unsafe, fresh and sized: those are
+// the ones whose retention or reclamation moves a program between growth
+// classes.
+//
+// Two fixpoints run over the same binding set:
+//
+//   - safety: a parameter that (transitively) depends on its own class is
+//     an accumulator threaded through a loop and is resolved pessimistically
+//     (unsafe); a letrec-bound procedure's self-reference is the ordinary
+//     recursion knot — the closure is built once per letrec entry — and is
+//     resolved optimistically, then iterated to a fixpoint so that unsafety
+//     flowing in through captured data still propagates;
+//   - magnitude: which scalars derive from the program's input. Driver-call
+//     operands seed it; scalar primitives propagate it; the fixpoint is
+//     optimistic because a self-updating loop counter is input-derived only
+//     if input flows in from some call site.
+
+import "tailspace/internal/ast"
+
+// bindClass is the safety lattice; join is pointwise or.
+type bindClass struct {
+	unsafe bool // reachable value size may grow with the input
+	fresh  bool // value freshly allocated where the binding is made
+	sized  bool // allocation extent tracks an input-derived magnitude
+}
+
+func (c bindClass) join(d bindClass) bindClass {
+	return bindClass{
+		unsafe: c.unsafe || d.unsafe,
+		fresh:  c.fresh || d.fresh,
+		sized:  c.sized || d.sized,
+	}
+}
+
+// Primitive classification. Scalars produce O(1) values regardless of their
+// arguments (fixed-precision numbers, booleans, characters); allocators
+// produce fresh structure whose safety follows their arguments'; sized
+// allocators produce fresh structure whose extent is their first argument's
+// magnitude; accessors extract components, inheriting their argument's
+// safety.
+var (
+	scalarPrims = map[string]bool{
+		"%undef": true, "*": true, "+": true, "-": true, "abs": true,
+		"char->integer": true, "integer->char": true,
+		"eq?": true, "equal?": true, "eqv?": true,
+		"even?": true, "odd?": true, "zero?": true,
+		"positive?": true, "negative?": true, "not": true,
+		"error": true, "expt": true, "gcd": true, "lcm": true,
+		"length": true, "max": true, "min": true, "modulo": true,
+		"quotient": true, "remainder": true, "random": true,
+		"set-car!": true, "set-cdr!": true,
+		"vector-set!": true, "vector-fill!": true,
+		"string-length": true, "vector-length": true,
+		"string-ref": true, "string->number": true,
+	}
+	allocPrims = map[string]bool{
+		"append": true, "cons": true, "list": true,
+		"list->string": true, "list->vector": true,
+		"number->string": true, "reverse": true,
+		"string->list": true, "string->symbol": true,
+		"symbol->string": true, "string-append": true,
+		"substring": true, "vector": true, "vector->list": true,
+	}
+	sizedAllocPrims = map[string]bool{
+		"make-vector": true, "make-string": true,
+	}
+	accessorPrims = map[string]bool{
+		"car": true, "cdr": true, "list-ref": true, "list-tail": true,
+		"vector-ref": true,
+	}
+)
+
+type classifier struct {
+	s *scopes
+}
+
+// classifyAll computes every binding's class and magnitude, iterating until
+// both fixpoints are stable. The lattices are finite and the per-round
+// functions monotone (in-progress lookups return the previous round's
+// value), so this terminates in a handful of rounds.
+func classifyAll(s *scopes) {
+	c := &classifier{s: s}
+	for round := 0; round < len(s.all)+2; round++ {
+		changed := false
+		for _, b := range s.all {
+			b.clsDone = false
+			b.magDone = false
+		}
+		for _, b := range s.all {
+			prevCls, prevMag := b.cls, b.inputMag
+			c.bindingClass(b)
+			c.bindingMag(b)
+			if b.cls != prevCls || b.inputMag != prevMag {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// bindingClass folds the safety class over a binding's initializers.
+func (c *classifier) bindingClass(b *binding) bindClass {
+	if b.clsDone {
+		return b.cls
+	}
+	if b.isProc() {
+		// Optimistic recursion knot: return the previous round's value; the
+		// outer fixpoint iterates until captured unsafety stabilizes.
+		b.clsDone = true
+	}
+	cls := bindClass{}
+	if b.initUnknown || b.setCount > 0 {
+		cls.unsafe = true
+	}
+	// Pessimistic in-progress marker for non-procedure bindings: a cyclic
+	// dependency through a parameter is a loop-carried accumulator.
+	wasDone := b.clsDone
+	if !wasDone {
+		b.clsDone = true
+		b.cls = bindClass{unsafe: true}
+	}
+	for _, init := range b.inits {
+		cls = cls.join(c.exprClass(init))
+	}
+	b.cls = cls
+	return cls
+}
+
+// isProc reports whether b is a letrec binding initialized to a procedure —
+// the one kind of self-referential binding that is not an accumulator.
+func (b *binding) isProc() bool {
+	if b.kind != letrecBind || len(b.inits) != 1 {
+		return false
+	}
+	lam, ok := b.inits[0].(*ast.Lambda)
+	return ok && !transparentLabel(lam.Label)
+}
+
+// exprClass classifies the value of an expression.
+func (c *classifier) exprClass(e ast.Expr) bindClass {
+	switch x := e.(type) {
+	case *ast.Const:
+		return bindClass{}
+	case *ast.Var:
+		if b := c.s.varRef[x]; b != nil {
+			return c.bindingClass(b)
+		}
+		return bindClass{} // primitive procedure or %undef: constant size
+	case *ast.Lambda:
+		// A closure cell is small, but the closure retains whatever its
+		// free variables reach; under whole-environment capture it can
+		// retain more, which the retention analysis handles separately.
+		cls := bindClass{fresh: true}
+		env := c.s.lamEnv[x]
+		for name := range c.s.fv.Free(x) {
+			if b := env[name]; b != nil && c.bindingClass(b).unsafe {
+				cls.unsafe = true
+			}
+		}
+		return cls
+	case *ast.If:
+		return c.exprClass(x.Then).join(c.exprClass(x.Else))
+	case *ast.Set:
+		return bindClass{} // unspecified value
+	case *ast.Call:
+		return c.callClass(x)
+	}
+	return bindClass{unsafe: true}
+}
+
+func (c *classifier) callClass(x *ast.Call) bindClass {
+	switch op := x.Operator().(type) {
+	case *ast.Lambda:
+		// Any immediately applied lambda evaluates to its body's value —
+		// this sees through the expander's let/letrec/begin plumbing.
+		return c.exprClass(op.Body)
+	case *ast.Var:
+		if c.s.varRef[op] != nil {
+			// A user procedure call: its result is not tracked.
+			return bindClass{unsafe: true}
+		}
+		return c.primClass(op.Name, x)
+	default:
+		return bindClass{unsafe: true}
+	}
+}
+
+func (c *classifier) primClass(name string, call *ast.Call) bindClass {
+	args := call.Operands()
+	switch {
+	case scalarPrims[name]:
+		return bindClass{}
+	case sizedAllocPrims[name]:
+		cls := bindClass{fresh: true}
+		if len(args) > 0 && c.inputMagExpr(args[0]) {
+			cls.unsafe = true
+			cls.sized = true
+		}
+		return cls
+	case allocPrims[name]:
+		cls := bindClass{fresh: true}
+		for _, a := range args {
+			if c.exprClass(a).unsafe {
+				cls.unsafe = true
+			}
+		}
+		return cls
+	case accessorPrims[name]:
+		cls := bindClass{}
+		for _, a := range args {
+			if c.exprClass(a).unsafe {
+				cls.unsafe = true
+			}
+		}
+		return cls
+	default:
+		// apply, call/cc, unregistered names: anything can come back.
+		return bindClass{unsafe: true}
+	}
+}
+
+// inputMagExpr reports whether an expression's numeric magnitude can derive
+// from the program input.
+func (c *classifier) inputMagExpr(e ast.Expr) bool {
+	if c.s.driverArgs[e] {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Const:
+		return false
+	case *ast.Var:
+		if b := c.s.varRef[x]; b != nil {
+			return c.bindingMag(b)
+		}
+		return false
+	case *ast.If:
+		return c.inputMagExpr(x.Then) || c.inputMagExpr(x.Else)
+	case *ast.Call:
+		if lam, ok := x.Operator().(*ast.Lambda); ok {
+			return c.inputMagExpr(lam.Body)
+		}
+		if op, ok := x.Operator().(*ast.Var); ok && c.s.varRef[op] == nil && scalarPrims[op.Name] {
+			for _, a := range x.Operands() {
+				if c.inputMagExpr(a) {
+					return true
+				}
+			}
+			return false
+		}
+		return true // user call or unknown operator: could be anything
+	}
+	return true
+}
+
+func (c *classifier) bindingMag(b *binding) bool {
+	if b.magDone {
+		return b.inputMag
+	}
+	// Optimistic: in-progress lookups see the previous round's value.
+	b.magDone = true
+	mag := b.initUnknown || b.setCount > 0
+	for _, init := range b.inits {
+		if c.inputMagExpr(init) {
+			mag = true
+		}
+	}
+	b.inputMag = mag
+	return mag
+}

@@ -23,15 +23,16 @@ package analysis
 // The verdict is sound in both directions that matter: Bounded means the
 // continuation depth provably does not depend on the input; Unbounded means
 // a concrete non-tail recursion was found.
+//
+// The call graph itself lives in graph.go and is shared with the retention
+// and continuation-environment analyses (retention.go, evlis.go).
 
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"tailspace/internal/ast"
 	"tailspace/internal/expand"
-	"tailspace/internal/prim"
 )
 
 // Verdict is the result of the control-space analysis.
@@ -81,150 +82,15 @@ func ControlSpaceSource(src string) (ControlReport, error) {
 
 // ControlSpace analyzes an expanded Core Scheme program.
 func ControlSpace(e ast.Expr) ControlReport {
-	g := newCallGraph()
-	// First pass: register every procedure so operator names resolve
-	// regardless of definition order (letrec scoping is mutual).
-	ast.Walk(e, func(x ast.Expr) bool {
-		if lam, ok := x.(*ast.Lambda); ok && !transparentLabel(lam.Label) {
-			g.nodeFor(lam)
-		}
-		return true
-	})
-	info := ast.MarkTails(e)
-	g.walk(e, info, g.root, map[string]bool{})
-	return g.report()
+	return controlReport(buildGraph(e))
 }
 
-// node is a call-graph vertex: a lambda, or the program's top level.
-type node struct {
-	lam   *ast.Lambda // nil for the root
-	label string
-	id    int
-}
-
-type edge struct {
-	from, to *node
-	tail     bool
-	site     *ast.Call
-}
-
-type callGraph struct {
-	root  *node
-	nodes map[*ast.Lambda]*node
-	// byLabel resolves operator names to candidate callees; duplicates keep
-	// every candidate (over-approximation).
-	byLabel map[string][]*node
-	edges   []edge
-	// unknownNonTail records non-tail calls whose target cannot be resolved.
-	unknownNonTail []string
-	// unresolvedTails notes tail calls to unresolvable targets (harmless at
-	// the site, but they hide potential cycle-closing edges).
-	unresolvedTails bool
-}
-
-func newCallGraph() *callGraph {
-	g := &callGraph{
-		nodes:   map[*ast.Lambda]*node{},
-		byLabel: map[string][]*node{},
-	}
-	g.root = &node{label: "(top level)", id: 0}
-	return g
-}
-
-func (g *callGraph) nodeFor(lam *ast.Lambda) *node {
-	if n, ok := g.nodes[lam]; ok {
-		return n
-	}
-	n := &node{lam: lam, label: lam.Label, id: len(g.nodes) + 1}
-	g.nodes[lam] = n
-	g.byLabel[lam.Label] = append(g.byLabel[lam.Label], n)
-	return n
-}
-
-// walk builds nodes and edges. host is the nearest non-transparent lambda
-// (or the root); shadowed tracks names rebound since entering it.
-func (g *callGraph) walk(e ast.Expr, info *ast.TailInfo, host *node, shadowed map[string]bool) {
-	switch x := e.(type) {
-	case *ast.Lambda:
-		if transparentLabel(x.Label) {
-			params := x.Params
-			if strings.HasPrefix(x.Label, "%letrec:") {
-				// The letrec wrapper's parameters are exactly the names the
-				// bound lambdas are labelled with — they do not shadow.
-				params = nil
-			}
-			g.walk(x.Body, info, host, copyShadow(shadowed, params))
-			return
-		}
-		n := g.nodeFor(x)
-		g.walk(x.Body, info, n, copyShadow(nil, x.Params))
-	case *ast.If:
-		g.walk(x.Test, info, host, shadowed)
-		g.walk(x.Then, info, host, shadowed)
-		g.walk(x.Else, info, host, shadowed)
-	case *ast.Set:
-		g.walk(x.Rhs, info, host, shadowed)
-	case *ast.Call:
-		g.recordCall(x, info, host, shadowed)
-		for _, sub := range x.Exprs {
-			g.walk(sub, info, host, shadowed)
-		}
-	}
-}
-
-func (g *callGraph) recordCall(call *ast.Call, info *ast.TailInfo, host *node, shadowed map[string]bool) {
-	tail := info.IsTail(call)
-	switch op := call.Operator().(type) {
-	case *ast.Lambda:
-		if transparentLabel(op.Label) || plumbingCall(call) {
-			// A beta-redex of expander plumbing: the body runs within the
-			// host's activation and cannot be re-entered (it has no name),
-			// so it is not an edge.
-			return
-		}
-		// An immediately applied user lambda: a known edge to its node.
-		g.edges = append(g.edges, edge{from: host, to: g.nodeFor(op), tail: tail, site: call})
-	case *ast.Var:
-		if op.Name == "%undef" {
-			return
-		}
-		if !shadowed[op.Name] {
-			if _, isPrim := prim.Lookup(op.Name); isPrim && len(g.byLabel[op.Name]) == 0 {
-				// Direct application of a standard procedure: it returns
-				// immediately and performs no user calls; never an edge.
-				return
-			}
-		}
-		targets := g.byLabel[op.Name]
-		if shadowed[op.Name] || len(targets) == 0 {
-			if !tail {
-				g.unknownNonTail = append(g.unknownNonTail,
-					fmt.Sprintf("non-tail call to statically unknown procedure %s (in %s)", op.Name, host.label))
-			} else {
-				g.unresolvedTails = true
-			}
-			return
-		}
-		for _, target := range targets {
-			g.edges = append(g.edges, edge{from: host, to: target, tail: tail, site: call})
-		}
-	default:
-		if !tail {
-			g.unknownNonTail = append(g.unknownNonTail,
-				fmt.Sprintf("non-tail call with computed operator (in %s)", host.label))
-		} else {
-			g.unresolvedTails = true
-		}
-	}
-}
-
-// report condenses the graph and issues the verdict.
-func (g *callGraph) report() ControlReport {
+// controlReport condenses the graph and issues the verdict.
+func controlReport(g *callGraph) ControlReport {
 	rep := ControlReport{Procs: len(g.nodes) + 1, Edges: len(g.edges)}
-	comp := g.sccs()
 
 	for _, e := range g.edges {
-		if !e.tail && comp[e.from] == comp[e.to] {
+		if !e.tail && g.comp[e.from] == g.comp[e.to] {
 			rep.Findings = append(rep.Findings,
 				fmt.Sprintf("non-tail recursive call: %s calls %s outside tail position", e.from.label, e.to.label))
 		}
@@ -261,68 +127,4 @@ func (g *callGraph) report() ControlReport {
 		rep.Verdict = BoundedControl
 	}
 	return rep
-}
-
-// hasAnyUnresolvedTailTargets reports whether the program contains tail
-// calls whose targets the graph could not resolve (higher-order tail calls).
-func (g *callGraph) hasAnyUnresolvedTailTargets() bool {
-	return g.unresolvedTails
-}
-
-// sccs runs Tarjan's algorithm over the known-edge graph and returns the
-// component index of every node.
-func (g *callGraph) sccs() map[*node]int {
-	adj := map[*node][]*node{}
-	all := []*node{g.root}
-	for _, n := range g.nodes {
-		all = append(all, n)
-	}
-	for _, e := range g.edges {
-		adj[e.from] = append(adj[e.from], e.to)
-	}
-
-	index := map[*node]int{}
-	low := map[*node]int{}
-	onStack := map[*node]bool{}
-	comp := map[*node]int{}
-	var stack []*node
-	counter := 0
-	comps := 0
-
-	var strongconnect func(v *node)
-	strongconnect = func(v *node) {
-		counter++
-		index[v] = counter
-		low[v] = counter
-		stack = append(stack, v)
-		onStack[v] = true
-		for _, w := range adj[v] {
-			if _, seen := index[w]; !seen {
-				strongconnect(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
-				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
-			}
-		}
-		if low[v] == index[v] {
-			comps++
-			for {
-				w := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[w] = false
-				comp[w] = comps
-				if w == v {
-					break
-				}
-			}
-		}
-	}
-	for _, v := range all {
-		if _, seen := index[v]; !seen {
-			strongconnect(v)
-		}
-	}
-	return comp
 }

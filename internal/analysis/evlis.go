@@ -1,0 +1,200 @@
+package analysis
+
+// This file detects continuation-environment parking — the mechanism behind
+// the Z_tail/Z_evlis and Z_free/Z_sfs separations (Theorem 25, third
+// program). While a call's subexpression is being evaluated, the pending
+// push continuation holds an environment; if the subexpression recurses,
+// that environment is "parked" for the whole recursion, and every dead
+// binding it contains is retained once per recursion level:
+//
+//   - Z_tail, Z_gc, Z_stack, Z_free store the full environment in every
+//     pending continuation;
+//   - Z_evlis stores the empty environment when the *last remaining*
+//     subexpression is evaluated (nothing will need ρ afterwards), but the
+//     full ρ when more subexpressions follow, and in pending select (if
+//     test) and assign (set! rhs) continuations;
+//   - Z_sfs restricts every stored environment to the free variables of the
+//     work remaining, so a binding with no references is never retained.
+//
+// The scan walks each activation body tracking which provably dead, sized
+// bindings the pending continuations above the current position hold under
+// the tail policy (heldTail) and under the evlis policy (heldEvlis ⊆
+// heldTail). When it meets a call whose targets can re-enter the binding's
+// host component, the park repeats per recursion level: a park held by tail
+// but not evlis separates Z_evlis below Z_tail/Z_free; a park held by evlis
+// too separates Z_sfs below both.
+
+import "tailspace/internal/ast"
+
+// parkFinding is one parked binding at one recursing call site.
+type parkFinding struct {
+	site *ast.Call // the call whose evaluation happens under the park
+	b    *binding
+	// evlisHeld: some pending continuation on the chain keeps the binding
+	// under the evlis policy as well (non-last operand, if test, set! rhs).
+	evlisHeld bool
+}
+
+// parkScan accumulates findings and potential blockers.
+type parkScan struct {
+	a        *leakAnalysis
+	findings []parkFinding
+	// potentialTail / potentialEvlis: a call with statically unknown target
+	// ran under a park; a hidden re-entry cannot be ruled out, so EQUAL
+	// claims for the affected machine pairs are blocked.
+	potentialTail  bool
+	potentialEvlis bool
+	seen           map[parkKey]bool
+}
+
+type parkKey struct {
+	site *ast.Call
+	b    *binding
+}
+
+// findParks scans the top level and every user lambda body.
+func (a *leakAnalysis) findParks() *parkScan {
+	p := &parkScan{a: a, seen: map[parkKey]bool{}}
+	empty := map[*binding]bool{}
+	p.scan(a.root, empty, empty)
+	for _, lam := range a.userLambdas() {
+		p.scan(lam.Body, empty, empty)
+	}
+	return p
+}
+
+// deadSized filters a rib for bindings only a machine's environment policy
+// can keep alive: never read, never reassigned, and holding a fresh
+// input-sized allocation.
+func (a *leakAnalysis) deadSized(rib []*binding) []*binding {
+	var out []*binding
+	for _, b := range rib {
+		if b.uses == 0 && b.setCount == 0 && b.cls.unsafe && b.cls.fresh && b.cls.sized {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func held(base map[*binding]bool, extra []*binding) map[*binding]bool {
+	if len(extra) == 0 {
+		return base
+	}
+	out := make(map[*binding]bool, len(base)+len(extra))
+	for b := range base {
+		out[b] = true
+	}
+	for _, b := range extra {
+		out[b] = true
+	}
+	return out
+}
+
+// scan walks immediate code with the current pending-continuation holdings.
+func (p *parkScan) scan(e ast.Expr, heldTail, heldEvlis map[*binding]bool) {
+	switch x := e.(type) {
+	case *ast.If:
+		// A select continuation is pending while the test evaluates; it is
+		// consumed before either arm runs.
+		withTest := held(heldTail, p.a.deadSized(p.a.s.scopeAt[x]))
+		p.scan(x.Test, withTest, held(heldEvlis, p.a.deadSized(p.a.s.scopeAt[x])))
+		p.scan(x.Then, heldTail, heldEvlis)
+		p.scan(x.Else, heldTail, heldEvlis)
+	case *ast.Set:
+		// An assign continuation is pending while the rhs evaluates.
+		extra := p.a.deadSized(p.a.s.scopeAt[x])
+		p.scan(x.Rhs, held(heldTail, extra), held(heldEvlis, extra))
+	case *ast.Call:
+		p.checkCall(x, heldTail, heldEvlis)
+		extra := p.a.deadSized(p.a.s.scopeAt[x])
+		last := len(x.Exprs) - 1
+		for i, sub := range x.Exprs {
+			subTail := held(heldTail, extra)
+			subEvlis := heldEvlis
+			if i != last {
+				// More subexpressions follow: evlis keeps ρ too.
+				subEvlis = held(heldEvlis, extra)
+			}
+			p.scan(sub, subTail, subEvlis)
+		}
+		if lam, ok := x.Operator().(*ast.Lambda); ok {
+			// Immediately applied: by the time the body runs, this call's
+			// own push continuation is gone — the body evaluates under the
+			// same pending chain as the call itself.
+			p.scan(lam.Body, heldTail, heldEvlis)
+		}
+	case *ast.Lambda:
+		// Deferred code: its parks are scanned from its own body root, and
+		// caller-side retention across its eventual application is already
+		// accounted for at the call sites that can reach it.
+	}
+}
+
+// checkCall tests whether evaluating this call can re-enter a held
+// binding's host activation — the condition that repeats the park once per
+// recursion level.
+func (p *parkScan) checkCall(c *ast.Call, heldTail, heldEvlis map[*binding]bool) {
+	if len(heldTail) == 0 {
+		return
+	}
+	g := p.a.g
+	if g.unknownTarget[c] {
+		for b := range heldTail {
+			if heldEvlis[b] {
+				p.potentialEvlis = true
+			} else {
+				p.potentialTail = true
+			}
+		}
+		return
+	}
+	targets := g.targets[c]
+	if len(targets) == 0 {
+		return
+	}
+	for b := range heldTail {
+		if !g.inCycle(b.host) {
+			continue
+		}
+		reenters := false
+		for _, t := range targets {
+			if g.reaches(t, b.host) {
+				reenters = true
+				break
+			}
+		}
+		if !reenters {
+			continue
+		}
+		key := parkKey{site: c, b: b}
+		if p.seen[key] {
+			continue
+		}
+		p.seen[key] = true
+		p.findings = append(p.findings, parkFinding{site: c, b: b, evlisHeld: heldEvlis[b]})
+	}
+}
+
+// lastParks returns parks cleared by the evlis policy (tail-only holds):
+// the Z_evlis < Z_tail and Z_sfs < Z_free witnesses.
+func (p *parkScan) lastParks() []parkFinding {
+	var out []parkFinding
+	for _, f := range p.findings {
+		if !f.evlisHeld {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// nonLastParks returns parks the evlis policy also holds: witnesses that
+// only Z_sfs's free-variable restriction clears.
+func (p *parkScan) nonLastParks() []parkFinding {
+	var out []parkFinding
+	for _, f := range p.findings {
+		if f.evlisHeld {
+			out = append(out, f)
+		}
+	}
+	return out
+}

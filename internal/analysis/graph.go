@@ -1,0 +1,400 @@
+package analysis
+
+// This file builds the call graph shared by the static analyses: the
+// control-space verdict (controlspace.go), the closure-retention analysis
+// (retention.go), and the continuation-environment parking analysis
+// (evlis.go). Nodes are the program's user-visible lambdas plus the top
+// level; edges are call sites whose operator resolves statically. The graph
+// also records, for every call site, the enclosing host procedure and the
+// resolved candidate targets, and condenses itself into strongly connected
+// components with a reachability relation over the condensation — the
+// machinery every leak detector needs to ask "can evaluating this
+// subexpression re-enter the procedure it is parked inside?".
+
+import (
+	"fmt"
+	"strings"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/prim"
+)
+
+// node is a call-graph vertex: a lambda, or the program's top level.
+type node struct {
+	lam   *ast.Lambda // nil for the root
+	label string
+	id    int
+}
+
+type edge struct {
+	from, to *node
+	tail     bool
+	site     *ast.Call
+}
+
+type callGraph struct {
+	root  *node
+	nodes map[*ast.Lambda]*node
+	// byLabel resolves operator names to candidate callees; duplicates keep
+	// every candidate (over-approximation).
+	byLabel map[string][]*node
+	edges   []edge
+	// hosts records, for every call site the walk visits, the nearest
+	// enclosing non-transparent lambda (or the root).
+	hosts map[*ast.Call]*node
+	// lambdaHost records the host in whose body each user-visible lambda is
+	// created (the procedure that runs when the closure is built).
+	lambdaHost map[*ast.Lambda]*node
+	// targets records the resolved candidate callees of every call site;
+	// sites whose operator cannot be resolved are in unknownTarget instead.
+	targets       map[*ast.Call][]*node
+	unknownTarget map[*ast.Call]bool
+	// tailOf records whether each visited call site is a tail call.
+	tailOf map[*ast.Call]bool
+	// unknownNonTail records non-tail calls whose target cannot be resolved.
+	unknownNonTail []string
+	// unresolvedTails notes tail calls to unresolvable targets (harmless at
+	// the site, but they hide potential cycle-closing edges).
+	unresolvedTails bool
+
+	// valueVisiting guards valueOf's interprocedural resolution against
+	// recursion knots.
+	valueVisiting map[*node]bool
+	// resolvedRefs marks variable references whose value valueOf traced to a
+	// recorded call edge: their flow is fully accounted for, so the binding
+	// pass must not treat them as escapes.
+	resolvedRefs map[*ast.Var]bool
+
+	// Condensation, filled by condense().
+	comp   map[*node]int
+	cyclic map[int]bool         // component has an internal edge
+	reach  map[int]map[int]bool // reflexive-transitive reachability over components
+}
+
+func newCallGraph() *callGraph {
+	g := &callGraph{
+		nodes:         map[*ast.Lambda]*node{},
+		byLabel:       map[string][]*node{},
+		hosts:         map[*ast.Call]*node{},
+		lambdaHost:    map[*ast.Lambda]*node{},
+		targets:       map[*ast.Call][]*node{},
+		unknownTarget: map[*ast.Call]bool{},
+		tailOf:        map[*ast.Call]bool{},
+		valueVisiting: map[*node]bool{},
+		resolvedRefs:  map[*ast.Var]bool{},
+	}
+	g.root = &node{label: "(top level)", id: 0}
+	return g
+}
+
+// buildGraph constructs the full call graph of an expanded program and
+// condenses it. Every analysis pass shares the result.
+func buildGraph(e ast.Expr) *callGraph {
+	g := newCallGraph()
+	// First pass: register every procedure so operator names resolve
+	// regardless of definition order (letrec scoping is mutual).
+	ast.Walk(e, func(x ast.Expr) bool {
+		if lam, ok := x.(*ast.Lambda); ok && !transparentLabel(lam.Label) {
+			g.nodeFor(lam)
+		}
+		return true
+	})
+	info := ast.MarkTails(e)
+	g.walk(e, info, g.root, map[string]bool{})
+	g.condense()
+	return g
+}
+
+func (g *callGraph) nodeFor(lam *ast.Lambda) *node {
+	if n, ok := g.nodes[lam]; ok {
+		return n
+	}
+	n := &node{lam: lam, label: lam.Label, id: len(g.nodes) + 1}
+	g.nodes[lam] = n
+	g.byLabel[lam.Label] = append(g.byLabel[lam.Label], n)
+	return n
+}
+
+// walk builds nodes and edges. host is the nearest non-transparent lambda
+// (or the root); shadowed tracks names rebound since entering it.
+func (g *callGraph) walk(e ast.Expr, info *ast.TailInfo, host *node, shadowed map[string]bool) {
+	switch x := e.(type) {
+	case *ast.Lambda:
+		if transparentLabel(x.Label) {
+			params := x.Params
+			if strings.HasPrefix(x.Label, "%letrec:") {
+				// The letrec wrapper's parameters are exactly the names the
+				// bound lambdas are labelled with — they do not shadow.
+				params = nil
+			}
+			g.walk(x.Body, info, host, copyShadow(shadowed, params))
+			return
+		}
+		g.lambdaHost[x] = host
+		n := g.nodeFor(x)
+		g.walk(x.Body, info, n, copyShadow(nil, x.Params))
+	case *ast.If:
+		g.walk(x.Test, info, host, shadowed)
+		g.walk(x.Then, info, host, shadowed)
+		g.walk(x.Else, info, host, shadowed)
+	case *ast.Set:
+		g.walk(x.Rhs, info, host, shadowed)
+	case *ast.Call:
+		g.recordCall(x, info, host, shadowed)
+		for _, sub := range x.Exprs {
+			g.walk(sub, info, host, shadowed)
+		}
+	}
+}
+
+func (g *callGraph) recordCall(call *ast.Call, info *ast.TailInfo, host *node, shadowed map[string]bool) {
+	tail := info.IsTail(call)
+	g.hosts[call] = host
+	g.tailOf[call] = tail
+	switch op := call.Operator().(type) {
+	case *ast.Lambda:
+		if transparentLabel(op.Label) || plumbingCall(call) {
+			// A beta-redex of expander plumbing: the body runs within the
+			// host's activation and cannot be re-entered (it has no name),
+			// so it is not an edge.
+			return
+		}
+		// An immediately applied user lambda: a known edge to its node.
+		g.targets[call] = []*node{g.nodeFor(op)}
+		g.edges = append(g.edges, edge{from: host, to: g.nodeFor(op), tail: tail, site: call})
+	case *ast.Var:
+		if op.Name == "%undef" {
+			return
+		}
+		if !shadowed[op.Name] {
+			if _, isPrim := prim.Lookup(op.Name); isPrim && len(g.byLabel[op.Name]) == 0 {
+				// Direct application of a standard procedure: it returns
+				// immediately and performs no user calls; never an edge.
+				return
+			}
+		}
+		targets := g.byLabel[op.Name]
+		if shadowed[op.Name] || len(targets) == 0 {
+			g.unknownTarget[call] = true
+			if !tail {
+				g.unknownNonTail = append(g.unknownNonTail,
+					fmt.Sprintf("non-tail call to statically unknown procedure %s (in %s)", op.Name, host.label))
+			} else {
+				g.unresolvedTails = true
+			}
+			return
+		}
+		g.targets[call] = targets
+		for _, target := range targets {
+			g.edges = append(g.edges, edge{from: host, to: target, tail: tail, site: call})
+		}
+	default:
+		// Computed operator. Some computed operators still resolve
+		// statically — most importantly the top level of an application
+		// (P D), where P is the expanded program (a letrec redex whose value
+		// is the main procedure).
+		var refs []*ast.Var
+		if targets := g.valueOf(call.Operator(), shadowed, &refs); len(targets) > 0 {
+			for _, v := range refs {
+				g.resolvedRefs[v] = true
+			}
+			g.targets[call] = targets
+			for _, target := range targets {
+				g.edges = append(g.edges, edge{from: host, to: target, tail: tail, site: call})
+			}
+			return
+		}
+		g.unknownTarget[call] = true
+		if !tail {
+			g.unknownNonTail = append(g.unknownNonTail,
+				fmt.Sprintf("non-tail call with computed operator (in %s)", host.label))
+		} else {
+			g.unresolvedTails = true
+		}
+	}
+}
+
+// valueOf resolves an expression to the set of procedures it can evaluate
+// to, or nil when the value is statically unknown. It sees through the
+// expander's redex plumbing: an immediately applied lambda evaluates to
+// whatever its body evaluates to, which is how the top-level letrec of a
+// define-style program resolves to its main procedure. Every variable
+// reference consumed along a successful resolution is appended to refs; the
+// caller commits them to resolvedRefs only when the whole resolution
+// succeeds and an edge is recorded.
+func (g *callGraph) valueOf(e ast.Expr, shadowed map[string]bool, refs *[]*ast.Var) []*node {
+	switch x := e.(type) {
+	case *ast.Lambda:
+		if transparentLabel(x.Label) {
+			return nil
+		}
+		return []*node{g.nodeFor(x)}
+	case *ast.Var:
+		if shadowed[x.Name] {
+			return nil
+		}
+		targets := g.byLabel[x.Name]
+		if len(targets) > 0 {
+			*refs = append(*refs, x)
+		}
+		return targets
+	case *ast.If:
+		a := g.valueOf(x.Then, shadowed, refs)
+		b := g.valueOf(x.Else, shadowed, refs)
+		if a == nil || b == nil {
+			// One arm unknown makes the whole conditional unknown.
+			return nil
+		}
+		return append(append([]*node{}, a...), b...)
+	case *ast.Call:
+		if lam, ok := x.Operator().(*ast.Lambda); ok {
+			params := lam.Params
+			if strings.HasPrefix(lam.Label, "%letrec:") {
+				params = nil // letrec params are the labelled procedures
+			}
+			return g.valueOf(lam.Body, copyShadow(shadowed, params), refs)
+		}
+		// Applying a resolvable procedure: the call's value is whatever the
+		// procedure's body can evaluate to (e.g. ((g)) where g returns a
+		// thunk). The visiting set cuts recursion knots, which stay unknown.
+		ops := g.valueOf(x.Operator(), shadowed, refs)
+		if len(ops) == 0 {
+			return nil
+		}
+		var out []*node
+		for _, t := range ops {
+			if t.lam == nil || g.valueVisiting[t] {
+				return nil
+			}
+			g.valueVisiting[t] = true
+			r := g.valueOf(t.lam.Body, copyShadow(nil, t.lam.Params), refs)
+			delete(g.valueVisiting, t)
+			if r == nil {
+				return nil
+			}
+			out = append(out, r...)
+		}
+		return out
+	}
+	return nil
+}
+
+// hasAnyUnresolvedTailTargets reports whether the program contains tail
+// calls whose targets the graph could not resolve (higher-order tail calls).
+func (g *callGraph) hasAnyUnresolvedTailTargets() bool {
+	return g.unresolvedTails
+}
+
+// hasUnknownCalls reports whether any call site failed to resolve — the
+// condition under which hidden cycles may exist beyond the known edges.
+func (g *callGraph) hasUnknownCalls() bool {
+	return len(g.unknownTarget) > 0
+}
+
+// condense runs the SCC pass, marks cyclic components, and closes
+// reachability over the component DAG.
+func (g *callGraph) condense() {
+	g.comp = g.sccs()
+	g.cyclic = map[int]bool{}
+	adj := map[int]map[int]bool{}
+	comps := map[int]bool{}
+	for _, c := range g.comp {
+		comps[c] = true
+	}
+	for _, e := range g.edges {
+		cf, ct := g.comp[e.from], g.comp[e.to]
+		if cf == ct {
+			g.cyclic[cf] = true
+			continue
+		}
+		if adj[cf] == nil {
+			adj[cf] = map[int]bool{}
+		}
+		adj[cf][ct] = true
+	}
+	// Reflexive-transitive closure by DFS from every component. Programs are
+	// small (tens of lambdas), so the quadratic closure is fine.
+	g.reach = map[int]map[int]bool{}
+	for c := range comps {
+		seen := map[int]bool{c: true}
+		stack := []int{c}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range adj[top] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		g.reach[c] = seen
+	}
+}
+
+// inCycle reports whether n belongs to a component with an internal edge.
+func (g *callGraph) inCycle(n *node) bool { return g.cyclic[g.comp[n]] }
+
+// reaches reports whether from's component can reach to's component
+// (reflexively).
+func (g *callGraph) reaches(from, to *node) bool {
+	return g.reach[g.comp[from]][g.comp[to]]
+}
+
+// sccs runs Tarjan's algorithm over the known-edge graph and returns the
+// component index of every node.
+func (g *callGraph) sccs() map[*node]int {
+	adj := map[*node][]*node{}
+	all := []*node{g.root}
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	for _, e := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+
+	index := map[*node]int{}
+	low := map[*node]int{}
+	onStack := map[*node]bool{}
+	comp := map[*node]int{}
+	var stack []*node
+	counter := 0
+	comps := 0
+
+	var strongconnect func(v *node)
+	strongconnect = func(v *node) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			comps++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = comps
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for _, v := range all {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

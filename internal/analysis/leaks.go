@@ -1,0 +1,439 @@
+package analysis
+
+// This file is the synthesis step of the space-leak analyzer: it runs the
+// control-space, retention, and continuation-parking analyses over one
+// shared call graph and binding pass, emits structured leak diagnostics,
+// and combines everything into a predicted space ordering over the paper's
+// machine pairs. Every claim is phrased as a relation on a pair the
+// hierarchy (Theorem 24) leaves adjacent:
+//
+//	tail<gc     return continuations   (Theorem 25, countdown)
+//	gc<stack    Algol frame retention  (Theorem 25, vector-frames)
+//	evlis<tail  parked continuation environments (thunk-return)
+//	free<tail   whole-environment closures       (closure-capture)
+//	sfs<evlis   closure capture + non-last parks
+//	sfs<free    parked continuation environments
+//
+// "Separates" predicts the right machine measurably outgrows the left on
+// this program; "equal" predicts the same growth class on both; "unknown"
+// makes no claim (statically unresolvable calls could hide either). The
+// differential grid in internal/experiments sweeps every claim against the
+// meters: a separation must show a strict class gap, an equality must show
+// none.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+)
+
+// Leak is one structured diagnostic: a retention mechanism found at a
+// specific AST node, with the machine pair it separates.
+type Leak struct {
+	// Kind is one of return-cont, stack-frame, evlis-env, cont-env,
+	// retained-closure.
+	Kind string `json:"kind"`
+	// Pair names the machine pair the mechanism separates, smaller first.
+	Pair   string `json:"pair"`
+	NodeID int    `json:"nodeId"`
+	Expr   string `json:"expr"`
+	Detail string `json:"detail"`
+}
+
+// RelVerdict is the per-pair prediction.
+type RelVerdict string
+
+const (
+	Separates RelVerdict = "separates"
+	SameClass RelVerdict = "equal"
+	NoClaim   RelVerdict = "unknown"
+)
+
+// Relation is the predicted relationship between two machines' space use
+// on this program.
+type Relation struct {
+	Small   string     `json:"small"`
+	Big     string     `json:"big"`
+	Verdict RelVerdict `json:"verdict"`
+	Why     string     `json:"why"`
+}
+
+// Pair renders the pair name, smaller machine first.
+func (r Relation) Pair() string { return r.Small + "<" + r.Big }
+
+// LeakReport is the full analyzer output for one program.
+type LeakReport struct {
+	Control         string          `json:"control"`
+	ControlFindings []string        `json:"controlFindings,omitempty"`
+	Lambdas         []LambdaCapture `json:"lambdas,omitempty"`
+	Leaks           []Leak          `json:"leaks,omitempty"`
+	Relations       []Relation      `json:"relations"`
+	// Ordering is the human-readable summary, e.g.
+	// "tail<gc, gc=stack, evlis<tail, free=tail, sfs=evlis, sfs<free".
+	Ordering string `json:"ordering"`
+}
+
+// RelationFor returns the relation for a pair like "evlis<tail", or a
+// no-claim relation when the pair is not analyzed.
+func (rep *LeakReport) RelationFor(pair string) Relation {
+	for _, r := range rep.Relations {
+		if r.Pair() == pair {
+			return r
+		}
+	}
+	small, big, _ := strings.Cut(pair, "<")
+	return Relation{Small: small, Big: big, Verdict: NoClaim, Why: "pair not analyzed"}
+}
+
+// AnalyzeLeaksSource expands and analyzes program text.
+func AnalyzeLeaksSource(src string) (*LeakReport, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeLeaks(e), nil
+}
+
+// AnalyzeLeaks runs the full space-leak analysis over an expanded program.
+func AnalyzeLeaks(e ast.Expr) *LeakReport {
+	g := buildGraph(e)
+	s := buildScopes(g, e)
+	classifyAll(s)
+	a := &leakAnalysis{root: e, g: g, s: s, ids: ast.Number(e)}
+
+	control := controlReport(g)
+	parks := a.findParks()
+	rets := a.findRetentions()
+
+	rep := &LeakReport{
+		Control:         control.Verdict.String(),
+		ControlFindings: control.Findings,
+		Lambdas:         a.captureReport(),
+	}
+	rep.Relations = a.relations(control, parks, rets)
+	rep.Leaks = a.leaks(rep.Relations, parks, rets)
+	parts := make([]string, len(rep.Relations))
+	for i, r := range rep.Relations {
+		switch r.Verdict {
+		case Separates:
+			parts[i] = r.Small + "<" + r.Big
+		case SameClass:
+			parts[i] = r.Small + "=" + r.Big
+		default:
+			parts[i] = r.Small + "?" + r.Big
+		}
+	}
+	rep.Ordering = strings.Join(parts, ", ")
+	return rep
+}
+
+// leakAnalysis bundles the shared state of the detector passes.
+type leakAnalysis struct {
+	root ast.Expr
+	g    *callGraph
+	s    *scopes
+	ids  map[ast.Expr]int
+}
+
+// userLambdas returns every non-transparent lambda in node-ID order.
+func (a *leakAnalysis) userLambdas() []*ast.Lambda {
+	out := make([]*ast.Lambda, 0, len(a.s.lamScope))
+	for lam := range a.s.lamScope {
+		out = append(out, lam)
+	}
+	sort.Slice(out, func(i, j int) bool { return a.ids[out[i]] < a.ids[out[j]] })
+	return out
+}
+
+// compFacts summarizes one strongly connected component of the call graph.
+type compFacts struct {
+	cyclic    bool
+	allTail   bool // every internal edge is a tail call
+	reachable bool // from the top level
+	// inputDriven: some member's parameter carries input magnitude, so the
+	// recursion depth scales with the sweep.
+	inputDriven bool
+	// unsafeHosted: some binding of a member activation can hold
+	// input-growing data — growth both machines of a pair pay for.
+	unsafeHosted bool
+	// deadSized lists hosted bindings only environment policy keeps alive.
+	deadSized []*binding
+}
+
+func (a *leakAnalysis) compSummary() map[int]*compFacts {
+	g := a.g
+	facts := map[int]*compFacts{}
+	get := func(c int) *compFacts {
+		if f, ok := facts[c]; ok {
+			return f
+		}
+		f := &compFacts{allTail: true, cyclic: g.cyclic[c]}
+		facts[c] = f
+		return f
+	}
+	for _, n := range g.nodes {
+		f := get(g.comp[n])
+		if g.reach[g.comp[g.root]][g.comp[n]] {
+			f.reachable = true
+		}
+		for _, p := range a.s.paramsOf[n] {
+			if p.inputMag {
+				f.inputDriven = true
+			}
+		}
+	}
+	for _, e := range g.edges {
+		if g.comp[e.from] == g.comp[e.to] && !e.tail {
+			get(g.comp[e.from]).allTail = false
+		}
+	}
+	for _, b := range a.s.all {
+		f := get(g.comp[b.host])
+		if b.cls.unsafe {
+			f.unsafeHosted = true
+		}
+		if b.uses == 0 && b.setCount == 0 && b.cls.unsafe && b.cls.fresh && b.cls.sized {
+			f.deadSized = append(f.deadSized, b)
+		}
+	}
+	return facts
+}
+
+// relations synthesizes the per-pair verdicts.
+func (a *leakAnalysis) relations(control ControlReport, parks *parkScan, rets *retentionScan) []Relation {
+	facts := a.compSummary()
+	anyUnknown := a.g.hasUnknownCalls()
+	lastParks := parks.lastParks()
+	nonLastParks := parks.nonLastParks()
+
+	// growthWitness: input-sized data or control stack grows on every
+	// machine of the tail family alike.
+	growthWitness := control.Verdict == UnboundedControl
+	cleanTailLoop := false
+	var stackWitnesses []*binding
+	parked := map[*binding]bool{}
+	for _, f := range parks.findings {
+		parked[f.b] = true
+	}
+	for _, f := range rets.findings {
+		parked[f.b] = true
+	}
+	for _, f := range facts {
+		if !f.reachable || !f.cyclic {
+			continue
+		}
+		if f.unsafeHosted {
+			growthWitness = true
+		}
+		if f.allTail && f.inputDriven && !f.unsafeHosted {
+			cleanTailLoop = true
+		}
+		if f.inputDriven {
+			for _, b := range f.deadSized {
+				if !parked[b] {
+					// Retained by Algol frames, collectable under Z_gc; a
+					// parked or captured binding is retained by both.
+					stackWitnesses = append(stackWitnesses, b)
+				}
+			}
+		}
+	}
+	anyCycle := false
+	for _, f := range facts {
+		if f.reachable && f.cyclic {
+			anyCycle = true
+		}
+	}
+
+	rel := func(small, big string, v RelVerdict, why string) Relation {
+		return Relation{Small: small, Big: big, Verdict: v, Why: why}
+	}
+	var out []Relation
+
+	// tail < gc: useless return continuations.
+	switch {
+	case growthWitness:
+		out = append(out, rel("tail", "gc", SameClass,
+			"input-sized data or control stack grows identically on both"))
+	case cleanTailLoop && !anyUnknown && len(parks.findings) == 0 && len(rets.findings) == 0:
+		out = append(out, rel("tail", "gc", Separates,
+			"input-driven tail recursion over constant-space state: Z_gc accumulates one return continuation per iteration, Z_tail none"))
+	case !anyUnknown && !anyCycle:
+		out = append(out, rel("tail", "gc", SameClass, "no input-driven recursion: both run in constant space"))
+	default:
+		out = append(out, rel("tail", "gc", NoClaim, "statically unresolved calls block a claim"))
+	}
+
+	// gc < stack: frames retained until return.
+	switch {
+	case len(stackWitnesses) > 0 && !anyUnknown:
+		out = append(out, rel("gc", "stack", Separates,
+			fmt.Sprintf("binding %s dies each iteration under garbage collection but lives in every retained frame", stackWitnesses[0].name)))
+	case !anyUnknown:
+		out = append(out, rel("gc", "stack", SameClass,
+			"no dead input-sized binding distinguishes frame retention from collection"))
+	default:
+		out = append(out, rel("gc", "stack", NoClaim, "statically unresolved calls block a claim"))
+	}
+
+	// evlis < tail: environments parked across last-subexpression
+	// evaluation.
+	switch {
+	case len(nonLastParks) > 0:
+		out = append(out, rel("evlis", "tail", SameClass,
+			"a parked environment is held by both policies (non-last position)"))
+	case len(lastParks) > 0 && !parks.potentialEvlis:
+		out = append(out, rel("evlis", "tail", Separates,
+			fmt.Sprintf("environment holding %s is parked across last-operand recursion; Z_evlis clears it", lastParks[0].b.name)))
+	case len(lastParks) == 0 && !parks.potentialTail && !parks.potentialEvlis:
+		out = append(out, rel("evlis", "tail", SameClass, "no continuation parks a dead input-sized binding"))
+	default:
+		out = append(out, rel("evlis", "tail", NoClaim, "statically unresolved calls under a parked environment"))
+	}
+
+	// free < tail: whole-environment closures.
+	switch {
+	case len(parks.findings) > 0:
+		out = append(out, rel("free", "tail", SameClass,
+			"parked continuation environments are retained by both (closure policy is not involved)"))
+	case len(rets.findings) > 0 && !parks.potentialTail && !parks.potentialEvlis:
+		out = append(out, rel("free", "tail", Separates,
+			fmt.Sprintf("closure %s captures dead binding %s across recursion; Z_free drops it", rets.findings[0].lam.Label, rets.findings[0].b.name)))
+	case len(rets.findings) == 0 && !rets.potential && !parks.potentialTail && !parks.potentialEvlis:
+		out = append(out, rel("free", "tail", SameClass, "no closure captures a dead input-sized binding"))
+	default:
+		out = append(out, rel("free", "tail", NoClaim, "statically unresolved calls block a claim"))
+	}
+
+	// sfs < evlis: closure capture plus non-last parks.
+	switch {
+	case len(rets.findings) > 0 || len(nonLastParks) > 0:
+		out = append(out, rel("sfs", "evlis", Separates,
+			"Z_evlis retains what safe-for-space restriction discards (whole-environment closures or non-last parks)"))
+	case !rets.potential && !parks.potentialEvlis:
+		out = append(out, rel("sfs", "evlis", SameClass, "no retention mechanism distinguishes the pair"))
+	default:
+		out = append(out, rel("sfs", "evlis", NoClaim, "statically unresolved calls block a claim"))
+	}
+
+	// sfs < free: parked continuation environments.
+	switch {
+	case len(parks.findings) > 0:
+		out = append(out, rel("sfs", "free", Separates,
+			"Z_free parks full environments in continuations; Z_sfs restricts them to live variables"))
+	case !parks.potentialTail && !parks.potentialEvlis:
+		out = append(out, rel("sfs", "free", SameClass, "no continuation parks a dead input-sized binding"))
+	default:
+		out = append(out, rel("sfs", "free", NoClaim, "statically unresolved calls block a claim"))
+	}
+
+	return out
+}
+
+// leaks assembles the structured diagnostics, ordered by node ID.
+func (a *leakAnalysis) leaks(relations []Relation, parks *parkScan, rets *retentionScan) []Leak {
+	var out []Leak
+	byPair := map[string]Relation{}
+	for _, r := range relations {
+		byPair[r.Pair()] = r
+	}
+
+	// Relation-level mechanisms: emitted when the pair verdict is a
+	// separation (the witnesses are properties of a whole cycle).
+	if byPair["tail<gc"].Verdict == Separates {
+		if site, host := a.cleanLoopSite(); site != nil {
+			out = append(out, Leak{
+				Kind: "return-cont", Pair: "tail<gc",
+				NodeID: a.ids[site], Expr: exprString(site),
+				Detail: fmt.Sprintf("self tail call in %s: improper machines stack a useless return continuation per iteration", host),
+			})
+		}
+	}
+	if byPair["gc<stack"].Verdict == Separates {
+		for _, b := range a.stackWitnessBindings(parks, rets) {
+			site := b.inits[0]
+			out = append(out, Leak{
+				Kind: "stack-frame", Pair: "gc<stack",
+				NodeID: a.ids[site], Expr: exprString(site),
+				Detail: fmt.Sprintf("binding %s holds a fresh input-sized allocation; Algol frame retention keeps one per recursion level", b.name),
+			})
+		}
+	}
+	for _, f := range parks.lastParks() {
+		out = append(out, Leak{
+			Kind: "evlis-env", Pair: "evlis<tail",
+			NodeID: a.ids[f.site], Expr: exprString(f.site),
+			Detail: fmt.Sprintf("environment holding dead binding %s is parked in the pending continuation while this call recurses", f.b.name),
+		})
+	}
+	for _, f := range parks.nonLastParks() {
+		out = append(out, Leak{
+			Kind: "cont-env", Pair: "sfs<evlis",
+			NodeID: a.ids[f.site], Expr: exprString(f.site),
+			Detail: fmt.Sprintf("environment holding dead binding %s is parked in a non-last position; only safe-for-space restriction clears it", f.b.name),
+		})
+	}
+	for _, f := range rets.findings {
+		out = append(out, Leak{
+			Kind: "retained-closure", Pair: "free<tail",
+			NodeID: a.ids[f.lam], Expr: exprString(f.lam),
+			Detail: fmt.Sprintf("closure %s captures dead binding %s and re-enters its activation; whole-environment capture retains one copy per level", f.lam.Label, f.b.name),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}
+
+// cleanLoopSite finds a representative tail-recursive call site inside a
+// clean input-driven tail cycle (the tail<gc witness).
+func (a *leakAnalysis) cleanLoopSite() (*ast.Call, string) {
+	var best *ast.Call
+	var host string
+	for _, e := range a.g.edges {
+		if !e.tail || a.g.comp[e.from] != a.g.comp[e.to] {
+			continue
+		}
+		if best == nil || a.ids[e.site] < a.ids[best] {
+			best = e.site
+			host = e.from.label
+		}
+	}
+	return best, host
+}
+
+// stackWitnessBindings recomputes the gc<stack witnesses in stable order.
+func (a *leakAnalysis) stackWitnessBindings(parks *parkScan, rets *retentionScan) []*binding {
+	parked := map[*binding]bool{}
+	for _, f := range parks.findings {
+		parked[f.b] = true
+	}
+	for _, f := range rets.findings {
+		parked[f.b] = true
+	}
+	var out []*binding
+	for _, f := range a.compSummary() {
+		if !f.reachable || !f.cyclic || !f.inputDriven {
+			continue
+		}
+		for _, b := range f.deadSized {
+			if !parked[b] && len(b.inits) > 0 {
+				out = append(out, b)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return a.ids[out[i].inits[0]] < a.ids[out[j].inits[0]] })
+	return out
+}
+
+// exprString renders an expression for diagnostics, truncated to keep
+// reports readable.
+func exprString(e ast.Expr) string {
+	s := e.String()
+	if len(s) > 72 {
+		s = s[:69] + "..."
+	}
+	return s
+}

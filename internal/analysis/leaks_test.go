@@ -1,0 +1,178 @@
+package analysis_test
+
+// These tests pin the analyzer's verdicts on the four Theorem 25 separation
+// programs — the hand-validated ground truth. The differential grid in
+// internal/experiments additionally checks every verdict against measured
+// growth classes on all six machines; here we assert the exact relation
+// table and the leak kinds so a regression is attributed to the static
+// side immediately.
+
+import (
+	"testing"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+	"tailspace/internal/experiments"
+)
+
+// applied builds the Definition 23 initial configuration (P (quote 64)) so
+// the analyzer sees the driver call that seeds input magnitude.
+func applied(t *testing.T, src string) *analysis.LeakReport {
+	t.Helper()
+	p, err := expand.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse program: %v", err)
+	}
+	d, err := expand.ParseExpr("(quote 64)")
+	if err != nil {
+		t.Fatalf("parse input: %v", err)
+	}
+	return analysis.AnalyzeLeaks(&ast.Call{Exprs: []ast.Expr{p, d}})
+}
+
+func wantRelations(t *testing.T, rep *analysis.LeakReport, want map[string]analysis.RelVerdict) {
+	t.Helper()
+	for pair, v := range want {
+		r := rep.RelationFor(pair)
+		if r.Verdict != v {
+			t.Errorf("%s: got %s, want %s (why: %s)", pair, r.Verdict, v, r.Why)
+		}
+	}
+}
+
+func leakKinds(rep *analysis.LeakReport) map[string]int {
+	kinds := map[string]int{}
+	for _, l := range rep.Leaks {
+		kinds[l.Kind]++
+	}
+	return kinds
+}
+
+func TestCountdownRelations(t *testing.T) {
+	rep := applied(t, experiments.CountdownLoop)
+	wantRelations(t, rep, map[string]analysis.RelVerdict{
+		"tail<gc":    analysis.Separates,
+		"gc<stack":   analysis.SameClass,
+		"evlis<tail": analysis.SameClass,
+		"free<tail":  analysis.SameClass,
+		"sfs<evlis":  analysis.SameClass,
+		"sfs<free":   analysis.SameClass,
+	})
+	kinds := leakKinds(rep)
+	if kinds["return-cont"] == 0 {
+		t.Errorf("want a return-cont leak, got %v", rep.Leaks)
+	}
+	if len(kinds) != 1 {
+		t.Errorf("want only return-cont leaks, got %v", rep.Leaks)
+	}
+}
+
+func TestVectorFramesRelations(t *testing.T) {
+	rep := applied(t, experiments.VectorFrames)
+	wantRelations(t, rep, map[string]analysis.RelVerdict{
+		"tail<gc":    analysis.SameClass,
+		"gc<stack":   analysis.Separates,
+		"evlis<tail": analysis.SameClass,
+		"free<tail":  analysis.SameClass,
+		"sfs<evlis":  analysis.SameClass,
+		"sfs<free":   analysis.SameClass,
+	})
+	kinds := leakKinds(rep)
+	if kinds["stack-frame"] == 0 {
+		t.Errorf("want a stack-frame leak, got %v", rep.Leaks)
+	}
+	if len(kinds) != 1 {
+		t.Errorf("want only stack-frame leaks, got %v", rep.Leaks)
+	}
+}
+
+func TestThunkReturnRelations(t *testing.T) {
+	rep := applied(t, experiments.ThunkReturn)
+	wantRelations(t, rep, map[string]analysis.RelVerdict{
+		"tail<gc":    analysis.SameClass, // control stack grows on both
+		"gc<stack":   analysis.SameClass, // the parked vector grows both
+		"evlis<tail": analysis.Separates,
+		"free<tail":  analysis.SameClass, // the park retains under both
+		"sfs<evlis":  analysis.SameClass,
+		"sfs<free":   analysis.Separates,
+	})
+	kinds := leakKinds(rep)
+	if kinds["evlis-env"] == 0 {
+		t.Errorf("want an evlis-env leak, got %v", rep.Leaks)
+	}
+	if kinds["retained-closure"] != 0 || kinds["cont-env"] != 0 {
+		t.Errorf("unexpected leak kinds: %v", rep.Leaks)
+	}
+}
+
+func TestClosureCaptureRelations(t *testing.T) {
+	rep := applied(t, experiments.ClosureCapture)
+	wantRelations(t, rep, map[string]analysis.RelVerdict{
+		"tail<gc":    analysis.SameClass, // the captured vector grows both
+		"gc<stack":   analysis.SameClass,
+		"evlis<tail": analysis.SameClass, // no continuation park is involved
+		"free<tail":  analysis.Separates,
+		"sfs<evlis":  analysis.Separates,
+		"sfs<free":   analysis.SameClass,
+	})
+	kinds := leakKinds(rep)
+	if kinds["retained-closure"] == 0 {
+		t.Errorf("want a retained-closure leak, got %v", rep.Leaks)
+	}
+	if kinds["evlis-env"] != 0 || kinds["cont-env"] != 0 {
+		t.Errorf("unexpected leak kinds: %v", rep.Leaks)
+	}
+}
+
+func TestCaptureReportShowsDeadBinding(t *testing.T) {
+	rep := applied(t, experiments.ClosureCapture)
+	found := false
+	for _, lc := range rep.Lambdas {
+		for _, name := range lc.Dead {
+			if name == "v" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no lambda reports v as dead-captured: %+v", rep.Lambdas)
+	}
+}
+
+// A statically unresolvable call running under a parked environment must
+// block both a separation and an equality claim for the affected pairs.
+func TestUnknownCallBlocksClaims(t *testing.T) {
+	rep := applied(t, `
+(define (f n h)
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n) 0 ((h)))))`)
+	for _, pair := range []string{"evlis<tail", "sfs<free"} {
+		if got := rep.RelationFor(pair).Verdict; got != analysis.NoClaim {
+			t.Errorf("%s: got %s, want %s", pair, got, analysis.NoClaim)
+		}
+	}
+}
+
+func TestOrderingSummary(t *testing.T) {
+	rep := applied(t, experiments.CountdownLoop)
+	if rep.Ordering == "" {
+		t.Fatal("empty ordering summary")
+	}
+	want := "tail<gc"
+	if got := rep.RelationFor("tail<gc"); got.Verdict != analysis.Separates {
+		t.Fatalf("precondition: %v", got)
+	}
+	if !containsStr(rep.Ordering, want) {
+		t.Errorf("ordering %q missing %q", rep.Ordering, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

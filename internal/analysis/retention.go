@@ -1,0 +1,123 @@
+package analysis
+
+// This file implements the closure-retention analysis — the Z_tail/Z_free
+// gap (Theorem 25, fourth program). Machines without the free-variable rule
+// close a lambda over its entire environment, so a closure created inside a
+// recursive activation retains every binding of that activation, dead or
+// not, once per recursion level. A closure that (a) is created in an
+// activation whose component is cyclic, (b) runs code that can re-enter
+// that activation while the closure is live, and (c) has a provably dead,
+// fresh, input-sized binding in the activation's ribs, moves the program up
+// a growth class on Z_tail, Z_gc, Z_stack and Z_evlis, while Z_free and
+// Z_sfs stay put. The same analysis yields the per-lambda captured-rib
+// versus free-variable report surfaced by tailscan -lint.
+
+import (
+	"sort"
+
+	"tailspace/internal/ast"
+)
+
+// retentionFinding is one closure retaining one dead binding.
+type retentionFinding struct {
+	lam *ast.Lambda
+	b   *binding
+}
+
+type retentionScan struct {
+	findings []retentionFinding
+	// potential: a closure with a dead sized binding in scope contains a
+	// call with statically unknown target, so re-entry (and therefore
+	// per-level retention) cannot be ruled out.
+	potential bool
+}
+
+// findRetentions checks every user lambda.
+func (a *leakAnalysis) findRetentions() *retentionScan {
+	r := &retentionScan{}
+	for _, lam := range a.userLambdas() {
+		dead := a.deadCaptures(lam)
+		if len(dead) == 0 {
+			continue
+		}
+		// Does applying the closure re-enter the activation it captured?
+		// Only immediate code counts: a nested deferred lambda captures the
+		// environment through its own occurrence and is checked separately.
+		reenters := map[*binding]bool{}
+		unknown := false
+		ast.WalkImmediate(lam.Body, func(e ast.Expr) bool {
+			c, ok := e.(*ast.Call)
+			if !ok {
+				return true
+			}
+			if a.g.unknownTarget[c] {
+				unknown = true
+				return true
+			}
+			for _, t := range a.g.targets[c] {
+				for _, b := range dead {
+					if a.g.inCycle(b.host) && a.g.reaches(t, b.host) {
+						reenters[b] = true
+					}
+				}
+			}
+			return true
+		})
+		for _, b := range dead {
+			if reenters[b] {
+				r.findings = append(r.findings, retentionFinding{lam: lam, b: b})
+			} else if unknown {
+				r.potential = true
+			}
+		}
+	}
+	return r
+}
+
+// deadCaptures returns the host-activation bindings in scope at the lambda
+// that the whole-environment capture retains but the closure can never use.
+func (a *leakAnalysis) deadCaptures(lam *ast.Lambda) []*binding {
+	return a.deadSized(a.s.lamScope[lam])
+}
+
+// LambdaCapture reports, for one lambda, the environment domain a
+// whole-environment machine captures versus the free variables a
+// safe-for-space machine keeps.
+type LambdaCapture struct {
+	Label    string   `json:"label"`
+	NodeID   int      `json:"nodeId"`
+	Captured []string `json:"captured"`
+	Free     []string `json:"free"`
+	Dead     []string `json:"dead,omitempty"`
+}
+
+// captureReport builds the per-lambda capture table, ordered by node ID.
+func (a *leakAnalysis) captureReport() []LambdaCapture {
+	var out []LambdaCapture
+	for _, lam := range a.userLambdas() {
+		env := a.s.lamEnv[lam]
+		captured := make([]string, 0, len(env))
+		for name := range env {
+			captured = append(captured, name)
+		}
+		sort.Strings(captured)
+		free := a.s.fv.Free(lam)
+		var freeBound, dead []string
+		for _, name := range captured {
+			if free.Contains(name) {
+				freeBound = append(freeBound, name)
+			} else {
+				dead = append(dead, name)
+			}
+		}
+		out = append(out, LambdaCapture{
+			Label:    lam.Label,
+			NodeID:   a.ids[lam],
+			Captured: captured,
+			Free:     freeBound,
+			Dead:     dead,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}

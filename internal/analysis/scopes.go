@@ -1,0 +1,301 @@
+package analysis
+
+// This file is the binding pass shared by the leak analyses: it walks the
+// expanded program once, resolving every variable reference to its binding
+// site and recording, for every call site and every user lambda, which
+// bindings belong to the *current activation* — the host procedure's
+// parameters plus the let/letrec ribs entered inside it. Those are the
+// bindings a retention or parking leak can accumulate per recursion level;
+// bindings of enclosing activations are shared across iterations and can
+// only cost O(1) extra, so the leak detectors never need them.
+//
+// The pass also collects each binding's initializers — the operand of a
+// let-style redex, the set! right-hand side of a letrec, and (via the call
+// graph) the argument expressions of every resolved call site — which is
+// what the safety classifier in bindclass.go folds over.
+
+import (
+	"strings"
+
+	"tailspace/internal/ast"
+)
+
+type bindKind int
+
+const (
+	paramBind  bindKind = iota // parameter of a user (non-transparent) lambda
+	letBind                    // parameter of a transparent let-style wrapper
+	letrecBind                 // parameter of a %letrec: wrapper
+)
+
+// binding describes one variable binding site and everything the walk
+// learned about the values that flow into it.
+type binding struct {
+	name string
+	kind bindKind
+	host *node // activation that owns the rib
+	// inits are the statically known initializers: the let operand, the
+	// letrec set! right-hand side, or call-site arguments (joined later).
+	inits []ast.Expr
+	// initUnknown marks bindings that can receive values the graph cannot
+	// see: parameters of escaping procedures, arity-mismatched sites.
+	initUnknown bool
+	// uses counts variable references; setCount counts assignments after
+	// initialization. A binding with zero of both is provably dead code —
+	// only a machine's environment policy can keep its value alive.
+	uses     int
+	setCount int
+	// escapes marks bindings referenced outside operator position: their
+	// value flows somewhere the analysis does not track.
+	escapes bool
+
+	// Classification state (bindclass.go). cls and inputMag are rebuilt each
+	// fixpoint round; the done flags are the per-round memo.
+	cls      bindClass
+	clsDone  bool
+	inputMag bool
+	magDone  bool
+}
+
+// lamContext records how a user lambda occurs in the program.
+type lamContext int
+
+const (
+	lamEscaped lamContext = iota // value position: flows somewhere untracked
+	lamApplied                   // operator position: immediately applied
+	lamBound                     // sole initializer of a let/letrec binding
+)
+
+type scopes struct {
+	g  *callGraph
+	fv *ast.FreeVarCache
+	// all lists every binding in creation order.
+	all []*binding
+	// varRef resolves every walked variable reference to its binding; prim
+	// references and %undef stay absent.
+	varRef map[*ast.Var]*binding
+	// scopeAt gives the host-activation bindings in scope at each call, if,
+	// and set! node — the domains a pending push/select/assign continuation
+	// created there can hold.
+	scopeAt map[ast.Expr][]*binding
+	// lamEnv / lamScope give, at each user lambda occurrence, the full
+	// lexical environment and the host-activation bindings in scope.
+	lamEnv   map[*ast.Lambda]map[string]*binding
+	lamScope map[*ast.Lambda][]*binding
+	// paramsOf gives the parameter bindings of each call-graph node.
+	paramsOf map[*node][]*binding
+	// lamCtx classifies each user lambda occurrence; boundTo gives the
+	// binding for lamBound lambdas.
+	lamCtx  map[*ast.Lambda]lamContext
+	boundTo map[*ast.Lambda]*binding
+	// driverArgs marks the operand expressions of top-level driver calls:
+	// the program's input knobs, whose magnitude scales with the sweep.
+	driverArgs map[ast.Expr]bool
+}
+
+// buildScopes runs the binding pass over the expanded program whose call
+// graph is g.
+func buildScopes(g *callGraph, root ast.Expr) *scopes {
+	s := &scopes{
+		g:          g,
+		fv:         ast.NewFreeVarCache(),
+		varRef:     map[*ast.Var]*binding{},
+		scopeAt:    map[ast.Expr][]*binding{},
+		lamEnv:     map[*ast.Lambda]map[string]*binding{},
+		lamScope:   map[*ast.Lambda][]*binding{},
+		paramsOf:   map[*node][]*binding{},
+		lamCtx:     map[*ast.Lambda]lamContext{},
+		boundTo:    map[*ast.Lambda]*binding{},
+		driverArgs: map[ast.Expr]bool{},
+	}
+	s.walk(root, g.root, map[string]*binding{}, nil)
+	s.joinCallSites()
+	return s
+}
+
+func copyEnv(env map[string]*binding) map[string]*binding {
+	out := make(map[string]*binding, len(env)+2)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *scopes) newBinding(name string, kind bindKind, host *node, inits ...ast.Expr) *binding {
+	b := &binding{name: name, kind: kind, host: host, inits: inits}
+	s.all = append(s.all, b)
+	return b
+}
+
+func (s *scopes) walk(e ast.Expr, host *node, env map[string]*binding, rib []*binding) {
+	switch x := e.(type) {
+	case *ast.Var:
+		if b := env[x.Name]; b != nil {
+			s.varRef[x] = b
+			b.uses++
+			if !s.g.resolvedRefs[x] {
+				// Non-operator reference: the value flows away — unless the
+				// graph traced this very reference to a recorded call edge
+				// (e.g. the program value applied by the driver), in which
+				// case the flow is fully accounted for by joinCallSites.
+				b.escapes = true
+			}
+		}
+	case *ast.Lambda:
+		s.walkLambda(x, host, env, rib)
+	case *ast.If:
+		s.scopeAt[x] = append([]*binding{}, rib...)
+		s.walk(x.Test, host, env, rib)
+		s.walk(x.Then, host, env, rib)
+		s.walk(x.Else, host, env, rib)
+	case *ast.Set:
+		s.scopeAt[x] = append([]*binding{}, rib...)
+		if b := env[x.Name]; b != nil {
+			if b.kind == letrecBind && len(b.inits) == 0 && b.setCount == 0 {
+				// The letrec expansion initializes each binding with one
+				// leading set!; the first assignment walked (syntactic
+				// order) is that initializer.
+				b.inits = append(b.inits, x.Rhs)
+				if lam, ok := x.Rhs.(*ast.Lambda); ok && !transparentLabel(lam.Label) {
+					s.lamCtx[lam] = lamBound
+					s.boundTo[lam] = b
+				}
+			} else {
+				b.setCount++
+			}
+		}
+		s.walk(x.Rhs, host, env, rib)
+	case *ast.Call:
+		s.walkCall(x, host, env, rib)
+	}
+}
+
+func (s *scopes) walkLambda(x *ast.Lambda, host *node, env map[string]*binding, rib []*binding) {
+	// Transparent wrappers only occur as operators and are handled by
+	// walkCall; anything that lands here is a user lambda: a new rib and a
+	// new activation.
+	s.lamEnv[x] = copyEnv(env)
+	s.lamScope[x] = append([]*binding{}, rib...)
+	if _, seen := s.lamCtx[x]; !seen {
+		s.lamCtx[x] = lamEscaped
+	}
+	n := s.g.nodeFor(x)
+	newEnv := copyEnv(env)
+	params := make([]*binding, len(x.Params))
+	for i, p := range x.Params {
+		b := s.newBinding(p, paramBind, n)
+		params[i] = b
+		newEnv[p] = b
+	}
+	s.paramsOf[n] = params
+	s.walk(x.Body, n, newEnv, params)
+}
+
+func (s *scopes) walkCall(x *ast.Call, host *node, env map[string]*binding, rib []*binding) {
+	s.scopeAt[x] = append([]*binding{}, rib...)
+	if host == s.g.root && s.g.tailOf[x] {
+		// The program's driver call: its operands are the input knobs.
+		for _, arg := range x.Operands() {
+			s.driverArgs[arg] = true
+		}
+	}
+	switch op := x.Operator().(type) {
+	case *ast.Lambda:
+		if strings.HasPrefix(op.Label, "%letrec:") {
+			// Letrec redex: the params are the recursive bindings,
+			// initialized by the leading set!s of the body; the operands
+			// are (%undef) placeholders.
+			newEnv := copyEnv(env)
+			newRib := append([]*binding{}, rib...)
+			for _, p := range op.Params {
+				b := s.newBinding(p, letrecBind, host)
+				newEnv[p] = b
+				newRib = append(newRib, b)
+			}
+			s.walk(op.Body, host, newEnv, newRib)
+			return
+		}
+		if transparentLabel(op.Label) {
+			// Let-style redex: the operands initialize the wrapper params,
+			// and the body runs in the same activation.
+			ops := x.Operands()
+			for _, arg := range ops {
+				s.walk(arg, host, env, rib)
+			}
+			newEnv := copyEnv(env)
+			newRib := append([]*binding{}, rib...)
+			for i, p := range op.Params {
+				var b *binding
+				if i < len(ops) {
+					b = s.newBinding(p, letBind, host, ops[i])
+					if lam, ok := ops[i].(*ast.Lambda); ok && !transparentLabel(lam.Label) {
+						s.lamCtx[lam] = lamBound
+						s.boundTo[lam] = b
+					}
+				} else {
+					b = s.newBinding(p, letBind, host)
+					b.initUnknown = true
+				}
+				newEnv[p] = b
+				newRib = append(newRib, b)
+			}
+			s.walk(op.Body, host, newEnv, newRib)
+			return
+		}
+		// Immediately applied user lambda: its params get their inits from
+		// the call-site join (the graph records the site as an edge).
+		s.lamCtx[op] = lamApplied
+		for _, arg := range x.Operands() {
+			s.walk(arg, host, env, rib)
+		}
+		s.walkLambda(op, host, env, rib)
+	case *ast.Var:
+		if b := env[op.Name]; b != nil {
+			s.varRef[op] = b
+			b.uses++ // operator position: a use, but not an escape
+		}
+		for _, arg := range x.Operands() {
+			s.walk(arg, host, env, rib)
+		}
+	default:
+		for _, sub := range x.Exprs {
+			s.walk(sub, host, env, rib)
+		}
+	}
+}
+
+// joinCallSites distributes call-site argument expressions to parameter
+// bindings, and marks the parameters of escaping procedures as accepting
+// unknown values.
+func (s *scopes) joinCallSites() {
+	for call, targets := range s.g.targets {
+		args := call.Operands()
+		for _, t := range targets {
+			params := s.paramsOf[t]
+			if len(args) != len(params) {
+				for _, p := range params {
+					p.initUnknown = true
+				}
+				continue
+			}
+			for i, p := range params {
+				p.inits = append(p.inits, args[i])
+			}
+		}
+	}
+	for lam, ctx := range s.lamCtx {
+		escaped := false
+		switch ctx {
+		case lamEscaped:
+			escaped = true
+		case lamBound:
+			b := s.boundTo[lam]
+			escaped = b.escapes || b.setCount > 0 || b.initUnknown
+		}
+		if escaped {
+			for _, p := range s.paramsOf[s.g.nodes[lam]] {
+				p.initUnknown = true
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package ast
+
+// WalkImmediate visits the expressions of e that evaluate during the
+// evaluation of e itself: it walks like Walk but does not descend into
+// Lambda bodies, whose evaluation is deferred until the closure is applied —
+// with one exception: the body of an immediately applied lambda
+// ((lambda ...) args), which does run as part of evaluating the redex. The
+// expander's let/letrec/begin plumbing is exactly such redexes, so their
+// bodies are correctly treated as immediate code. The static leak analyses
+// use this walk to ask "which calls run *now*, while this continuation (and
+// its environment) is live?" — code inside an operand lambda does not run
+// now, so it must not count. If f returns false the subtree below that node
+// is skipped.
+func WalkImmediate(e Expr, f func(Expr) bool) {
+	if !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Lambda:
+		// Deferred: the body runs in a later activation.
+	case *If:
+		WalkImmediate(x.Test, f)
+		WalkImmediate(x.Then, f)
+		WalkImmediate(x.Else, f)
+	case *Set:
+		WalkImmediate(x.Rhs, f)
+	case *Call:
+		for _, sub := range x.Exprs {
+			WalkImmediate(sub, f)
+		}
+		if lam, ok := x.Operator().(*Lambda); ok {
+			WalkImmediate(lam.Body, f)
+		}
+	}
+}

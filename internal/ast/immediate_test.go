@@ -1,0 +1,30 @@
+package ast
+
+import "testing"
+
+// TestWalkImmediateSkipsDeferredBodies checks that WalkImmediate visits
+// calls that run during the evaluation of an expression — including bodies
+// of immediately applied lambdas — but not calls inside closures whose
+// application is deferred.
+func TestWalkImmediateSkipsDeferredBodies(t *testing.T) {
+	deferred := &Call{Exprs: []Expr{&Var{Name: "g"}}}
+	thunk := &Lambda{Params: nil, Body: deferred, Label: "thunk"}
+	immediate := &Call{Exprs: []Expr{&Var{Name: "h"}}}
+	redex := &Call{Exprs: []Expr{
+		&Lambda{Params: []string{"x"}, Body: immediate, Label: "%let:1"},
+		thunk,
+	}}
+
+	seen := map[Expr]bool{}
+	WalkImmediate(redex, func(e Expr) bool {
+		seen[e] = true
+		return true
+	})
+	if !seen[redex] || !seen[thunk] || !seen[immediate] {
+		t.Fatalf("WalkImmediate missed immediate nodes: redex=%v thunk=%v body=%v",
+			seen[redex], seen[thunk], seen[immediate])
+	}
+	if seen[deferred] {
+		t.Fatalf("WalkImmediate descended into a deferred lambda body")
+	}
+}

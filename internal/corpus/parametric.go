@@ -1,0 +1,72 @@
+package corpus
+
+// Parametric programs: one-argument versions of corpus idioms and the
+// bundled leak examples, as pure define-form sources whose value is a
+// procedure of n. They exist to be swept over input ladders — the
+// differential leak grid (internal/experiments) applies each one to
+// growing inputs on all six machines and checks the measured growth
+// classes against the static analyzer's per-machine-pair verdicts.
+type Parametric struct {
+	Name   string
+	Source string
+	// Quadratic marks programs expected to reach a quadratic class on some
+	// machine; sweeps keep their input ladders small.
+	Quadratic bool
+	// Description says what leak structure (or absence) the program carries.
+	Description string
+}
+
+// ParametricPrograms returns the sweepable subjects.
+func ParametricPrograms() []Parametric {
+	return []Parametric{
+		{
+			Name:        "sum-iter",
+			Description: "accumulator loop: no leak anywhere; properly tail recursive machines stay constant",
+			Source: `
+(define (sum n acc) (if (zero? n) acc (sum (- n 1) (+ acc n))))
+(define (f n) (sum n 0))`,
+		},
+		{
+			Name:        "sum-rec",
+			Description: "non-tail recursion: control grows on every machine alike, no environment leak",
+			Source: `
+(define (f n) (if (zero? n) 0 (+ n (f (- n 1)))))`,
+		},
+		{
+			Name:        "even-odd",
+			Description: "mutual tail recursion: constant on properly tail recursive machines",
+			Source: `
+(define (ev n) (if (zero? n) 1 (od (- n 1))))
+(define (od n) (if (zero? n) 0 (ev (- n 1))))
+(define (f n) (ev n))`,
+		},
+		{
+			Name:        "retained-closure",
+			Quadratic:   true,
+			Description: "examples/retained-closure.scm: whole-environment capture retains a dead vector per level",
+			Source: `
+(define (leak n)
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        ((lambda ()
+           (begin (leak (- n 1)) n))))))
+(define (f n) (leak n))`,
+		},
+		{
+			Name:        "evlis-leak",
+			Quadratic:   true,
+			Description: "examples/evlis-leak.scm: a pending continuation parks a dead vector across recursion",
+			Source: `
+(define (leak n)
+  (define (rest)
+    (begin (leak (- n 1))
+           (lambda () n)))
+  (let ((v (make-vector (* 8 n))))
+    (if (zero? n)
+        0
+        ((rest)))))
+(define (f n) (leak n))`,
+		},
+	}
+}

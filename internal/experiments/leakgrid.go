@@ -1,0 +1,142 @@
+package experiments
+
+// The differential leak grid closes the loop between the static space-leak
+// analyzer (internal/analysis) and the meters: every program is analyzed
+// once (applied to a symbolic input, Definition 23 style) and then swept
+// over an input ladder on all six machines; the fitted growth class of S_X
+// must agree with every static claim. A "separates" verdict demands a
+// strict class gap on exactly the machine pair the analyzer named; an
+// "equal" verdict demands the same class on both; "unknown" is exempt but
+// counted, so a regression that degrades precise verdicts into no-claims is
+// visible in the table.
+
+import (
+	"fmt"
+	"strings"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/core"
+	"tailspace/internal/corpus"
+	"tailspace/internal/space"
+)
+
+// GridProgram is one differential-validation subject: a pure define-form
+// source whose value is a one-argument procedure, plus its input ladder.
+type GridProgram struct {
+	Name   string
+	Source string
+	Inputs []int
+}
+
+// gridMachines lists the six machines of the hierarchy in the order the
+// relations are reported.
+var gridMachines = []string{"stack", "gc", "tail", "evlis", "free", "sfs"}
+
+// LeakGridPrograms returns the default subjects: the four Theorem 25
+// separation programs plus the sweepable parametric corpus/example
+// programs.
+func LeakGridPrograms() []GridProgram {
+	var out []GridProgram
+	seen := map[string]bool{}
+	for _, p := range Thm25Programs() {
+		out = append(out, GridProgram{Name: p.Name, Source: p.Source, Inputs: p.Inputs})
+		seen[p.Name] = true
+	}
+	for _, p := range corpus.ParametricPrograms() {
+		if seen[p.Name] {
+			continue
+		}
+		inputs := []int{16, 64, 256}
+		if p.Quadratic {
+			inputs = []int{8, 16, 32, 64}
+		}
+		out = append(out, GridProgram{Name: p.Name, Source: p.Source, Inputs: inputs})
+	}
+	return out
+}
+
+// classRank orders growth classes for verdict checking.
+func classRank(c GrowthClass) int {
+	switch c {
+	case Constant:
+		return 0
+	case Linear:
+		return 1
+	case Quadratic:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// LeakGrid analyzes and sweeps every subject, one table row per
+// (program, machine pair) claim.
+func LeakGrid(progs []GridProgram) (Table, error) {
+	t := Table{
+		Title:  "Differential leak grid: static per-pair verdicts vs fitted S_X growth",
+		Header: []string{"program", "pair", "verdict", "S_small", "S_big", "ok"},
+	}
+	for _, p := range progs {
+		e, err := core.ApplicationExpr(p.Source, "(quote 2)")
+		if err != nil {
+			return t, fmt.Errorf("leakgrid %s: %w", p.Name, err)
+		}
+		rep := analysis.AnalyzeLeaks(e)
+
+		fits := map[string]Fit{}
+		for _, m := range gridMachines {
+			variant, ok := core.ByName(m)
+			if !ok {
+				return t, fmt.Errorf("leakgrid: unknown variant %s", m)
+			}
+			series, err := SweepProgram(p.Name, p.Source, variant, p.Inputs, SweepOptions{Mode: space.Fixnum, FlatOnly: true})
+			if err != nil {
+				return t, fmt.Errorf("leakgrid %s [%s]: %w", p.Name, m, err)
+			}
+			t.Absorb(series.Metrics)
+			fits[m] = series.FitFlat()
+		}
+
+		for _, rel := range rep.Relations {
+			small, big := fits[rel.Small], fits[rel.Big]
+			okMark := "yes"
+			switch rel.Verdict {
+			case analysis.Separates:
+				if classRank(big.Class()) <= classRank(small.Class()) {
+					okMark = "NO"
+					t.Violationf("%s: static claim %s separates, but S_%s %s vs S_%s %s",
+						p.Name, rel.Pair(), rel.Small, small.Class(), rel.Big, big.Class())
+				}
+			case analysis.SameClass:
+				if classRank(big.Class()) != classRank(small.Class()) {
+					okMark = "NO"
+					t.Violationf("%s: static claim %s equal, but S_%s %s vs S_%s %s",
+						p.Name, rel.Pair(), rel.Small, small.Class(), rel.Big, big.Class())
+				}
+			default:
+				okMark = "skip"
+			}
+			t.Rows = append(t.Rows, []string{
+				p.Name, rel.Pair(), string(rel.Verdict),
+				string(small.Class()), string(big.Class()), okMark,
+			})
+		}
+
+		// Every confirmed leak must be consistent with the meters on the pair
+		// it names: the machine it blames may never grow slower than the one
+		// it exonerates, and when the synthesized relation claims a
+		// separation the gap must be strict (checked above via Relations).
+		for _, leak := range rep.Leaks {
+			small, big, ok := strings.Cut(leak.Pair, "<")
+			if !ok {
+				continue
+			}
+			fs, fb := fits[small], fits[big]
+			if classRank(fb.Class()) < classRank(fs.Class()) {
+				t.Violationf("%s: %s leak blames %s, but measured S_%s %s vs S_%s %s",
+					p.Name, leak.Kind, leak.Pair, small, fs.Class(), big, fb.Class())
+			}
+		}
+	}
+	return t, nil
+}

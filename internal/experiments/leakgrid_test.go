@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLeakGrid is the differential validation of the static space-leak
+// analyzer: every per-pair verdict it emits for the Theorem 25 programs and
+// the parametric corpus/example programs must agree with the growth class
+// fitted from sweeps on all six machines. A static separation contradicted
+// by the meters — or an equality the meters refute — fails the test.
+func TestLeakGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid sweeps six machines per program")
+	}
+	table, err := LeakGrid(LeakGridPrograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Violations) > 0 {
+		t.Fatalf("static claims contradicted by the meters:\n%s\n%s",
+			strings.Join(table.Violations, "\n"), table.Render())
+	}
+
+	// The grid must actually exercise both kinds of claim, and every
+	// program must contribute all six pairs.
+	var separates, equals int
+	for _, row := range table.Rows {
+		switch row[2] {
+		case "separates":
+			separates++
+		case "equal":
+			equals++
+		}
+	}
+	if separates < 6 {
+		t.Errorf("grid found only %d separation claims; the Theorem 25 programs alone should give six", separates)
+	}
+	if equals < 20 {
+		t.Errorf("grid found only %d equality claims", equals)
+	}
+	if want := len(LeakGridPrograms()) * 6; len(table.Rows) != want {
+		t.Errorf("grid has %d rows, want %d (six pairs per program)", len(table.Rows), want)
+	}
+}

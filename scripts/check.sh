@@ -15,4 +15,20 @@ go vet ./...
 echo "==> go test -race ./... $*"
 go test -race "$@" ./...
 
+# Static analyzers are optional locally (no network installs in the dev
+# container); CI installs and runs them unconditionally.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck ./..."
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; skipping (CI runs it)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "==> govulncheck ./..."
+    govulncheck ./...
+else
+    echo "==> govulncheck not installed; skipping (CI runs it)"
+fi
+
 echo "==> check OK"
