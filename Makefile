@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench bench-json spacelab
+.PHONY: check build test vet bench bench-json bench-diff spacelab
 
 check:
 	sh scripts/check.sh
@@ -24,6 +24,11 @@ bench:
 bench-json:
 	$(GO) test -bench . -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
 	@echo wrote BENCH_$$(date +%Y-%m-%d).json
+
+# Re-run the benchmarks and diff them against the committed baseline
+# (BENCH_baseline.json); writes benchdiff.txt. Reporting only, never a gate.
+bench-diff:
+	sh scripts/benchdiff.sh
 
 spacelab:
 	$(GO) run ./cmd/spacelab all

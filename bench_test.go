@@ -9,12 +9,15 @@ package tailspace
 
 import (
 	"fmt"
+	"math/big"
 	"testing"
 
 	"tailspace/internal/core"
 	"tailspace/internal/corpus"
+	"tailspace/internal/env"
 	"tailspace/internal/experiments"
 	"tailspace/internal/space"
+	"tailspace/internal/value"
 )
 
 // reportTable surfaces an experiment's verdict and exposes violations.
@@ -312,4 +315,91 @@ func expOf(s string) float64 {
 	var f float64
 	fmt.Sscanf(s, "n^%f", &f)
 	return f
+}
+
+// BenchmarkCollect isolates the Figure 5 collection rule on the arena store.
+// "steady" collects an all-reachable 2000-cell pair chain — the hot case of a
+// space-efficient computation, where most per-transition collections free
+// nothing — and must run with ~0 allocs/op (the epoch-mark array and work
+// stack are reused). "sweep" allocates 100 garbage cells per collection so
+// the swap-remove sweep and observerless delete path are timed too.
+func BenchmarkCollect(b *testing.B) {
+	build := func(n int) (*value.Store, []env.Location) {
+		st := value.NewStore()
+		prev := st.Alloc(value.Num{Int: big.NewInt(0)})
+		for i := 1; i < n; i++ {
+			prev = st.Alloc(value.Pair{CarLoc: prev, CdrLoc: prev})
+		}
+		return st, []env.Location{prev}
+	}
+	b.Run("steady", func(b *testing.B) {
+		st, roots := build(2000)
+		st.Collect(roots)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if st.Collect(roots) != 0 {
+				b.Fatal("steady-state collect freed cells")
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		st, roots := build(2000)
+		st.Collect(roots)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 100; j++ {
+				st.Alloc(value.Bool(true))
+			}
+			if st.Collect(roots) != 100 {
+				b.Fatal("sweep missed garbage")
+			}
+		}
+	})
+}
+
+// BenchmarkExtendLookup exercises the environment hot path of applyProcedure:
+// extend a lexically nested chain one rib at a time, then resolve every
+// binding. "interned" is the machine's path (pre-interned symbols, integer
+// compares); "strings" goes through the spelling-resolution front door.
+func BenchmarkExtendLookup(b *testing.B) {
+	names := []string{"f", "x", "k", "acc", "loop", "v", "i", "n"}
+	syms := env.InternAll(names)
+	locs := make([]env.Location, len(names))
+	for i := range locs {
+		locs[i] = env.Location(i)
+	}
+	b.Run("interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := env.Empty()
+			for depth := 0; depth < 8; depth++ {
+				a, c := depth%len(syms), (depth+1)%len(syms)
+				e = e.ExtendSyms(
+					[]env.Symbol{syms[a], syms[c]},
+					[]env.Location{locs[a], locs[c]},
+				)
+			}
+			for _, s := range syms {
+				e.LookupSym(s)
+			}
+		}
+	})
+	b.Run("strings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := env.Empty()
+			for depth := 0; depth < 8; depth++ {
+				a, c := depth%len(names), (depth+1)%len(names)
+				e = e.Extend(
+					[]string{names[a], names[c]},
+					[]env.Location{locs[a], locs[c]},
+				)
+			}
+			for _, n := range names {
+				e.Lookup(n)
+			}
+		}
+	})
 }

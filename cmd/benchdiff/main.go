@@ -1,0 +1,126 @@
+// Command benchdiff compares two cmd/benchjson reports and prints a
+// per-benchmark delta table:
+//
+//	go run ./cmd/benchdiff BENCH_baseline.json BENCH_2026-08-05.json
+//
+// For every benchmark present in either file it shows old and new ns/op,
+// the relative change, and the allocs/op movement. Benchmarks present in
+// only one file are listed as added/removed rather than dropped silently.
+// The exit status is always 0 when both files parse: benchdiff reports,
+// it does not gate — wire it as a non-blocking CI step and read the
+// artifact when a number looks off.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type report struct {
+	Goos    string   `json:"goos"`
+	Goarch  string   `json:"goarch"`
+	CPU     string   `json:"cpu"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new_, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if old.CPU != new_.CPU && old.CPU != "" && new_.CPU != "" {
+		fmt.Printf("note: cpu differs (old %q, new %q); ns/op deltas are not like-for-like\n\n", old.CPU, new_.CPU)
+	}
+
+	oldBy := byName(old.Results)
+	newBy := byName(new_.Results)
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for n := range oldBy {
+		names = append(names, n)
+	}
+	for n := range newBy {
+		if _, ok := oldBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-50s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, n := range names {
+		o, hasOld := oldBy[n]
+		nw, hasNew := newBy[n]
+		switch {
+		case !hasNew:
+			fmt.Printf("%-50s %14s %14s %9s %16s\n", n, fmtNs(o.NsPerOp), "-", "removed", "")
+		case !hasOld:
+			fmt.Printf("%-50s %14s %14s %9s %16s\n", n, "-", fmtNs(nw.NsPerOp), "added", fmt.Sprintf("%d", nw.AllocsPerOp))
+		default:
+			delta := "~"
+			if o.NsPerOp > 0 {
+				pct := (nw.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+			}
+			allocs := fmt.Sprintf("%d -> %d", o.AllocsPerOp, nw.AllocsPerOp)
+			if o.AllocsPerOp == nw.AllocsPerOp {
+				allocs = fmt.Sprintf("%d", nw.AllocsPerOp)
+			}
+			fmt.Printf("%-50s %14s %14s %9s %16s\n", n, fmtNs(o.NsPerOp), fmtNs(nw.NsPerOp), delta, allocs)
+		}
+	}
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
+}
+
+func byName(rs []result) map[string]result {
+	m := make(map[string]result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

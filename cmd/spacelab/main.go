@@ -19,8 +19,10 @@
 //
 // Flags:
 //
-//	-jobs N   bound the number of measurement runs in flight (default: GOMAXPROCS)
-//	-json     emit the tables as JSON (machine-readable, for trend tracking)
+//	-jobs N          bound the number of measurement runs in flight (default: GOMAXPROCS)
+//	-json            emit the tables as JSON (machine-readable, for trend tracking)
+//	-cpuprofile f    write a CPU profile of the whole invocation to f (go tool pprof)
+//	-memprofile f    write an allocation profile taken at exit to f
 //
 // Two single-program observability modes sit beside the experiments:
 //
@@ -63,27 +65,40 @@ func main() {
 	chromeOut := fs.String("chrome", "", "with -profile: write a Chrome trace_event file (Perfetto-loadable)")
 	ringCap := fs.Int("ring", obs.DefaultRingCapacity, "with -profile: event ring-buffer capacity (oldest events drop beyond it)")
 	steps := fs.Int("steps", 5_000_000, "with -explain-peak/-profile: step bound")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 	fs.Parse(os.Args[1:])
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spacelab:", err)
+		os.Exit(1)
+	}
+	// Flag modes below exit via os.Exit, which skips deferred calls; exit
+	// funnels through this helper so the profiles are always flushed.
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	if *explain != "" || *prof != "" {
 		if fs.NArg() != 0 || (*explain != "" && *prof != "") {
 			usage()
-			os.Exit(2)
+			exit(2)
 		}
 		if *explain != "" {
-			os.Exit(explainPeak(*explain, *machine, *steps))
+			exit(explainPeak(*explain, *machine, *steps))
 		}
-		os.Exit(runProfile(*prof, *machine, *traceOut, *chromeOut, *ringCap, *steps))
+		exit(runProfile(*prof, *machine, *traceOut, *chromeOut, *ringCap, *steps))
 	}
 	if fs.NArg() != 1 {
 		usage()
-		os.Exit(2)
+		exit(2)
 	}
 	experiments.SetJobs(*jobs)
 
 	command := fs.Arg(0)
 	var tables []experiments.Table
-	var err error
 	switch command {
 	case "fig2":
 		tables, err = one(experiments.Fig2())
@@ -117,11 +132,11 @@ func main() {
 		tables, err = all()
 	default:
 		usage()
-		os.Exit(2)
+		exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spacelab:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	failed := false
 	for _, t := range tables {
@@ -134,7 +149,7 @@ func main() {
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, command, tables, !failed); err != nil {
 			fmt.Fprintln(os.Stderr, "spacelab:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	} else {
 		for _, t := range tables {
@@ -142,8 +157,9 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 // jsonTable mirrors experiments.Table for machine-readable output; Ok and

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/big"
 	"strings"
+
+	"tailspace/internal/env"
 )
 
 // Expr is a Core Scheme expression.
@@ -67,13 +69,20 @@ func (UnspecifiedConst) isConst() {}
 // Var is a variable reference I.
 type Var struct {
 	Name string
+	// Sym is the interned identifier, filled by the expander (or by
+	// InternSyms); zero means "not interned yet" and evaluators fall back to
+	// interning the spelling on first use.
+	Sym env.Symbol
 }
 
 // Lambda is (lambda (I1 ... In) E). Each Lambda carries a stable label used
 // by diagnostics and by the tail-call classifier.
 type Lambda struct {
 	Params []string
-	Body   Expr
+	// ParamSyms holds the interned Params, parallel to Params; nil means
+	// "not interned yet" (see Var.Sym).
+	ParamSyms []env.Symbol
+	Body      Expr
 	// Label names the lambda for reporting: the defining variable when the
 	// expander knows it, otherwise a generated name.
 	Label string
@@ -87,7 +96,9 @@ type If struct {
 // Set is (set! I E0).
 type Set struct {
 	Name string
-	Rhs  Expr
+	// Sym is the interned Name (see Var.Sym).
+	Sym env.Symbol
+	Rhs Expr
 }
 
 // Call is a procedure call (E0 E1 ...); Exprs[0] is the operator.
@@ -174,6 +185,34 @@ func (e *Call) String() string {
 		parts[i] = sub.String()
 	}
 	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// InternSyms fills the interned-symbol fields (Var.Sym, Lambda.ParamSyms,
+// Set.Sym) of every node that does not have them yet, so evaluators can
+// resolve identifiers by integer comparison instead of string hashing. The
+// expander interns at parse time; this pass exists for syntax built
+// programmatically (the CPS converter, tests). Already-interned nodes are
+// left untouched — the pass is idempotent, and on fully interned trees it
+// performs no writes. Like all AST mutation it must happen before the tree
+// is shared across goroutines.
+func InternSyms(e Expr) {
+	Walk(e, func(e Expr) bool {
+		switch x := e.(type) {
+		case *Var:
+			if x.Sym == 0 {
+				x.Sym = env.Intern(x.Name)
+			}
+		case *Lambda:
+			if x.ParamSyms == nil && len(x.Params) > 0 {
+				x.ParamSyms = env.InternAll(x.Params)
+			}
+		case *Set:
+			if x.Sym == 0 {
+				x.Sym = env.Intern(x.Name)
+			}
+		}
+		return true
+	})
 }
 
 // Walk visits every expression in e, parents before children, calling f on

@@ -1,6 +1,10 @@
 package ast
 
-import "sort"
+import (
+	"sort"
+
+	"tailspace/internal/env"
+)
 
 // VarSet is a set of identifiers.
 type VarSet map[string]struct{}
@@ -50,11 +54,18 @@ func (s VarSet) Sorted() []string {
 // analysis must be shared rather than recomputed.
 type FreeVarCache struct {
 	memo map[Expr]VarSet
+	// symMemo caches FV(E) as a sorted slice of interned symbols — the form
+	// the machines' environment restrictions consume. Callers must treat the
+	// returned slices as immutable.
+	symMemo map[Expr][]env.Symbol
 }
 
 // NewFreeVarCache returns an empty cache.
 func NewFreeVarCache() *FreeVarCache {
-	return &FreeVarCache{memo: make(map[Expr]VarSet)}
+	return &FreeVarCache{
+		memo:    make(map[Expr]VarSet),
+		symMemo: make(map[Expr][]env.Symbol),
+	}
 }
 
 // Free returns FV(e), the set of identifiers occurring free in e.
@@ -98,6 +109,74 @@ func (c *FreeVarCache) FreeOfAll(exprs []Expr) VarSet {
 		s = s.Union(c.Free(e))
 	}
 	return s
+}
+
+// FreeSyms returns FV(e) as a sorted, deduplicated slice of interned
+// symbols, memoized by node identity. The result is shared; callers must not
+// mutate it.
+func (c *FreeVarCache) FreeSyms(e Expr) []env.Symbol {
+	if s, ok := c.symMemo[e]; ok {
+		return s
+	}
+	fv := c.Free(e)
+	s := make([]env.Symbol, 0, len(fv))
+	for name := range fv {
+		s = append(s, env.Intern(name))
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	c.symMemo[e] = s
+	return s
+}
+
+// FreeSymsUnion returns FV(a) ∪ FV(b) as a sorted symbol slice. When one
+// side is empty the other's memoized slice is returned as-is (do not mutate).
+func (c *FreeVarCache) FreeSymsUnion(a, b Expr) []env.Symbol {
+	return mergeSyms(c.FreeSyms(a), c.FreeSyms(b))
+}
+
+// FreeSymsOfAll returns the union of FV over several expressions as a
+// sorted symbol slice (shared when the union is a single memoized set).
+func (c *FreeVarCache) FreeSymsOfAll(exprs []Expr) []env.Symbol {
+	switch len(exprs) {
+	case 0:
+		return nil
+	case 1:
+		return c.FreeSyms(exprs[0])
+	}
+	out := mergeSyms(c.FreeSyms(exprs[0]), c.FreeSyms(exprs[1]))
+	for _, e := range exprs[2:] {
+		out = mergeSyms(out, c.FreeSyms(e))
+	}
+	return out
+}
+
+// mergeSyms unions two sorted symbol slices; when one is empty the other is
+// returned unchanged (so memoized sets flow through without copying).
+func mergeSyms(a, b []env.Symbol) []env.Symbol {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]env.Symbol, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // FreeVars computes FV(e) without caching; convenience for tests and tools.

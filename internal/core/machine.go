@@ -40,6 +40,8 @@ type Machine struct {
 	// lastRule tags the rule the most recent Step fired, for per-rule
 	// accounting and the observability event stream.
 	lastRule Rule
+	// occScratch is reused across stackReturn occurs-checks.
+	occScratch []env.Location
 }
 
 // NewMachine builds a machine over the given store.
@@ -96,7 +98,13 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 		m.lastRule = RuleVar
 		// An identifier evaluates to its R-value; if I ∉ Dom ρ,
 		// ρ(I) ∉ Dom σ, or σ(ρ(I)) = UNDEFINED, the computation sticks.
-		loc, ok := s.Env.Lookup(e.Name)
+		var loc env.Location
+		var ok bool
+		if e.Sym != 0 {
+			loc, ok = s.Env.LookupSym(e.Sym)
+		} else {
+			loc, ok = s.Env.Lookup(e.Name)
+		}
 		if !ok {
 			return s, false, m.stuck("unbound variable %s", e.Name)
 		}
@@ -114,7 +122,7 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 		m.lastRule = RuleLambda
 		clEnv := s.Env
 		if m.variant.FreeClosures {
-			clEnv = s.Env.Restrict(m.fv.Free(e))
+			clEnv = s.Env.RestrictSyms(m.fv.FreeSyms(e))
 		}
 		tag := m.store.Alloc(value.Unspecified{})
 		return ValueState(value.Closure{Tag: tag, Lam: e, Env: clEnv}, s.Env, s.K), false, nil
@@ -123,18 +131,22 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 		m.lastRule = RuleIf
 		contEnv := s.Env
 		if m.variant.RestrictConts {
-			contEnv = s.Env.Restrict(m.fv.Free(e.Then).Union(m.fv.Free(e.Else)))
+			contEnv = s.Env.RestrictSyms(m.fv.FreeSymsUnion(e.Then, e.Else))
 		}
 		k := &value.Select{Then: e.Then, Else: e.Else, Env: contEnv, K: s.K}
 		return EvalState(e.Test, s.Env, k), false, nil
 
 	case *ast.Set:
 		m.lastRule = RuleSet
+		sym := e.Sym
+		if sym == 0 {
+			sym = env.Intern(e.Name)
+		}
 		contEnv := s.Env
 		if m.variant.RestrictConts {
-			contEnv = s.Env.RestrictTo(e.Name)
+			contEnv = s.Env.RestrictToSym(sym)
 		}
-		k := &value.Assign{Name: e.Name, Env: contEnv, K: s.K}
+		k := &value.Assign{Name: e.Name, Sym: sym, Env: contEnv, K: s.K}
 		return EvalState(e.Rhs, s.Env, k), false, nil
 
 	case *ast.Call:
@@ -165,7 +177,7 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 func (m *Machine) pushEnv(rho env.Env, rest []ast.Expr) env.Env {
 	switch {
 	case m.variant.RestrictConts:
-		return rho.Restrict(m.fv.FreeOfAll(rest))
+		return rho.RestrictSyms(m.fv.FreeSymsOfAll(rest))
 	case m.variant.EvlisLastEnv && len(rest) == 0:
 		return env.Empty()
 	default:
@@ -193,7 +205,13 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 
 	case *value.Assign:
 		m.lastRule = RuleAssign
-		loc, ok := k.Env.Lookup(k.Name)
+		var loc env.Location
+		var ok bool
+		if k.Sym != 0 {
+			loc, ok = k.Env.LookupSym(k.Sym)
+		} else {
+			loc, ok = k.Env.Lookup(k.Name)
+		}
 		if !ok {
 			return s, false, m.stuck("assignment to unbound variable %s", k.Name)
 		}
@@ -255,7 +273,7 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 func (m *Machine) pushEnvStep(rho env.Env, rest []ast.Expr) env.Env {
 	switch {
 	case m.variant.RestrictConts:
-		return rho.Restrict(m.fv.FreeOfAll(rest))
+		return rho.RestrictSyms(m.fv.FreeSymsOfAll(rest))
 	case m.variant.EvlisLastEnv && len(rest) == 0:
 		return env.Empty()
 	default:
@@ -275,7 +293,12 @@ func (m *Machine) applyProcedure(s State, op value.Value, args []value.Value, k 
 				lamName(lam), len(lam.Params), len(args))
 		}
 		locs := m.store.AllocN(args)
-		bodyEnv := proc.Env.Extend(lam.Params, locs)
+		var bodyEnv env.Env
+		if lam.ParamSyms != nil {
+			bodyEnv = proc.Env.ExtendSyms(lam.ParamSyms, locs)
+		} else {
+			bodyEnv = proc.Env.Extend(lam.Params, locs)
+		}
 		var cont value.Cont
 		switch m.variant.Call {
 		case CallTail:
@@ -393,7 +416,7 @@ func (m *Machine) stackReturn(s State, k *value.ReturnStack) (State, bool, error
 // candidates themselves) and moves any candidate that occurs within it into
 // unsafe.
 func (m *Machine) markStoreOccurrences(candidates, dels map[env.Location]bool, unsafe map[env.Location]bool) {
-	var scratch []env.Location
+	scratch := m.occScratch
 	m.store.Each(func(l env.Location, v value.Value) {
 		if dels[l] {
 			return
@@ -406,6 +429,7 @@ func (m *Machine) markStoreOccurrences(candidates, dels map[env.Location]bool, u
 			}
 		}
 	})
+	m.occScratch = scratch[:0]
 }
 
 // evalOrder chooses the permutation π for a call with n subexpressions.

@@ -51,6 +51,11 @@ type Options struct {
 	Meter space.Meter
 	// Seed, when non-zero, reseeds the store's random source.
 	Seed int64
+	// MapStore runs against the map-backed reference store representation
+	// instead of the default arena. Both produce identical observations (the
+	// differential suite pins this); the reference exists to be slow and
+	// obviously correct.
+	MapStore bool
 	// Trace, when set, receives one TracePoint per transition (after the GC
 	// rule has run) — the space-over-time series behind a space profile.
 	// The hook fires with or without Measure; TracePoint.Measured tells a
@@ -159,6 +164,27 @@ type Runner struct {
 	lastExpr ast.Expr
 	nodeIDs  map[ast.Expr]int
 	tap      *allocTap
+	// rootsBuf is the scratch buffer AppendRoots fills before each
+	// collection; space-efficient computations collect every transition, so
+	// rebuilding it from nil would dominate the allocation profile.
+	rootsBuf []env.Location
+	// gcSnap witnesses the configuration at the end of the last collection,
+	// for the root-delta fast path (see collect).
+	gcSnap gcSnapshot
+}
+
+// gcSnapshot captures what the last collection saw. If the next collection's
+// configuration has the same continuation and environment (pointer-equal —
+// Env and Cont are comparable), a location-free value register both times,
+// and the store's mutation counter unchanged, then its root set is identical
+// and the store holds exactly what the last collection kept — so collecting
+// again is provably a no-op and the trace can be skipped.
+type gcSnapshot struct {
+	k        value.Cont
+	env      env.Env
+	valClean bool
+	mut      uint64
+	valid    bool
 }
 
 // NewRunner prepares a run of program expression e applied under opts. The
@@ -182,7 +208,17 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 	if r.opts.Measure && r.opts.GCEvery < 0 {
 		return Result{ProgramSize: e.Size(), Err: ErrMeasureNeedsGC}
 	}
-	rho0, st := prim.Global()
+	// Expander output is already interned; this covers syntax built
+	// programmatically (the CPS converter, tests) so the machine stays on the
+	// integer-compare lookup path.
+	ast.InternSyms(e)
+	var rho0 env.Env
+	var st *value.Store
+	if r.opts.MapStore {
+		rho0, st = prim.GlobalInto(value.NewMapStore())
+	} else {
+		rho0, st = prim.Global()
+	}
 	if r.opts.Seed != 0 {
 		st.Rand.Seed(r.opts.Seed)
 	}
@@ -260,7 +296,7 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 			if r.opts.Variant.CompressFrames {
 				s.K = CompressReturnChains(s.K)
 			}
-			collected := st.Collect(s.Roots())
+			collected := r.collect(s, st)
 			if observing {
 				r.opts.Events.Emit(obs.Event{
 					Type: obs.EventGC, Step: res.Steps,
@@ -274,6 +310,45 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 		}
 		r.observe(&res, s, st, r.machine.LastRule())
 	}
+}
+
+// collect applies the garbage collection rule to the current configuration.
+// The root-delta fast path: when the configuration's continuation and
+// environment are the very ones the last collection traced, the value
+// register mentions no locations either time, and the store has not been
+// touched since, the root set and store contents are unchanged — the trace
+// would keep everything it kept before, so it is skipped. Any allocation,
+// set!, deletion, or continuation/environment change falls back to the full
+// trace.
+func (r *Runner) collect(s State, st *value.Store) int {
+	snap := &r.gcSnap
+	if snap.valid &&
+		s.K == snap.k && s.Env == snap.env &&
+		snap.valClean && valLocFree(s.Val) &&
+		st.Mutations() == snap.mut {
+		return 0
+	}
+	r.rootsBuf = s.AppendRoots(r.rootsBuf[:0])
+	collected := st.Collect(r.rootsBuf)
+	*snap = gcSnapshot{
+		k:        s.K,
+		env:      s.Env,
+		valClean: valLocFree(s.Val),
+		mut:      st.Mutations(),
+		valid:    true,
+	}
+	return collected
+}
+
+// valLocFree reports whether a value register contributes no GC roots:
+// value.Locations(v, nil) is empty for every case listed here.
+func valLocFree(v value.Value) bool {
+	switch v.(type) {
+	case nil, value.Bool, value.Num, value.Sym, value.Str, value.Char,
+		value.Null, value.Unspecified, value.Undefined, *value.Primop:
+		return true
+	}
+	return false
 }
 
 // observe samples the configuration s that rule just produced: peaks,

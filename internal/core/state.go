@@ -41,13 +41,18 @@ func (s State) IsFinal() bool {
 // Roots returns the locations mentioned by v/E, ρ, and κ — the roots the
 // garbage collection rule traces from.
 func (s State) Roots() []env.Location {
-	var roots []env.Location
+	return s.AppendRoots(nil)
+}
+
+// AppendRoots appends the state's GC roots to out; the append contract lets
+// the runner reuse one scratch buffer across the per-transition collections
+// of a space-efficient computation.
+func (s State) AppendRoots(out []env.Location) []env.Location {
 	if s.Val != nil {
-		roots = value.Locations(s.Val, roots)
+		out = value.Locations(s.Val, out)
 	}
-	roots = append(roots, s.Env.Locations()...)
-	roots = value.ContLocations(s.K, roots)
-	return roots
+	out = s.Env.AppendLocations(out)
+	return value.ContLocations(s.K, out)
 }
 
 func (s State) String() string {

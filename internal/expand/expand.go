@@ -899,7 +899,12 @@ func ParseProgram(src string) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Program(data)
+	e, err := Program(data)
+	if err != nil {
+		return nil, err
+	}
+	ast.InternSyms(e)
+	return e, nil
 }
 
 // ParseExpr reads and expands a single expression.
@@ -908,5 +913,10 @@ func ParseExpr(src string) (ast.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return New().Expr(d)
+	e, err := New().Expr(d)
+	if err != nil {
+		return nil, err
+	}
+	ast.InternSyms(e)
+	return e, nil
 }

@@ -6,6 +6,7 @@ package prim
 
 import (
 	"fmt"
+	"sort"
 
 	"tailspace/internal/env"
 	"tailspace/internal/value"
@@ -66,12 +67,22 @@ func Names() []string {
 // Global builds the initial environment ρ0 and store σ0 containing the
 // standard procedures.
 func Global() (env.Env, *value.Store) {
-	st := value.NewStore()
+	return GlobalInto(value.NewStore())
+}
+
+// GlobalInto installs the standard procedures into an empty store (arena or
+// map backed) and returns ρ0 with it. Primitives are allocated in sorted name
+// order so two runs — and two store representations — number ρ0's locations
+// identically; whole-run reproducibility starts here.
+func GlobalInto(st *value.Store) (env.Env, *value.Store) {
 	names := make([]string, 0, len(registry))
-	locs := make([]env.Location, 0, len(registry))
-	for n, p := range registry {
+	for n := range registry {
 		names = append(names, n)
-		locs = append(locs, st.Alloc(p))
+	}
+	sort.Strings(names)
+	locs := make([]env.Location, len(names))
+	for i, n := range names {
+		locs[i] = st.Alloc(registry[n])
 	}
 	return env.Empty().Extend(names, locs), st
 }

@@ -14,24 +14,47 @@ import (
 // charged once; every other component is charged as in Figure 7 minus its
 // |Dom ρ| terms, and closures cost a single word.
 
-// linkedWalker accumulates the global binding set while measuring.
+// binding is one element of graph(ρ) keyed by interned identifier — cheaper
+// to hash than the string-keyed env.Binding, with the same set cardinality
+// (interning is injective on spellings).
+type binding struct {
+	sym env.Symbol
+	loc env.Location
+}
+
+// linkedWalker accumulates the global binding set while measuring. The same
+// environment reaches addEnv many times per configuration (each frame's saved
+// ρ, every closure in the store and in Done lists), and distinct environments
+// share rib suffixes, so two exact dedup layers keep the walk near-linear:
+// seenEnv skips environments already folded in (equal Envs share one rib
+// chain, hence bind identically), and ribs skips shared shadow-free suffixes
+// across different environments. Neither changes the resulting set — they
+// only elide duplicate inserts.
 type linkedWalker struct {
 	m        Measurer
-	bindings map[env.Binding]struct{}
+	bindings map[binding]struct{}
+	seenEnv  map[env.Env]bool
+	ribs     *env.RibSet
 	seenCont map[value.Cont]bool
 }
 
 func newLinkedWalker(m Measurer) *linkedWalker {
 	return &linkedWalker{
 		m:        m,
-		bindings: make(map[env.Binding]struct{}),
+		bindings: make(map[binding]struct{}),
+		seenEnv:  make(map[env.Env]bool),
+		ribs:     env.NewRibSet(),
 		seenCont: make(map[value.Cont]bool),
 	}
 }
 
 func (w *linkedWalker) addEnv(e env.Env) {
-	e.Each(func(name string, loc env.Location) {
-		w.bindings[env.Binding{Name: name, Loc: loc}] = struct{}{}
+	if w.seenEnv[e] {
+		return
+	}
+	w.seenEnv[e] = true
+	e.EachSymShared(w.ribs, func(s env.Symbol, loc env.Location) {
+		w.bindings[binding{sym: s, loc: loc}] = struct{}{}
 	})
 }
 

@@ -33,8 +33,11 @@ type Select struct {
 // Assign is assign:(I, ρ, κ) — awaiting the right-hand side of a set!.
 type Assign struct {
 	Name string
-	Env  env.Env
-	K    Cont
+	// Sym is the interned Name when the machine had it; zero falls back to
+	// string lookup.
+	Sym env.Symbol
+	Env env.Env
+	K   Cont
 }
 
 // Push is push:((E,...), (v,...), π, ρ, κ) — evaluating the subexpressions
@@ -104,18 +107,31 @@ func (k *ReturnStack) Next() Cont { return k.K }
 // flips this, single-threaded.
 var RootReturnEnvironments = false
 
-// ContLocations appends the store locations occurring within κ.
+// ContLocations appends the store locations occurring within κ. Consecutive
+// frames saving the same environment (Z_tail frames all save ρ itself)
+// contribute its locations once — callers treat the result as a root set, so
+// dropping duplicates is exact and keeps root building O(frames + one env)
+// instead of O(frames × env).
 func ContLocations(k Cont, out []env.Location) []env.Location {
+	var lastEnv env.Env
+	haveLast := false
+	appendEnv := func(e env.Env) {
+		if haveLast && e == lastEnv {
+			return
+		}
+		lastEnv, haveLast = e, true
+		out = e.AppendLocations(out)
+	}
 	for k != nil {
 		switch x := k.(type) {
 		case Halt:
 			return out
 		case *Select:
-			out = append(out, x.Env.Locations()...)
+			appendEnv(x.Env)
 		case *Assign:
-			out = append(out, x.Env.Locations()...)
+			appendEnv(x.Env)
 		case *Push:
-			out = append(out, x.Env.Locations()...)
+			appendEnv(x.Env)
 			for _, v := range x.Done {
 				out = Locations(v, out)
 			}
@@ -131,7 +147,7 @@ func ContLocations(k Cont, out []env.Location) []env.Location {
 			// not a root, which is what keeps Z_gc free of the Theorem 25(a)
 			// quadratic blowup that Z_stack's A-retention causes.
 			if RootReturnEnvironments {
-				out = append(out, x.Env.Locations()...)
+				appendEnv(x.Env)
 			}
 		case *ReturnStack:
 			// Same dead environment as Return, but the deletion set A roots

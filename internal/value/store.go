@@ -28,9 +28,42 @@ type StoreObserver interface {
 // Store is the σ of Figure 4: a finite map from locations to values. It also
 // carries the deterministic random source used by the `random` primitive
 // (Theorem 26's program calls it) so whole runs are reproducible.
+//
+// Two representations share this one type. The default is a dense slice
+// arena: locations are indices into vals, a live/slot pair maintains Dom σ as
+// a dense set with O(1) membership and swap-remove deletion, and Collect
+// marks with a reusable epoch array so a collection allocates nothing.
+// Locations are never reused after deletion — the Z_stack strategy's
+// dangling-pointer detection depends on a deleted α staying dead forever —
+// so vals grows monotonically with Allocs; that memory-for-speed trade is
+// deliberate. NewMapStore instead builds the original map-backed reference
+// implementation (m != nil selects it in every method), kept so differential
+// tests can pin the arena against it observation-for-observation.
 type Store struct {
-	vals map[env.Location]Value
+	// Arena representation (m == nil).
+	vals []Value        // vals[α]; nil after deletion
+	live []env.Location // Dom σ, dense and unordered
+	slot []int32        // slot[α] = index of α in live, or -1 when dead
+	// Epoch-mark collection state, reused across Collects.
+	marks   []uint32
+	epoch   uint32
+	gcStack []env.Location
+	occBuf  []env.Location
+	// envMarks dedups closure environments within one trace: many closures
+	// share one rib chain (every top-level closure closes over ρ0), and
+	// equal Envs contribute identical location sets. Entries are
+	// epoch-stamped so the map is never cleared between collections.
+	envMarks map[env.Env]uint32
+
+	// Reference representation (selected when m != nil).
+	m map[env.Location]Value
+
 	next env.Location
+	// mut counts every store mutation (alloc, set, delete, collection); the
+	// runner compares it across steps to prove the store unchanged since the
+	// last collection.
+	mut uint64
+
 	// Allocs counts every allocation ever performed; it is monotone and
 	// unaffected by garbage collection.
 	Allocs int
@@ -39,13 +72,29 @@ type Store struct {
 	observers []StoreObserver
 }
 
-// NewStore returns an empty store with a fixed-seed random source.
+func newRand() *rand.Rand { return rand.New(rand.NewSource(0x5ce4e5)) }
+
+// NewStore returns an empty arena-backed store with a fixed-seed random
+// source.
 func NewStore() *Store {
-	return &Store{
-		vals: make(map[env.Location]Value),
-		Rand: rand.New(rand.NewSource(0x5ce4e5)),
-	}
+	return &Store{Rand: newRand()}
 }
+
+// NewMapStore returns an empty store using the map-backed reference
+// representation. Both representations allocate the same sequence of
+// locations and share the fixed random seed, so a program run against either
+// produces identical answers; differential tests rely on exactly that.
+func NewMapStore() *Store {
+	return &Store{m: make(map[env.Location]Value), Rand: newRand()}
+}
+
+// IsMapBacked reports whether s uses the reference map representation.
+func (s *Store) IsMapBacked() bool { return s.m != nil }
+
+// Mutations returns the count of mutations (allocations, writes, deletions)
+// performed on s so far. Equal counts across two moments prove the store did
+// not change in between.
+func (s *Store) Mutations() uint64 { return s.mut }
 
 // AddObserver registers o for mutation notifications. Adding the same
 // observer twice is a no-op (a meter re-attached to the store it is already
@@ -59,11 +108,16 @@ func (s *Store) AddObserver(o StoreObserver) {
 	s.observers = append(s.observers, o)
 }
 
-// RemoveObserver unregisters o.
+// RemoveObserver unregisters o. The vacated tail slot is nilled so the
+// backing array does not retain the removed observer (or any meter state it
+// captured).
 func (s *Store) RemoveObserver(o StoreObserver) {
 	for i, have := range s.observers {
 		if have == o {
-			s.observers = append(s.observers[:i], s.observers[i+1:]...)
+			last := len(s.observers) - 1
+			copy(s.observers[i:], s.observers[i+1:])
+			s.observers[last] = nil
+			s.observers = s.observers[:last]
 			return
 		}
 	}
@@ -73,8 +127,15 @@ func (s *Store) RemoveObserver(o StoreObserver) {
 func (s *Store) Alloc(v Value) env.Location {
 	l := s.next
 	s.next++
-	s.vals[l] = v
+	if s.m != nil {
+		s.m[l] = v
+	} else {
+		s.vals = append(s.vals, v)
+		s.slot = append(s.slot, int32(len(s.live)))
+		s.live = append(s.live, l)
+	}
 	s.Allocs++
+	s.mut++
 	for _, o := range s.observers {
 		o.StoreAlloc(l, v)
 	}
@@ -92,17 +153,34 @@ func (s *Store) AllocN(vs []Value) []env.Location {
 
 // Get returns σ(α) and reports whether α ∈ Dom σ.
 func (s *Store) Get(l env.Location) (Value, bool) {
-	v, ok := s.vals[l]
-	return v, ok
+	if s.m != nil {
+		v, ok := s.m[l]
+		return v, ok
+	}
+	if l < 0 || int(l) >= len(s.slot) || s.slot[l] < 0 {
+		return nil, false
+	}
+	return s.vals[l], true
 }
 
 // Set updates σ(α); α must already be allocated.
 func (s *Store) Set(l env.Location, v Value) bool {
-	old, ok := s.vals[l]
-	if !ok {
-		return false
+	var old Value
+	if s.m != nil {
+		var ok bool
+		old, ok = s.m[l]
+		if !ok {
+			return false
+		}
+		s.m[l] = v
+	} else {
+		if l < 0 || int(l) >= len(s.slot) || s.slot[l] < 0 {
+			return false
+		}
+		old = s.vals[l]
+		s.vals[l] = v
 	}
-	s.vals[l] = v
+	s.mut++
 	for _, o := range s.observers {
 		o.StoreSet(l, old, v)
 	}
@@ -110,93 +188,250 @@ func (s *Store) Set(l env.Location, v Value) bool {
 }
 
 // Delete removes α from the store (the Z_stack deletion strategy). Deleting
-// an absent location is a no-op.
+// an absent location is a no-op. The location is never reused.
 func (s *Store) Delete(l env.Location) {
-	v, ok := s.vals[l]
-	if !ok {
+	if s.m != nil {
+		v, ok := s.m[l]
+		if !ok {
+			return
+		}
+		delete(s.m, l)
+		s.mut++
+		for _, o := range s.observers {
+			o.StoreDelete(l, v)
+		}
 		return
 	}
-	delete(s.vals, l)
+	if l < 0 || int(l) >= len(s.slot) || s.slot[l] < 0 {
+		return
+	}
+	v := s.vals[l]
+	s.remove(l)
+	s.mut++
 	for _, o := range s.observers {
 		o.StoreDelete(l, v)
 	}
 }
 
-// Size is |Dom σ|, the number of live locations.
-func (s *Store) Size() int { return len(s.vals) }
+// remove drops a live α from the arena's dense set (swap-remove) and releases
+// its value.
+func (s *Store) remove(l env.Location) {
+	i := s.slot[l]
+	last := len(s.live) - 1
+	moved := s.live[last]
+	s.live[i] = moved
+	s.slot[moved] = i
+	s.live = s.live[:last]
+	s.slot[l] = -1
+	s.vals[l] = nil
+}
 
-// Each calls f for every live (location, value) pair.
+// Size is |Dom σ|, the number of live locations.
+func (s *Store) Size() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return len(s.live)
+}
+
+// Each calls f for every live (location, value) pair (iteration order
+// unspecified).
 func (s *Store) Each(f func(l env.Location, v Value)) {
-	for l, v := range s.vals {
-		f(l, v)
+	if s.m != nil {
+		for l, v := range s.m {
+			f(l, v)
+		}
+		return
+	}
+	for _, l := range s.live {
+		f(l, s.vals[l])
 	}
 }
 
 // Locations returns Dom σ in ascending order.
 func (s *Store) Locations() []env.Location {
-	out := make([]env.Location, 0, len(s.vals))
-	for l := range s.vals {
-		out = append(out, l)
+	out := make([]env.Location, 0, s.Size())
+	if s.m != nil {
+		for l := range s.m {
+			out = append(out, l)
+		}
+	} else {
+		out = append(out, s.live...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// beginEpoch prepares the reusable mark array for a fresh traversal: bump the
+// epoch (a slot is marked iff marks[α] == epoch) and grow marks to cover
+// every location ever allocated. Growth goes through append so its
+// reallocation is amortized; a wrapped epoch counter clears the array once
+// every 2³²−1 traversals.
+func (s *Store) beginEpoch() {
+	for len(s.marks) < len(s.vals) {
+		s.marks = append(s.marks, 0)
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.envMarks = nil
+		s.epoch = 1
+	}
+}
+
+// markReachable traces the reachability relation of Figure 5's collection
+// rule from roots, setting marks[α] == epoch for every location encountered
+// (dangling references included, matching the map reference's seen set). The
+// work stack is reused across calls, so a steady-state traversal allocates
+// nothing.
+func (s *Store) markReachable(roots []env.Location) {
+	s.beginEpoch()
+	if s.envMarks == nil {
+		s.envMarks = make(map[env.Env]uint32)
+	} else if len(s.envMarks) > 1<<16 {
+		// Stale Env keys pin dead rib chains in Go's heap; rebuild once the
+		// map outgrows any plausible live population.
+		s.envMarks = make(map[env.Env]uint32)
+	}
+	stack := append(s.gcStack[:0], roots...)
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l < 0 || int(l) >= len(s.marks) || s.marks[l] == s.epoch {
+			continue
+		}
+		s.marks[l] = s.epoch
+		if s.slot[l] < 0 {
+			continue
+		}
+		// Closures are unpacked here rather than through Locations so an
+		// environment shared by many closures is walked once per trace.
+		if cl, ok := s.vals[l].(Closure); ok {
+			stack = append(stack, cl.Tag)
+			if s.envMarks[cl.Env] != s.epoch {
+				s.envMarks[cl.Env] = s.epoch
+				stack = cl.Env.AppendLocations(stack)
+			}
+			continue
+		}
+		stack = Locations(s.vals[l], stack)
+	}
+	s.gcStack = stack[:0]
 }
 
 // Reachable computes the set of locations reachable from roots through the
 // values in the store — the reachability relation of the garbage collection
 // rule in Figure 5.
 func (s *Store) Reachable(roots []env.Location) map[env.Location]bool {
-	seen := make(map[env.Location]bool, len(roots))
-	stack := append([]env.Location(nil), roots...)
-	for len(stack) > 0 {
-		l := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[l] {
-			continue
+	if s.m != nil {
+		seen := make(map[env.Location]bool, len(roots))
+		stack := append([]env.Location(nil), roots...)
+		for len(stack) > 0 {
+			l := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			v, ok := s.m[l]
+			if !ok {
+				continue
+			}
+			stack = Locations(v, stack)
 		}
-		seen[l] = true
-		v, ok := s.vals[l]
-		if !ok {
-			continue
-		}
-		stack = Locations(v, stack)
+		return seen
 	}
-	return seen
+	s.markReachable(roots)
+	out := make(map[env.Location]bool)
+	for l := range s.marks {
+		if s.marks[l] == s.epoch {
+			out[env.Location(l)] = true
+		}
+	}
+	return out
 }
 
 // Collect applies the garbage collection rule: every location not reachable
 // from roots is removed from the store. It returns the number of locations
-// collected.
+// collected. On the arena representation a collection that frees nothing
+// performs zero heap allocations.
 func (s *Store) Collect(roots []env.Location) int {
-	reach := s.Reachable(roots)
-	collected := 0
-	for l, v := range s.vals {
-		if !reach[l] {
-			delete(s.vals, l)
-			for _, o := range s.observers {
-				o.StoreDelete(l, v)
+	if s.m != nil {
+		reach := s.Reachable(roots)
+		collected := 0
+		for l, v := range s.m {
+			if !reach[l] {
+				delete(s.m, l)
+				s.mut++
+				for _, o := range s.observers {
+					o.StoreDelete(l, v)
+				}
+				collected++
 			}
-			collected++
 		}
+		return collected
+	}
+	s.markReachable(roots)
+	collected := 0
+	for i := 0; i < len(s.live); {
+		l := s.live[i]
+		if s.marks[l] == s.epoch {
+			i++
+			continue
+		}
+		v := s.vals[l]
+		s.remove(l)
+		s.mut++
+		for _, o := range s.observers {
+			o.StoreDelete(l, v)
+		}
+		collected++
 	}
 	return collected
 }
 
 // OccursIn reports whether any location in dels occurs within the remaining
 // store (excluding the candidate locations themselves), i.e. whether the
-// Z_stack deletion would create a dangling pointer through the store.
+// Z_stack deletion would create a dangling pointer through the store. The
+// per-value scratch is reused across calls.
 func (s *Store) OccursIn(dels map[env.Location]bool) bool {
-	var scratch []env.Location
-	for l, v := range s.vals {
-		if dels[l] {
-			continue
+	scratch := s.occBuf[:0]
+	hit := false
+	if s.m != nil {
+		for l, v := range s.m {
+			if dels[l] {
+				continue
+			}
+			scratch = Locations(v, scratch[:0])
+			for _, ref := range scratch {
+				if dels[ref] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
 		}
-		scratch = Locations(v, scratch[:0])
-		for _, ref := range scratch {
-			if dels[ref] {
-				return true
+	} else {
+		for _, l := range s.live {
+			if dels[l] {
+				continue
+			}
+			scratch = Locations(s.vals[l], scratch[:0])
+			for _, ref := range scratch {
+				if dels[ref] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
 			}
 		}
 	}
-	return false
+	s.occBuf = scratch[:0]
+	return hit
 }

@@ -133,7 +133,7 @@ func Locations(v Value, out []env.Location) []env.Location {
 		return append(out, x.ElemLocs...)
 	case Closure:
 		out = append(out, x.Tag)
-		return append(out, x.Env.Locations()...)
+		return x.Env.AppendLocations(out)
 	case Escape:
 		out = append(out, x.Tag)
 		return ContLocations(x.K, out)

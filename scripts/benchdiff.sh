@@ -1,0 +1,31 @@
+#!/bin/sh
+# benchdiff.sh — run the benchmark suite fresh and diff it against the
+# committed baseline (BENCH_baseline.json), writing the comparison to
+# benchdiff.txt so CI can upload it as an artifact.
+#
+# Usage: scripts/benchdiff.sh [baseline.json]
+#
+# This is a reporting step, not a gate: it exits 0 whenever both runs
+# parse, even if numbers regressed. Read the artifact; shared CI runners
+# are too noisy for hard ns/op thresholds. Keep it dependency-free
+# (POSIX sh + the repo's own cmd/benchjson and cmd/benchdiff).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_baseline.json}"
+if [ ! -f "$baseline" ]; then
+    echo "benchdiff: baseline $baseline not found" >&2
+    exit 1
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "==> go test -bench . (fresh run)"
+go test -bench . -benchmem -run '^$' . | go run ./cmd/benchjson > "$fresh"
+
+echo "==> benchdiff $baseline <fresh>"
+go run ./cmd/benchdiff "$baseline" "$fresh" | tee benchdiff.txt
+
+echo "==> wrote benchdiff.txt"
