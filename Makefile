@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench bench-json bench-diff spacelab
+.PHONY: check build test vet bench bench-json bench-diff spacelab serve-smoke
 
 check:
 	sh scripts/check.sh
@@ -32,3 +32,8 @@ bench-diff:
 
 spacelab:
 	$(GO) run ./cmd/spacelab all
+
+# End-to-end smoke test of the spaced service: healthz, one measure, a
+# cache-hit repeat, lint, and a SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh

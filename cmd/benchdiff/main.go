@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"tailspace/internal/version"
 )
 
 type result struct {
@@ -34,6 +36,10 @@ type report struct {
 }
 
 func main() {
+	if len(os.Args) == 2 && os.Args[1] == "-version" {
+		version.Print(os.Stdout, "benchdiff")
+		return
+	}
 	if len(os.Args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
 		os.Exit(2)

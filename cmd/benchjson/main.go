@@ -17,6 +17,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"tailspace/internal/version"
 )
 
 type result struct {
@@ -36,6 +38,10 @@ type report struct {
 }
 
 func main() {
+	if len(os.Args) == 2 && os.Args[1] == "-version" {
+		version.Print(os.Stdout, "benchjson")
+		return
+	}
 	var rep report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -1,0 +1,118 @@
+// Command spaced is the space-measurement daemon: the repo's engine —
+// the six Clinger machines, the Definition 21 S_X/U_X meters, and the
+// static space-leak analyzer — behind a long-lived HTTP/JSON service.
+//
+//	spaced [-addr host:port] [-workers N] [-cache N] [-timeout D] [-drain D]
+//	       [-max-steps N] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/eval     run a program on a chosen machine
+//	POST /v1/measure  S/U peaks across a machine × accounting grid
+//	POST /v1/lint     static space-leak verdicts
+//	GET  /healthz     liveness
+//	GET  /metrics     the serving registry: cache hits/misses/joins,
+//	                  pool occupancy, and engine totals merged from
+//	                  every run served
+//
+// Requests run on a bounded worker pool under a per-request deadline;
+// dropping the client connection cancels the run it started (unless a
+// coalesced request still wants it). Identical requests are answered from a
+// content-addressed cache keyed by the *expanded* program, so surface
+// spellings that expand alike share entries; concurrent identical requests
+// share one computation (single flight). SIGINT/SIGTERM drains in-flight
+// requests under -drain, then aborts whatever remains.
+//
+// Structured request logs are JSONL obs events on stderr; -quiet disables
+// them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tailspace/internal/obs"
+	"tailspace/internal/service"
+	"tailspace/internal/version"
+)
+
+func main() {
+	fs := flag.NewFlagSet("spaced", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8750", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "worker pool size (<1 means GOMAXPROCS)")
+	cacheEntries := fs.Int("cache", 4096, "result cache capacity in entries")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight requests")
+	maxSteps := fs.Int("max-steps", 5_000_000, "cap on the per-request step bound")
+	quiet := fs.Bool("quiet", false, "disable the JSONL request log on stderr")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Parse(os.Args[1:])
+	if *showVersion {
+		version.Print(os.Stdout, "spaced")
+		return
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: spaced [flags]; run spaced -h for the list")
+		os.Exit(2)
+	}
+
+	var events obs.Sink
+	if !*quiet {
+		events = obs.NewJSONLSink(os.Stderr)
+	}
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *timeout,
+		MaxSteps:       *maxSteps,
+		Events:         events,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		os.Exit(1)
+	}
+	// The listening line goes to stdout so scripts (serve_smoke.sh) can
+	// discover an ephemeral port.
+	fmt.Printf("spaced: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, give in-flight requests the drain
+	// window, then cancel whatever is still running.
+	fmt.Println("spaced: draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = srv.Shutdown(shCtx)
+	svc.Close()
+	if err != nil {
+		// Stragglers were aborted by Close; reap their handlers.
+		srv.Close()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "spaced: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("spaced: drain timeout hit; aborted remaining runs")
+	}
+	fmt.Println("spaced: stopped")
+}

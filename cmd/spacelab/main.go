@@ -42,15 +42,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	"tailspace/internal/corpus"
 	"tailspace/internal/experiments"
 	"tailspace/internal/obs"
+	"tailspace/internal/version"
 )
 
 func main() {
@@ -67,7 +71,19 @@ func main() {
 	steps := fs.Int("steps", 5_000_000, "with -explain-peak/-profile: step bound")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Parse(os.Args[1:])
+	if *showVersion {
+		version.Print(os.Stdout, "spacelab")
+		os.Exit(0)
+	}
+
+	// Ctrl-C (or SIGTERM) cancels in-flight measurement runs between
+	// transitions: grids stop promptly with a "cancelled" error instead of
+	// the process dying mid-table.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	experiments.SetCancel(ctx.Done())
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -87,9 +103,9 @@ func main() {
 			exit(2)
 		}
 		if *explain != "" {
-			exit(explainPeak(*explain, *machine, *steps))
+			exit(explainPeak(*explain, *machine, *steps, ctx.Done()))
 		}
-		exit(runProfile(*prof, *machine, *traceOut, *chromeOut, *ringCap, *steps))
+		exit(runProfile(*prof, *machine, *traceOut, *chromeOut, *ringCap, *steps, ctx.Done()))
 	}
 	if fs.NArg() != 1 {
 		usage()

@@ -18,15 +18,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tailspace/internal/analysis"
 	"tailspace/internal/corpus"
 	"tailspace/internal/experiments"
+	"tailspace/internal/version"
 )
 
 // namedSource is one program to report on, from a file or the corpus.
@@ -38,7 +42,18 @@ func main() {
 	fs := flag.NewFlagSet("tailscan", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit results as JSON instead of a rendered table")
 	lint := fs.Bool("lint", false, "run the space-leak analyzer; exit non-zero on confirmed leaks")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Parse(os.Args[1:])
+	if *showVersion {
+		version.Print(os.Stdout, "tailscan")
+		return
+	}
+
+	// Ctrl-C cancels any measurement grids (the corpus Figure 2 path) between
+	// machine transitions instead of killing the process mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	experiments.SetCancel(ctx.Done())
 
 	var sources []namedSource
 	if fs.NArg() == 0 {

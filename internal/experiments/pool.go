@@ -3,6 +3,8 @@ package experiments
 import (
 	"runtime"
 	"sync"
+
+	"tailspace/internal/core"
 )
 
 // Experiment grids — (program × machine × size) — are embarrassingly
@@ -14,8 +16,9 @@ import (
 // error wins.
 
 var (
-	poolMu  sync.Mutex
-	poolSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	poolMu     sync.Mutex
+	poolSem    = make(chan struct{}, runtime.GOMAXPROCS(0))
+	poolCancel <-chan struct{}
 )
 
 // SetJobs bounds the number of measurement runs in flight across all
@@ -37,9 +40,44 @@ func Jobs() int {
 	return cap(poolSem)
 }
 
+// SetCancel installs a package-wide cancellation channel (a context's
+// Done()): grid tasks not yet started are skipped once it closes, and
+// every sweep run polls it through core.Options.Cancel, so an interrupt
+// (Ctrl-C in spacelab/tailscan) stops a long sweep between transitions
+// instead of killing the process mid-write. nil restores the default
+// (never cancelled).
+func SetCancel(done <-chan struct{}) {
+	poolMu.Lock()
+	poolCancel = done
+	poolMu.Unlock()
+}
+
+// cancelChan reads the installed cancellation channel (nil when none).
+func cancelChan() <-chan struct{} {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return poolCancel
+}
+
+// cancelled reports whether the installed channel has fired.
+func cancelled() bool {
+	done := cancelChan()
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // runGrid runs task(0), ..., task(n-1) on the shared bounded pool and waits
 // for all of them. Each task writes its result into caller-owned slot i, so
 // output order is deterministic; the returned error is the lowest-index one.
+// Tasks that have not started when the installed cancellation channel fires
+// are skipped and report core.ErrCancelled.
 func runGrid(n int, task func(i int) error) error {
 	if n == 1 {
 		return task(0)
@@ -56,6 +94,10 @@ func runGrid(n int, task func(i int) error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if cancelled() {
+				errs[i] = core.ErrCancelled
+				return
+			}
 			errs[i] = task(i)
 		}(i)
 	}

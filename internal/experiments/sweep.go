@@ -104,6 +104,7 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 			MaxSteps:   maxSteps,
 			NumberMode: opts.Mode,
 			Order:      opts.Order,
+			Cancel:     cancelChan(),
 		})
 		if err != nil {
 			return fmt.Errorf("%s [%s] n=%d: %w", label, v, n, err)

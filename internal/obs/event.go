@@ -30,6 +30,11 @@ const (
 	// EventPeak records that a running maximum (flat, linked, heap, or
 	// continuation depth) was raised.
 	EventPeak EventType = "peak"
+	// EventRequest is one served request of a long-lived process (the
+	// spaced daemon): method, path, status, duration, and how the result
+	// cache disposed of it. Request events flow through the same Sink
+	// plumbing as machine events, so JSONL export and rings apply.
+	EventRequest EventType = "request"
 )
 
 // Event is one entry of the structured event stream. Only the fields
@@ -67,6 +72,16 @@ type Event struct {
 	// Value its new value.
 	Peak  string `json:"peak,omitempty"`
 	Value int    `json:"value,omitempty"`
+
+	// Request-event fields (EventRequest): the HTTP method and path, the
+	// response status, the wall-clock duration in microseconds, and the
+	// cache disposition ("hit", "miss", "join" for a coalesced request;
+	// empty for uncached endpoints).
+	Method string `json:"method,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Status int    `json:"status,omitempty"`
+	DurUS  int64  `json:"durUs,omitempty"`
+	Cache  string `json:"cache,omitempty"`
 }
 
 // Sink receives events as the run produces them. Implementations must be

@@ -51,6 +51,11 @@ func (m *Metrics) SetMax(name string, v int64) {
 	}
 }
 
+// Set writes the named gauge unconditionally — for level gauges (in-flight
+// requests, cache residency) whose current value, not maximum, is the
+// interesting number.
+func (m *Metrics) Set(name string, v int64) { m.gauges[name] = v }
+
 // Counter reads a counter (0 when absent).
 func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
 

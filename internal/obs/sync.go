@@ -1,0 +1,87 @@
+package obs
+
+import "sync"
+
+// SyncMetrics is a concurrency-safe registry for long-lived processes. The
+// per-run Metrics is deliberately lock-free (a run owns its registry); a
+// server aggregating many concurrent runs needs the same names and
+// snapshot/merge semantics behind a mutex. The zero value is not usable;
+// call NewSyncMetrics.
+type SyncMetrics struct {
+	mu sync.Mutex
+	m  *Metrics
+}
+
+// NewSyncMetrics returns an empty concurrency-safe registry.
+func NewSyncMetrics() *SyncMetrics {
+	return &SyncMetrics{m: NewMetrics()}
+}
+
+// Inc adds delta to the named counter.
+func (s *SyncMetrics) Inc(name string, delta int64) {
+	s.mu.Lock()
+	s.m.Inc(name, delta)
+	s.mu.Unlock()
+}
+
+// Set writes the named gauge.
+func (s *SyncMetrics) Set(name string, v int64) {
+	s.mu.Lock()
+	s.m.Set(name, v)
+	s.mu.Unlock()
+}
+
+// SetMax raises the named gauge to v if v is larger.
+func (s *SyncMetrics) SetMax(name string, v int64) {
+	s.mu.Lock()
+	s.m.SetMax(name, v)
+	s.mu.Unlock()
+}
+
+// Add shifts the named gauge by delta — the increment/decrement pair behind
+// level gauges like in-flight request counts.
+func (s *SyncMetrics) Add(name string, delta int64) {
+	s.mu.Lock()
+	s.m.Set(name, s.m.Gauge(name)+delta)
+	s.mu.Unlock()
+}
+
+// Counter reads a counter (0 when absent).
+func (s *SyncMetrics) Counter(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Counter(name)
+}
+
+// Gauge reads a gauge (0 when absent).
+func (s *SyncMetrics) Gauge(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Gauge(name)
+}
+
+// Merge folds a finished per-run registry into the shared one: counters
+// add, gauges take the maximum — the same aggregation rule the experiment
+// grids use, so a server's /metrics reports corpus-style totals.
+func (s *SyncMetrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	s.mu.Lock()
+	s.m.Merge(other)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a point-in-time copy of every metric.
+func (s *SyncMetrics) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Snapshot()
+}
+
+// Names returns every metric name in sorted order.
+func (s *SyncMetrics) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Names()
+}

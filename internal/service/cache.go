@@ -1,0 +1,166 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"tailspace/internal/obs"
+)
+
+// Metric names the service publishes beside the engine's own (the per-run
+// registries are merged in, so /metrics also reports machine.steps totals,
+// GC work, and worst-cell peaks across everything the server has run).
+const (
+	MetricCacheHits   = "cache.hits"     // served straight from the LRU
+	MetricCacheMisses = "cache.misses"   // computed fresh
+	MetricCacheJoins  = "cache.joins"    // coalesced onto an in-flight computation
+	MetricCacheSize   = "cache.size"     // gauge: entries resident
+	MetricInflight    = "cache.inflight" // gauge: distinct computations running
+	MetricPoolBusy    = "pool.busy"      // gauge: worker slots in use
+	MetricPoolWaiting = "pool.waiting"   // gauge: computations queued for a slot
+	MetricRequests    = "http.requests." // counter prefix, by route
+	MetricStatus      = "http.status."   // counter prefix, by status class (2xx...)
+)
+
+// resultCache is the content-addressed result cache with single-flight
+// coalescing. Keys are hashes of (endpoint kind, expanded program, input,
+// machine, mode, options); values are finished response cells, which are
+// immutable once stored.
+//
+// Concurrent requests for the same key share one computation: the first
+// becomes the leader and starts the work, later arrivals join as waiters.
+// The computation's lifetime is tied to its waiters, not to the leader's
+// connection — each waiter that disconnects decrements a reference count,
+// and only when the count reaches zero is the underlying run cancelled. A
+// computation that fails (cancellation, deadline) is not cached, so the
+// next request retries it.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	byKey   map[string]*list.Element
+	flights map[string]*flight
+	metrics *obs.SyncMetrics
+}
+
+// centry is one resident cache entry.
+type centry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation and its waiters.
+type flight struct {
+	done    chan struct{} // closed when val/err are final
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newResultCache(max int, metrics *obs.SyncMetrics) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		ll:      list.New(),
+		byKey:   map[string]*list.Element{},
+		flights: map[string]*flight{},
+		metrics: metrics,
+	}
+}
+
+// do returns the cached value for key, joins an in-flight computation for
+// it, or runs compute to produce it. disposition reports which of the three
+// happened ("hit", "join", "miss").
+//
+// ctx is this caller's own lifetime — request context plus per-request
+// deadline. compute receives a context the *flight* owns, derived from base
+// (the server's lifetime) bounded by timeout: it ends when every waiter is
+// gone, when the server closes, or at the deadline — but not when any
+// individual requester (the leader included) disconnects, so coalesced
+// followers keep a computation alive.
+func (c *resultCache) do(ctx, base context.Context, timeout time.Duration, key string, compute func(context.Context) (any, error)) (val any, disposition string, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		val = el.Value.(*centry).val
+		c.mu.Unlock()
+		c.metrics.Inc(MetricCacheHits, 1)
+		return val, "hit", nil
+	}
+	if f, ok := c.flights[key]; ok {
+		f.waiters++
+		c.mu.Unlock()
+		c.metrics.Inc(MetricCacheJoins, 1)
+		return c.wait(ctx, key, f, "join")
+	}
+
+	// Leader: start the computation on a context owned by the flight.
+	fctx, cancel := context.WithTimeout(base, timeout)
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.flights[key] = f
+	c.mu.Unlock()
+	c.metrics.Inc(MetricCacheMisses, 1)
+	c.metrics.Add(MetricInflight, 1)
+
+	go func() {
+		v, cerr := compute(fctx)
+		c.mu.Lock()
+		f.val, f.err = v, cerr
+		delete(c.flights, key)
+		if cerr == nil {
+			c.insertLocked(key, v)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		cancel()
+		c.metrics.Add(MetricInflight, -1)
+	}()
+	return c.wait(ctx, key, f, "miss")
+}
+
+// wait blocks until the flight finishes or this waiter's context ends. A
+// departing waiter that was the last one cancels the computation.
+func (c *resultCache) wait(ctx context.Context, key string, f *flight, disposition string) (any, string, error) {
+	select {
+	case <-f.done:
+		return f.val, disposition, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		c.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, disposition, ctx.Err()
+	}
+}
+
+// insertLocked adds a finished value and evicts beyond the bound. Caller
+// holds c.mu.
+func (c *resultCache) insertLocked(key string, val any) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*centry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&centry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*centry).key)
+	}
+	c.metrics.Set(MetricCacheSize, int64(c.ll.Len()))
+}
+
+// Len reports the resident entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

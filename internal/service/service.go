@@ -1,0 +1,532 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/core"
+	"tailspace/internal/expand"
+	"tailspace/internal/obs"
+	"tailspace/internal/space"
+)
+
+// Config tunes a Server. The zero value is usable: GOMAXPROCS workers, a
+// 4096-entry cache, a 30-second request deadline, and the engine's default
+// step bound as the cap.
+type Config struct {
+	// Workers bounds the number of machine runs executing at once.
+	Workers int
+	// QueueDepth bounds computations waiting for a worker slot beyond the
+	// pool; past it the server sheds load with 503 instead of queueing
+	// unboundedly. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache. Default 4096.
+	CacheEntries int
+	// RequestTimeout is the per-request deadline: the longest a computation
+	// started for a request may run. Default 30s.
+	RequestTimeout time.Duration
+	// MaxSteps caps (and defaults) the per-request step bound. Default is
+	// the engine's 5-million-step default.
+	MaxSteps int
+	// Events, when non-nil, receives one obs.EventRequest per served
+	// request. The server serializes emissions, so any Sink works.
+	Events obs.Sink
+}
+
+// Server is the spaced service core: handlers plus the worker pool, result
+// cache, and metrics registry behind them. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	waiting int64 // queued-for-slot count, under waitMu
+	waitMu  sync.Mutex
+	cache   *resultCache
+	metrics *obs.SyncMetrics
+	// base is the ancestor of every computation context; Close cancels it,
+	// aborting in-flight runs that survived the HTTP drain.
+	base context.Context
+	stop context.CancelFunc
+
+	events   obs.Sink
+	eventsMu sync.Mutex
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxSteps < 1 {
+		cfg.MaxSteps = 5_000_000
+	}
+	m := obs.NewSyncMetrics()
+	base, stop := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries, m),
+		metrics: m,
+		base:    base,
+		stop:    stop,
+		events:  cfg.Events,
+	}
+}
+
+// Metrics exposes the server's registry (shared with /metrics).
+func (s *Server) Metrics() *obs.SyncMetrics { return s.metrics }
+
+// Close aborts every in-flight computation. Call it after http.Server.
+// Shutdown has drained (or given up on) the handlers.
+func (s *Server) Close() { s.stop() }
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/eval", s.logged(s.handleEval))
+	mux.HandleFunc("POST /v1/measure", s.logged(s.handleMeasure))
+	mux.HandleFunc("POST /v1/lint", s.logged(s.handleLint))
+	mux.HandleFunc("GET /healthz", s.logged(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.logged(s.handleMetrics))
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; programs are source text, not data.
+const maxBodyBytes = 1 << 20
+
+// reqState carries per-request bookkeeping from handler to middleware.
+type reqState struct {
+	status int
+	cache  string // hit|miss|join, for cached endpoints
+}
+
+// statusWriter records the status a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	st *reqState
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.st.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logged wraps a handler with request counting and structured logging.
+func (s *Server) logged(h func(http.ResponseWriter, *http.Request, *reqState)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := &reqState{status: http.StatusOK}
+		h(&statusWriter{ResponseWriter: w, st: st}, r, st)
+		s.metrics.Inc(MetricRequests+r.URL.Path, 1)
+		s.metrics.Inc(MetricStatus+strconv.Itoa(st.status/100)+"xx", 1)
+		if s.events != nil {
+			s.eventsMu.Lock()
+			s.events.Emit(obs.Event{
+				Type:   obs.EventRequest,
+				Method: r.Method,
+				Path:   r.URL.Path,
+				Status: st.status,
+				DurUS:  time.Since(start).Microseconds(),
+				Cache:  st.cache,
+			})
+			s.eventsMu.Unlock()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decode reads a JSON request body into v.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// expandProgram parses + macro-expands source once, returning the expanded
+// expression's canonical rendering — the content-addressed identity every
+// cache key hashes. Expansion failures surface as 400 before any worker
+// slot is consumed.
+func expandProgram(src string) (string, int, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return "", 0, err
+	}
+	return e.String(), e.Size(), nil
+}
+
+// cacheKey hashes the full identity of a computation. Every field that can
+// change the result is included; the program participates by expanded form,
+// so surface-syntax differences that expand identically share an entry.
+func cacheKey(kind, expanded, input string, parts ...string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(expanded))
+	h.Write([]byte{0})
+	h.Write([]byte(input))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// clampSteps applies the server's default and cap to a request step bound.
+func (s *Server) clampSteps(n int) int {
+	if n < 1 || n > s.cfg.MaxSteps {
+		return s.cfg.MaxSteps
+	}
+	return n
+}
+
+// acquire takes a worker slot, honoring ctx and shedding load when the
+// queue is past QueueDepth. Returns a release func, or an error.
+var errQueueFull = errors.New("service: worker queue full")
+
+func (s *Server) acquire(ctx context.Context) (func(), error) {
+	s.waitMu.Lock()
+	if s.waiting >= int64(s.cfg.QueueDepth) {
+		s.waitMu.Unlock()
+		return nil, errQueueFull
+	}
+	s.waiting++
+	s.metrics.Set(MetricPoolWaiting, s.waiting)
+	s.waitMu.Unlock()
+
+	defer func() {
+		s.waitMu.Lock()
+		s.waiting--
+		s.metrics.Set(MetricPoolWaiting, s.waiting)
+		s.waitMu.Unlock()
+	}()
+
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.Add(MetricPoolBusy, 1)
+		return func() {
+			<-s.sem
+			s.metrics.Add(MetricPoolBusy, -1)
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runCell executes one (machine, mode) run on the worker pool under ctx.
+// The finished run's registry is merged into the server's, so /metrics
+// accumulates engine totals across everything ever served.
+func (s *Server) runCell(ctx context.Context, program, input string, opts core.Options) (core.Result, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return core.Result{}, err
+	}
+	defer release()
+	opts.Cancel = ctx.Done()
+	var res core.Result
+	if input != "" {
+		res, err = core.RunApplication(program, input, opts)
+	} else {
+		res, err = core.RunProgram(program, opts)
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	if errors.Is(res.Err, core.ErrCancelled) {
+		// Cancellation is a property of this request's lifetime, not of the
+		// computation; report the context's verdict and cache nothing.
+		if cerr := ctx.Err(); cerr != nil {
+			return core.Result{}, cerr
+		}
+		return core.Result{}, core.ErrCancelled
+	}
+	s.metrics.Merge(res.Metrics)
+	return res, nil
+}
+
+// withDeadline derives the waiter context for one request: its own
+// connection lifetime plus the per-request deadline.
+func (s *Server) withDeadline(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// computeErr maps a failed computation to an HTTP status.
+func computeStatus(err error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCancelled):
+		// The client is gone (or the server is shutting down); 499 is the
+		// conventional "client closed request" status.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, st *reqState) {
+	var req EvalRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	v, err := parseMachine(req.Machine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	order, err := parseOrder(req.Order)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	expanded, _, err := expandProgram(req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Input != "" {
+		if _, err := expand.ParseExpr(req.Input); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("input: %w", err))
+			return
+		}
+	}
+	maxSteps := s.clampSteps(req.MaxSteps)
+	key := cacheKey("eval", expanded, req.Input, v.Name, req.Order, strconv.Itoa(maxSteps))
+
+	ctx, cancel := s.withDeadline(r)
+	defer cancel()
+	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
+		res, err := s.runCell(fctx, req.Program, req.Input, core.Options{
+			Variant: v, MaxSteps: maxSteps, Order: order,
+		})
+		if err != nil {
+			return nil, err
+		}
+		outcome, msg := outcomeOf(res.Err)
+		return &EvalResponse{
+			Machine: v.Name, Outcome: outcome, Answer: res.Answer,
+			Steps: res.Steps, Error: msg,
+		}, nil
+	})
+	st.cache = disposition
+	if err != nil {
+		writeError(w, computeStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqState) {
+	var req MeasureRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	machines := req.Machines
+	if len(machines) == 0 {
+		for _, v := range core.Variants {
+			machines = append(machines, v.Name)
+		}
+	}
+	modes := req.Modes
+	if len(modes) == 0 {
+		modes = []string{"logarithmic"}
+	}
+	variants := make([]core.Variant, len(machines))
+	for i, name := range machines {
+		v, err := parseMachine(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		variants[i] = v
+	}
+	numModes := make([]space.NumberMode, len(modes))
+	for i, name := range modes {
+		m, err := parseMode(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		numModes[i] = m
+	}
+	order, err := parseOrder(req.Order)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	expanded, size, err := expandProgram(req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Input != "" {
+		if _, err := expand.ParseExpr(req.Input); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("input: %w", err))
+			return
+		}
+	}
+	maxSteps := s.clampSteps(req.MaxSteps)
+
+	ctx, cancel := s.withDeadline(r)
+	defer cancel()
+
+	// Each cell is an independent cache unit, so overlapping grids from
+	// different requests share cells; the cells of one request fan out
+	// concurrently over the worker pool.
+	type cellSlot struct {
+		cell        MeasureCell
+		disposition string
+		err         error
+	}
+	slots := make([]cellSlot, len(variants)*len(modes))
+	var wg sync.WaitGroup
+	for vi, v := range variants {
+		for mi, mode := range numModes {
+			wg.Add(1)
+			go func(i int, v core.Variant, mode space.NumberMode, modeName string) {
+				defer wg.Done()
+				key := cacheKey("measure", expanded, req.Input, v.Name, modeName,
+					strconv.FormatBool(req.FlatOnly), req.Order, strconv.Itoa(maxSteps))
+				val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
+					res, err := s.runCell(fctx, req.Program, req.Input, core.Options{
+						Variant: v, Measure: true, FlatOnly: req.FlatOnly,
+						GCEvery: 1, MaxSteps: maxSteps, Order: order,
+						NumberMode: mode,
+					})
+					if err != nil {
+						return nil, err
+					}
+					outcome, msg := outcomeOf(res.Err)
+					return &MeasureCell{
+						Machine: v.Name, Mode: modeName, Outcome: outcome,
+						Flat: res.PeakFlat, Linked: res.PeakLinked,
+						Heap: res.PeakHeap, ContDepth: res.PeakContDepth,
+						Steps: res.Steps, Answer: res.Answer, Error: msg,
+					}, nil
+				})
+				slots[i].disposition = disposition
+				if err != nil {
+					slots[i].err = err
+					return
+				}
+				slots[i].cell = *val.(*MeasureCell)
+			}(vi*len(modes)+mi, v, mode, canonMode(mode))
+		}
+	}
+	wg.Wait()
+
+	resp := MeasureResponse{ProgramSize: size, Cells: make([]MeasureCell, len(slots))}
+	st.cache = "miss"
+	allHit := true
+	for i, slot := range slots {
+		if slot.err != nil {
+			writeError(w, computeStatus(slot.err), slot.err)
+			st.cache = slot.disposition
+			return
+		}
+		resp.Cells[i] = slot.cell
+		if slot.disposition != "hit" {
+			allHit = false
+		}
+	}
+	if allHit {
+		st.cache = "hit"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// canonMode renders a NumberMode under its canonical wire name, so the
+// cache key is independent of the alias the client spelled.
+func canonMode(m space.NumberMode) string {
+	if m == space.Fixnum {
+		return "fixnum"
+	}
+	return "logarithmic"
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState) {
+	var req LintRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "program"
+	}
+	expanded, _, err := expandProgram(req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKey("lint", expanded, "", name)
+
+	ctx, cancel := s.withDeadline(r)
+	defer cancel()
+	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
+		release, err := s.acquire(fctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		rep, err := analysis.LintSource(name, req.Program)
+		if err != nil {
+			return nil, err
+		}
+		return &LintResponse{LintReport: rep, Confirmed: rep.Confirmed()}, nil
+	})
+	st.cache = disposition
+	if err != nil {
+		writeError(w, computeStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, _ *reqState) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.cfg.Workers,
+		"cache":   s.cache.Len(),
+	})
+}
+
+// handleMetrics renders the registry snapshot as a flat JSON object — the
+// same shape Result.Metrics marshals to, so trend tooling reads both.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request, _ *reqState) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}

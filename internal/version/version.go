@@ -1,0 +1,48 @@
+// Package version is the shared -version implementation for every command
+// in this module: one line built from the binary's embedded build info, so
+// it needs no ldflags and stays correct under plain `go build`/`go run`.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// String renders "cmd version (go1.xx os/arch) [vcs rev]" for the running
+// binary. Module version is "(devel)" for in-tree builds; when the binary
+// was built from a VCS checkout the revision and dirty flag are appended.
+func String(cmd string) string {
+	mod, rev, dirty := "(devel)", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			mod = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	out := fmt.Sprintf("%s %s (%s %s/%s)", cmd, mod, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " " + rev
+		if dirty {
+			out += "+dirty"
+		}
+	}
+	return out
+}
+
+// Print writes the version line — the body of every command's -version
+// flag.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintln(w, String(cmd))
+}

@@ -15,6 +15,9 @@ go vet ./...
 echo "==> go test -race ./... $*"
 go test -race "$@" ./...
 
+echo "==> serve smoke (scripts/serve_smoke.sh)"
+sh scripts/serve_smoke.sh
+
 # Static analyzers are optional locally (no network installs in the dev
 # container); CI installs and runs them unconditionally.
 if command -v staticcheck >/dev/null 2>&1; then

@@ -1,0 +1,76 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the spaced service:
+# start the daemon on an ephemeral port, check /healthz, run one
+# /v1/measure, repeat it and require a cache hit (via /metrics), lint a
+# program, then SIGTERM and require a clean drain. Dependency-free: the
+# only client is spacectl. CI and `make serve-smoke` run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMOKE_DIR=.smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+
+echo "==> build spaced + spacectl"
+go build -o "$SMOKE_DIR/spaced" ./cmd/spaced
+go build -o "$SMOKE_DIR/spacectl" ./cmd/spacectl
+
+cat > "$SMOKE_DIR/countdown.scm" <<'EOF'
+(define (f n) (if (zero? n) 0 (f (- n 1))))
+EOF
+
+echo "==> start spaced (ephemeral port)"
+"$SMOKE_DIR/spaced" -addr 127.0.0.1:0 -quiet -drain 5s \
+    > "$SMOKE_DIR/spaced.out" 2> "$SMOKE_DIR/spaced.err" &
+SPACED_PID=$!
+trap 'kill "$SPACED_PID" 2>/dev/null || true' EXIT
+
+# The daemon prints "spaced: listening on http://HOST:PORT" once bound.
+URL=""
+for _ in $(seq 1 50); do
+    URL=$(sed -n 's/^spaced: listening on //p' "$SMOKE_DIR/spaced.out")
+    [ -n "$URL" ] && break
+    kill -0 "$SPACED_PID" 2>/dev/null || {
+        echo "spaced died on startup:"; cat "$SMOKE_DIR/spaced.err"; exit 1; }
+    sleep 0.1
+done
+[ -n "$URL" ] || { echo "spaced never reported its address"; exit 1; }
+echo "    $URL"
+
+CTL="$SMOKE_DIR/spacectl -addr $URL"
+
+echo "==> /healthz"
+$CTL health | grep -q '"ok"'
+
+echo "==> /v1/measure (cold)"
+$CTL -input '(quote 10)' -modes fixnum measure "$SMOKE_DIR/countdown.scm" \
+    | tee "$SMOKE_DIR/measure1.txt" | grep -q 'sfs'
+
+echo "==> /v1/measure (repeat; must hit the cache)"
+$CTL -input '(quote 10)' -modes fixnum measure "$SMOKE_DIR/countdown.scm" \
+    > "$SMOKE_DIR/measure2.txt"
+cmp -s "$SMOKE_DIR/measure1.txt" "$SMOKE_DIR/measure2.txt" || {
+    echo "repeated measure differs from the first"; exit 1; }
+HITS=$($CTL metrics | sed -n 's/^cache\.hits  *//p')
+[ -n "$HITS" ] && [ "$HITS" -ge 6 ] || {
+    echo "expected >= 6 cache hits after the repeat, got '${HITS:-none}'"; exit 1; }
+echo "    cache.hits = $HITS"
+
+echo "==> /v1/lint"
+$CTL lint "$SMOKE_DIR/countdown.scm" | grep -q 'control'
+
+echo "==> graceful shutdown (SIGTERM drain)"
+kill -TERM "$SPACED_PID"
+i=0
+while kill -0 "$SPACED_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "spaced did not exit within 10s of SIGTERM"; exit 1; }
+    sleep 0.1
+done
+trap - EXIT
+grep -q 'spaced: stopped' "$SMOKE_DIR/spaced.out" || {
+    echo "spaced did not report a clean stop:"; cat "$SMOKE_DIR/spaced.out"; exit 1; }
+
+rm -rf "$SMOKE_DIR"
+echo "==> serve smoke OK"
