@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench bench-json bench-diff spacelab serve-smoke
+.PHONY: check build test vet bench bench-json bench-diff tables-guard spacelab serve-smoke
 
 check:
 	sh scripts/check.sh
@@ -25,8 +25,14 @@ bench-json:
 	$(GO) test -bench . -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
 	@echo wrote BENCH_$$(date +%Y-%m-%d).json
 
-# Re-run the benchmarks and diff them against the committed baseline
-# (BENCH_baseline.json); writes benchdiff.txt. Reporting only, never a gate.
+# Gate: deterministic spacelab tables under the default word cost model
+# must be byte-identical to the committed TABLES_baseline.json.
+tables-guard:
+	sh scripts/tablesguard.sh
+
+# Run the tables guard (a gate), then re-run the benchmarks and diff them
+# against the committed baseline (BENCH_baseline.json); writes
+# benchdiff.txt. The timing diff is reporting only, never a gate.
 bench-diff:
 	sh scripts/benchdiff.sh
 

@@ -264,7 +264,7 @@ func BenchmarkMeterFullVsDelta(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res, err := core.RunApplication(program, "(quote 2000)", core.Options{
 				Variant: core.Tail, Measure: true, FlatOnly: true,
-				GCEvery: 50, NumberMode: space.Fixnum, Meter: meter(),
+				GCEvery: 50, CostModel: space.Fixnum, Meter: meter(),
 			})
 			if err != nil || res.Err != nil {
 				b.Fatalf("%v %v", err, res.Err)
@@ -290,8 +290,8 @@ func BenchmarkMeasuredRun(b *testing.B) {
 		opts core.Options
 	}{
 		{"plain", core.Options{Variant: core.Tail}},
-		{"flat", core.Options{Variant: core.Tail, Measure: true, FlatOnly: true, NumberMode: space.Fixnum}},
-		{"flat+linked", core.Options{Variant: core.Tail, Measure: true, NumberMode: space.Fixnum}},
+		{"flat", core.Options{Variant: core.Tail, Measure: true, FlatOnly: true, CostModel: space.Fixnum}},
+		{"flat+linked", core.Options{Variant: core.Tail, Measure: true, CostModel: space.Fixnum}},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {

@@ -41,7 +41,8 @@ func main() {
 	expr := flag.String("e", "", "program text (instead of a file)")
 	input := flag.String("input", "", "apply the program to this input expression")
 	measure := flag.Bool("measure", false, "measure Figure 7/8 space peaks")
-	fixnum := flag.Bool("fixnum", false, "fixed-precision number costs")
+	fixnum := flag.Bool("fixnum", false, "fixed-precision number costs (same as -cost-model fixnum)")
+	costModel := flag.String("cost-model", "", "space cost model: word|fixnum|log (default word)")
 	orderFlag := flag.String("order", "l2r", "argument order: l2r|r2l|random")
 	strictStack := flag.Bool("strict-stack", false, "Z_stack deletes whole frames (sticks on danglers)")
 	gcEvery := flag.Int("gc-every", 0, "apply the GC rule every K steps")
@@ -79,14 +80,18 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown order %q", *orderFlag))
 	}
-	mode := space.Logarithmic
-	if *fixnum {
-		mode = space.Fixnum
+	modelName := *costModel
+	if modelName == "" && *fixnum {
+		modelName = "fixnum"
+	}
+	model, err := space.ModelByName(modelName)
+	if err != nil {
+		fatal(err)
 	}
 	opts := core.Options{
 		Variant:     v,
 		Measure:     *measure,
-		NumberMode:  mode,
+		CostModel:   model,
 		Order:       order,
 		StackStrict: *strictStack,
 		GCEvery:     *gcEvery,
@@ -114,7 +119,6 @@ func main() {
 	}
 
 	var res core.Result
-	var err error
 	switch {
 	case *cpsConvert && *input != "":
 		fatal(fmt.Errorf("-cps and -input cannot be combined"))

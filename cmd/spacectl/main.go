@@ -2,7 +2,7 @@
 // source files (or corpus program names) and pretty-prints the responses.
 //
 //	spacectl [-addr URL] eval <program> [-input D] [-machine M] [-steps N]
-//	spacectl [-addr URL] measure <program> [-input D] [-machines a,b] [-modes log,fixnum] [-flat-only] [-steps N]
+//	spacectl [-addr URL] measure <program> [-input D] [-machines a,b] [-cost-model word,log] [-flat-only] [-steps N]
 //	spacectl [-addr URL] lint <program>
 //	spacectl [-addr URL] health
 //	spacectl [-addr URL] metrics
@@ -37,7 +37,7 @@ func main() {
 	input := fs.String("input", "", "input datum D; the server runs (P D)")
 	machine := fs.String("machine", "", "eval: machine name (default tail)")
 	machines := fs.String("machines", "", "measure: comma-separated machine names (default: the six-machine family)")
-	modes := fs.String("modes", "", "measure: comma-separated number modes (logarithmic,fixnum)")
+	costModels := fs.String("cost-model", "", "measure: comma-separated space cost models (word,fixnum,log)")
 	flatOnly := fs.Bool("flat-only", false, "measure: skip the linked (U_X) measurement")
 	steps := fs.Int("steps", 0, "step bound (0 means the server default)")
 	jsonOut := fs.Bool("json", false, "print raw response JSON")
@@ -61,7 +61,7 @@ func main() {
 	case "eval":
 		exit = cmdEval(client, base, args, *input, *machine, *steps, *jsonOut)
 	case "measure":
-		exit = cmdMeasure(client, base, args, *input, *machines, *modes, *flatOnly, *steps, *jsonOut)
+		exit = cmdMeasure(client, base, args, *input, *machines, *costModels, *flatOnly, *steps, *jsonOut)
 	case "lint":
 		exit = cmdLint(client, base, args, *jsonOut)
 	case "health":
@@ -156,7 +156,7 @@ func cmdEval(client *http.Client, base string, args []string, input, machine str
 	}
 }
 
-func cmdMeasure(client *http.Client, base string, args []string, input, machines, modes string, flatOnly bool, steps int, jsonOut bool) int {
+func cmdMeasure(client *http.Client, base string, args []string, input, machines, costModels string, flatOnly bool, steps int, jsonOut bool) int {
 	if len(args) != 1 {
 		usage()
 		return 2
@@ -167,7 +167,7 @@ func cmdMeasure(client *http.Client, base string, args []string, input, machines
 	}
 	req := service.MeasureRequest{
 		Program: src, Input: input, FlatOnly: flatOnly, MaxSteps: steps,
-		Machines: splitList(machines), Modes: splitList(modes),
+		Machines: splitList(machines), CostModels: splitList(costModels),
 	}
 	var resp service.MeasureResponse
 	if err := post(client, base+"/v1/measure", req, &resp, jsonOut); err != nil {
@@ -178,7 +178,7 @@ func cmdMeasure(client *http.Client, base string, args []string, input, machines
 	}
 	fmt.Printf("%s: |P| = %d\n", args[0], resp.ProgramSize)
 	fmt.Printf("%-8s %-12s %10s %10s %8s %8s %9s  %s\n",
-		"machine", "mode", "S_X", "U_X", "heap", "depth", "steps", "outcome")
+		"machine", "model", "S_X", "U_X", "heap", "depth", "steps", "outcome")
 	exit := 0
 	for _, c := range resp.Cells {
 		linked := fmt.Sprintf("%d", c.Linked)
@@ -192,7 +192,7 @@ func cmdMeasure(client *http.Client, base string, args []string, input, machines
 			exit = 1
 		}
 		fmt.Printf("%-8s %-12s %10d %10s %8d %8d %9d  %s\n",
-			c.Machine, c.Mode, c.Flat, linked, c.Heap, c.ContDepth, c.Steps, outcome)
+			c.Machine, c.CostModel, c.Flat, linked, c.Heap, c.ContDepth, c.Steps, outcome)
 	}
 	return exit
 }
@@ -283,7 +283,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: spacectl [-addr URL] [-json] <command> [args]
 commands:
   eval <program>     [-input D] [-machine M] [-steps N]   run on one machine
-  measure <program>  [-input D] [-machines a,b] [-modes log,fixnum] [-flat-only] [-steps N]
+  measure <program>  [-input D] [-machines a,b] [-cost-model word,log] [-flat-only] [-steps N]
                                                           S/U peaks across the grid
   lint <program>                                          static space-leak verdicts
   health                                                  GET /healthz

@@ -5,6 +5,7 @@
 //	spacelab [flags] hierarchy     Figure 6 / Theorem 24: the space-class hierarchy
 //	spacelab [flags] thm25         Theorem 25: the four separation programs
 //	spacelab [flags] thm26         Theorem 26 / §13: flat vs linked environments
+//	spacelab [flags] costmodels    cost-model robustness: Theorem 25 under word/fixnum/log pricing
 //	spacelab [flags] findleftmost  §4: find-leftmost space vs tree shape
 //	spacelab [flags] gcfactor      §12: periodic-collection constant factor R
 //	spacelab [flags] mta           §14: Cheney-on-the-MTA frame collection
@@ -20,6 +21,9 @@
 // Flags:
 //
 //	-jobs N          bound the number of measurement runs in flight (default: GOMAXPROCS)
+//	-cost-model M    price every experiment under cost model M (word|fixnum|log)
+//	                 instead of its historical default; the costmodels experiment
+//	                 ignores the override (it sweeps all models by design)
 //	-json            emit the tables as JSON (machine-readable, for trend tracking)
 //	-cpuprofile f    write a CPU profile of the whole invocation to f (go tool pprof)
 //	-memprofile f    write an allocation profile taken at exit to f
@@ -54,6 +58,7 @@ import (
 	"tailspace/internal/corpus"
 	"tailspace/internal/experiments"
 	"tailspace/internal/obs"
+	"tailspace/internal/space"
 	"tailspace/internal/version"
 )
 
@@ -61,6 +66,7 @@ func main() {
 	fs := flag.NewFlagSet("spacelab", flag.ExitOnError)
 	fs.Usage = usage
 	jobs := fs.Int("jobs", 0, "max measurement runs in flight (<1 means GOMAXPROCS)")
+	costModel := fs.String("cost-model", "", "price experiments under this cost model (word|fixnum|log) instead of their defaults")
 	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of rendered text")
 	explain := fs.String("explain-peak", "", "attribute the flat-space peak of a program (file or corpus name)")
 	prof := fs.String("profile", "", "profile one run of a program (file or corpus name) with the event stream attached")
@@ -84,6 +90,15 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	experiments.SetCancel(ctx.Done())
+
+	if *costModel != "" {
+		m, merr := space.ModelByName(*costModel)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "spacelab:", merr)
+			os.Exit(1)
+		}
+		experiments.SetCostModel(m)
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -122,6 +137,8 @@ func main() {
 		tables, err = one(experiments.Hierarchy(experiments.HierarchyProbePrograms(), 12))
 	case "thm25":
 		tables, err = experiments.Thm25()
+	case "costmodels":
+		tables, err = experiments.CostModels()
 	case "thm26":
 		tables, err = one(experiments.Thm26(nil))
 	case "findleftmost":
@@ -253,13 +270,17 @@ func all() ([]experiments.Table, error) {
 		err   error
 	}
 	results := make([]slot, len(jobs))
-	var thm25Tables []experiments.Table
-	var thm25Err error
+	var thm25Tables, costModelTables []experiments.Table
+	var thm25Err, costModelErr error
 	var wg sync.WaitGroup
-	wg.Add(len(jobs) + 1)
+	wg.Add(len(jobs) + 2)
 	go func() {
 		defer wg.Done()
 		thm25Tables, thm25Err = experiments.Thm25()
+	}()
+	go func() {
+		defer wg.Done()
+		costModelTables, costModelErr = experiments.CostModels()
 	}()
 	for i, job := range jobs {
 		go func(i int, job func() (experiments.Table, error)) {
@@ -277,7 +298,8 @@ func all() ([]experiments.Table, error) {
 		out = append(out, results[i].table)
 		return nil
 	}
-	// Presentation order: fig2, hierarchy, thm25 (4 tables), thm26, ...
+	// Presentation order: fig2, hierarchy, thm25 (4 tables), costmodels (2
+	// tables), thm26, ...
 	for _, step := range []int{0, 1} {
 		if err := collect(step); err != nil {
 			return out, err
@@ -287,6 +309,10 @@ func all() ([]experiments.Table, error) {
 		return out, thm25Err
 	}
 	out = append(out, thm25Tables...)
+	if costModelErr != nil {
+		return out, costModelErr
+	}
+	out = append(out, costModelTables...)
 	for _, step := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11} {
 		if err := collect(step); err != nil {
 			return out, err
@@ -312,10 +338,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: spacelab [-jobs N] [-json] <experiment>
        spacelab -explain-peak <program> [-machine M] [-steps N]
        spacelab -profile <program> [-machine M] [-trace f.jsonl] [-chrome f.json] [-ring N] [-steps N]
-experiments: fig2|hierarchy|thm25|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all
+experiments: fig2|hierarchy|thm25|costmodels|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all
 <program> is a Scheme source file or a corpus program name.
 flags:
   -jobs N          bound the number of measurement runs in flight (default GOMAXPROCS)
+  -cost-model M    price experiments under cost model M (word|fixnum|log) instead of their defaults
   -json            emit tables as JSON for trend tracking
   -explain-peak P  attribute the flat-space peak of P under every machine (or -machine M)
   -profile P       run P once with the event stream attached and print its metrics

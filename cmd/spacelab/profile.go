@@ -57,7 +57,7 @@ func explainPeak(arg, machine string, maxSteps int, cancel <-chan struct{}) int 
 	for _, v := range variants {
 		res, err := core.RunProgram(src, core.Options{
 			Variant: v, Measure: true, FlatOnly: true, GCEvery: 1,
-			MaxSteps: maxSteps, NumberMode: space.Fixnum, AttributePeak: true,
+			MaxSteps: maxSteps, CostModel: space.Fixnum, AttributePeak: true,
 			Cancel: cancel,
 		})
 		if err != nil {
@@ -100,7 +100,7 @@ func runProfile(arg, machine, traceFile, chromeFile string, ringCap, maxSteps in
 	ring := obs.NewRing(ringCap)
 	res, err := core.RunProgram(src, core.Options{
 		Variant: v, Measure: true, GCEvery: 1, MaxSteps: maxSteps,
-		NumberMode: space.Fixnum, Events: ring, AttributePeak: true,
+		CostModel: space.Fixnum, Events: ring, AttributePeak: true,
 		Cancel: cancel,
 	})
 	if err != nil {

@@ -6,12 +6,18 @@
 // With no arguments it scans the bundled benchmark corpus through the same
 // per-program report path.
 //
-//	tailscan [-json] [-lint] [file.scm ...]
+//	tailscan [-json] [-lint] [-grid] [-cost-model M] [file.scm ...]
 //
 // -lint runs the space-leak analyzer instead: per-closure capture reports,
 // structured leak diagnostics (which machine pair each leak separates), and
 // the predicted per-machine space ordering. The exit status is non-zero
 // when a confirmed leak is found.
+//
+// -grid runs the differential leak grid instead: every subject is analyzed
+// statically and then swept on all six machines, and the fitted growth
+// classes must agree with the static verdicts. -cost-model selects the
+// space cost model the sweeps charge under (word, fixnum, or log), so the
+// static analyzer can be validated against logarithmic pricing too.
 //
 // -json emits the same information machine-readably: the Figure 2 table for
 // the corpus scan, or one record per program.
@@ -30,6 +36,7 @@ import (
 	"tailspace/internal/analysis"
 	"tailspace/internal/corpus"
 	"tailspace/internal/experiments"
+	"tailspace/internal/space"
 	"tailspace/internal/version"
 )
 
@@ -42,11 +49,20 @@ func main() {
 	fs := flag.NewFlagSet("tailscan", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit results as JSON instead of a rendered table")
 	lint := fs.Bool("lint", false, "run the space-leak analyzer; exit non-zero on confirmed leaks")
+	grid := fs.Bool("grid", false, "run the differential leak grid (static verdicts vs metered growth); exit non-zero on disagreement")
+	modelName := fs.String("cost-model", "", "space cost model the grid sweeps charge under: word (default), fixnum, or log")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Parse(os.Args[1:])
 	if *showVersion {
 		version.Print(os.Stdout, "tailscan")
 		return
+	}
+	if *modelName != "" {
+		model, err := space.ModelByName(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.SetCostModel(model)
 	}
 
 	// Ctrl-C cancels any measurement grids (the corpus Figure 2 path) between
@@ -54,6 +70,31 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	experiments.SetCancel(ctx.Done())
+
+	if *grid {
+		if fs.NArg() > 0 {
+			fatal(fmt.Errorf("-grid sweeps the bundled subjects; positional files are not supported"))
+		}
+		table, err := experiments.LeakGrid(experiments.LeakGridPrograms())
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(struct {
+				Title      string     `json:"title"`
+				Header     []string   `json:"header"`
+				Rows       [][]string `json:"rows"`
+				Notes      []string   `json:"notes,omitempty"`
+				Violations []string   `json:"violations,omitempty"`
+			}{table.Title, table.Header, table.Rows, table.Notes, table.Violations})
+		} else {
+			fmt.Println(table.Render())
+		}
+		if !table.Ok() || !table.Complete() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sources []namedSource
 	if fs.NArg() == 0 {

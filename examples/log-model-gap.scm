@@ -1,0 +1,24 @@
+; A program whose space class depends on the cost model: build a live
+; list of n boolean cells, then traverse it tail-recursively. The peak
+; configuration retains all n cells at once. Under the word model
+; (Figure 7) every retained cell and pointer costs a constant number of
+; words, so the peak is Theta(n); under the log model every retained
+; pointer costs ceil(log2 live) words (Accattoli/Dal Lago/Vanoni), so
+; the same peak is Theta(n log n). The cells are booleans, not numbers,
+; so number pricing -- on which all the models agree up to a constant --
+; cannot blur the comparison.
+;
+;   spacelab -cost-model log -explain-peak examples/log-model-gap.scm
+;   spacelab costmodels   ; sweeps this program under every model
+;
+(define (build i acc)
+  (if (zero? i)
+      acc
+      (build (- i 1) (cons #t acc))))
+(define (count l k)
+  (if (null? l)
+      k
+      (count (cdr l) (+ k 1))))
+(define (f n)
+  (count (build n '()) 0))
+(f 256)

@@ -1,0 +1,56 @@
+package tailspace
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestLogModelGapExample runs examples/log-model-gap.scm end to end through
+// the public API and checks the property the file advertises: the marginal
+// peak cost of one more live cell is constant under the word model (Theta(n)
+// total) but grows under the log model (Theta(n log n) total). The whole-peak
+// ratio is the wrong witness — the prelude's additive constant dominates at
+// small n — so the test compares first- and last-segment slopes, exactly as
+// the spacelab costmodels experiment does.
+func TestLogModelGapExample(t *testing.T) {
+	data, err := os.ReadFile("examples/log-model-gap.scm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the trailing standalone call so the remaining define-form program
+	// (whose value is the one-argument procedure f) can be applied per input.
+	src := strings.TrimSpace(string(data))
+	const call = "(f 256)"
+	if !strings.HasSuffix(src, call) {
+		t.Fatalf("examples/log-model-gap.scm must end with the standalone call %s", call)
+	}
+	prog := strings.TrimSuffix(src, call)
+
+	ns := []int{16, 64, 256, 1024}
+	peaks := map[string][]int{}
+	for _, model := range []string{"word", "log"} {
+		for _, n := range ns {
+			res, err := Apply(prog, fmt.Sprintf("(quote %d)", n),
+				Options{Variant: Tail, Measure: true, CostModel: model})
+			if err != nil {
+				t.Fatalf("[%s n=%d] %v", model, n, err)
+			}
+			peaks[model] = append(peaks[model], res.SpaceFlat)
+		}
+	}
+
+	slope := func(p []int, i int) float64 {
+		return float64(p[i+1]-p[i]) / float64(ns[i+1]-ns[i])
+	}
+	last := len(ns) - 2
+	if first, end := slope(peaks["word"], 0), slope(peaks["word"], last); end > 1.15*first || first > 1.15*end {
+		t.Errorf("word model: marginal words per live cell must stay constant, got %.1f → %.1f (peaks %v)",
+			first, end, peaks["word"])
+	}
+	if first, end := slope(peaks["log"], 0), slope(peaks["log"], last); end < 1.25*first {
+		t.Errorf("log model: marginal words per live cell must grow with the pointer width, got %.1f → %.1f (peaks %v)",
+			first, end, peaks["log"])
+	}
+}

@@ -59,7 +59,7 @@ func TestGCPeriodMonotonicity(t *testing.T) {
 		for i, k := range []int{1, 4, 16} {
 			res, err := RunProgram(src, Options{
 				Variant: Tail, Measure: true, FlatOnly: true,
-				GCEvery: k, NumberMode: space.Fixnum,
+				GCEvery: k, CostModel: space.Fixnum,
 			})
 			if err != nil || res.Err != nil {
 				t.Fatalf("%v %v", err, res.Err)

@@ -11,9 +11,12 @@ import (
 
 // TestDeltaMeterMatchesFullMeterOnCorpus is the differential suite for the
 // metering pipeline: every corpus program under every reference
-// implementation, measured once with the incremental DeltaMeter and once
-// with the from-scratch FullMeter oracle. The peaks must be bit-identical —
-// the delta meter is an optimization, not an approximation.
+// implementation and every cost model, measured once with the incremental
+// DeltaMeter and once with the from-scratch FullMeter oracle. The peaks
+// must be bit-identical — the delta meter is an optimization, not an
+// approximation — under LogModel too, where the charge components are
+// maintained incrementally and the pointer width is applied at observation
+// time (DESIGN.md §12).
 //
 // MaxSteps is capped well below the default: both meters observe the same
 // transition prefix, so peaks stay comparable even on runs that hit the
@@ -26,29 +29,31 @@ func TestDeltaMeterMatchesFullMeterOnCorpus(t *testing.T) {
 		maxSteps = 500
 	}
 	for _, v := range Variants {
-		v := v
-		t.Run(v.Name, func(t *testing.T) {
-			t.Parallel()
-			for _, p := range corpus.All() {
-				opts := Options{
-					Variant: v, Measure: true, GCEvery: 1,
-					MaxSteps: maxSteps, NumberMode: space.Fixnum,
+		for _, model := range space.Models {
+			v, model := v, model
+			t.Run(v.Name+"/"+model.Name(), func(t *testing.T) {
+				t.Parallel()
+				for _, p := range corpus.All() {
+					opts := Options{
+						Variant: v, Measure: true, GCEvery: 1,
+						MaxSteps: maxSteps, CostModel: model,
+					}
+					opts.Meter = space.NewFullMeter(model)
+					full, err := RunProgram(p.Source, opts)
+					if err != nil {
+						t.Fatalf("%s: full meter: %v", p.Name, err)
+					}
+					opts.Meter = space.NewDeltaMeter(model)
+					delta, err := RunProgram(p.Source, opts)
+					if err != nil {
+						t.Fatalf("%s: delta meter: %v", p.Name, err)
+					}
+					if diff := diffResults(full, delta); diff != "" {
+						t.Errorf("%s [%s, %s]: meters disagree: %s", p.Name, v, model.Name(), diff)
+					}
 				}
-				opts.Meter = space.NewFullMeter(space.Fixnum)
-				full, err := RunProgram(p.Source, opts)
-				if err != nil {
-					t.Fatalf("%s: full meter: %v", p.Name, err)
-				}
-				opts.Meter = space.NewDeltaMeter(space.Fixnum)
-				delta, err := RunProgram(p.Source, opts)
-				if err != nil {
-					t.Fatalf("%s: delta meter: %v", p.Name, err)
-				}
-				if diff := diffResults(full, delta); diff != "" {
-					t.Errorf("%s [%s]: meters disagree: %s", p.Name, v, diff)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

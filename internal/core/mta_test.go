@@ -76,7 +76,7 @@ func TestMTAComputesSameAnswers(t *testing.T) {
 // O(S_tail) — constant space on the iterative loop — even though no
 // syntactic definition of proper tail recursion admits it.
 func TestMTAIsProperlyTailRecursive(t *testing.T) {
-	fixnum := func(o *Options) { o.NumberMode = space.Fixnum }
+	fixnum := func(o *Options) { o.CostModel = space.Fixnum }
 	small := measure(t, MTA, countdownLoop, 10, fixnum, flatOnly)
 	large := measure(t, MTA, countdownLoop, 500, fixnum, flatOnly)
 	if small.Err != nil || large.Err != nil {
@@ -98,8 +98,8 @@ func TestMTAIsProperlyTailRecursive(t *testing.T) {
 // collection every k steps the frame run grows to at most O(k), a constant
 // factor independent of the input.
 func TestMTAPeriodicCollectionBoundedFactor(t *testing.T) {
-	fixnum := func(o *Options) { o.NumberMode = space.Fixnum }
-	lazy := func(o *Options) { o.GCEvery = 20; o.NumberMode = space.Fixnum }
+	fixnum := func(o *Options) { o.CostModel = space.Fixnum }
+	lazy := func(o *Options) { o.GCEvery = 20; o.CostModel = space.Fixnum }
 	everyStep := measure(t, MTA, countdownLoop, 400, fixnum, flatOnly)
 	periodic := measure(t, MTA, countdownLoop, 400, lazy, flatOnly)
 	if everyStep.Err != nil || periodic.Err != nil {

@@ -41,8 +41,10 @@ type Options struct {
 	// FlatOnly skips the Figure 8 linked measurement, whose per-step cost is
 	// O(configuration); sweeps that only fit S_X set it.
 	FlatOnly bool
-	// NumberMode selects the integer cost model for measurement.
-	NumberMode space.NumberMode
+	// CostModel selects the space cost model for measurement: space.Word
+	// (Figure 7/8 word counts, the default when nil), space.Fixnum
+	// (fixed-precision numbers), or space.Log (logarithmic pointer costs).
+	CostModel space.CostModel
 	// Meter overrides the space meter used when Measure is set. nil — the
 	// default — builds a fresh space.DeltaMeter (incremental, O(cells
 	// touched) per transition) for each run; pass space.NewFullMeter to
@@ -222,7 +224,7 @@ func NewRunner(opts Options) *Runner {
 	}
 	meter := opts.Meter
 	if meter == nil {
-		meter = space.NewDeltaMeter(opts.NumberMode)
+		meter = space.NewDeltaMeter(opts.CostModel)
 	}
 	return &Runner{opts: opts, meter: meter}
 }
@@ -440,7 +442,7 @@ func (r *Runner) attributePeak(step, flat int, s State, st *value.Store, rule Ru
 		nodeID = r.nodeIDs[expr]
 	}
 	return obs.NewPeakReport(r.opts.Variant.Name, step, flat, rule.String(),
-		exprStr, nodeID, s.Env, s.K, st, r.opts.NumberMode)
+		exprStr, nodeID, s.Env, s.K, st, r.opts.CostModel)
 }
 
 // buildMetrics assembles the run's registry from the dense per-rule counts

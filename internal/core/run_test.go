@@ -58,7 +58,7 @@ const countdownLoop = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
 
 func TestProperTailRecursionConstantSpace(t *testing.T) {
 	// Under Z_tail with fixnum costs, peak space must not grow with N.
-	fixnum := func(o *Options) { o.NumberMode = space.Fixnum }
+	fixnum := func(o *Options) { o.CostModel = space.Fixnum }
 	small := measure(t, Tail, countdownLoop, 10, fixnum, flatOnly)
 	large := measure(t, Tail, countdownLoop, 500, fixnum, flatOnly)
 	if small.Err != nil || large.Err != nil {
@@ -71,7 +71,7 @@ func TestProperTailRecursionConstantSpace(t *testing.T) {
 }
 
 func TestImproperTailRecursionLinearSpace(t *testing.T) {
-	fixnum := func(o *Options) { o.NumberMode = space.Fixnum }
+	fixnum := func(o *Options) { o.CostModel = space.Fixnum }
 	small := measure(t, GC, countdownLoop, 10, fixnum, flatOnly)
 	large := measure(t, GC, countdownLoop, 200, fixnum, flatOnly)
 	growth := float64(large.PeakFlat-small.PeakFlat) / 190.0

@@ -48,7 +48,7 @@ func TestArenaStoreMatchesMapStoreOnCorpus(t *testing.T) {
 						sink := &sliceSink{}
 						res, err := RunProgram(p.Source, Options{
 							Variant: v, Measure: true, GCEvery: 1,
-							MaxSteps: maxSteps, NumberMode: space.Fixnum,
+							MaxSteps: maxSteps, CostModel: space.Fixnum,
 							MapStore: mapStore, Events: sink,
 							Meter: meter.mk(),
 						})

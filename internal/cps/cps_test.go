@@ -178,7 +178,7 @@ func TestCPSLoopStaysConstantSpace(t *testing.T) {
 		e := convert(t, src)
 		res := core.NewRunner(core.Options{
 			Variant: core.Tail, Measure: true, FlatOnly: true,
-			GCEvery: 1, NumberMode: space.Fixnum, MaxSteps: 8_000_000,
+			GCEvery: 1, CostModel: space.Fixnum, MaxSteps: 8_000_000,
 		}).Run(e)
 		if res.Err != nil {
 			t.Fatalf("n=%d: %v", n, res.Err)

@@ -31,7 +31,7 @@ func ReturnEnvAblation() (Table, error) {
 		for _, n := range ns {
 			res, err := core.RunApplication(VectorFrames, fmt.Sprintf("(quote %d)", n), core.Options{
 				Variant: core.GC, Measure: true, FlatOnly: true,
-				GCEvery: 1, NumberMode: space.Fixnum, MaxSteps: 5_000_000,
+				GCEvery: 1, CostModel: expModel(space.Fixnum), MaxSteps: 5_000_000,
 			})
 			if err != nil {
 				return nil, err

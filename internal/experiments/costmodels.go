@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tailspace/internal/core"
+	"tailspace/internal/space"
+)
+
+// This file asks the Accattoli/Dal Lago/Vanoni question of Clinger's
+// hierarchy: which of the Theorem 25 space-class separations are artifacts
+// of the word cost model, and which survive when pointers cost the
+// logarithm of the live-store size? Each separation program is re-swept
+// under every cost model and each claimed separation pair gets a per-model
+// separates/collapses verdict. A second experiment exhibits a program whose
+// space class itself differs between WordModel and LogModel.
+
+// LogModelGapProgram builds a live list of n constant cells and then
+// traverses it tail-recursively; the peak configuration holds Θ(n) live
+// store cells. The cells are booleans, not numbers, so number pricing — on
+// which all models of this repo agree up to a constant — cannot blur the
+// comparison. Under WordModel the peak is Θ(n) words; under LogModel every
+// retained store pointer costs ⌈log2 live⌉ bits, so the same computation
+// peaks at Θ(n log n). The same source is examples/log-model-gap.scm.
+const LogModelGapProgram = `(lambda (n)
+  (define (build i acc)
+    (if (zero? i)
+        acc
+        (build (- i 1) (cons #t acc))))
+  (define (count l k)
+    (if (null? l)
+        k
+        (count (cdr l) (+ k 1))))
+  (count (build n '()) 0))`
+
+// logModelGapInputs is the input ladder for the gap program.
+var logModelGapInputs = []int{16, 64, 256, 1024}
+
+// CostModelGrid re-runs every Theorem 25 separation under every cost model
+// and reports, per claimed separation pair, whether the bigger class still
+// grows strictly faster. The word and fixnum columns reproduce the paper's
+// verdicts; the log column answers the robustness question.
+func CostModelGrid() (Table, error) {
+	t := Table{
+		Title:  "Cost-model robustness: Theorem 25 separations under word/fixnum/log pricing",
+		Header: []string{"program", "separation"},
+	}
+	for _, m := range space.Models {
+		t.Header = append(t.Header, m.Name())
+	}
+
+	for _, prog := range Thm25Programs() {
+		names := make([]string, 0, len(prog.Claims))
+		for name := range prog.Claims {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+
+		// One sweep per (variant, model); fits[model][variant].
+		fits := make(map[string]map[string]Fit, len(space.Models))
+		for _, model := range space.Models {
+			fits[model.Name()] = make(map[string]Fit, len(names))
+			for _, name := range names {
+				variant, ok := core.ByName(name)
+				if !ok {
+					return t, fmt.Errorf("costmodels: unknown variant %s", name)
+				}
+				series, err := SweepProgram(prog.Name, prog.Source, variant, prog.Inputs,
+					SweepOptions{Model: model, FlatOnly: true})
+				if err != nil {
+					return t, err
+				}
+				t.Absorb(series.Metrics)
+				fits[model.Name()][name] = series.FitFlat()
+			}
+		}
+
+		for _, pair := range separationPairs(prog, names) {
+			row := []string{prog.Name, fmt.Sprintf("S_%s > S_%s", pair.big, pair.small)}
+			for _, model := range space.Models {
+				f := fits[model.Name()]
+				// The separation verdict and the slopes shown are the
+				// last-segment log-log slopes — the estimate GrowsFasterThan
+				// uses, least biased by the additive |P| + σ0 constant.
+				if f[pair.big].GrowsFasterThan(f[pair.small]) {
+					row = append(row, fmt.Sprintf("separates (n^%.2f > n^%.2f)",
+						f[pair.big].LastSegment, f[pair.small].LastSegment))
+				} else {
+					row = append(row, fmt.Sprintf("collapses (n^%.2f vs n^%.2f)",
+						f[pair.big].LastSegment, f[pair.small].LastSegment))
+					// A collapse under the paper's own models is a violation;
+					// under LogModel it is the experiment's finding.
+					if model.Name() != "log" {
+						t.Violationf("%s: S_%s > S_%s collapsed under the %s model",
+							prog.Name, pair.big, pair.small, model.Name())
+					}
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notef("slopes are last-segment log-log slopes; a pair separates when they differ by > 0.4")
+	return t, nil
+}
+
+// separationPair is one claimed strict inclusion: S_big outgrows S_small.
+type separationPair struct{ big, small string }
+
+// separationPairs lists the strict separations a program's claims imply,
+// in deterministic order (the pairs RunSeparation also checks).
+func separationPairs(prog SeparationProgram, names []string) []separationPair {
+	var out []separationPair
+	for _, big := range names {
+		for _, small := range names {
+			if prog.Claims[big] == Quadratic && prog.Claims[small] == Linear ||
+				prog.Claims[big] == Linear && prog.Claims[small] == Constant {
+				out = append(out, separationPair{big: big, small: small})
+			}
+		}
+	}
+	return out
+}
+
+// LogModelGap sweeps the gap program under Z_tail for every cost model and
+// checks the defining property through the marginal cost of one more live
+// cell, slope_i = (S(n_{i+1}) − S(n_i)) / (n_{i+1} − n_i): under the word
+// and fixnum models the marginal cost is a constant (Θ(n) total), while
+// under the log model it grows like the pointer width, ⌈log2 live⌉ (Θ(n
+// log n) total). Marginal slopes are the right witness because the peak
+// carries a large additive constant — |P| plus the σ0 prelude, whose
+// log-model repricing inflates every column by a constant factor — and
+// because fitted exponents cannot tell n from n log n.
+func LogModelGap() (Table, error) {
+	t := Table{
+		Title:  "Log-model gap [log-model-gap]: Θ(n) under word pricing, Θ(n log n) under log pricing",
+		Header: append([]string{"model"}, nsHeader(logModelGapInputs)...),
+	}
+	t.Header = append(t.Header, "words/cell")
+
+	slopes := make(map[string][]float64, len(space.Models))
+	for _, model := range space.Models {
+		series, err := SweepProgram("log-model-gap", LogModelGapProgram, core.Tail,
+			logModelGapInputs, SweepOptions{Model: model, FlatOnly: true})
+		if err != nil {
+			return t, err
+		}
+		t.Absorb(series.Metrics)
+		for i := 1; i < len(series.Points); i++ {
+			slopes[model.Name()] = append(slopes[model.Name()],
+				float64(series.Points[i].Flat-series.Points[i-1].Flat)/
+					float64(series.Points[i].N-series.Points[i-1].N))
+		}
+
+		row := []string{model.Name()}
+		for _, p := range series.Points {
+			row = append(row, itoa(p.Flat))
+		}
+		sl := slopes[model.Name()]
+		row = append(row, fmt.Sprintf("%.1f → %.1f", sl[0], sl[len(sl)-1]))
+		t.Rows = append(t.Rows, row)
+	}
+
+	for _, name := range []string{"word", "fixnum"} {
+		sl := slopes[name]
+		first, last := sl[0], sl[len(sl)-1]
+		if last > 1.15*first || first > 1.15*last {
+			t.Violationf("%s: marginal words per live cell must stay constant (Θ(n)): %.1f → %.1f",
+				name, first, last)
+		}
+	}
+	sl := slopes["log"]
+	if sl[len(sl)-1] < 1.25*sl[0] {
+		t.Violationf("log: marginal words per live cell must grow with the pointer width (Θ(n log n)): %.1f → %.1f",
+			sl[0], sl[len(sl)-1])
+	}
+	t.Notef("words/cell is the marginal peak increase per additional live cell, first → last ladder segment")
+	t.Notef("the gap program's source is examples/log-model-gap.scm")
+	return t, nil
+}
+
+// CostModels runs the full cost-model experiment: the Theorem 25 robustness
+// grid followed by the word/log gap witness.
+func CostModels() ([]Table, error) {
+	grid, err := CostModelGrid()
+	if err != nil {
+		return nil, err
+	}
+	gap, err := LogModelGap()
+	if err != nil {
+		return []Table{grid}, err
+	}
+	return []Table{grid, gap}, nil
+}

@@ -85,7 +85,7 @@ func CPSExperiment() (Table, error) {
 		}
 		res := core.NewRunner(core.Options{
 			Variant: core.Tail, Measure: true, FlatOnly: true,
-			GCEvery: 1, NumberMode: space.Fixnum, MaxSteps: 8_000_000,
+			GCEvery: 1, CostModel: expModel(space.Fixnum), MaxSteps: 8_000_000,
 		}).Run(converted)
 		return res.PeakFlat, res.Err
 	}

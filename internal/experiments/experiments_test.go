@@ -54,7 +54,7 @@ func TestGrowsFasterThan(t *testing.T) {
 }
 
 func TestSweepProgramCollectsPoints(t *testing.T) {
-	s, err := SweepProgram("countdown", CountdownLoop, core.Tail, []int{5, 10}, SweepOptions{Mode: space.Fixnum})
+	s, err := SweepProgram("countdown", CountdownLoop, core.Tail, []int{5, 10}, SweepOptions{Model: space.Fixnum})
 	if err != nil {
 		t.Fatal(err)
 	}

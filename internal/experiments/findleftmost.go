@@ -27,11 +27,11 @@ func FindLeftmost(ns []int) (Table, error) {
 	}
 	t.Header = append(t.Header, "fit")
 
-	right, err := SweepProgram("right-spine", FindLeftmostProgram("right-spine"), core.Tail, ns, SweepOptions{Mode: space.Fixnum, FlatOnly: true})
+	right, err := SweepProgram("right-spine", FindLeftmostProgram("right-spine"), core.Tail, ns, SweepOptions{Model: space.Fixnum, FlatOnly: true})
 	if err != nil {
 		return t, err
 	}
-	left, err := SweepProgram("left-spine", FindLeftmostProgram("left-spine"), core.Tail, ns, SweepOptions{Mode: space.Fixnum, FlatOnly: true})
+	left, err := SweepProgram("left-spine", FindLeftmostProgram("left-spine"), core.Tail, ns, SweepOptions{Model: space.Fixnum, FlatOnly: true})
 	if err != nil {
 		return t, err
 	}
@@ -73,7 +73,7 @@ func FindLeftmost(ns []int) (Table, error) {
 (define (build d)
   (if (zero? d) 0 (cons 1 (build (- d 1)))))
 (define (f n) (begin (build n) 0))`
-	base, err := SweepProgram("build-only", buildOnly, core.Tail, ns, SweepOptions{Mode: space.Fixnum, FlatOnly: true})
+	base, err := SweepProgram("build-only", buildOnly, core.Tail, ns, SweepOptions{Model: space.Fixnum, FlatOnly: true})
 	if err != nil {
 		return t, err
 	}

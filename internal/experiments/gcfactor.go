@@ -87,7 +87,7 @@ func GCFactor(n int, periods []int) (Table, error) {
 func measureWithPeriod(n, k int) (int, error) {
 	res, err := core.RunApplication(allocLoop, fmt.Sprintf("(quote %d)", n), core.Options{
 		Variant: core.Tail, Measure: true, FlatOnly: true, GCEvery: k,
-		MaxSteps: 5_000_000, NumberMode: space.Fixnum,
+		MaxSteps: 5_000_000, CostModel: expModel(space.Fixnum),
 	})
 	if err != nil {
 		return 0, err

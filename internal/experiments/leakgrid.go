@@ -89,7 +89,7 @@ func LeakGrid(progs []GridProgram) (Table, error) {
 			if !ok {
 				return t, fmt.Errorf("leakgrid: unknown variant %s", m)
 			}
-			series, err := SweepProgram(p.Name, p.Source, variant, p.Inputs, SweepOptions{Mode: space.Fixnum, FlatOnly: true})
+			series, err := SweepProgram(p.Name, p.Source, variant, p.Inputs, SweepOptions{Model: space.Fixnum, FlatOnly: true})
 			if err != nil {
 				return t, fmt.Errorf("leakgrid %s [%s]: %w", p.Name, m, err)
 			}

@@ -45,7 +45,7 @@ func MTAExperiment(ns []int) (Table, error) {
 		for _, n := range ns {
 			res, err := core.RunApplication(CountdownLoop, fmt.Sprintf("(quote %d)", n), core.Options{
 				Variant: c.variant, Measure: true, FlatOnly: true,
-				GCEvery: c.gcEvery, NumberMode: space.Fixnum, MaxSteps: 5_000_000,
+				GCEvery: c.gcEvery, CostModel: expModel(space.Fixnum), MaxSteps: 5_000_000,
 			})
 			if err != nil {
 				return t, err

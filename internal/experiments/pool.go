@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"tailspace/internal/core"
+	"tailspace/internal/space"
 )
 
 // Experiment grids — (program × machine × size) — are embarrassingly
@@ -108,4 +109,34 @@ func runGrid(n int, task func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// poolModel is the package-wide cost-model override; nil means every
+// experiment keeps its own historical default (Fixnum for the hierarchy and
+// separation grids, which predate the cost-model axis).
+var poolModel space.CostModel
+
+// SetCostModel installs a package-wide cost-model override (the spacelab and
+// tailscan -cost-model flag): every sweep and grid prices space under m
+// instead of its per-experiment default. nil restores the defaults.
+func SetCostModel(m space.CostModel) {
+	poolMu.Lock()
+	poolModel = m
+	poolMu.Unlock()
+}
+
+// CostModelOverride reads the installed override (nil when none).
+func CostModelOverride() space.CostModel {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return poolModel
+}
+
+// expModel resolves the cost model one run should use: the package override
+// when installed, the caller's default otherwise (nil means WordModel).
+func expModel(def space.CostModel) space.CostModel {
+	if o := CostModelOverride(); o != nil {
+		return o
+	}
+	return def
 }

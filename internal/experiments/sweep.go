@@ -64,7 +64,10 @@ func (s Series) FitLinked() Fit { return FitGrowth(s.Ns(), s.LinkedPeaks()) }
 
 // SweepOptions configures a sweep.
 type SweepOptions struct {
-	Mode     space.NumberMode
+	// Model is the space cost model for the sweep (nil means the default
+	// WordModel); the package-wide SetCostModel override, when installed,
+	// wins over it.
+	Model    space.CostModel
 	MaxSteps int
 	Order    core.ArgOrder
 	// FlatOnly skips the linked (Figure 8) measurement when only S_X is
@@ -102,7 +105,7 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 			FlatOnly:   opts.FlatOnly,
 			GCEvery:    1,
 			MaxSteps:   maxSteps,
-			NumberMode: opts.Mode,
+			CostModel:  expModel(opts.Model),
 			Order:      opts.Order,
 			Cancel:     cancelChan(),
 		})

@@ -32,9 +32,9 @@ func RunSeparation(prog SeparationProgram) (Table, error) {
 	}
 	t.Header = append(t.Header, "fit", "paper", "ok")
 
-	mode := space.Logarithmic
+	model := space.Word
 	if prog.Fixnum {
-		mode = space.Fixnum
+		model = space.Fixnum
 	}
 
 	names := make([]string, 0, len(prog.Claims))
@@ -49,7 +49,7 @@ func RunSeparation(prog SeparationProgram) (Table, error) {
 		if !ok {
 			return t, fmt.Errorf("thm25: unknown variant %s", name)
 		}
-		series, err := SweepProgram(prog.Name, prog.Source, variant, prog.Inputs, SweepOptions{Mode: mode, FlatOnly: true})
+		series, err := SweepProgram(prog.Name, prog.Source, variant, prog.Inputs, SweepOptions{Model: model, FlatOnly: true})
 		if err != nil {
 			return t, err
 		}

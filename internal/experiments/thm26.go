@@ -39,7 +39,7 @@ func Thm26(ns []int) (Table, error) {
 
 	fits := map[string]Fit{}
 	for _, c := range cases {
-		series, err := SweepGenerated("thm26", Thm26Program, c.variant, ns, SweepOptions{Mode: space.Fixnum})
+		series, err := SweepGenerated("thm26", Thm26Program, c.variant, ns, SweepOptions{Model: space.Fixnum})
 		if err != nil {
 			return t, err
 		}

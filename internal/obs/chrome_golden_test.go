@@ -24,7 +24,7 @@ func TestChromeTraceGolden(t *testing.T) {
 	ring := obs.NewRing(0)
 	res, err := core.RunProgram(src, core.Options{
 		Variant: core.Tail, Measure: true, GCEvery: 1,
-		NumberMode: space.Fixnum, Events: ring,
+		CostModel: space.Fixnum, Events: ring,
 	})
 	if err != nil {
 		t.Fatal(err)

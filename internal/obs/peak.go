@@ -22,7 +22,8 @@ type Frame struct {
 	// Kind is the continuation constructor ("select", "assign", "push",
 	// "call", "return", "return-stack", "halt").
 	Kind string `json:"kind"`
-	// Charge is the frame's Figure 7 contribution to space(κ).
+	// Charge is the frame's contribution to space(κ) under the run's cost
+	// model, collapsed at the pointer width of the live store at the peak.
 	Charge int `json:"charge"`
 	// EnvSize is |Dom ρ| of the frame's saved environment (0 when the frame
 	// carries none).
@@ -69,10 +70,12 @@ type PeakReport struct {
 
 // NewPeakReport snapshots the configuration (rho, k, st) into an
 // attribution report. rule and expr describe the transition that produced
-// the configuration; mode selects the number cost model for frame charges.
+// the configuration; model selects the cost model for frame charges (nil
+// means the default WordModel).
 func NewPeakReport(machine string, step, flat int, rule, expr string, nodeID int,
-	rho env.Env, k value.Cont, st *value.Store, mode space.NumberMode) *PeakReport {
-	m := space.Measurer{Mode: mode}
+	rho env.Env, k value.Cont, st *value.Store, model space.CostModel) *PeakReport {
+	m := space.NewMeasurer(model)
+	width := m.PtrWidth(st)
 	r := &PeakReport{
 		Machine: machine,
 		Step:    step,
@@ -88,7 +91,7 @@ func NewPeakReport(machine string, step, flat int, rule, expr string, nodeID int
 	}
 	for cur := k; cur != nil; cur = cur.Next() {
 		r.FramesTotal++
-		charge := m.Frame(cur)
+		charge := m.Frame(cur).At(width)
 		r.ContCharge += charge
 		if len(r.Frames) < maxReportFrames {
 			r.Frames = append(r.Frames, snapshotFrame(cur, charge))

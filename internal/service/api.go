@@ -7,8 +7,8 @@
 //
 // The wire format is JSON over HTTP. Requests name programs by source text
 // (the server expands them itself), machines by the paper's names
-// (tail|gc|stack|evlis|free|sfs|mta), and number cost models by
-// "logarithmic"/"fixnum". Every measurement a response reports is computed
+// (tail|gc|stack|evlis|free|sfs|mta), and space cost models by
+// "word"/"fixnum"/"log". Every measurement a response reports is computed
 // by exactly the option set the spacelab sweeps use (Measure, GCEvery: 1),
 // so a service cell and a spacelab cell for the same inputs are identical.
 package service
@@ -55,16 +55,17 @@ type EvalResponse struct {
 }
 
 // MeasureRequest measures S_X (and, unless FlatOnly, U_X) peaks for one
-// program across a machine × number-mode grid.
+// program across a machine × cost-model grid.
 type MeasureRequest struct {
 	Program string `json:"program"`
 	Input   string `json:"input,omitempty"`
 	// Machines lists the grid's machines; empty means the paper's six-
 	// machine family.
 	Machines []string `json:"machines,omitempty"`
-	// Modes lists number cost models ("logarithmic", "fixnum"); empty
-	// means logarithmic only.
-	Modes []string `json:"modes,omitempty"`
+	// CostModels lists space cost models ("word", "fixnum", "log"); empty
+	// means word only. Each model is a distinct cache identity: the same
+	// program under two models is two cache entries.
+	CostModels []string `json:"costModels,omitempty"`
 	// FlatOnly skips the Figure 8 linked measurement (U_X), whose per-step
 	// cost is O(configuration).
 	FlatOnly bool `json:"flatOnly,omitempty"`
@@ -72,10 +73,10 @@ type MeasureRequest struct {
 	Order    string `json:"order,omitempty"`
 }
 
-// MeasureCell is one grid cell: the peaks of one (machine, mode) run.
+// MeasureCell is one grid cell: the peaks of one (machine, cost-model) run.
 type MeasureCell struct {
-	Machine string `json:"machine"`
-	Mode    string `json:"mode"`
+	Machine   string `json:"machine"`
+	CostModel string `json:"costModel"`
 	Outcome string `json:"outcome"`
 	// Flat is |P| + peak Figure 7 space (the S_X sample); Linked is
 	// |P| + peak Figure 8 space (the U_X sample, 0 when flatOnly).
@@ -88,7 +89,7 @@ type MeasureCell struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// MeasureResponse is the full grid, cells in machines × modes request
+// MeasureResponse is the full grid, cells in machines × costModels request
 // order.
 type MeasureResponse struct {
 	ProgramSize int           `json:"programSize"`
@@ -140,15 +141,13 @@ func parseMachine(name string) (core.Variant, error) {
 	return v, nil
 }
 
-// parseMode resolves a wire number-mode name.
-func parseMode(name string) (space.NumberMode, error) {
-	switch name {
-	case "", "logarithmic", "log":
-		return space.Logarithmic, nil
-	case "fixnum":
-		return space.Fixnum, nil
+// parseCostModel resolves a wire cost-model name.
+func parseCostModel(name string) (space.CostModel, error) {
+	m, err := space.ModelByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown cost model %q (want word|fixnum|log)", name)
 	}
-	return 0, fmt.Errorf("unknown number mode %q (want logarithmic|fixnum)", name)
+	return m, nil
 }
 
 // parseOrder resolves a wire argument-order name. RandomOrder is rejected:

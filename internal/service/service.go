@@ -362,9 +362,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 			machines = append(machines, v.Name)
 		}
 	}
-	modes := req.Modes
-	if len(modes) == 0 {
-		modes = []string{"logarithmic"}
+	modelNames := req.CostModels
+	if len(modelNames) == 0 {
+		modelNames = []string{"word"}
 	}
 	variants := make([]core.Variant, len(machines))
 	for i, name := range machines {
@@ -375,14 +375,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 		}
 		variants[i] = v
 	}
-	numModes := make([]space.NumberMode, len(modes))
-	for i, name := range modes {
-		m, err := parseMode(name)
+	models := make([]space.CostModel, len(modelNames))
+	for i, name := range modelNames {
+		m, err := parseCostModel(name)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		numModes[i] = m
+		models[i] = m
 	}
 	order, err := parseOrder(req.Order)
 	if err != nil {
@@ -413,27 +413,30 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 		disposition string
 		err         error
 	}
-	slots := make([]cellSlot, len(variants)*len(modes))
+	slots := make([]cellSlot, len(variants)*len(models))
 	var wg sync.WaitGroup
 	for vi, v := range variants {
-		for mi, mode := range numModes {
+		for mi, model := range models {
 			wg.Add(1)
-			go func(i int, v core.Variant, mode space.NumberMode, modeName string) {
+			// The model's canonical Name — not the client's spelling — enters
+			// the cache key, so two models are always two cache identities
+			// and two spellings of one model are one.
+			go func(i int, v core.Variant, model space.CostModel, modelName string) {
 				defer wg.Done()
-				key := cacheKey("measure", expanded, req.Input, v.Name, modeName,
+				key := cacheKey("measure", expanded, req.Input, v.Name, modelName,
 					strconv.FormatBool(req.FlatOnly), req.Order, strconv.Itoa(maxSteps))
 				val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
 					res, err := s.runCell(fctx, req.Program, req.Input, core.Options{
 						Variant: v, Measure: true, FlatOnly: req.FlatOnly,
 						GCEvery: 1, MaxSteps: maxSteps, Order: order,
-						NumberMode: mode,
+						CostModel: model,
 					})
 					if err != nil {
 						return nil, err
 					}
 					outcome, msg := outcomeOf(res.Err)
 					return &MeasureCell{
-						Machine: v.Name, Mode: modeName, Outcome: outcome,
+						Machine: v.Name, CostModel: modelName, Outcome: outcome,
 						Flat: res.PeakFlat, Linked: res.PeakLinked,
 						Heap: res.PeakHeap, ContDepth: res.PeakContDepth,
 						Steps: res.Steps, Answer: res.Answer, Error: msg,
@@ -445,7 +448,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 					return
 				}
 				slots[i].cell = *val.(*MeasureCell)
-			}(vi*len(modes)+mi, v, mode, canonMode(mode))
+			}(vi*len(models)+mi, v, model, model.Name())
 		}
 	}
 	wg.Wait()
@@ -468,15 +471,6 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 		st.cache = "hit"
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// canonMode renders a NumberMode under its canonical wire name, so the
-// cache key is independent of the alias the client spelled.
-func canonMode(m space.NumberMode) string {
-	if m == space.Fixnum {
-		return "fixnum"
-	}
-	return "logarithmic"
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState) {

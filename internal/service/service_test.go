@@ -71,7 +71,7 @@ func postCtx(t *testing.T, ctx context.Context, url string, req any) (int, []byt
 func TestMeasureMatchesDirectRun(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	var resp MeasureResponse
-	req := MeasureRequest{Program: countdown, Input: "(quote 6)", Modes: []string{"fixnum"}}
+	req := MeasureRequest{Program: countdown, Input: "(quote 6)", CostModels: []string{"fixnum"}}
 	if status := post(t, ts.URL+"/v1/measure", req, &resp); status != http.StatusOK {
 		t.Fatalf("status = %d", status)
 	}
@@ -81,7 +81,7 @@ func TestMeasureMatchesDirectRun(t *testing.T) {
 	for i, v := range core.Variants {
 		want, err := core.RunApplication(countdown, "(quote 6)", core.Options{
 			Variant: v, Measure: true, GCEvery: 1, MaxSteps: 5_000_000,
-			NumberMode: space.Fixnum,
+			CostModel: space.Fixnum,
 		})
 		if err != nil {
 			t.Fatalf("direct run [%s]: %v", v, err)
@@ -309,7 +309,7 @@ func TestBadRequests(t *testing.T) {
 		{"parse error", "/v1/eval", EvalRequest{Program: "(unclosed"}},
 		{"unknown machine", "/v1/eval", EvalRequest{Program: "(+ 1 2)", Machine: "zinc"}},
 		{"random order", "/v1/eval", EvalRequest{Program: "(+ 1 2)", Order: "random"}},
-		{"unknown mode", "/v1/measure", MeasureRequest{Program: "(+ 1 2)", Modes: []string{"decimal"}}},
+		{"unknown cost model", "/v1/measure", MeasureRequest{Program: "(+ 1 2)", CostModels: []string{"decimal"}}},
 		{"bad input", "/v1/measure", MeasureRequest{Program: countdown, Input: "(((("}},
 	}
 	for _, tc := range cases {
@@ -369,4 +369,50 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCostModelsAreDistinctCacheIdentities pins the cache-key contract of
+// the cost-model axis: the same program under two cost_model values is two
+// cache entries (the second model misses, it is not served the first
+// model's cells), while repeating a model is a pure hit. The peaks must
+// also differ — under LogModel pointers widen with the live store.
+func TestCostModelsAreDistinctCacheIdentities(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := func(model string) MeasureResponse {
+		var resp MeasureResponse
+		r := MeasureRequest{Program: countdown, Input: "(quote 6)",
+			Machines: []string{"tail"}, CostModels: []string{model}}
+		if status := post(t, ts.URL+"/v1/measure", r, &resp); status != http.StatusOK {
+			t.Fatalf("measure %s: status = %d", model, status)
+		}
+		return resp
+	}
+
+	word := req("word")
+	m := s.Metrics()
+	missesAfterWord := m.Counter(MetricCacheMisses)
+	hitsAfterWord := m.Counter(MetricCacheHits)
+
+	logResp := req("log")
+	if got := m.Counter(MetricCacheMisses); got != missesAfterWord+1 {
+		t.Fatalf("log model must be a fresh cache identity: misses = %d, want %d", got, missesAfterWord+1)
+	}
+	if got := m.Counter(MetricCacheHits); got != hitsAfterWord {
+		t.Fatalf("log model must not hit the word entry: hits = %d, want %d", got, hitsAfterWord)
+	}
+	if word.Cells[0].CostModel != "word" || logResp.Cells[0].CostModel != "log" {
+		t.Fatalf("cells mislabeled: %q / %q", word.Cells[0].CostModel, logResp.Cells[0].CostModel)
+	}
+	if word.Cells[0].Flat >= logResp.Cells[0].Flat {
+		t.Fatalf("log-model peak (%d) must exceed word-model peak (%d): pointers widen",
+			logResp.Cells[0].Flat, word.Cells[0].Flat)
+	}
+
+	again := req("log")
+	if got := m.Counter(MetricCacheHits); got != hitsAfterWord+1 {
+		t.Fatalf("repeat log request must hit: hits = %d, want %d", got, hitsAfterWord+1)
+	}
+	if again.Cells[0] != logResp.Cells[0] {
+		t.Fatalf("cached cell differs: %+v vs %+v", again.Cells[0], logResp.Cells[0])
+	}
 }

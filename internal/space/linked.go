@@ -1,6 +1,8 @@
 package space
 
 import (
+	"fmt"
+
 	"tailspace/internal/env"
 	"tailspace/internal/value"
 )
@@ -11,8 +13,9 @@ import (
 // reachable from the configuration — through the environment register, the
 // continuation's saved environments, and the closures and escapes held in
 // continuations and in the store — form one global set whose cardinality is
-// charged once; every other component is charged as in Figure 7 minus its
-// |Dom ρ| terms, and closures cost a single word.
+// charged once (at the model's Binding price); every other component is
+// charged as in Figure 7 minus its |Dom ρ| terms, and closures cost a
+// single word.
 
 // binding is one element of graph(ρ) keyed by interned identifier — cheaper
 // to hash than the string-keyed env.Binding, with the same set cardinality
@@ -31,16 +34,16 @@ type binding struct {
 // across different environments. Neither changes the resulting set — they
 // only elide duplicate inserts.
 type linkedWalker struct {
-	m        Measurer
+	md       CostModel
 	bindings map[binding]struct{}
 	seenEnv  map[env.Env]bool
 	ribs     *env.RibSet
 	seenCont map[value.Cont]bool
 }
 
-func newLinkedWalker(m Measurer) *linkedWalker {
+func newLinkedWalker(md CostModel) *linkedWalker {
 	return &linkedWalker{
-		m:        m,
+		md:       md,
 		bindings: make(map[binding]struct{}),
 		seenEnv:  make(map[env.Env]bool),
 		ribs:     env.NewRibSet(),
@@ -61,23 +64,15 @@ func (w *linkedWalker) addEnv(e env.Env) {
 // valueSpace is the linked space of a value: like Figure 7 but closures cost
 // one word (their bindings enter the global set) and escapes cost one word
 // plus the linked frame space of their continuation.
-func (w *linkedWalker) valueSpace(v value.Value) int {
+func (w *linkedWalker) valueSpace(v value.Value) Cost {
 	switch x := v.(type) {
 	case value.Closure:
 		w.addEnv(x.Env)
-		return 1
+		return Cost{Units: 1}
 	case value.Escape:
-		return 1 + w.contSpace(x.K)
-	case value.Num:
-		return w.m.Num(x)
-	case value.Str:
-		return 1 + len(x)
-	case value.Pair:
-		return 3
-	case value.Vector:
-		return 1 + len(x.ElemLocs)
+		return Cost{Units: 1}.Add(w.contSpace(x.K))
 	default:
-		return 1
+		return w.md.Value(v)
 	}
 }
 
@@ -85,8 +80,8 @@ func (w *linkedWalker) valueSpace(v value.Value) int {
 // with every saved environment folded into the global binding set. Shared
 // continuations (an escape captured twice, or an escape whose continuation
 // is a prefix of the live one) are counted once.
-func (w *linkedWalker) contSpace(k value.Cont) int {
-	total := 0
+func (w *linkedWalker) contSpace(k value.Cont) Cost {
+	var total Cost
 	for k != nil {
 		if w.seenCont[k] {
 			return total
@@ -94,30 +89,32 @@ func (w *linkedWalker) contSpace(k value.Cont) int {
 		w.seenCont[k] = true
 		switch x := k.(type) {
 		case value.Halt:
-			return total + 1
+			return total.Add(Cost{Units: 1})
 		case *value.Select:
 			w.addEnv(x.Env)
-			total++
+			total = total.Add(Cost{Units: 1})
 		case *value.Assign:
 			w.addEnv(x.Env)
-			total++
+			total = total.Add(Cost{Units: 1})
 		case *value.Push:
 			w.addEnv(x.Env)
-			total += 1 + len(x.Rest) + len(x.Done)
+			total = total.Add(Cost{Units: 1 + len(x.Rest), Ptrs: len(x.Done)})
 			for _, v := range x.Done {
-				total += w.heldValueSpace(v)
+				total = total.Add(w.heldValueSpace(v))
 			}
 		case *value.Call:
-			total += 1 + len(x.Args)
+			total = total.Add(Cost{Units: 1, Ptrs: len(x.Args)})
 			for _, v := range x.Args {
-				total += w.heldValueSpace(v)
+				total = total.Add(w.heldValueSpace(v))
 			}
 		case *value.Return:
 			w.addEnv(x.Env)
-			total++
+			total = total.Add(Cost{Units: 1})
 		case *value.ReturnStack:
 			w.addEnv(x.Env)
-			total++
+			total = total.Add(Cost{Units: 1})
+		default:
+			panic(fmt.Sprintf("space: unpriced continuation frame %T — every frame kind must be charged", k))
 		}
 		k = k.Next()
 	}
@@ -125,32 +122,35 @@ func (w *linkedWalker) contSpace(k value.Cont) int {
 }
 
 // heldValueSpace records the bindings of a value held by reference (in a
-// continuation) and returns the extra space it retains: its one-word
-// reference is already charged by the frame's m+n term, but the frames an
-// escape retains occupy real space (counted once — seenCont dedups).
-func (w *linkedWalker) heldValueSpace(v value.Value) int {
+// continuation) and returns the extra space it retains: its reference word
+// is already charged by the frame's m+n term, but the frames an escape
+// retains occupy real space (counted once — seenCont dedups).
+func (w *linkedWalker) heldValueSpace(v value.Value) Cost {
 	switch x := v.(type) {
 	case value.Closure:
 		w.addEnv(x.Env)
-		return 0
+		return Cost{}
 	case value.Escape:
 		return w.contSpace(x.K)
 	}
-	return 0
+	return Cost{}
 }
 
 // Linked computes the linked-environment space of a configuration
-// (Figure 8): the U_x counterpart of Flat.
+// (Figure 8): the U_x counterpart of Flat, collapsed at the model's pointer
+// width for the live store.
 func (m Measurer) Linked(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
-	w := newLinkedWalker(m)
-	total := 0
+	md := m.model()
+	w := newLinkedWalker(md)
+	var total Cost
 	if val != nil {
-		total += w.valueSpace(val)
+		total = total.Add(w.valueSpace(val))
 	}
 	w.addEnv(rho)
-	total += w.contSpace(k)
+	total = total.Add(w.contSpace(k))
 	st.Each(func(_ env.Location, v value.Value) {
-		total += 1 + w.valueSpace(v)
+		total = total.Add(md.Cell()).Add(w.valueSpace(v))
 	})
-	return total + len(w.bindings)
+	total = total.AddScaled(md.Binding(), len(w.bindings))
+	return total.At(m.PtrWidth(st))
 }

@@ -14,7 +14,7 @@ import (
 // oracle. DeltaMeter maintains the Figure 7 account incrementally through
 // the store's alloc/write/delete hooks and a continuation memo, so a
 // transition costs O(cells touched). The two are differentially tested to
-// produce bit-identical peaks over the whole corpus.
+// produce bit-identical peaks over the whole corpus, under every cost model.
 //
 // A Meter instance carries per-run state and must not be shared between
 // concurrent runs; the Runner builds a fresh one per run unless the caller
@@ -38,9 +38,10 @@ type FullMeter struct {
 	M Measurer
 }
 
-// NewFullMeter returns the from-scratch recomputation oracle.
-func NewFullMeter(mode NumberMode) *FullMeter {
-	return &FullMeter{M: Measurer{Mode: mode}}
+// NewFullMeter returns the from-scratch recomputation oracle under model
+// (nil means WordModel).
+func NewFullMeter(model CostModel) *FullMeter {
+	return &FullMeter{M: NewMeasurer(model)}
 }
 
 // Attach is a no-op: the oracle keeps no per-run state.
@@ -74,20 +75,28 @@ const deltaMemoLimit = 1 << 17
 //   - the environment term |Dom ρ| reads the rib-size account cached by
 //     internal/env at construction.
 //
+// The running totals and the memo are Cost values — (unit words, pointer
+// words) pairs — not collapsed integers. That makes the meter exact under
+// LogModel, where the pointer width depends on the live-store size at
+// observation time: the components are maintained incrementally (they are
+// plain sums, so deltas are exact) and the width is applied only in Flat.
+// No approximation or re-pricing epoch is needed; see DESIGN.md §12.
+//
 // Linked (Figure 8) space is a whole-configuration union of binding sets and
 // remains a full walk in both meters; runs that need speed set FlatOnly.
 type DeltaMeter struct {
 	M Measurer
 
 	st       *value.Store
-	total    int // Σ over α ∈ σ of (1 + space(σ(α))), maintained via hooks
-	contMemo map[value.Cont]int
+	total    Cost // Σ over α ∈ σ of (Cell + space(σ(α))), maintained via hooks
+	contMemo map[value.Cont]Cost
 	scratch  []value.Cont
 }
 
-// NewDeltaMeter returns an incremental Figure 7 meter.
-func NewDeltaMeter(mode NumberMode) *DeltaMeter {
-	return &DeltaMeter{M: Measurer{Mode: mode}}
+// NewDeltaMeter returns an incremental Figure 7 meter under model (nil means
+// WordModel).
+func NewDeltaMeter(model CostModel) *DeltaMeter {
+	return &DeltaMeter{M: NewMeasurer(model)}
 }
 
 // Attach resets the meter's account to st's current contents and registers
@@ -101,38 +110,44 @@ func (d *DeltaMeter) Attach(st *value.Store) {
 		d.st.RemoveObserver(d)
 	}
 	d.st = st
-	d.contMemo = make(map[value.Cont]int)
-	d.total = 0
+	d.contMemo = make(map[value.Cont]Cost)
+	d.total = Cost{}
+	cell := d.M.model().Cell()
 	st.Each(func(_ env.Location, v value.Value) {
-		d.total += 1 + d.valueSpace(v)
+		d.total = d.total.Add(cell).Add(d.valueSpace(v))
 	})
 	st.AddObserver(d)
 }
 
 // StoreAlloc implements value.StoreObserver.
 func (d *DeltaMeter) StoreAlloc(_ env.Location, v value.Value) {
-	d.total += 1 + d.valueSpace(v)
+	d.total = d.total.Add(d.M.model().Cell()).Add(d.valueSpace(v))
 }
 
 // StoreSet implements value.StoreObserver.
 func (d *DeltaMeter) StoreSet(_ env.Location, old, v value.Value) {
-	d.total += d.valueSpace(v) - d.valueSpace(old)
+	d.total = d.total.Add(d.valueSpace(v)).Sub(d.valueSpace(old))
 }
 
 // StoreDelete implements value.StoreObserver.
 func (d *DeltaMeter) StoreDelete(_ env.Location, v value.Value) {
-	d.total -= 1 + d.valueSpace(v)
+	d.total = d.total.Sub(d.M.model().Cell()).Sub(d.valueSpace(v))
 }
 
-// Flat assembles Figure 7 space from the incremental accounts. It must be
+// Flat assembles Figure 7 space from the incremental accounts and collapses
+// it at the model's pointer width for the live store. It must be
 // bit-identical to FullMeter.Flat: same value pricing, same frame charges,
 // same store sum — only the evaluation strategy differs.
-func (d *DeltaMeter) Flat(val value.Value, rho env.Env, k value.Cont, _ *value.Store) int {
-	total := rho.Size() + d.contSpace(k) + d.total
+func (d *DeltaMeter) Flat(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	md := d.M.model()
+	total := Cost{}.AddScaled(md.Binding(), rho.Size()).Add(d.contSpace(k)).Add(d.total)
 	if val != nil {
-		total += d.valueSpace(val)
+		total = total.Add(d.valueSpace(val))
 	}
-	return total
+	if st == nil {
+		st = d.st
+	}
+	return total.At(d.M.PtrWidth(st))
 }
 
 // Linked delegates to the shared Figure 8 walk (see the type comment).
@@ -143,9 +158,9 @@ func (d *DeltaMeter) Linked(val value.Value, rho env.Env, k value.Cont, st *valu
 // valueSpace prices a value exactly as Measurer.Value, except that escape
 // procedures read the continuation memo instead of walking their retained
 // frames.
-func (d *DeltaMeter) valueSpace(v value.Value) int {
+func (d *DeltaMeter) valueSpace(v value.Value) Cost {
 	if esc, ok := v.(value.Escape); ok {
-		return 1 + d.contSpace(esc.K)
+		return Cost{Units: 1}.Add(d.contSpace(esc.K))
 	}
 	return d.M.Value(v)
 }
@@ -153,18 +168,18 @@ func (d *DeltaMeter) valueSpace(v value.Value) int {
 // contSpace returns Figure 7's space(κ) from the memo, computing and caching
 // the cumulative space of any unmemoized suffix. Frames are immutable, so a
 // cached cumulative total never changes.
-func (d *DeltaMeter) contSpace(k value.Cont) int {
+func (d *DeltaMeter) contSpace(k value.Cont) Cost {
 	if k == nil {
-		return 0
+		return Cost{}
 	}
 	if total, ok := d.contMemo[k]; ok {
 		return total
 	}
 	if len(d.contMemo) > deltaMemoLimit {
-		d.contMemo = make(map[value.Cont]int)
+		d.contMemo = make(map[value.Cont]Cost)
 	}
 	stack := d.scratch[:0]
-	base := 0
+	var base Cost
 	for cur := k; cur != nil; cur = cur.Next() {
 		if total, ok := d.contMemo[cur]; ok {
 			base = total
@@ -173,16 +188,16 @@ func (d *DeltaMeter) contSpace(k value.Cont) int {
 		stack = append(stack, cur)
 	}
 	for i := len(stack) - 1; i >= 0; i-- {
-		base += d.frameSpace(stack[i])
+		base = base.Add(d.frameSpace(stack[i]))
 		d.contMemo[stack[i]] = base
 	}
 	d.scratch = stack[:0]
 	return base
 }
 
-// frameSpace is the Figure 7 charge of a single continuation frame, shared
-// with the oracle through Measurer.Frame so the two meters can never
-// disagree on per-frame pricing.
-func (d *DeltaMeter) frameSpace(k value.Cont) int {
+// frameSpace is the charge of a single continuation frame, shared with the
+// oracle through Measurer.Frame so the two meters can never disagree on
+// per-frame pricing.
+func (d *DeltaMeter) frameSpace(k value.Cont) Cost {
 	return d.M.Frame(k)
 }

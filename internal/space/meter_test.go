@@ -32,19 +32,19 @@ func buildConfig() (value.Value, env.Env, value.Cont, *value.Store) {
 }
 
 func TestDeltaMeterMatchesOracleOnStaticConfig(t *testing.T) {
-	for _, mode := range []NumberMode{Logarithmic, Fixnum} {
+	for _, model := range Models {
 		val, rho, k, st := buildConfig()
-		full := NewFullMeter(mode)
-		delta := NewDeltaMeter(mode)
+		full := NewFullMeter(model)
+		delta := NewDeltaMeter(model)
 		delta.Attach(st)
 		if got, want := delta.Flat(val, rho, k, st), full.Flat(val, rho, k, st); got != want {
-			t.Errorf("mode %v: delta flat %d != oracle %d", mode, got, want)
+			t.Errorf("model %s: delta flat %d != oracle %d", model.Name(), got, want)
 		}
 		if got, want := delta.Flat(nil, rho, k, st), full.Flat(nil, rho, k, st); got != want {
-			t.Errorf("mode %v: delta flat (expr config) %d != oracle %d", mode, got, want)
+			t.Errorf("model %s: delta flat (expr config) %d != oracle %d", model.Name(), got, want)
 		}
 		if got, want := delta.Linked(val, rho, k, st), full.Linked(val, rho, k, st); got != want {
-			t.Errorf("mode %v: delta linked %d != oracle %d", mode, got, want)
+			t.Errorf("model %s: delta linked %d != oracle %d", model.Name(), got, want)
 		}
 	}
 }
@@ -79,21 +79,21 @@ func TestDeltaMeterContMemoSurvivesPruning(t *testing.T) {
 	rho := env.Empty()
 	delta := NewDeltaMeter(Fixnum)
 	delta.Attach(st)
-	m := Measurer{Mode: Fixnum}
+	m := Measurer{Model: Fixnum}
 
 	var k value.Cont = value.Halt{}
 	for i := 0; i < 64; i++ {
 		k = &value.Return{Env: rho, K: k}
 	}
 	if got, want := delta.contSpace(k), m.Cont(k); got != want {
-		t.Fatalf("before pruning: %d != %d", got, want)
+		t.Fatalf("before pruning: %+v != %+v", got, want)
 	}
-	delta.contMemo = make(map[value.Cont]int, deltaMemoLimit+2)
+	delta.contMemo = make(map[value.Cont]Cost, deltaMemoLimit+2)
 	for i := 0; i < deltaMemoLimit+1; i++ {
-		delta.contMemo[&value.Return{Env: rho}] = i
+		delta.contMemo[&value.Return{Env: rho}] = Cost{Units: i}
 	}
-	if got, want := delta.contSpace(&value.Select{Env: rho, K: k}), 1+m.Cont(k); got != want {
-		t.Fatalf("after pruning: %d != %d", got, want)
+	if got, want := delta.contSpace(&value.Select{Env: rho, K: k}), (Cost{Units: 1}).Add(m.Cont(k)); got != want {
+		t.Fatalf("after pruning: %+v != %+v", got, want)
 	}
 	if len(delta.contMemo) > 70 {
 		t.Fatalf("memo was not pruned: %d entries", len(delta.contMemo))
@@ -111,19 +111,19 @@ func TestDeltaMeterReattachResets(t *testing.T) {
 	st2 := value.NewStore()
 	st2.Alloc(value.NewNum(1))
 	delta.Attach(st2)
-	m := Measurer{Mode: Fixnum}
+	m := Measurer{Model: Fixnum}
 	if got, want := delta.total, m.Store(st2); got != want {
-		t.Fatalf("after re-attach: account %d != new store %d", got, want)
+		t.Fatalf("after re-attach: account %+v != new store %+v", got, want)
 	}
 	// The first store no longer notifies the meter.
 	st1.Alloc(value.Str("should not count"))
 	if got, want := delta.total, m.Store(st2); got != want {
-		t.Fatalf("old store still observed: %d != %d", got, want)
+		t.Fatalf("old store still observed: %+v != %+v", got, want)
 	}
 	// Re-attaching to the current store is a no-op, not a double count.
 	delta.Attach(st2)
 	st2.Alloc(value.NewNum(2))
 	if got, want := delta.total, m.Store(st2); got != want {
-		t.Fatalf("double registration: %d != %d", got, want)
+		t.Fatalf("double registration: %+v != %+v", got, want)
 	}
 }

@@ -1,6 +1,7 @@
 // Package space implements the space consumed by a configuration: Figure 7
 // of the paper (flat, copied environments — the functions S_x) and Figure 8
-// (linked, shared environments — the functions U_x).
+// (linked, shared environments — the functions U_x), priced through a
+// pluggable CostModel (see costmodel.go).
 //
 // Entities the figures omit are charged their natural word counts and noted
 // here: UNSPECIFIED, UNDEFINED, PRIMOP, the empty list, and characters cost
@@ -8,7 +9,12 @@
 // escape procedures cost 1 plus the space of the continuation they retain.
 // Values held inside push and call continuations cost one word each (they
 // are references; their payloads are charged in the store), exactly as
-// Figure 7's 1+m+n accounting prescribes.
+// Figure 7's 1+m+n accounting prescribes. Those per-entity charges are the
+// WordModel; FixnumModel and LogModel reprice numbers and pointers.
+//
+// Measurer methods return Cost — a (unit words, pointer words) pair — and
+// the configuration-level Flat and Linked collapse it to an integer at the
+// model's pointer width for the current live store.
 package space
 
 import (
@@ -16,110 +22,77 @@ import (
 	"tailspace/internal/value"
 )
 
-// NumberMode selects the cost model for exact integers.
-type NumberMode int
-
-const (
-	// Logarithmic charges NUM:z one word plus one word per bit, the
-	// unlimited-precision model of Figure 7 (1 + log2 z).
-	Logarithmic NumberMode = iota
-	// Fixnum charges every number two words, the fixed-precision model the
-	// paper appeals to when it says the linear programs "would be O(N) with
-	// fixed precision arithmetic".
-	Fixnum
-)
-
-// Measurer computes configuration space under a chosen number cost model.
+// Measurer computes configuration space under a chosen cost model. The zero
+// Measurer uses the default WordModel.
 type Measurer struct {
-	Mode NumberMode
+	Model CostModel
 }
+
+// NewMeasurer returns a Measurer over model (nil means WordModel).
+func NewMeasurer(model CostModel) Measurer {
+	return Measurer{Model: modelOrDefault(model)}
+}
+
+func (m Measurer) model() CostModel { return modelOrDefault(m.Model) }
 
 // Num is the space of NUM:z.
-func (m Measurer) Num(n value.Num) int {
-	if m.Mode == Fixnum {
-		return 2
-	}
-	return 1 + n.Int.BitLen()
-}
+func (m Measurer) Num(n value.Num) Cost { return m.model().Num(n) }
 
-// Value is Figure 7's space(v).
-func (m Measurer) Value(v value.Value) int {
-	switch x := v.(type) {
-	case value.Bool, value.Sym, value.Null, value.Char,
-		value.Unspecified, value.Undefined:
-		return 1
-	case *value.Primop:
-		return 1
-	case value.Num:
-		return m.Num(x)
-	case value.Str:
-		return 1 + len(x)
-	case value.Pair:
-		return 3
-	case value.Vector:
-		return 1 + len(x.ElemLocs)
-	case value.Closure:
-		return 1 + x.Env.Size()
-	case value.Escape:
-		return 1 + m.Cont(x.K)
+// Value is Figure 7's space(v). Unlike CostModel.Value, an escape procedure
+// here includes the continuation it retains, matching the figure.
+func (m Measurer) Value(v value.Value) Cost {
+	md := m.model()
+	if esc, ok := v.(value.Escape); ok {
+		return md.Value(esc).Add(m.Cont(esc.K))
 	}
-	return 1
+	return md.Value(v)
 }
 
 // Cont is Figure 7's space(κ): the sum of the per-frame charges.
-func (m Measurer) Cont(k value.Cont) int {
-	total := 0
+func (m Measurer) Cont(k value.Cont) Cost {
+	md := m.model()
+	var total Cost
 	for k != nil {
-		total += m.Frame(k)
+		total = total.Add(md.Frame(k))
 		k = k.Next()
 	}
 	return total
 }
 
-// Frame is the Figure 7 charge of a single continuation frame — the
-// per-frame increment of Cont. Values held in push and call continuations
-// cost one word each through the m+n terms; their payloads are charged in
-// the store. DeltaMeter's memo and the peak-attribution reports both price
-// frames through this single definition.
-func (m Measurer) Frame(k value.Cont) int {
-	switch x := k.(type) {
-	case value.Halt:
-		return 1
-	case *value.Select:
-		return 1 + x.Env.Size()
-	case *value.Assign:
-		return 1 + x.Env.Size()
-	case *value.Push:
-		return 1 + len(x.Rest) + len(x.Done) + x.Env.Size()
-	case *value.Call:
-		return 1 + len(x.Args)
-	case *value.Return:
-		return 1 + x.Env.Size()
-	case *value.ReturnStack:
-		return 1 + x.Env.Size()
-	}
-	return 0
-}
+// Frame is the charge of a single continuation frame — the per-frame
+// increment of Cont. DeltaMeter's memo and the peak-attribution reports both
+// price frames through this single definition. Unknown frame kinds panic.
+func (m Measurer) Frame(k value.Cont) Cost { return m.model().Frame(k) }
 
 // Store is Figure 7's space(σ) = Σ over α ∈ σ of (1 + space(σ(α))),
 // computed by a full walk. DeltaMeter maintains the same sum incrementally
 // through the store's mutation hooks.
-func (m Measurer) Store(st *value.Store) int {
-	total := 0
+func (m Measurer) Store(st *value.Store) Cost {
+	md := m.model()
+	var total Cost
 	st.Each(func(_ env.Location, v value.Value) {
-		total += 1 + m.Value(v)
+		total = total.Add(md.Cell()).Add(m.Value(v))
 	})
 	return total
 }
 
-// Flat computes the flat-environment space of a configuration (Figure 7).
-// For an expression configuration pass val == nil; the expression itself is
-// charged once per program by the |P| term of Definition 23, not per
-// configuration.
-func (m Measurer) Flat(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
-	total := rho.Size() + m.Cont(k) + m.Store(st)
-	if val != nil {
-		total += m.Value(val)
+// PtrWidth is the model's pointer width for the live store st.
+func (m Measurer) PtrWidth(st *value.Store) int {
+	if st == nil {
+		return m.model().PtrWidth(0)
 	}
-	return total
+	return m.model().PtrWidth(st.Size())
+}
+
+// Flat computes the flat-environment space of a configuration (Figure 7),
+// collapsed at the model's pointer width for the live store. For an
+// expression configuration pass val == nil; the expression itself is charged
+// once per program by the |P| term of Definition 23, not per configuration.
+func (m Measurer) Flat(val value.Value, rho env.Env, k value.Cont, st *value.Store) int {
+	md := m.model()
+	total := Cost{}.AddScaled(md.Binding(), rho.Size()).Add(m.Cont(k)).Add(m.Store(st))
+	if val != nil {
+		total = total.Add(m.Value(val))
+	}
+	return total.At(m.PtrWidth(st))
 }

@@ -2,6 +2,7 @@ package space
 
 import (
 	"math/big"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -10,15 +11,20 @@ import (
 	"tailspace/internal/value"
 )
 
-var log = Measurer{Mode: Logarithmic}
-var fix = Measurer{Mode: Fixnum}
+var word = Measurer{Model: Word}
+var fix = Measurer{Model: Fixnum}
+var logm = Measurer{Model: Log}
+
+// w1 collapses a Cost at pointer width one — the WordModel/FixnumModel
+// reading, where the Cost components just sum.
+func w1(c Cost) int { return c.At(1) }
 
 func TestAtomCosts(t *testing.T) {
 	for _, v := range []value.Value{
 		value.Bool(true), value.Bool(false), value.Sym("x"),
 		value.Null{}, value.Char('a'), value.Unspecified{}, value.Undefined{},
 	} {
-		if got := log.Value(v); got != 1 {
+		if got := w1(word.Value(v)); got != 1 {
 			t.Errorf("space(%#v) = %d, want 1", v, got)
 		}
 	}
@@ -33,20 +39,47 @@ func TestNumberCosts(t *testing.T) {
 		1024: 12,
 	}
 	for z, want := range cases {
-		if got := log.Value(value.NewNum(z)); got != want {
+		if got := w1(word.Value(value.NewNum(z))); got != want {
 			t.Errorf("space(NUM:%d) = %d, want %d", z, got, want)
 		}
 	}
-	// Fixnum mode charges every number the same.
+	// The fixnum model charges every number the same.
 	if fix.Value(value.NewNum(7)) != fix.Value(value.Num{Int: new(big.Int).Lsh(big.NewInt(1), 500)}) {
-		t.Error("fixnum mode must be size-independent")
+		t.Error("fixnum model must be size-independent")
+	}
+	// The log model agrees with the word model on numbers.
+	if logm.Value(value.NewNum(1024)) != word.Value(value.NewNum(1024)) {
+		t.Error("log model must price numbers as 1 + log2 z")
 	}
 }
 
 func TestVectorCost(t *testing.T) {
+	// Flat: a header word plus one location word per element. The element
+	// words are pointers into the store, so they are Ptrs, not Units.
 	v := value.Vector{ElemLocs: make([]env.Location, 5)}
-	if got := log.Value(v); got != 6 {
-		t.Fatalf("space(VEC:5) = %d, want 6", got)
+	got := word.Value(v)
+	if got != (Cost{Units: 1, Ptrs: 5}) {
+		t.Fatalf("space(VEC:5) = %+v, want {Units:1 Ptrs:5}", got)
+	}
+	if w1(got) != 6 {
+		t.Fatalf("space(VEC:5) at width 1 = %d, want 6", w1(got))
+	}
+	// Under LogModel the five element pointers widen with the live store.
+	if at3 := got.At(3); at3 != 16 {
+		t.Fatalf("space(VEC:5) at width 3 = %d, want 16", at3)
+	}
+}
+
+func TestVectorCostLinked(t *testing.T) {
+	// Linked (Figure 8) accounting prices a vector exactly as flat does —
+	// vectors hold locations, not environments, so nothing is shareable.
+	v := value.Vector{ElemLocs: make([]env.Location, 5)}
+	w := newLinkedWalker(Word)
+	if got := w.valueSpace(v); got != word.Value(v) {
+		t.Fatalf("linked vector = %+v, flat = %+v; want equal", got, word.Value(v))
+	}
+	if len(w.bindings) != 0 {
+		t.Fatalf("a vector must not contribute bindings, got %d", len(w.bindings))
 	}
 }
 
@@ -54,16 +87,16 @@ func TestClosureCost(t *testing.T) {
 	// Figure 7: space(CLOSURE:(α,L,ρ)) = 1 + |Dom ρ|.
 	rho := env.Empty().Extend([]string{"a", "b", "c"}, []env.Location{1, 2, 3})
 	cl := value.Closure{Tag: 0, Lam: &ast.Lambda{}, Env: rho}
-	if got := log.Value(cl); got != 4 {
+	if got := w1(word.Value(cl)); got != 4 {
 		t.Fatalf("space(closure) = %d, want 4", got)
 	}
 }
 
 func TestPairAndStringCosts(t *testing.T) {
-	if got := log.Value(value.Pair{}); got != 3 {
+	if got := w1(word.Value(value.Pair{})); got != 3 {
 		t.Fatalf("pair = %d, want 3", got)
 	}
-	if got := log.Value(value.Str("abcd")); got != 5 {
+	if got := w1(word.Value(value.Str("abcd"))); got != 5 {
 		t.Fatalf("string = %d, want 5", got)
 	}
 }
@@ -71,12 +104,12 @@ func TestPairAndStringCosts(t *testing.T) {
 func TestContCosts(t *testing.T) {
 	rho2 := env.Empty().Extend([]string{"x", "y"}, []env.Location{1, 2})
 	var k value.Cont = value.Halt{}
-	if got := log.Cont(k); got != 1 {
+	if got := w1(word.Cont(k)); got != 1 {
 		t.Fatalf("halt = %d", got)
 	}
 	k = &value.Select{Then: &ast.Var{Name: "a"}, Else: &ast.Var{Name: "b"}, Env: rho2, K: k}
 	// 1 + |Dom ρ| + space(halt) = 1 + 2 + 1
-	if got := log.Cont(k); got != 4 {
+	if got := w1(word.Cont(k)); got != 4 {
 		t.Fatalf("select = %d, want 4", got)
 	}
 	k = &value.Push{
@@ -85,29 +118,51 @@ func TestContCosts(t *testing.T) {
 		Env: rho2, K: k,
 	}
 	// 1 + m(1) + n(2) + 2 + 4
-	if got := log.Cont(k); got != 10 {
+	if got := w1(word.Cont(k)); got != 10 {
 		t.Fatalf("push = %d, want 10", got)
 	}
 	k2 := &value.Call{Args: []value.Value{value.Bool(true)}, K: value.Halt{}}
 	// 1 + 1 + 1
-	if got := log.Cont(k2); got != 3 {
+	if got := w1(word.Cont(k2)); got != 3 {
 		t.Fatalf("call = %d, want 3", got)
 	}
 	k3 := &value.Return{Env: rho2, K: value.Halt{}}
-	if got := log.Cont(k3); got != 4 {
+	if got := w1(word.Cont(k3)); got != 4 {
 		t.Fatalf("return = %d, want 4", got)
 	}
 	k4 := &value.ReturnStack{Del: []env.Location{9}, Env: rho2, K: value.Halt{}}
-	if got := log.Cont(k4); got != 4 {
+	if got := w1(word.Cont(k4)); got != 4 {
 		t.Fatalf("return-stack = %d, want 4", got)
 	}
+}
+
+// bogusCont is a continuation kind no model knows how to price; embedding
+// Halt supplies the unexported marker method.
+type bogusCont struct{ value.Halt }
+
+func TestUnknownFrameKindPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: unknown frame kind must panic, not be priced 0", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "unpriced continuation frame") {
+				t.Fatalf("%s: unexpected panic %v", name, r)
+			}
+		}()
+		f()
+	}
+	check("flat", func() { word.Frame(bogusCont{}) })
+	check("linked", func() { newLinkedWalker(Word).contSpace(bogusCont{}) })
 }
 
 func TestStoreCost(t *testing.T) {
 	st := value.NewStore()
 	st.Alloc(value.NewNum(1)) // 1 + 2
 	st.Alloc(value.Null{})    // 1 + 1
-	if got := log.Store(st); got != 5 {
+	if got := w1(word.Store(st)); got != 5 {
 		t.Fatalf("store = %d, want 5", got)
 	}
 }
@@ -117,11 +172,11 @@ func TestFlatConfig(t *testing.T) {
 	loc := st.Alloc(value.NewNum(3)) // store: 1 + 3 = 4... bitlen(3)=2 → value 3, slot 4
 	rho := env.Empty().Extend([]string{"x"}, []env.Location{loc})
 	// Expression configuration: |Dom ρ| + space(halt) + space(σ) = 1 + 1 + 4.
-	if got := log.Flat(nil, rho, value.Halt{}, st); got != 6 {
+	if got := word.Flat(nil, rho, value.Halt{}, st); got != 6 {
 		t.Fatalf("flat expr config = %d, want 6", got)
 	}
 	// Value configuration adds space(v).
-	if got := log.Flat(value.Bool(true), rho, value.Halt{}, st); got != 7 {
+	if got := word.Flat(value.Bool(true), rho, value.Halt{}, st); got != 7 {
 		t.Fatalf("flat value config = %d, want 7", got)
 	}
 }
@@ -130,8 +185,79 @@ func TestEscapeCostIncludesContinuation(t *testing.T) {
 	rho := env.Empty().Extend([]string{"x"}, []env.Location{1})
 	esc := value.Escape{Tag: 0, K: &value.Return{Env: rho, K: value.Halt{}}}
 	// 1 + (1 + 1 + 1)
-	if got := log.Value(esc); got != 4 {
+	if got := w1(word.Value(esc)); got != 4 {
 		t.Fatalf("escape = %d, want 4", got)
+	}
+	// The model prices only the one-word shell; the Measurer adds the
+	// retained continuation (so the DeltaMeter can memoize it).
+	if got := Word.Value(esc); got != (Cost{Units: 1}) {
+		t.Fatalf("model escape shell = %+v, want {Units:1}", got)
+	}
+}
+
+func TestEscapeCostLinked(t *testing.T) {
+	// Linked: the escape costs its shell plus its retained frames, with the
+	// saved environment folded into the global binding set instead of being
+	// charged per frame.
+	rho := env.Empty().Extend([]string{"x", "y"}, []env.Location{1, 2})
+	esc := value.Escape{Tag: 0, K: &value.Return{Env: rho, K: value.Halt{}}}
+	w := newLinkedWalker(Word)
+	// shell 1 + return 1 + halt 1; the two bindings go to the global set.
+	if got := w.valueSpace(esc); got != (Cost{Units: 3}) {
+		t.Fatalf("linked escape = %+v, want {Units:3}", got)
+	}
+	if len(w.bindings) != 2 {
+		t.Fatalf("escape env must contribute 2 bindings, got %d", len(w.bindings))
+	}
+}
+
+func TestLogModelPtrWidth(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 1023: 10, 1024: 11}
+	for live, want := range cases {
+		if got := Log.PtrWidth(live); got != want {
+			t.Errorf("PtrWidth(%d) = %d, want %d", live, got, want)
+		}
+	}
+	if Word.PtrWidth(1 << 20) != 1 || Fixnum.PtrWidth(1<<20) != 1 {
+		t.Error("word and fixnum pointers must stay one word")
+	}
+}
+
+func TestLogModelFlatScalesWithLiveStore(t *testing.T) {
+	// A store of n pairs holds 2n pointer words; under LogModel each costs
+	// ⌈log2 n'⌉ where n' is the live cell count, so the flat total must
+	// exceed the word-model total once the store outgrows 2 cells.
+	st := value.NewStore()
+	for i := 0; i < 64; i++ {
+		st.Alloc(value.Pair{})
+	}
+	logFlat := logm.Flat(nil, env.Empty(), value.Halt{}, st)
+	wordFlat := word.Flat(nil, env.Empty(), value.Halt{}, st)
+	// 64 cells → width 7: store = 64·(1 + 1 + 2·7) = 1024, + halt 1.
+	if logFlat != 1025 {
+		t.Fatalf("log flat = %d, want 1025", logFlat)
+	}
+	if wordFlat != 64*4+1 {
+		t.Fatalf("word flat = %d, want 257", wordFlat)
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for name, want := range map[string]CostModel{
+		"": Word, "word": Word, "fixnum": Fixnum, "log": Log,
+	} {
+		got, err := ModelByName(name)
+		if err != nil || got != want {
+			t.Errorf("ModelByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ModelByName("logarithmic"); err == nil {
+		t.Error("ModelByName must reject unknown names")
+	}
+	for _, m := range Models {
+		if got, err := ModelByName(m.Name()); err != nil || got != m {
+			t.Errorf("round trip %q failed: %v, %v", m.Name(), got, err)
+		}
 	}
 }
 
@@ -148,8 +274,8 @@ func TestLinkedCountsSharedBindingsOnce(t *testing.T) {
 	st.Alloc(value.Closure{Tag: t1, Lam: lam, Env: rho})
 	st.Alloc(value.Closure{Tag: t2, Lam: lam, Env: rho})
 
-	flat := log.Flat(nil, env.Empty(), value.Halt{}, st)
-	linked := log.Linked(nil, env.Empty(), value.Halt{}, st)
+	flat := word.Flat(nil, env.Empty(), value.Halt{}, st)
+	linked := word.Linked(nil, env.Empty(), value.Halt{}, st)
 	if linked >= flat {
 		t.Fatalf("linked (%d) must beat flat (%d) on shared environments", linked, flat)
 	}
@@ -168,8 +294,8 @@ func TestLinkedDistinctBindingsNotShared(t *testing.T) {
 	lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
 	st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho1})
 	st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho2})
-	linked := log.Linked(nil, env.Empty(), value.Halt{}, st)
-	flat := log.Flat(nil, env.Empty(), value.Halt{}, st)
+	linked := word.Linked(nil, env.Empty(), value.Halt{}, st)
+	flat := word.Flat(nil, env.Empty(), value.Halt{}, st)
 	// Same identifier, different locations: two distinct bindings, no saving.
 	if linked != flat {
 		t.Fatalf("distinct bindings must not be merged: linked=%d flat=%d", linked, flat)
@@ -183,8 +309,8 @@ func TestLinkedConfigEnvShared(t *testing.T) {
 	x := st.Alloc(value.NewNum(1))
 	rho := env.Empty().Extend([]string{"x"}, []env.Location{x})
 	k := &value.Return{Env: rho, K: value.Halt{}}
-	flat := log.Flat(nil, rho, k, st)
-	linked := log.Linked(nil, rho, k, st)
+	flat := word.Flat(nil, rho, k, st)
+	linked := word.Linked(nil, rho, k, st)
 	if flat-linked != 1 {
 		t.Fatalf("one shared binding should save one word: flat=%d linked=%d", flat, linked)
 	}
@@ -197,14 +323,14 @@ func TestLinkedSharedEscapeContinuationCountedOnce(t *testing.T) {
 	rho := env.Empty().Extend([]string{"x"}, []env.Location{st.Alloc(value.NewNum(1))})
 	var live value.Cont = &value.Return{Env: rho, K: value.Halt{}}
 	st.Alloc(value.Escape{Tag: st.Alloc(value.Unspecified{}), K: live})
-	withEscape := log.Linked(nil, env.Empty(), live, st)
+	withEscape := word.Linked(nil, env.Empty(), live, st)
 
 	st2 := value.NewStore()
 	rho2 := env.Empty().Extend([]string{"x"}, []env.Location{st2.Alloc(value.NewNum(1))})
 	var live2 value.Cont = &value.Return{Env: rho2, K: value.Halt{}}
 	st2.Alloc(value.Unspecified{}) // tag placeholder for comparability
 	st2.Alloc(value.Unspecified{}) // escape replaced by an atom
-	withoutEscape := log.Linked(nil, env.Empty(), live2, st2)
+	withoutEscape := word.Linked(nil, env.Empty(), live2, st2)
 
 	// The escape adds its own word, but the shared frames add nothing.
 	if withEscape-withoutEscape > 1 {
@@ -213,50 +339,54 @@ func TestLinkedSharedEscapeContinuationCountedOnce(t *testing.T) {
 }
 
 func TestPropertyLinkedNeverExceedsFlat(t *testing.T) {
-	// Build random configurations and check U <= S pointwise.
-	f := func(names []string, numVals []int64, depth uint8) bool {
-		st := value.NewStore()
-		var locs []env.Location
-		for _, n := range numVals {
-			locs = append(locs, st.Alloc(value.NewNum(n)))
-		}
-		if len(locs) == 0 {
-			locs = append(locs, st.Alloc(value.Null{}))
-		}
-		clean := make([]string, 0, len(names))
-		for _, n := range names {
-			if n != "" {
-				clean = append(clean, n)
+	// Build random configurations and check U <= S pointwise — under every
+	// cost model (linked only elides binding copies; it can never add).
+	for _, m := range Models {
+		meas := NewMeasurer(m)
+		f := func(names []string, numVals []int64, depth uint8) bool {
+			st := value.NewStore()
+			var locs []env.Location
+			for _, n := range numVals {
+				locs = append(locs, st.Alloc(value.NewNum(n)))
 			}
+			if len(locs) == 0 {
+				locs = append(locs, st.Alloc(value.Null{}))
+			}
+			clean := make([]string, 0, len(names))
+			for _, n := range names {
+				if n != "" {
+					clean = append(clean, n)
+				}
+			}
+			used := make([]env.Location, len(clean))
+			for i := range clean {
+				used[i] = locs[i%len(locs)]
+			}
+			rho := env.Empty().Extend(clean, used)
+			var k value.Cont = value.Halt{}
+			for i := 0; i < int(depth%5); i++ {
+				k = &value.Return{Env: rho, K: k}
+			}
+			lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
+			st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho})
+			flat := meas.Flat(nil, rho, k, st)
+			linked := meas.Linked(nil, rho, k, st)
+			return linked <= flat
 		}
-		used := make([]env.Location, len(clean))
-		for i := range clean {
-			used[i] = locs[i%len(locs)]
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("model %s: %v", m.Name(), err)
 		}
-		rho := env.Empty().Extend(clean, used)
-		var k value.Cont = value.Halt{}
-		for i := 0; i < int(depth%5); i++ {
-			k = &value.Return{Env: rho, K: k}
-		}
-		lam := &ast.Lambda{Body: &ast.Var{Name: "x"}}
-		st.Alloc(value.Closure{Tag: st.Alloc(value.Unspecified{}), Lam: lam, Env: rho})
-		flat := log.Flat(nil, rho, k, st)
-		linked := log.Linked(nil, rho, k, st)
-		return linked <= flat
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Fatal(err)
 	}
 }
 
-func TestPropertyFixnumNeverExceedsLogForBigNums(t *testing.T) {
+func TestPropertyFixnumNeverExceedsWordForBigNums(t *testing.T) {
 	f := func(raw int64) bool {
 		z := raw
 		if z < 0 {
 			z = -z
 		}
 		n := value.Num{Int: big.NewInt(z | (1 << 40))} // force bignum-sized
-		return fix.Value(n) <= log.Value(n)
+		return w1(fix.Value(n)) <= w1(word.Value(n))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

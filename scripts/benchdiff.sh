@@ -5,13 +5,18 @@
 #
 # Usage: scripts/benchdiff.sh [baseline.json]
 #
-# This is a reporting step, not a gate: it exits 0 whenever both runs
-# parse, even if numbers regressed. Read the artifact; shared CI runners
-# are too noisy for hard ns/op thresholds. Keep it dependency-free
-# (POSIX sh + the repo's own cmd/benchjson and cmd/benchdiff).
+# The timing comparison is a reporting step, not a gate: it exits 0
+# whenever both runs parse, even if numbers regressed. Read the artifact;
+# shared CI runners are too noisy for hard ns/op thresholds. Keep it
+# dependency-free (POSIX sh + the repo's own cmd/benchjson and
+# cmd/benchdiff). The tables guard that runs first IS a gate: the
+# deterministic spacelab tables under the default word cost model must be
+# byte-identical to TABLES_baseline.json.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+sh scripts/tablesguard.sh
 
 baseline="${1:-BENCH_baseline.json}"
 if [ ! -f "$baseline" ]; then

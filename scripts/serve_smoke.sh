@@ -1,9 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test of the spaced service:
 # start the daemon on an ephemeral port, check /healthz, run one
-# /v1/measure, repeat it and require a cache hit (via /metrics), lint a
-# program, then SIGTERM and require a clean drain. Dependency-free: the
-# only client is spacectl. CI and `make serve-smoke` run this.
+# /v1/measure, repeat it and require a cache hit (via /metrics), round
+# trip a -cost-model log measure (cold miss, then byte-identical hit),
+# lint a program, then SIGTERM and require a clean drain. Dependency-free:
+# the only client is spacectl. CI and `make serve-smoke` run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,11 +45,11 @@ echo "==> /healthz"
 $CTL health | grep -q '"ok"'
 
 echo "==> /v1/measure (cold)"
-$CTL -input '(quote 10)' -modes fixnum measure "$SMOKE_DIR/countdown.scm" \
+$CTL -input '(quote 10)' -cost-model fixnum measure "$SMOKE_DIR/countdown.scm" \
     | tee "$SMOKE_DIR/measure1.txt" | grep -q 'sfs'
 
 echo "==> /v1/measure (repeat; must hit the cache)"
-$CTL -input '(quote 10)' -modes fixnum measure "$SMOKE_DIR/countdown.scm" \
+$CTL -input '(quote 10)' -cost-model fixnum measure "$SMOKE_DIR/countdown.scm" \
     > "$SMOKE_DIR/measure2.txt"
 cmp -s "$SMOKE_DIR/measure1.txt" "$SMOKE_DIR/measure2.txt" || {
     echo "repeated measure differs from the first"; exit 1; }
@@ -56,6 +57,25 @@ HITS=$($CTL metrics | sed -n 's/^cache\.hits  *//p')
 [ -n "$HITS" ] && [ "$HITS" -ge 6 ] || {
     echo "expected >= 6 cache hits after the repeat, got '${HITS:-none}'"; exit 1; }
 echo "    cache.hits = $HITS"
+
+echo "==> /v1/measure -cost-model log (cold; a distinct cache identity)"
+MISSES_BEFORE=$($CTL metrics | sed -n 's/^cache\.misses  *//p')
+$CTL -input '(quote 10)' -cost-model log measure "$SMOKE_DIR/countdown.scm" \
+    | tee "$SMOKE_DIR/measure3.txt" | grep -q 'log'
+MISSES_AFTER=$($CTL metrics | sed -n 's/^cache\.misses  *//p')
+[ "$MISSES_AFTER" -gt "$MISSES_BEFORE" ] || {
+    echo "log-model measure should miss the cache (misses $MISSES_BEFORE -> $MISSES_AFTER)"; exit 1; }
+
+echo "==> /v1/measure -cost-model log (repeat; byte-identical cache hit)"
+HITS_BEFORE=$HITS
+$CTL -input '(quote 10)' -cost-model log measure "$SMOKE_DIR/countdown.scm" \
+    > "$SMOKE_DIR/measure4.txt"
+cmp -s "$SMOKE_DIR/measure3.txt" "$SMOKE_DIR/measure4.txt" || {
+    echo "repeated log-model measure differs from the first"; exit 1; }
+HITS=$($CTL metrics | sed -n 's/^cache\.hits  *//p')
+[ "$HITS" -gt "$HITS_BEFORE" ] || {
+    echo "repeated log-model measure should hit the cache (hits $HITS_BEFORE -> $HITS)"; exit 1; }
+echo "    cache.misses = $MISSES_AFTER, cache.hits = $HITS"
 
 echo "==> /v1/lint"
 $CTL lint "$SMOKE_DIR/countdown.scm" | grep -q 'control'

@@ -1,0 +1,38 @@
+#!/bin/sh
+# tablesguard.sh — regenerate the deterministic spacelab tables (hierarchy,
+# thm25, thm26) under the default word cost model and require them
+# byte-identical to the committed TABLES_baseline.json. Unlike the benchmark
+# diff, this IS a gate: the tables carry no timing noise, so any byte of
+# drift means the default accounting changed. Refactors of the cost-model
+# layer must leave this output untouched; a deliberate accounting change
+# regenerates the baseline with:
+#
+#   for c in hierarchy thm25 thm26; do
+#       go run ./cmd/spacelab -jobs 4 -json $c
+#   done > TABLES_baseline.json
+#
+# Usage: scripts/tablesguard.sh [baseline.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-TABLES_baseline.json}"
+if [ ! -f "$baseline" ]; then
+    echo "tablesguard: baseline $baseline not found" >&2
+    exit 1
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "==> spacelab -json hierarchy thm25 thm26 (word model)"
+for c in hierarchy thm25 thm26; do
+    go run ./cmd/spacelab -jobs 4 -json "$c"
+done > "$fresh"
+
+if ! cmp -s "$baseline" "$fresh"; then
+    echo "tablesguard: spacelab tables diverge from $baseline:" >&2
+    diff "$baseline" "$fresh" >&2 || true
+    exit 1
+fi
+echo "==> spacelab tables byte-identical to $baseline"

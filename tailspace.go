@@ -79,7 +79,12 @@ type Options struct {
 	// SpaceFlat/SpaceLinked).
 	Measure bool
 	// FixnumCosts charges every number a constant instead of 1+log2|z|.
+	// It is shorthand for CostModel: "fixnum".
 	FixnumCosts bool
+	// CostModel selects the space cost model by name: "word" (Figure 7/8
+	// word counts, the default), "fixnum" (fixed-precision numbers), or
+	// "log" (logarithmic pointer costs). When set it wins over FixnumCosts.
+	CostModel string
 	// MaxSteps bounds the run; 0 means the default (5 million transitions).
 	MaxSteps int
 	// GCEvery applies the garbage collection rule every k-th step; 0 means
@@ -129,14 +134,18 @@ func (o Options) toCore() (core.Options, error) {
 			return core.Options{}, fmt.Errorf("tailspace: unknown variant %q", o.Variant)
 		}
 	}
-	mode := space.Logarithmic
-	if o.FixnumCosts {
-		mode = space.Fixnum
+	name := o.CostModel
+	if name == "" && o.FixnumCosts {
+		name = "fixnum"
+	}
+	model, err := space.ModelByName(name)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("tailspace: %w", err)
 	}
 	return core.Options{
 		Variant:     v,
 		Measure:     o.Measure,
-		NumberMode:  mode,
+		CostModel:   model,
 		MaxSteps:    o.MaxSteps,
 		GCEvery:     o.GCEvery,
 		Order:       core.ArgOrder(o.Order),
