@@ -16,6 +16,7 @@ import (
 	"tailspace/internal/corpus"
 	"tailspace/internal/env"
 	"tailspace/internal/experiments"
+	"tailspace/internal/obs"
 	"tailspace/internal/space"
 	"tailspace/internal/value"
 )
@@ -243,6 +244,39 @@ func BenchmarkMachine(b *testing.B) {
 			b.ReportMetric(float64(steps), "steps/run")
 		})
 	}
+}
+
+// BenchmarkEventStamping guards the cost of trace-ID stamping
+// (core.Options.TraceID). The nil-events sub-bench runs with a TraceID but
+// no sink: StampTrace must leave the nil sink untouched, so allocs/op
+// stays flat (run setup only — nothing per step; compare against baseline
+// in make bench-diff). The ring sub-bench pays the stamped event stream
+// for scale.
+func BenchmarkEventStamping(b *testing.B) {
+	const countdown = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+	e, err := core.ApplicationExpr(countdown, "(quote 2000)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts core.Options) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := core.NewRunner(opts).Run(e)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.Run("no-trace", func(b *testing.B) {
+		run(b, core.Options{})
+	})
+	b.Run("nil-events", func(b *testing.B) {
+		run(b, core.Options{TraceID: "bench-trace"})
+	})
+	b.Run("stamped-ring", func(b *testing.B) {
+		run(b, core.Options{TraceID: "bench-trace", Events: obs.NewRing(4096)})
+	})
 }
 
 // BenchmarkMeterFullVsDelta compares the two space.Meter implementations on

@@ -4,6 +4,8 @@
 //	spacectl [-addr URL] eval <program> [-input D] [-machine M] [-steps N]
 //	spacectl [-addr URL] measure <program> [-input D] [-machines a,b] [-cost-model word,log] [-flat-only] [-steps N]
 //	spacectl [-addr URL] lint <program>
+//	spacectl [-addr URL] trace <request-id> [-chrome]
+//	spacectl [-addr URL] top [-interval D] [-samples N]
 //	spacectl [-addr URL] health
 //	spacectl [-addr URL] metrics
 //
@@ -11,6 +13,11 @@
 // corpus program. -json switches every subcommand to raw JSON output. The
 // exit status is non-zero on transport errors, non-2xx responses, runs that
 // ended without an answer, and confirmed lint leaks.
+//
+// trace streams the live engine events of a request by its trace ID (set
+// X-Request-Id on the POST, or read X-Trace-Id off the response); -chrome
+// exports the request's spans for chrome://tracing instead. top redraws a
+// terminal dashboard over GET /metrics.
 package main
 
 import (
@@ -41,6 +48,11 @@ func main() {
 	flatOnly := fs.Bool("flat-only", false, "measure: skip the linked (U_X) measurement")
 	steps := fs.Int("steps", 0, "step bound (0 means the server default)")
 	jsonOut := fs.Bool("json", false, "print raw response JSON")
+	requestID := fs.String("request-id", "", "X-Request-Id to send: the request's trace ID, for spacectl trace")
+	prom := fs.Bool("prom", false, "metrics: fetch the Prometheus text exposition instead of JSON")
+	chrome := fs.Bool("chrome", false, "trace: export spans as a Chrome trace instead of streaming events")
+	interval := fs.Duration("interval", 2*time.Second, "top: refresh interval")
+	samples := fs.Int("samples", 0, "top: frames to draw (0 means until interrupted; 1 prints once)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "client-side request timeout")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Parse(os.Args[1:])
@@ -54,6 +66,7 @@ func main() {
 	}
 	client := &http.Client{Timeout: *timeout}
 	base := strings.TrimRight(*addr, "/")
+	traceHeader = *requestID
 
 	cmd, args := fs.Arg(0), fs.Args()[1:]
 	var exit int
@@ -64,10 +77,21 @@ func main() {
 		exit = cmdMeasure(client, base, args, *input, *machines, *costModels, *flatOnly, *steps, *jsonOut)
 	case "lint":
 		exit = cmdLint(client, base, args, *jsonOut)
+	case "trace":
+		exit = cmdTrace(base, args, *chrome)
+	case "top":
+		exit = cmdTop(client, base, *interval, *samples)
 	case "health":
 		exit = cmdGet(client, base+"/healthz")
+	case "get":
+		if len(args) != 1 {
+			usage()
+			exit = 2
+			break
+		}
+		exit = cmdGet(client, base+args[0])
 	case "metrics":
-		exit = cmdMetrics(client, base, *jsonOut)
+		exit = cmdMetrics(client, base, *jsonOut, *prom)
 	default:
 		usage()
 		exit = 2
@@ -87,6 +111,11 @@ func loadProgram(arg string) (string, error) {
 	return "", fmt.Errorf("program %q is neither a readable file nor a corpus program", arg)
 }
 
+// traceHeader is the -request-id value, sent as X-Request-Id on every POST
+// so the caller knows the trace ID before the response exists (and can
+// stream the run it started with spacectl trace).
+var traceHeader string
+
 // post sends one request and decodes the response; a non-2xx status is
 // rendered from the server's error body.
 func post(client *http.Client, url string, req any, resp any, jsonOut bool) error {
@@ -94,7 +123,15 @@ func post(client *http.Client, url string, req any, resp any, jsonOut bool) erro
 	if err != nil {
 		return err
 	}
-	hresp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceHeader != "" {
+		hreq.Header.Set("X-Request-Id", traceHeader)
+	}
+	hresp, err := client.Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -235,8 +272,12 @@ func cmdGet(client *http.Client, url string) int {
 	return 0
 }
 
-func cmdMetrics(client *http.Client, base string, jsonOut bool) int {
-	resp, err := client.Get(base + "/metrics")
+func cmdMetrics(client *http.Client, base string, jsonOut, prom bool) int {
+	url := base + "/metrics"
+	if prom {
+		url += "?format=prometheus"
+	}
+	resp, err := client.Get(url)
 	if err != nil {
 		return fail(err)
 	}
@@ -246,7 +287,7 @@ func cmdMetrics(client *http.Client, base string, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "spacectl: %s: %s\n", resp.Status, body)
 		return 1
 	}
-	if jsonOut {
+	if jsonOut || prom {
 		os.Stdout.Write(body)
 		return 0
 	}
@@ -286,8 +327,11 @@ commands:
   measure <program>  [-input D] [-machines a,b] [-cost-model word,log] [-flat-only] [-steps N]
                                                           S/U peaks across the grid
   lint <program>                                          static space-leak verdicts
+  trace <request-id> [-chrome]                            follow one request's run events or spans
+  top [-interval D] [-samples N]                          live dashboard over /metrics
   health                                                  GET /healthz
-  metrics                                                 GET /metrics (sorted table)
+  metrics [-prom]                                         GET /metrics (sorted table, or Prometheus text)
+  get <path>                                              raw GET of any server path
 <program> is a Scheme source file or a corpus program name.
 Flags must precede the command (standard flag package ordering).`)
 }

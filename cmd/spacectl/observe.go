@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// cmdTrace follows one request by its trace ID (the X-Trace-Id response
+// header, or the X-Request-Id the caller chose). The default streams the
+// run's live events as NDJSON until the run finishes; -chrome fetches the
+// request's spans as a Chrome trace instead (pipe to a file and load it in
+// chrome://tracing or Perfetto).
+//
+// Streaming deliberately uses a client without a timeout: http.Client.
+// Timeout bounds the whole body read, which would sever a long run's
+// stream mid-flight.
+func cmdTrace(base string, args []string, chrome bool) int {
+	if len(args) != 1 {
+		usage()
+		return 2
+	}
+	id := args[0]
+	if chrome {
+		return cmdGet(&http.Client{Timeout: 30 * time.Second}, base+"/v1/traces/"+id+"?format=chrome")
+	}
+	streamClient := &http.Client{}
+	resp, err := streamClient.Get(base + "/v1/runs/" + id + "/events")
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The stream aged out (or the request never ran); the span record
+		// usually outlives it.
+		io.Copy(io.Discard, resp.Body)
+		return cmdGet(&http.Client{Timeout: 30 * time.Second}, base+"/v1/traces/"+id)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fail(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// cmdTop is a minimal terminal dashboard over /metrics: every -interval it
+// rescrapes the JSON snapshot and redraws request rates, latency quantiles
+// per endpoint, cache and pool occupancy, and the runtime gauges. -samples
+// bounds the iterations (0 means until interrupted); 1 prints once without
+// clearing the screen, which is what scripts want.
+func cmdTop(client *http.Client, base string, interval time.Duration, samples int) int {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; samples <= 0 || i < samples; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			return fail(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fail(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+		}
+		var snap map[string]int64
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fail(err)
+		}
+		if samples != 1 {
+			fmt.Print("\033[H\033[2J") // clear screen, cursor home
+		}
+		renderTop(os.Stdout, base, snap)
+	}
+	return 0
+}
+
+// renderTop draws one dashboard frame from a /metrics JSON snapshot.
+func renderTop(w io.Writer, base string, snap map[string]int64) {
+	fmt.Fprintf(w, "spacectl top — %s\n\n", base)
+
+	fmt.Fprintf(w, "%-24s %9s %9s %9s %9s %9s\n", "endpoint", "requests", "p50(us)", "p90(us)", "p99(us)", "count")
+	for _, lb := range labelBlocks(snap, "http.request.us") {
+		ep := labelValue(lb, "endpoint")
+		h := "http.request.us" + lb
+		fmt.Fprintf(w, "%-24s %9d %9d %9d %9d %9d\n",
+			ep, snap["http.requests."+ep],
+			snap[h+".p50"], snap[h+".p90"], snap[h+".p99"], snap[h+".count"])
+	}
+
+	fmt.Fprintf(w, "\ncache   hits %d  misses %d  joins %d  entries %d  inflight %d\n",
+		snap["cache.hits"], snap["cache.misses"], snap["cache.joins"],
+		snap["cache.size"], snap["cache.inflight"])
+	fmt.Fprintf(w, "pool    busy %d  waiting %d  queue-wait p90 %dus (n=%d)\n",
+		snap["pool.busy"], snap["pool.waiting"],
+		snap["pool.wait.us.p90"], snap["pool.wait.us.count"])
+	fmt.Fprintf(w, "status  2xx %d  4xx %d  5xx %d\n",
+		snap["http.status.2xx"], snap["http.status.4xx"], snap["http.status.5xx"])
+	fmt.Fprintf(w, "runtime goroutines %d  heap %s  gc %d  last-pause %dus\n",
+		snap["runtime.goroutines"], fmtBytes(snap["runtime.heap.alloc.bytes"]),
+		snap["runtime.gc.count"], snap["runtime.gc.pause.us"])
+
+	blocks := labelBlocks(snap, "run.steps")
+	if len(blocks) > 0 {
+		fmt.Fprintf(w, "\n%-24s %9s %12s %12s\n", "machine/model", "runs", "steps p90", "S_X p90")
+		for _, lb := range blocks {
+			name := labelValue(lb, "machine") + "/" + labelValue(lb, "model")
+			steps := "run.steps" + lb
+			peak := "run.peak.flat.words" + lb
+			fmt.Fprintf(w, "%-24s %9d %12d %12d\n",
+				name, snap[steps+".count"], snap[steps+".p90"], snap[peak+".p90"])
+		}
+	}
+}
+
+// labelBlocks collects the distinct label blocks ({k="v",...}) a histogram
+// family appears under in a snapshot, from its derived .count keys.
+func labelBlocks(snap map[string]int64, family string) []string {
+	seen := map[string]struct{}{}
+	for key := range snap {
+		if !strings.HasPrefix(key, family+"{") || !strings.HasSuffix(key, ".count") {
+			continue
+		}
+		seen[key[len(family):len(key)-len(".count")]] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// labelValue extracts one label's value from a {k="v",...} block. Escapes
+// don't occur in the labels this dashboard reads (routes, machine names).
+func labelValue(block, label string) string {
+	i := strings.Index(block, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := block[i+len(label)+2:]
+	if end := strings.Index(rest, `"`); end >= 0 {
+		return rest[:end]
+	}
+	return ""
+}
+
+// fmtBytes renders a byte count at a human scale.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -72,6 +72,13 @@ type Options struct {
 	// and one event per peak update. A nil sink costs nothing beyond a few
 	// nil checks; use an obs.Ring to keep long traces bounded-memory.
 	Events obs.Sink
+	// TraceID, when non-empty, stamps every emitted event with a request
+	// trace identifier (Event.Trace), tying the engine's stream to the
+	// serving request that started the run. It only takes effect when
+	// Events is non-nil: the stamping wraps the sink once at run start, so
+	// the nil-Events fast path stays allocation-free (pinned by
+	// BenchmarkEventStamping).
+	TraceID string
 	// AttributePeak, combined with Measure, rebuilds a peak-attribution
 	// snapshot whenever the flat-space peak is raised; after the run,
 	// Result.Peak names the source expression, machine rule, continuation
@@ -226,6 +233,9 @@ func NewRunner(opts Options) *Runner {
 	if meter == nil {
 		meter = space.NewDeltaMeter(opts.CostModel)
 	}
+	// Trace stamping decorates the sink once here; with a nil sink
+	// StampTrace returns nil and the run keeps its zero-cost path.
+	opts.Events = obs.StampTrace(opts.Events, opts.TraceID)
 	return &Runner{opts: opts, meter: meter}
 }
 

@@ -35,6 +35,10 @@ const (
 	// cache disposed of it. Request events flow through the same Sink
 	// plumbing as machine events, so JSONL export and rings apply.
 	EventRequest EventType = "request"
+	// EventSpan is one finished span of a traced request: a named interval
+	// (queue-wait, cache-lookup, expand, run, measure, request) with a
+	// wall-clock start and duration, tied to its request by Trace.
+	EventSpan EventType = "span"
 )
 
 // Event is one entry of the structured event stream. Only the fields
@@ -75,13 +79,27 @@ type Event struct {
 
 	// Request-event fields (EventRequest): the HTTP method and path, the
 	// response status, the wall-clock duration in microseconds, and the
-	// cache disposition ("hit", "miss", "join" for a coalesced request;
-	// empty for uncached endpoints).
+	// request's outcome — how the result cache disposed of it ("hit",
+	// "miss", "join") or why it did not get that far ("shed" for
+	// load-shedding, "cancel" for a client disconnect, "timeout" for the
+	// per-request deadline; empty for uncached endpoints).
 	Method string `json:"method,omitempty"`
 	Path   string `json:"path,omitempty"`
 	Status int    `json:"status,omitempty"`
 	DurUS  int64  `json:"durUs,omitempty"`
 	Cache  string `json:"cache,omitempty"`
+
+	// Trace ties an event to the request that produced it: the middleware
+	// mints a trace ID per request, the runner stamps it onto every engine
+	// event of runs the request started (Options.TraceID), and spans and
+	// access-log entries carry it natively.
+	Trace string `json:"trace,omitempty"`
+	// Span-event fields (EventSpan): the span name, its sequence number
+	// within the trace, and the wall-clock start in Unix microseconds
+	// (DurUS above is the duration).
+	Span    string `json:"span,omitempty"`
+	SpanID  int    `json:"spanId,omitempty"`
+	StartUS int64  `json:"startUs,omitempty"`
 }
 
 // Sink receives events as the run produces them. Implementations must be

@@ -1,0 +1,118 @@
+package obs
+
+import "sync"
+
+// Fanout is a concurrency-safe, bounded, drop-counting event fan-out: the
+// Sink a live-streamed run emits into. It retains a bounded ring of recent
+// events (replayed to late subscribers, so a stream opened just after a
+// short run finishes still sees its tail) and forwards each event to every
+// subscriber's bounded channel with a non-blocking send — a slow consumer
+// loses events (counted per subscriber) rather than stalling the machine.
+// This is the streaming backpressure policy: the engine never waits on a
+// network peer.
+type Fanout struct {
+	mu     sync.Mutex
+	ring   *Ring
+	subs   map[*Subscriber]struct{}
+	closed bool
+}
+
+// NewFanout returns a fan-out retaining the last ringCap events
+// (DefaultRingCapacity when ringCap < 1).
+func NewFanout(ringCap int) *Fanout {
+	return &Fanout{
+		ring: NewRing(ringCap),
+		subs: map[*Subscriber]struct{}{},
+	}
+}
+
+// Emit implements Sink. Emissions after Close are dropped.
+func (f *Fanout) Emit(e Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.ring.Emit(e)
+	for s := range f.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Subscribe attaches a consumer with a channel buffer of at least buf
+// (256 when buf < 1) plus room for the replayed ring tail, which is
+// delivered first. Subscribing to a closed fan-out still replays the
+// retained tail; the channel is then already closed.
+func (f *Fanout) Subscribe(buf int) *Subscriber {
+	if buf < 1 {
+		buf = 256
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	replay := f.ring.Events()
+	s := &Subscriber{f: f, ch: make(chan Event, buf+len(replay))}
+	for _, e := range replay {
+		s.ch <- e // fits: the buffer was sized for the replay
+	}
+	if f.closed {
+		close(s.ch)
+	} else {
+		f.subs[s] = struct{}{}
+	}
+	return s
+}
+
+// Close ends the stream: every subscriber's channel is closed after its
+// buffered events drain, and later Emit calls are dropped. Idempotent.
+func (f *Fanout) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for s := range f.subs {
+		close(s.ch)
+	}
+	f.subs = map[*Subscriber]struct{}{}
+}
+
+// Total is the number of events ever emitted (retained or not).
+func (f *Fanout) Total() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Total()
+}
+
+// Subscriber is one consumer of a Fanout.
+type Subscriber struct {
+	f       *Fanout
+	ch      chan Event
+	dropped int64 // under f.mu
+}
+
+// Events is the subscriber's channel: replayed tail, then live events; it
+// closes when the fan-out closes or the subscriber cancels.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped is the number of events this subscriber lost to backpressure.
+func (s *Subscriber) Dropped() int64 {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscriber and closes its channel. Idempotent, and
+// a no-op after the fan-out closed (the channel is already closed).
+func (s *Subscriber) Cancel() {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	if _, ok := s.f.subs[s]; ok {
+		delete(s.f.subs, s)
+		close(s.ch)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFanoutDeliversToSubscribers(t *testing.T) {
+	f := NewFanout(8)
+	sub := f.Subscribe(16)
+	for i := 0; i < 5; i++ {
+		f.Emit(Event{Step: i})
+	}
+	f.Close()
+	var got []int
+	for e := range sub.Events() {
+		got = append(got, e.Step)
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %v, want 5 events", got)
+	}
+	for i, step := range got {
+		if step != i {
+			t.Fatalf("event %d has step %d", i, step)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", sub.Dropped())
+	}
+}
+
+// TestFanoutLateSubscriberGetsRingReplay: a subscriber attaching after
+// events were emitted — even after Close — receives the retained tail.
+func TestFanoutLateSubscriberGetsRingReplay(t *testing.T) {
+	f := NewFanout(4)
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Step: i})
+	}
+	f.Close()
+	sub := f.Subscribe(1)
+	var got []int
+	for e := range sub.Events() {
+		got = append(got, e.Step)
+	}
+	want := []int{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("replay %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay %v, want %v", got, want)
+		}
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+}
+
+// TestFanoutSlowSubscriberDropsNotBlocks: a full subscriber channel loses
+// events (counted) instead of stalling Emit — the engine never waits on a
+// consumer.
+func TestFanoutSlowSubscriberDropsNotBlocks(t *testing.T) {
+	f := NewFanout(4)
+	sub := f.Subscribe(2) // not draining; fills after 2 events
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Step: i}) // must not block
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d, want 8", got)
+	}
+	f.Close()
+	n := 0
+	for range sub.Events() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("delivered = %d, want the 2 buffered", n)
+	}
+}
+
+func TestFanoutCancelDetaches(t *testing.T) {
+	f := NewFanout(4)
+	sub := f.Subscribe(4)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	f.Emit(Event{Step: 1})
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("cancelled subscriber still received an event")
+	}
+	f.Close() // must not double-close the cancelled subscriber's channel
+}
+
+// TestFanoutConcurrentEmitSubscribe runs emitters, subscribers, and
+// cancellations together; the race detector is the assertion.
+func TestFanoutConcurrentEmitSubscribe(t *testing.T) {
+	f := NewFanout(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Emit(Event{Step: i})
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := f.Subscribe(8)
+			for i := 0; i < 20; i++ {
+				// Non-blocking: emitters may already be done.
+				select {
+				case <-sub.Events():
+				default:
+				}
+			}
+			sub.Dropped()
+			sub.Cancel()
+		}()
+	}
+	wg.Wait()
+	f.Close()
+}

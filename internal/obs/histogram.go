@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NumHistogramBuckets is the number of finite histogram buckets. The
+// bucket layout is fixed and deterministic: bucket i holds observations in
+// (2^(i-1), 2^i] (bucket 0 holds v <= 1), and one overflow bucket past
+// 2^(NumHistogramBuckets-1) catches the rest. Forty power-of-two buckets
+// span 1 .. 2^39 ≈ 5.5e11, which covers microsecond latencies out to six
+// days and peak sizes out to half a trillion words, at a relative
+// resolution of 2× — enough to read distribution shape and tail quantiles
+// without any configuration knob that could silently change the layout
+// between runs.
+const NumHistogramBuckets = 40
+
+// Histogram is a fixed-log-bucket distribution: deterministic power-of-two
+// bucket bounds, a count, a sum, and an exact maximum. Like Metrics it is
+// not safe for concurrent use on its own; SyncMetrics serializes access
+// for long-lived processes. The zero value is ready to use.
+type Histogram struct {
+	counts [NumHistogramBuckets + 1]int64 // +1: overflow bucket
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// HistogramBound returns the inclusive upper bound of finite bucket i.
+func HistogramBound(i int) int64 { return 1 << i }
+
+// histogramBucket maps an observation to its bucket index.
+func histogramBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b > NumHistogramBuckets {
+		b = NumHistogramBuckets
+	}
+	return b
+}
+
+// Observe records one value. Negative observations count as zero (they
+// land in the first bucket) rather than corrupting the sum.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histogramBucket(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count is the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum is the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max is the largest observation (exact, not a bucket bound).
+func (h *Histogram) Max() int64 { return h.max }
+
+// BucketCount returns the count of bucket i (NumHistogramBuckets is the
+// overflow bucket).
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i] }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// bound of the bucket in which the q·count-th observation landed, or the
+// exact maximum when it landed in the overflow bucket. Zero observations
+// yield zero. The estimate is deterministic and within the 2× bucket
+// resolution of the true value.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum int64
+	for i := 0; i < NumHistogramBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= target {
+			bound := HistogramBound(i)
+			if bound > h.max {
+				return h.max // the bucket's occupants never exceed the max
+			}
+			return bound
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h: bucket counts, count, and sum add; max takes
+// the maximum. This is the grid aggregation rule for distributions.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Clone returns an independent copy (SyncMetrics snapshots hand these out).
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// HistogramLayout renders the bucket bounds as one canonical string. The
+// layout is part of the observability contract — dashboards, the
+// Prometheus exposition, and stored scrapes all depend on bounds never
+// moving — so a test pins this string byte-for-byte.
+func HistogramLayout() string {
+	var b strings.Builder
+	b.WriteString("le=")
+	for i := 0; i < NumHistogramBuckets; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", HistogramBound(i))
+	}
+	b.WriteString(",+Inf")
+	return b.String()
+}
+
+// Labeled builds a registry name carrying a label set: name{k1="v1",…}.
+// The JSON snapshot uses the full string as its key; the Prometheus writer
+// splits the base name from the labels. Values are escaped the way the
+// Prometheus text format requires. Keys must be valid label names
+// ([a-zA-Z_][a-zA-Z0-9_]*); call sites use literal keys.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// Prometheus text exposition rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

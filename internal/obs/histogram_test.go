@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramLayoutIsPinned pins the bucket layout byte-for-byte. The
+// bounds are an observability contract: Prometheus scrapes, stored CI
+// artifacts, and dashboards all assume they never move, so any change here
+// must be deliberate and versioned.
+func TestHistogramLayoutIsPinned(t *testing.T) {
+	const want = "le=" +
+		"1,2,4,8,16,32,64,128,256,512," +
+		"1024,2048,4096,8192,16384,32768,65536,131072,262144,524288," +
+		"1048576,2097152,4194304,8388608,16777216,33554432,67108864,134217728,268435456,536870912," +
+		"1073741824,2147483648,4294967296,8589934592,17179869184,34359738368,68719476736,137438953472,274877906944,549755813888" +
+		",+Inf"
+	if got := HistogramLayout(); got != want {
+		t.Fatalf("bucket layout changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the boundary rule: bucket i holds
+// (2^(i-1), 2^i], bucket 0 holds everything at or below 1, and values past
+// the last finite bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{1024, 10}, {1025, 11},
+		{HistogramBound(NumHistogramBuckets - 1), NumHistogramBuckets - 1},
+		{HistogramBound(NumHistogramBuckets-1) + 1, NumHistogramBuckets},
+		{math.MaxInt64, NumHistogramBuckets},
+	}
+	for _, tc := range cases {
+		v := tc.v
+		if v < 0 {
+			v = 0 // Observe clamps; the bucket function sees the clamp
+		}
+		if got := histogramBucket(v); got != tc.want {
+			t.Errorf("histogramBucket(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zero quantiles")
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Sum() != 500500 || h.Max() != 1000 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	// The 500th observation is 500, which lands in bucket (256, 512].
+	if got := h.Quantile(0.5); got != 512 {
+		t.Errorf("p50 = %d, want bucket bound 512", got)
+	}
+	// p99 and p100 land in the last occupied bucket (512, 1024], whose
+	// bound exceeds the true max — the exact max is reported instead.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want exact max 1000", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+}
+
+func TestHistogramNegativeObservationsCountAsZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-17)
+	if h.Count() != 1 || h.Sum() != 0 || h.BucketCount(0) != 1 {
+		t.Fatalf("count=%d sum=%d bucket0=%d", h.Count(), h.Sum(), h.BucketCount(0))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(1000)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Count() != 3 || a.Sum() != 1101 || a.Max() != 1000 {
+		t.Fatalf("merged count=%d sum=%d max=%d", a.Count(), a.Sum(), a.Max())
+	}
+}
+
+// TestMetricsHistogramSnapshot checks the flat-snapshot projection: five
+// derived entries per histogram, usable by the JSON /metrics rendering and
+// spacectl top without a schema change.
+func TestMetricsHistogramSnapshot(t *testing.T) {
+	m := NewMetrics()
+	for i := int64(1); i <= 100; i++ {
+		m.Observe("req.us", i*10)
+	}
+	snap := m.Snapshot()
+	if snap["req.us.count"] != 100 || snap["req.us.sum"] != 50500 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	for _, q := range []string{"req.us.p50", "req.us.p90", "req.us.p99"} {
+		if snap[q] < 1 {
+			t.Errorf("snapshot[%s] = %d, want > 0", q, snap[q])
+		}
+	}
+	if snap["req.us.p50"] > snap["req.us.p99"] {
+		t.Errorf("p50 %d > p99 %d", snap["req.us.p50"], snap["req.us.p99"])
+	}
+}
+
+// TestMetricsMergeHistograms checks the grid aggregation rule extends to
+// distributions: bucket counts add.
+func TestMetricsMergeHistograms(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Observe("steps", 10)
+	b.Observe("steps", 20)
+	b.Observe("other", 5)
+	a.Merge(b)
+	if got := a.Histogram("steps").Count(); got != 2 {
+		t.Errorf("merged steps count = %d, want 2", got)
+	}
+	if got := a.Histogram("other").Count(); got != 1 {
+		t.Errorf("merged new histogram count = %d, want 1", got)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("req.us"); got != "req.us" {
+		t.Errorf("no labels: %q", got)
+	}
+	got := Labeled("req.us", "endpoint", "/v1/measure", "machine", "tail")
+	if got != `req.us{endpoint="/v1/measure",machine="tail"}` {
+		t.Errorf("Labeled = %q", got)
+	}
+	if got := Labeled("m", "k", `a"b\c`); got != `m{k="a\"b\\c"}` {
+		t.Errorf("escaped = %q", got)
+	}
+}

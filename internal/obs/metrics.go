@@ -28,17 +28,22 @@ const (
 	MetricHeapPeak     = "space.heap.peak"
 )
 
-// Metrics is a per-run registry of named counters and gauges. It is not
-// safe for concurrent use; a run owns its registry, and grid aggregation
-// merges finished registries sequentially.
+// Metrics is a per-run registry of named counters, gauges, and histograms.
+// It is not safe for concurrent use; a run owns its registry, and grid
+// aggregation merges finished registries sequentially.
 type Metrics struct {
-	counters map[string]int64
-	gauges   map[string]int64
+	counters   map[string]int64
+	gauges     map[string]int64
+	histograms map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{counters: map[string]int64{}, gauges: map[string]int64{}}
+	return &Metrics{
+		counters:   map[string]int64{},
+		gauges:     map[string]int64{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Inc adds delta to the named counter.
@@ -55,6 +60,32 @@ func (m *Metrics) SetMax(name string, v int64) {
 // requests, cache residency) whose current value, not maximum, is the
 // interesting number.
 func (m *Metrics) Set(name string, v int64) { m.gauges[name] = v }
+
+// Observe records one observation in the named histogram, creating it on
+// first use. Histogram names may carry a label suffix built with Labeled.
+func (m *Metrics) Observe(name string, v int64) {
+	h := m.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	h.Observe(v)
+}
+
+// Histogram reads the named histogram (nil when absent). The returned
+// pointer is the registry's own: callers must not retain it past the
+// registry's single-goroutine discipline.
+func (m *Metrics) Histogram(name string) *Histogram { return m.histograms[name] }
+
+// HistogramNames returns every histogram name in sorted order.
+func (m *Metrics) HistogramNames() []string {
+	out := make([]string, 0, len(m.histograms))
+	for name := range m.histograms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Counter reads a counter (0 when absent).
 func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
@@ -86,17 +117,36 @@ func (m *Metrics) Merge(other *Metrics) {
 	for name, v := range other.gauges {
 		m.SetMax(name, v)
 	}
+	for name, h := range other.histograms {
+		mine := m.histograms[name]
+		if mine == nil {
+			mine = &Histogram{}
+			m.histograms[name] = mine
+		}
+		mine.Merge(h)
+	}
 }
 
 // Snapshot returns every metric in one map (counters and gauges share the
-// namespace by construction).
+// namespace by construction). Each histogram contributes five derived
+// entries — name.count, name.sum, name.p50, name.p90, name.p99 — so the
+// flat JSON rendering of /metrics carries latency quantiles without a
+// schema change; the full bucket series is only in the Prometheus
+// exposition.
 func (m *Metrics) Snapshot() map[string]int64 {
-	out := make(map[string]int64, len(m.counters)+len(m.gauges))
+	out := make(map[string]int64, len(m.counters)+len(m.gauges)+5*len(m.histograms))
 	for name, v := range m.counters {
 		out[name] = v
 	}
 	for name, v := range m.gauges {
 		out[name] = v
+	}
+	for name, h := range m.histograms {
+		out[name+".count"] = h.Count()
+		out[name+".sum"] = h.Sum()
+		out[name+".p50"] = h.Quantile(0.50)
+		out[name+".p90"] = h.Quantile(0.90)
+		out[name+".p99"] = h.Quantile(0.99)
 	}
 	return out
 }

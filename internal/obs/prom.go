@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition, hand-rolled (format version 0.0.4; no
+// client-library dependency). Registry names map onto Prometheus names by
+// sanitization — every character outside [a-zA-Z0-9_] becomes '_', so
+// "machine.rule.apply-tail" exposes as machine_rule_apply_tail — and a
+// {k="v"} suffix built with Labeled passes through as a label set.
+// Counters expose as counters, gauges as gauges, and histograms as
+// classic cumulative-bucket histograms (name_bucket{le="..."}, name_sum,
+// name_count) over the fixed layout in HistogramLayout. Output is
+// deterministic: families and series are written in sorted registry-name
+// order.
+
+// PromContentType is the Content-Type of the text exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	ew := &errWriter{w: w}
+	writePromSection(ew, m.counters, "counter")
+	writePromSection(ew, m.gauges, "gauge")
+
+	names := m.HistogramNames()
+	lastFamily := ""
+	for _, name := range names {
+		base, labels := splitPromName(name)
+		family := promName(base)
+		if family != lastFamily {
+			ew.printf("# TYPE %s histogram\n", family)
+			lastFamily = family
+		}
+		h := m.histograms[name]
+		var cum int64
+		for i := 0; i < NumHistogramBuckets; i++ {
+			cum += h.BucketCount(i)
+			ew.printf("%s_bucket%s %d\n", family, promLabels(labels, fmt.Sprintf("%d", HistogramBound(i))), cum)
+		}
+		cum += h.BucketCount(NumHistogramBuckets)
+		ew.printf("%s_bucket%s %d\n", family, promLabels(labels, "+Inf"), cum)
+		ew.printf("%s_sum%s %d\n", family, labels, h.Sum())
+		ew.printf("%s_count%s %d\n", family, labels, h.Count())
+	}
+	return ew.err
+}
+
+// writePromSection renders one kind of scalar metric, sorted, with a TYPE
+// line per family (label variants of one base share a family).
+func writePromSection(ew *errWriter, series map[string]int64, kind string) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lastFamily := ""
+	for _, name := range names {
+		base, labels := splitPromName(name)
+		family := promName(base)
+		if family != lastFamily {
+			ew.printf("# TYPE %s %s\n", family, kind)
+			lastFamily = family
+		}
+		ew.printf("%s%s %d\n", family, labels, series[name])
+	}
+}
+
+// splitPromName separates a registry name from its Labeled suffix.
+func splitPromName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// promLabels merges an existing label suffix with the le bucket label.
+func promLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// promName sanitizes a registry name into the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusRendering pins the shape of the text exposition:
+// sanitized names, TYPE lines per family, label pass-through, and the
+// classic cumulative histogram triple.
+func TestWritePrometheusRendering(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("http.requests./v1/eval", 3)
+	m.Inc("machine.rule.apply-tail", 7)
+	m.Set("pool.busy", 2)
+	m.Observe(Labeled("http.request.us", "endpoint", "/v1/measure"), 100)
+	m.Observe(Labeled("http.request.us", "endpoint", "/v1/measure"), 3)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests__v1_eval counter\n",
+		"http_requests__v1_eval 3\n",
+		"# TYPE machine_rule_apply_tail counter\n",
+		"machine_rule_apply_tail 7\n",
+		"# TYPE pool_busy gauge\n",
+		"pool_busy 2\n",
+		"# TYPE http_request_us histogram\n",
+		`http_request_us_bucket{endpoint="/v1/measure",le="4"} 1` + "\n",
+		`http_request_us_bucket{endpoint="/v1/measure",le="128"} 2` + "\n",
+		`http_request_us_bucket{endpoint="/v1/measure",le="+Inf"} 2` + "\n",
+		`http_request_us_sum{endpoint="/v1/measure"} 103` + "\n",
+		`http_request_us_count{endpoint="/v1/measure"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusDeterministic: two renderings of the same registry
+// are byte-identical (scrape diffing depends on it).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	m := NewMetrics()
+	for _, name := range []string{"b.two", "a.one", "c.three"} {
+		m.Inc(name, 1)
+		m.Set(name+".g", 2)
+		m.Observe(name+".h", 3)
+	}
+	var x, y strings.Builder
+	if err := m.WritePrometheus(&x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePrometheus(&y); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != y.String() {
+		t.Fatalf("renderings differ:\n%s\nvs\n%s", x.String(), y.String())
+	}
+	if !strings.HasPrefix(x.String(), "# TYPE a_one counter\n") {
+		t.Fatalf("families not sorted:\n%s", x.String())
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"machine.steps":        "machine_steps",
+		"http.status.2xx":      "http_status_2xx",
+		"2weird":               "_2weird",
+		"rule.apply-tail":      "rule_apply_tail",
+		"http.requests./v1/x":  "http_requests__v1_x",
+		"already_fine_name_42": "already_fine_name_42",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -39,6 +39,44 @@ func TestRingOverflowDropsOldestFirst(t *testing.T) {
 	}
 }
 
+// TestRingOverflowManyWraps wraps the buffer many times over and at exact
+// capacity multiples, where the write cursor sits at index 0 — the
+// boundary case for the oldest-first reconstruction in Events.
+func TestRingOverflowManyWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 400; i++ {
+		r.Emit(Event{Step: i})
+	}
+	// 400 = 100 full wraps: cursor back at 0, oldest retained is 396.
+	if r.Total() != 400 || r.Dropped() != 396 || r.Len() != 4 {
+		t.Fatalf("total=%d dropped=%d len=%d", r.Total(), r.Dropped(), r.Len())
+	}
+	got := steps(r.Events())
+	for i, want := range []int{396, 397, 398, 399} {
+		if got[i] != want {
+			t.Fatalf("Events() = %v, want [396 397 398 399]", got)
+		}
+	}
+	r.Emit(Event{Step: 400})
+	got = steps(r.Events())
+	for i, want := range []int{397, 398, 399, 400} {
+		if got[i] != want {
+			t.Fatalf("after one more emit: %v, want [397 398 399 400]", got)
+		}
+	}
+}
+
+func TestRingCapacityOne(t *testing.T) {
+	r := NewRing(1)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Step: i})
+	}
+	got := steps(r.Events())
+	if len(got) != 1 || got[0] != 2 || r.Dropped() != 2 {
+		t.Fatalf("capacity-1 ring: events=%v dropped=%d", got, r.Dropped())
+	}
+}
+
 func TestRingDrainPreservesOrder(t *testing.T) {
 	r := NewRing(3)
 	for i := 0; i < 7; i++ {

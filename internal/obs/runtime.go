@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Process runtime gauges: the Go runtime's own health signals, sampled
+// into the serving registry so /metrics (JSON and Prometheus alike)
+// reports them beside the engine totals.
+const (
+	MetricGoroutines  = "runtime.goroutines"
+	MetricHeapAlloc   = "runtime.heap.alloc.bytes"
+	MetricHeapObjects = "runtime.heap.objects"
+	MetricGCCount     = "runtime.gc.count"
+	MetricGCPauseUS   = "runtime.gc.pause.total.us"
+)
+
+// SampleRuntime takes one sample of the process runtime stats into m.
+func SampleRuntime(m *SyncMetrics) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Set(MetricGoroutines, int64(runtime.NumGoroutine()))
+	m.Set(MetricHeapAlloc, int64(ms.HeapAlloc))
+	m.Set(MetricHeapObjects, int64(ms.HeapObjects))
+	m.Set(MetricGCCount, int64(ms.NumGC))
+	m.Set(MetricGCPauseUS, int64(ms.PauseTotalNs/1000))
+}
+
+// StartRuntimeSampler samples the runtime stats into m every interval
+// (5s when interval <= 0) until the returned stop function is called. One
+// sample is taken synchronously before it returns, so the gauges exist
+// from the first scrape.
+func StartRuntimeSampler(m *SyncMetrics, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	SampleRuntime(m)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime(m)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}

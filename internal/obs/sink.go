@@ -56,6 +56,11 @@ func WriteJSONL(w io.Writer, events []Event) error {
 //   - each peak update becomes an instant event "peak <kind>" with the new
 //     value.
 //
+// Span events (EventSpan) from a traced service request render as
+// complete events on a separate "service" thread, with the trace ID and
+// span sequence in args and real wall-clock microseconds as ts — so a
+// request's queue-wait/run/measure spans load in the same viewers.
+//
 // label names the process (conventionally "tailspace (<machine>)"). The
 // output is deterministic: events are written in stream order with stable
 // field ordering.
@@ -64,6 +69,15 @@ func WriteChromeTrace(w io.Writer, label string, events []Event) error {
 	bw.printf(`{"traceEvents":[`)
 	bw.printf("\n"+` {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":%s}}`, jstr(label))
 	bw.printf(",\n" + ` {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"machine"}}`)
+	// The service thread's metadata appears only in traces that carry
+	// spans, so machine-only exports stay byte-identical to before spans
+	// existed.
+	for _, e := range events {
+		if e.Type == EventSpan {
+			bw.printf(",\n" + ` {"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"service"}}`)
+			break
+		}
+	}
 	for _, e := range events {
 		switch e.Type {
 		case EventTransition:
@@ -84,6 +98,9 @@ func WriteChromeTrace(w io.Writer, label string, events []Event) error {
 		case EventPeak:
 			bw.printf(",\n"+` {"name":%s,"cat":"peak","ph":"i","ts":%d,"pid":1,"tid":1,"s":"t","args":{"value":%d}}`,
 				jstr("peak "+e.Peak), e.Step, e.Value)
+		case EventSpan:
+			bw.printf(",\n"+` {"name":%s,"cat":"span","ph":"X","ts":%d,"dur":%d,"pid":1,"tid":2,"args":{"trace":%s,"spanId":%d}}`,
+				jstr(e.Span), e.StartUS, e.DurUS, jstr(e.Trace), e.SpanID)
 		}
 	}
 	bw.printf("\n]}\n")

@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"io"
+	"sync"
+)
 
 // SyncMetrics is a concurrency-safe registry for long-lived processes. The
 // per-run Metrics is deliberately lock-free (a run owns its registry); a
@@ -44,6 +47,33 @@ func (s *SyncMetrics) Add(name string, delta int64) {
 	s.mu.Lock()
 	s.m.Set(name, s.m.Gauge(name)+delta)
 	s.mu.Unlock()
+}
+
+// Observe records one observation in the named histogram.
+func (s *SyncMetrics) Observe(name string, v int64) {
+	s.mu.Lock()
+	s.m.Observe(name, v)
+	s.mu.Unlock()
+}
+
+// Histogram returns an independent copy of the named histogram (nil when
+// absent), safe to read without further locking.
+func (s *SyncMetrics) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.m.Histogram(name)
+	if h == nil {
+		return nil
+	}
+	return h.Clone()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format under the lock, so a scrape sees one consistent point in time.
+func (s *SyncMetrics) WritePrometheus(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.WritePrometheus(w)
 }
 
 // Counter reads a counter (0 when absent).

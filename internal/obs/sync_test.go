@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSyncMetricsConcurrentWriters hammers one registry from many
+// goroutines — counters, level gauges, max gauges, histograms, merges, and
+// snapshots together. The race detector checks the locking; the totals
+// check that no increment was lost.
+func TestSyncMetricsConcurrentWriters(t *testing.T) {
+	m := NewSyncMetrics()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				m.Inc("c", 1)
+				m.Add("level", 1)
+				m.Add("level", -1)
+				m.SetMax("peak", int64(w*perWriter+i))
+				m.Observe("h", int64(i+1))
+				if i%100 == 0 {
+					per := NewMetrics()
+					per.Inc("merged", 1)
+					m.Merge(per)
+					m.Snapshot()
+					m.Histogram("h")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := m.Counter("c"); got != writers*perWriter {
+		t.Errorf("counter c = %d, want %d", got, writers*perWriter)
+	}
+	if got := m.Gauge("level"); got != 0 {
+		t.Errorf("level gauge = %d, want 0 after balanced add/sub", got)
+	}
+	if got := m.Gauge("peak"); got != writers*perWriter-1 {
+		t.Errorf("peak gauge = %d, want %d", got, writers*perWriter-1)
+	}
+	if got := m.Counter("merged"); got != writers*(perWriter/100) {
+		t.Errorf("merged = %d, want %d", got, writers*(perWriter/100))
+	}
+	h := m.Histogram("h")
+	if h == nil || h.Count() != writers*perWriter {
+		t.Fatalf("histogram count = %v, want %d", h, writers*perWriter)
+	}
+	// The returned histogram is a copy: mutating it must not touch the
+	// registry.
+	h.Observe(1)
+	if got := m.Histogram("h").Count(); got != writers*perWriter {
+		t.Errorf("registry histogram mutated through the copy: count = %d", got)
+	}
+}
+
+// TestSyncMetricsWritePrometheusUnderLoad scrapes while writers run; the
+// race detector is the assertion.
+func TestSyncMetricsWritePrometheusUnderLoad(t *testing.T) {
+	m := NewSyncMetrics()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				m.Inc("c", 1)
+				m.Observe("h", 7)
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if err := m.WritePrometheus(discard{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

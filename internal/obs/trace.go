@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing. A TraceContext identifies one request of a long-lived
+// process (the spaced daemon): a process-unique trace ID plus a span
+// sequence. The HTTP middleware mints one per request; every span the
+// request produces — queue-wait, cache-lookup, expand, run, measure — and
+// every engine event of a run it started carries the trace ID, so a single
+// POST /v1/measure can be followed from the access log through the worker
+// pool into the machine's own transition stream.
+
+// TraceContext is one request's tracing identity. Create with
+// NewTraceContext; the zero value is unusable (empty trace ID).
+type TraceContext struct {
+	// ID is the trace (request) identifier, propagated into spans, engine
+	// events, and access-log entries.
+	ID string
+	// seq numbers the spans of this trace; NextSpanID is safe for
+	// concurrent use (grid cells of one request fan out).
+	seq atomic.Int64
+}
+
+// NewTraceContext builds a trace context around id (minting a fresh ID
+// when id is empty).
+func NewTraceContext(id string) *TraceContext {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &TraceContext{ID: id}
+}
+
+// NextSpanID returns the next span sequence number of this trace (1, 2, …).
+func (t *TraceContext) NextSpanID() int {
+	return int(t.seq.Add(1))
+}
+
+// Span builds a finished-span event: name over [start, start+dur], stamped
+// with this trace's ID and the next span sequence number.
+func (t *TraceContext) Span(name string, start time.Time, dur time.Duration) Event {
+	us := dur.Microseconds()
+	if us < 1 {
+		us = 1 // a span that measured under the clock resolution still ran
+	}
+	return Event{
+		Type:    EventSpan,
+		Trace:   t.ID,
+		Span:    name,
+		SpanID:  t.NextSpanID(),
+		StartUS: start.UnixMicro(),
+		DurUS:   us,
+	}
+}
+
+// traceFallback numbers trace IDs when the system's randomness source
+// fails; the IDs stay process-unique, just not globally random.
+var traceFallback atomic.Int64
+
+// NewTraceID mints a 16-hex-digit random trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", traceFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// stampSink decorates a Sink with a trace ID: every event passing through
+// gains the ID unless it already carries one.
+type stampSink struct {
+	sink  Sink
+	trace string
+}
+
+// StampTrace wraps sink so every emitted event carries trace. A nil sink
+// or empty trace returns sink unchanged, so the caller's nil-sink fast
+// path (and its zero allocation cost) is preserved.
+func StampTrace(sink Sink, trace string) Sink {
+	if sink == nil || trace == "" {
+		return sink
+	}
+	return &stampSink{sink: sink, trace: trace}
+}
+
+// Emit implements Sink.
+func (s *stampSink) Emit(e Event) {
+	if e.Trace == "" {
+		e.Trace = s.trace
+	}
+	s.sink.Emit(e)
+}

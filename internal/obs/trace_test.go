@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDIsUniqueAndWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContextSpans(t *testing.T) {
+	tc := NewTraceContext("req-1")
+	start := time.Now()
+	a := tc.Span("queue-wait", start, 2*time.Millisecond)
+	b := tc.Span("run", start, 0) // sub-resolution durations still render
+	if a.Type != EventSpan || a.Trace != "req-1" || a.Span != "queue-wait" {
+		t.Fatalf("span a = %+v", a)
+	}
+	if a.DurUS != 2000 || b.DurUS != 1 {
+		t.Fatalf("durations %d / %d, want 2000 / 1", a.DurUS, b.DurUS)
+	}
+	if a.SpanID == b.SpanID || a.SpanID < 1 || b.SpanID < 1 {
+		t.Fatalf("span IDs %d / %d must be distinct positive", a.SpanID, b.SpanID)
+	}
+	if NewTraceContext("").ID == "" {
+		t.Fatal("empty ID must mint a fresh one")
+	}
+}
+
+func TestStampTrace(t *testing.T) {
+	ring := NewRing(8)
+	s := StampTrace(ring, "abc")
+	s.Emit(Event{Type: EventTransition, Step: 1})
+	s.Emit(Event{Type: EventSpan, Trace: "other"}) // existing IDs are kept
+	events := ring.Events()
+	if events[0].Trace != "abc" || events[1].Trace != "other" {
+		t.Fatalf("stamped traces %q / %q", events[0].Trace, events[1].Trace)
+	}
+	// The nil-sink and empty-trace fast paths return the input unchanged.
+	if StampTrace(nil, "abc") != nil {
+		t.Fatal("StampTrace(nil, id) must stay nil")
+	}
+	if got := StampTrace(ring, ""); got != Sink(ring) {
+		t.Fatal("StampTrace(sink, \"\") must return the sink unchanged")
+	}
+}
+
+// TestChromeTraceRendersSpans: span events export as complete events on
+// the service thread, with the thread metadata emitted only when spans
+// are present (machine-only traces stay byte-identical).
+func TestChromeTraceRendersSpans(t *testing.T) {
+	tc := NewTraceContext("deadbeef")
+	events := []Event{
+		{Type: EventTransition, Step: 1, Rule: "var"},
+		tc.Span("queue-wait", time.UnixMicro(1000), 500*time.Microsecond),
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, "svc", events); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`"name":"queue-wait","cat":"span","ph":"X","ts":1000,"dur":500`,
+		`"trace":"deadbeef"`,
+		`{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"service"}}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %q:\n%s", want, out)
+		}
+	}
+
+	var noSpans strings.Builder
+	if err := WriteChromeTrace(&noSpans, "svc", events[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(noSpans.String(), `"tid":2`) {
+		t.Error("span-free trace must not mention the service thread")
+	}
+}

@@ -112,6 +112,19 @@ type LintResponse struct {
 	Confirmed bool `json:"confirmed"`
 }
 
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Version is the spaced build identity (internal/version), so a probe
+	// can tell which build is answering.
+	Version string `json:"version"`
+	// UptimeSeconds is whole seconds since the Server was constructed.
+	UptimeSeconds int64 `json:"uptimeSeconds"`
+	Workers       int   `json:"workers"`
+	// Cache is the resident result-cache entry count.
+	Cache int `json:"cache"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

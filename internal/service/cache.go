@@ -22,6 +22,16 @@ const (
 	MetricPoolWaiting = "pool.waiting"   // gauge: computations queued for a slot
 	MetricRequests    = "http.requests." // counter prefix, by route
 	MetricStatus      = "http.status."   // counter prefix, by status class (2xx...)
+
+	// Histograms (fixed log buckets; see obs.Histogram). Labeled names are
+	// built with obs.Labeled, so the Prometheus exposition renders them as
+	// real label sets and the JSON snapshot carries count/sum/p50/p90/p99
+	// per series.
+	MetricReqLatencyUS = "http.request.us"      // per request, labeled endpoint
+	MetricQueueWaitUS  = "pool.wait.us"         // time from arrival to worker slot
+	MetricRunSteps     = "run.steps"            // per engine run, labeled machine+model
+	MetricRunPeakFlat  = "run.peak.flat.words"  // S_X sample per measured run, labeled machine+model
+	MetricStreamSubs   = "stream.subscribers"   // gauge: attached live-event streams
 )
 
 // resultCache is the content-addressed result cache with single-flight
@@ -77,25 +87,36 @@ func newResultCache(max int, metrics *obs.SyncMetrics) *resultCache {
 // it, or runs compute to produce it. disposition reports which of the three
 // happened ("hit", "join", "miss").
 //
+// onLookup, when non-nil, is invoked exactly once, as soon as the
+// disposition is decided and the cache lock released — before any waiting
+// on the computation. The service uses it to close the cache-lookup span of
+// a traced request so the span measures the lookup alone, not the run.
+//
 // ctx is this caller's own lifetime — request context plus per-request
 // deadline. compute receives a context the *flight* owns, derived from base
 // (the server's lifetime) bounded by timeout: it ends when every waiter is
 // gone, when the server closes, or at the deadline — but not when any
 // individual requester (the leader included) disconnects, so coalesced
 // followers keep a computation alive.
-func (c *resultCache) do(ctx, base context.Context, timeout time.Duration, key string, compute func(context.Context) (any, error)) (val any, disposition string, err error) {
+func (c *resultCache) do(ctx, base context.Context, timeout time.Duration, key string, onLookup func(disposition string), compute func(context.Context) (any, error)) (val any, disposition string, err error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		val = el.Value.(*centry).val
 		c.mu.Unlock()
 		c.metrics.Inc(MetricCacheHits, 1)
+		if onLookup != nil {
+			onLookup("hit")
+		}
 		return val, "hit", nil
 	}
 	if f, ok := c.flights[key]; ok {
 		f.waiters++
 		c.mu.Unlock()
 		c.metrics.Inc(MetricCacheJoins, 1)
+		if onLookup != nil {
+			onLookup("join")
+		}
 		return c.wait(ctx, key, f, "join")
 	}
 
@@ -106,6 +127,9 @@ func (c *resultCache) do(ctx, base context.Context, timeout time.Duration, key s
 	c.mu.Unlock()
 	c.metrics.Inc(MetricCacheMisses, 1)
 	c.metrics.Add(MetricInflight, 1)
+	if onLookup != nil {
+		onLookup("miss")
+	}
 
 	go func() {
 		v, cerr := compute(fctx)

@@ -1,0 +1,378 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tailspace/internal/obs"
+)
+
+// postTraced posts req with an X-Request-Id header and returns the status,
+// body, and the X-Trace-Id the server echoed.
+func postTraced(t *testing.T, url, requestID string, req any) (int, []byte, string) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		hreq.Header.Set("X-Request-Id", requestID)
+	}
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer hresp.Body.Close()
+	body, _ := io.ReadAll(hresp.Body)
+	return hresp.StatusCode, body, hresp.Header.Get("X-Trace-Id")
+}
+
+// TestTraceEndToEnd pins the PR's acceptance walk: one POST /v1/measure is
+// followable end to end — the client's request ID becomes the trace ID, the
+// run's spans (queue-wait and run among them) are exported both as JSON and
+// in the Chrome trace format, at least one live-streamed engine event is
+// replayable from GET /v1/runs/{id}/events, and the per-endpoint latency
+// histogram shows up in both /metrics representations.
+func TestTraceEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const reqID = "e2e-trace-1"
+
+	var resp MeasureResponse
+	status, body, traceID := postTraced(t, ts.URL+"/v1/measure", reqID, MeasureRequest{
+		Program: countdown, Input: "(quote 12)", Machines: []string{"tail"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("measure status = %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode measure response: %v", err)
+	}
+	if traceID != reqID {
+		t.Fatalf("X-Trace-Id = %q, want the client's request ID %q", traceID, reqID)
+	}
+
+	// 1. The run stream replays at least one engine event, every event is
+	// stamped with the trace ID, and the stream ends with stream.end.
+	sresp, err := http.Get(ts.URL + "/v1/runs/" + reqID + "/events")
+	if err != nil {
+		t.Fatalf("GET run events: %v", err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("run events status = %d", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("run events Content-Type = %q", ct)
+	}
+	var engineEvents int
+	var sawEnd bool
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Type  string `json:"type"`
+			Trace string `json:"trace"`
+			Total int    `json:"total"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("stream line is not JSON: %v\n%s", err, line)
+		}
+		if probe.Type == "stream.end" {
+			sawEnd = true
+			if probe.Total < 1 {
+				t.Fatalf("stream.end total = %d, want >= 1", probe.Total)
+			}
+			continue
+		}
+		if probe.Trace != reqID {
+			t.Fatalf("streamed event lacks trace stamp: %s", line)
+		}
+		if probe.Type != string(obs.EventSpan) {
+			engineEvents++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	if engineEvents < 1 {
+		t.Fatal("stream replayed no engine events")
+	}
+	if !sawEnd {
+		t.Fatal("stream did not terminate with stream.end")
+	}
+
+	// 2. The trace export carries the queue-wait + run span pair (plus the
+	// request envelope), all on this trace.
+	var trace TraceResponse
+	getJSON(t, ts.URL+"/v1/traces/"+reqID, &trace)
+	if trace.Trace != reqID {
+		t.Fatalf("trace id = %q", trace.Trace)
+	}
+	names := map[string]int{}
+	for _, sp := range trace.Spans {
+		if sp.Trace != reqID || sp.Type != obs.EventSpan {
+			t.Fatalf("foreign span in trace: %+v", sp)
+		}
+		if sp.DurUS < 1 || sp.StartUS == 0 || sp.SpanID == 0 {
+			t.Fatalf("span missing timing or ID: %+v", sp)
+		}
+		names[sp.Span]++
+	}
+	for _, want := range []string{"expand", "cache-lookup", "queue-wait", "run", "measure", "request"} {
+		if names[want] == 0 {
+			t.Fatalf("trace spans %v lack %q", names, want)
+		}
+	}
+
+	// 3. The same spans render as Chrome complete events.
+	chrome := getBody(t, ts.URL+"/v1/traces/"+reqID+"?format=chrome")
+	for _, want := range []string{`"cat":"span"`, `"ph":"X"`, `"queue-wait"`, `"run"`, reqID} {
+		if !strings.Contains(chrome, want) {
+			t.Fatalf("chrome export lacks %s:\n%s", want, chrome)
+		}
+	}
+
+	// 4. Both /metrics representations carry the per-endpoint latency
+	// histogram for the measure endpoint.
+	var snap map[string]int64
+	getJSON(t, ts.URL+"/metrics", &snap)
+	if snap[`http.request.us{endpoint="/v1/measure"}.count`] < 1 {
+		t.Fatalf("JSON snapshot lacks measure latency histogram: %v", snap)
+	}
+	if snap[`run.steps{machine="tail",model="word"}.count`] < 1 {
+		t.Fatal("JSON snapshot lacks labeled run.steps histogram")
+	}
+	prom := getBody(t, ts.URL+"/metrics?format=prometheus")
+	for _, want := range []string{
+		"# TYPE http_request_us histogram",
+		`http_request_us_bucket{endpoint="/v1/measure",le="+Inf"}`,
+		`http_request_us_sum{endpoint="/v1/measure"}`,
+		`run_peak_flat_words_count{machine="tail",model="word"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus exposition lacks %q:\n%s", want, prom)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decode %s: %v\n%s", url, err, body)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestMetricsContentNegotiation: a Prometheus scraper's Accept header gets
+// text exposition; the bare default stays JSON for existing consumers.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("scraper Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	plain, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Body.Close()
+	if ct := plain.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default Content-Type = %q, want JSON", ct)
+	}
+}
+
+// TestClientRequestIDValidation: malformed or oversized X-Request-Id values
+// are replaced by a minted trace ID, never echoed back.
+func TestClientRequestIDValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, bad := range []string{"spaces are bad", "semi;colon", strings.Repeat("x", 65)} {
+		_, _, traceID := postTraced(t, ts.URL+"/v1/eval", bad, EvalRequest{Program: countdown, Input: "(quote 1)"})
+		if traceID == bad || traceID == "" {
+			t.Fatalf("X-Request-Id %q: got trace %q, want a minted ID", bad, traceID)
+		}
+	}
+	_, _, traceID := postTraced(t, ts.URL+"/v1/eval", "", EvalRequest{Program: countdown, Input: "(quote 2)"})
+	if len(traceID) != 16 {
+		t.Fatalf("minted trace ID %q, want 16 hex digits", traceID)
+	}
+}
+
+// TestRunEventsUnknownTrace: streaming a trace that never ran is a 404, not
+// a hang.
+func TestRunEventsUnknownTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/runs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRunEventsSSE: an EventSource-style client gets the same stream as
+// server-sent events.
+func TestRunEventsSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const reqID = "sse-trace-1"
+	status, body, _ := postTraced(t, ts.URL+"/v1/eval", reqID, EvalRequest{Program: countdown, Input: "(quote 3)"})
+	if status != http.StatusOK {
+		t.Fatalf("eval status = %d: %s", status, body)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+reqID+"/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "data: {") || !strings.Contains(string(raw), "stream.end") {
+		t.Fatalf("SSE body lacks data frames or terminator:\n%s", raw)
+	}
+}
+
+// TestHealthzReportsVersionAndUptime pins the enriched health probe.
+func TestHealthzReportsVersionAndUptime(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if !strings.Contains(h.Version, "spaced") {
+		t.Fatalf("version = %q, want a spaced build string", h.Version)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %d", h.UptimeSeconds)
+	}
+	if h.Workers < 1 {
+		t.Fatalf("workers = %d", h.Workers)
+	}
+}
+
+// TestAccessLogEventOutcomes: the access-log event stream reports the
+// request outcome — cache disposition on success, shed on queue overflow —
+// and carries the trace ID.
+func TestAccessLogEventOutcomes(t *testing.T) {
+	ring := obs.NewRing(64)
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Events: ring})
+	_ = s
+
+	status, body, _ := postTraced(t, ts.URL+"/v1/eval", "log-ok", EvalRequest{Program: countdown, Input: "(quote 4)"})
+	if status != http.StatusOK {
+		t.Fatalf("eval status = %d: %s", status, body)
+	}
+
+	var logged *obs.Event
+	for _, e := range ring.Events() {
+		if e.Type == obs.EventRequest && e.Trace == "log-ok" {
+			ev := e
+			logged = &ev
+		}
+	}
+	if logged == nil {
+		t.Fatal("no access-log event for the traced request")
+	}
+	if logged.Cache != "miss" {
+		t.Fatalf("outcome = %q, want miss", logged.Cache)
+	}
+	if logged.Status != http.StatusOK || logged.Path != "/v1/eval" {
+		t.Fatalf("access-log event: %+v", logged)
+	}
+}
+
+// TestStreamLiveDuringRun subscribes while a long run is still executing
+// and requires at least one live (not merely replayed) event before
+// cancelling the request.
+func TestStreamLiveDuringRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const reqID = "live-trace-1"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload, _ := json.Marshal(EvalRequest{Program: infiniteLoop, MaxSteps: 2_000_000})
+		hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/eval", bytes.NewReader(payload))
+		hreq.Header.Set("X-Request-Id", reqID)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// The stream appears once the run starts; poll briefly.
+	var resp *http.Response
+	waitFor(t, "run stream to appear", func() bool {
+		r, err := http.Get(ts.URL + "/v1/runs/" + reqID + "/events")
+		if err != nil {
+			return false
+		}
+		if r.StatusCode != http.StatusOK {
+			r.Body.Close()
+			return false
+		}
+		resp = r
+		return true
+	})
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	events := 0
+	for sc.Scan() && events < 3 {
+		events++
+	}
+	if events < 1 {
+		t.Fatal("no live events observed during the run")
+	}
+	cancel()
+	<-done
+}

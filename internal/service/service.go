@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"tailspace/internal/expand"
 	"tailspace/internal/obs"
 	"tailspace/internal/space"
+	"tailspace/internal/version"
 )
 
 // Config tunes a Server. The zero value is usable: GOMAXPROCS workers, a
@@ -48,6 +50,7 @@ type Config struct {
 // Handler, stop with Close.
 type Server struct {
 	cfg     Config
+	start   time.Time
 	sem     chan struct{}
 	waiting int64 // queued-for-slot count, under waitMu
 	waitMu  sync.Mutex
@@ -60,7 +63,20 @@ type Server struct {
 
 	events   obs.Sink
 	eventsMu sync.Mutex
+
+	// spans retains the recent finished spans of every traced request,
+	// exported per trace by GET /v1/traces/{id}.
+	spanMu sync.Mutex
+	spans  *obs.Ring
+
+	// streams indexes live (and recently finished) run event streams by
+	// trace ID, served by GET /v1/runs/{id}/events.
+	streams *streamTable
 }
+
+// spanRingCapacity bounds retained spans across all requests. A request
+// produces a handful of spans, so this covers thousands of recent requests.
+const spanRingCapacity = 16384
 
 // New builds a Server from cfg (see Config for defaults).
 func New(cfg Config) *Server {
@@ -83,12 +99,15 @@ func New(cfg Config) *Server {
 	base, stop := context.WithCancel(context.Background())
 	return &Server{
 		cfg:     cfg,
+		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.Workers),
 		cache:   newResultCache(cfg.CacheEntries, m),
 		metrics: m,
 		base:    base,
 		stop:    stop,
 		events:  cfg.Events,
+		spans:   obs.NewRing(spanRingCapacity),
+		streams: newStreamTable(finishedStreamsKept),
 	}
 }
 
@@ -99,14 +118,19 @@ func (s *Server) Metrics() *obs.SyncMetrics { return s.metrics }
 // Shutdown has drained (or given up on) the handlers.
 func (s *Server) Close() { s.stop() }
 
-// Handler returns the service's route table.
+// Handler returns the service's route table. The second logged argument is
+// the route *pattern*, not the request path — it labels the per-endpoint
+// latency histograms, so metric cardinality stays bounded by the route
+// table even for parameterized paths.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/eval", s.logged(s.handleEval))
-	mux.HandleFunc("POST /v1/measure", s.logged(s.handleMeasure))
-	mux.HandleFunc("POST /v1/lint", s.logged(s.handleLint))
-	mux.HandleFunc("GET /healthz", s.logged(s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.logged(s.handleMetrics))
+	mux.HandleFunc("POST /v1/eval", s.logged("/v1/eval", s.handleEval))
+	mux.HandleFunc("POST /v1/measure", s.logged("/v1/measure", s.handleMeasure))
+	mux.HandleFunc("POST /v1/lint", s.logged("/v1/lint", s.handleLint))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.logged("/v1/runs/{id}/events", s.handleRunEvents))
+	mux.HandleFunc("GET /v1/traces/{id}", s.logged("/v1/traces/{id}", s.handleTrace))
+	mux.HandleFunc("GET /healthz", s.logged("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.logged("/metrics", s.handleMetrics))
 	return mux
 }
 
@@ -116,7 +140,8 @@ const maxBodyBytes = 1 << 20
 // reqState carries per-request bookkeeping from handler to middleware.
 type reqState struct {
 	status int
-	cache  string // hit|miss|join, for cached endpoints
+	cache  string // hit|miss|join (or shed|cancel|timeout on failure)
+	tc     *obs.TraceContext
 }
 
 // statusWriter records the status a handler wrote.
@@ -130,14 +155,69 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// logged wraps a handler with request counting and structured logging.
-func (s *Server) logged(h func(http.ResponseWriter, *http.Request, *reqState)) http.HandlerFunc {
+// Flush forwards to the underlying writer so streaming handlers can push
+// events as they happen rather than when the response buffer fills.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// clientRequestID extracts a usable client-chosen trace ID from the
+// X-Request-Id header: up to 64 characters of [A-Za-z0-9._-]. Anything
+// else (or nothing) means the middleware mints one. Honoring the client's
+// ID is what lets a caller POST a run and immediately stream it — it knows
+// the trace ID before the response exists.
+func clientRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// span records a finished span of a traced request: into the server's span
+// ring (exported by GET /v1/traces/{id}) and onto the request's live run
+// stream, if one exists. Returns the span's duration.
+func (s *Server) span(tc *obs.TraceContext, name string, start time.Time) time.Duration {
+	dur := time.Since(start)
+	e := tc.Span(name, start, dur)
+	s.spanMu.Lock()
+	s.spans.Emit(e)
+	s.spanMu.Unlock()
+	if rs := s.streams.get(tc.ID); rs != nil {
+		rs.fan.Emit(e)
+	}
+	return dur
+}
+
+// logged wraps a handler with the request-scoped observability: it mints
+// the trace context (honoring a client X-Request-Id, echoing the ID back as
+// X-Trace-Id), records the request span and per-endpoint latency histogram,
+// finishes the request's run stream, and emits the access-log event.
+func (s *Server) logged(route string, h func(http.ResponseWriter, *http.Request, *reqState)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		st := &reqState{status: http.StatusOK}
+		tc := obs.NewTraceContext(clientRequestID(r))
+		w.Header().Set("X-Trace-Id", tc.ID)
+		st := &reqState{status: http.StatusOK, tc: tc}
 		h(&statusWriter{ResponseWriter: w, st: st}, r, st)
-		s.metrics.Inc(MetricRequests+r.URL.Path, 1)
+		// The request span must land before finish: a closed stream drops
+		// emissions.
+		dur := s.span(tc, "request", start)
+		s.streams.finish(tc.ID)
+		s.metrics.Inc(MetricRequests+route, 1)
 		s.metrics.Inc(MetricStatus+strconv.Itoa(st.status/100)+"xx", 1)
+		s.metrics.Observe(obs.Labeled(MetricReqLatencyUS, "endpoint", route), dur.Microseconds())
 		if s.events != nil {
 			s.eventsMu.Lock()
 			s.events.Emit(obs.Event{
@@ -145,8 +225,9 @@ func (s *Server) logged(h func(http.ResponseWriter, *http.Request, *reqState)) h
 				Method: r.Method,
 				Path:   r.URL.Path,
 				Status: st.status,
-				DurUS:  time.Since(start).Microseconds(),
+				DurUS:  dur.Microseconds(),
 				Cache:  st.cache,
+				Trace:  tc.ID,
 			})
 			s.eventsMu.Unlock()
 		}
@@ -246,22 +327,40 @@ func (s *Server) acquire(ctx context.Context) (func(), error) {
 	}
 }
 
-// runCell executes one (machine, mode) run on the worker pool under ctx.
-// The finished run's registry is merged into the server's, so /metrics
-// accumulates engine totals across everything ever served.
-func (s *Server) runCell(ctx context.Context, program, input string, opts core.Options) (core.Result, error) {
+// runCell executes one (machine, mode) run on the worker pool under ctx,
+// traced by tc: the queue wait and the run itself become spans, the run's
+// engine events flow into the request's live stream stamped with the trace
+// ID, and the run's step count and measured peak land in the labeled
+// histograms. The finished run's registry is merged into the server's, so
+// /metrics accumulates engine totals across everything ever served.
+func (s *Server) runCell(ctx context.Context, tc *obs.TraceContext, program, input string, opts core.Options) (core.Result, error) {
+	waitStart := time.Now()
 	release, err := s.acquire(ctx)
 	if err != nil {
 		return core.Result{}, err
 	}
+	wait := s.span(tc, "queue-wait", waitStart)
+	s.metrics.Observe(MetricQueueWaitUS, wait.Microseconds())
 	defer release()
 	opts.Cancel = ctx.Done()
+	opts.TraceID = tc.ID
+	if opts.Events == nil {
+		// The request's live stream: created lazily by the first run of the
+		// request, shared by every cell of a measure grid.
+		opts.Events = s.streams.getOrCreate(tc.ID).fan
+	}
+	modelName := "word"
+	if opts.CostModel != nil {
+		modelName = opts.CostModel.Name()
+	}
+	runStart := time.Now()
 	var res core.Result
 	if input != "" {
 		res, err = core.RunApplication(program, input, opts)
 	} else {
 		res, err = core.RunProgram(program, opts)
 	}
+	s.span(tc, "run", runStart)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -272,6 +371,11 @@ func (s *Server) runCell(ctx context.Context, program, input string, opts core.O
 			return core.Result{}, cerr
 		}
 		return core.Result{}, core.ErrCancelled
+	}
+	labels := obs.Labeled("", "machine", opts.Variant.Name, "model", modelName)
+	s.metrics.Observe(MetricRunSteps+labels, int64(res.Steps))
+	if opts.Measure {
+		s.metrics.Observe(MetricRunPeakFlat+labels, int64(res.PeakFlat))
 	}
 	s.metrics.Merge(res.Metrics)
 	return res, nil
@@ -299,6 +403,29 @@ func computeStatus(err error) int {
 	}
 }
 
+// errOutcome maps a failed computation to the access-log outcome word, the
+// failure-side counterpart of the cache dispositions (hit|miss|join).
+func errOutcome(err error) string {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return "shed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled), errors.Is(err, core.ErrCancelled):
+		return "cancel"
+	default:
+		return "error"
+	}
+}
+
+// lookupSpan builds the resultCache.do onLookup callback: it closes a
+// cache-lookup span opened now, so the span covers the lookup decision
+// alone (never the computation behind it).
+func (s *Server) lookupSpan(tc *obs.TraceContext) func(string) {
+	start := time.Now()
+	return func(string) { s.span(tc, "cache-lookup", start) }
+}
+
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, st *reqState) {
 	var req EvalRequest
 	if !decode(w, r, &req) {
@@ -314,7 +441,9 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, st *reqState
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	expandStart := time.Now()
 	expanded, _, err := expandProgram(req.Program)
+	s.span(st.tc, "expand", expandStart)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -330,8 +459,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, st *reqState
 
 	ctx, cancel := s.withDeadline(r)
 	defer cancel()
-	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
-		res, err := s.runCell(fctx, req.Program, req.Input, core.Options{
+	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, s.lookupSpan(st.tc), func(fctx context.Context) (any, error) {
+		res, err := s.runCell(fctx, st.tc, req.Program, req.Input, core.Options{
 			Variant: v, MaxSteps: maxSteps, Order: order,
 		})
 		if err != nil {
@@ -345,6 +474,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, st *reqState
 	})
 	st.cache = disposition
 	if err != nil {
+		st.cache = errOutcome(err)
 		writeError(w, computeStatus(err), err)
 		return
 	}
@@ -389,7 +519,9 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	expandStart := time.Now()
 	expanded, size, err := expandProgram(req.Program)
+	s.span(st.tc, "expand", expandStart)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -425,12 +557,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 				defer wg.Done()
 				key := cacheKey("measure", expanded, req.Input, v.Name, modelName,
 					strconv.FormatBool(req.FlatOnly), req.Order, strconv.Itoa(maxSteps))
-				val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
-					res, err := s.runCell(fctx, req.Program, req.Input, core.Options{
+				val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, s.lookupSpan(st.tc), func(fctx context.Context) (any, error) {
+					measureStart := time.Now()
+					res, err := s.runCell(fctx, st.tc, req.Program, req.Input, core.Options{
 						Variant: v, Measure: true, FlatOnly: req.FlatOnly,
 						GCEvery: 1, MaxSteps: maxSteps, Order: order,
 						CostModel: model,
 					})
+					s.span(st.tc, "measure", measureStart)
 					if err != nil {
 						return nil, err
 					}
@@ -459,7 +593,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, st *reqSt
 	for i, slot := range slots {
 		if slot.err != nil {
 			writeError(w, computeStatus(slot.err), slot.err)
-			st.cache = slot.disposition
+			st.cache = errOutcome(slot.err)
 			return
 		}
 		resp.Cells[i] = slot.cell
@@ -482,7 +616,9 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState
 	if name == "" {
 		name = "program"
 	}
+	expandStart := time.Now()
 	expanded, _, err := expandProgram(req.Program)
+	s.span(st.tc, "expand", expandStart)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -491,11 +627,14 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState
 
 	ctx, cancel := s.withDeadline(r)
 	defer cancel()
-	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, func(fctx context.Context) (any, error) {
+	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, s.lookupSpan(st.tc), func(fctx context.Context) (any, error) {
+		waitStart := time.Now()
 		release, err := s.acquire(fctx)
 		if err != nil {
 			return nil, err
 		}
+		wait := s.span(st.tc, "queue-wait", waitStart)
+		s.metrics.Observe(MetricQueueWaitUS, wait.Microseconds())
 		defer release()
 		rep, err := analysis.LintSource(name, req.Program)
 		if err != nil {
@@ -505,6 +644,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState
 	})
 	st.cache = disposition
 	if err != nil {
+		st.cache = errOutcome(err)
 		writeError(w, computeStatus(err), err)
 		return
 	}
@@ -512,15 +652,42 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, _ *reqState) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.cfg.Workers,
-		"cache":   s.cache.Len(),
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Version:       version.String("spaced"),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Workers:       s.cfg.Workers,
+		Cache:         s.cache.Len(),
 	})
 }
 
-// handleMetrics renders the registry snapshot as a flat JSON object — the
-// same shape Result.Metrics marshals to, so trend tooling reads both.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request, _ *reqState) {
+// handleMetrics renders the registry. The default is the flat JSON
+// snapshot — the same shape Result.Metrics marshals to, so trend tooling
+// reads both — with histograms projected to count/sum/p50/p90/p99 keys.
+// A Prometheus scraper (Accept: text/plain or openmetrics, or an explicit
+// ?format=prometheus) gets text exposition format 0.0.4 instead, with the
+// full cumulative bucket layout per histogram.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, _ *reqState) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		s.metrics.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins; otherwise the Accept header decides (Prometheus scrapers
+// ask for openmetrics or text/plain; JSON remains the default so existing
+// curl/spacectl consumers are unchanged).
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "openmetrics") || strings.Contains(accept, "text/plain")
 }

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"tailspace/internal/obs"
+)
+
+// Live run streaming. Every traced request that starts at least one engine
+// run gets a runStream: an obs.Fanout the run's events (and the request's
+// spans) are emitted into. GET /v1/runs/{id}/events subscribes to it and
+// relays events to the client as NDJSON (or SSE), live while the run is in
+// flight and by ring replay afterwards — a stream opened just after a short
+// run finished still sees its retained tail, which is what makes the smoke
+// test deterministic.
+//
+// The backpressure policy is the Fanout's: the engine never blocks on a
+// network peer; a slow stream loses events, and the final stream.end object
+// reports how many.
+
+// runStreamRing bounds the events a stream retains for replay. Engine
+// streams can run to millions of events; late subscribers get the tail.
+const runStreamRing = 4096
+
+// finishedStreamsKept bounds how many finished streams stay subscribable.
+const finishedStreamsKept = 64
+
+// runStream is the live event channel of one traced request.
+type runStream struct {
+	fan  *obs.Fanout
+	done bool // finished (fan closed); guarded by streamTable.mu
+}
+
+// streamTable indexes run streams by trace ID. Streams are created lazily
+// by the first engine run of a request, finished by the request middleware
+// when the handler returns, and retained (bounded FIFO) after finishing so
+// recent runs stay replayable.
+type streamTable struct {
+	mu       sync.Mutex
+	byID     map[string]*runStream
+	finished []string // finish order, oldest first
+	keep     int
+}
+
+func newStreamTable(keep int) *streamTable {
+	if keep < 1 {
+		keep = 1
+	}
+	return &streamTable{byID: map[string]*runStream{}, keep: keep}
+}
+
+// getOrCreate returns the stream for trace id, creating a live one if none
+// exists. All runs of one request (the cells of a measure grid) share it.
+func (t *streamTable) getOrCreate(id string) *runStream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rs, ok := t.byID[id]; ok {
+		return rs
+	}
+	rs := &runStream{fan: obs.NewFanout(runStreamRing)}
+	t.byID[id] = rs
+	return rs
+}
+
+// get returns the stream for trace id, live or finished, or nil.
+func (t *streamTable) get(id string) *runStream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+// finish closes the stream for trace id (ending every subscriber after its
+// buffer drains) and moves it to the bounded finished set. No-op when the
+// request started no run, or on a second finish of the same id.
+func (t *streamTable) finish(id string) {
+	t.mu.Lock()
+	rs := t.byID[id]
+	if rs == nil || rs.done {
+		t.mu.Unlock()
+		return
+	}
+	rs.done = true
+	t.finished = append(t.finished, id)
+	for len(t.finished) > t.keep {
+		delete(t.byID, t.finished[0])
+		t.finished = t.finished[1:]
+	}
+	t.mu.Unlock()
+	rs.fan.Close()
+}
+
+// StreamEnd is the final object of a run event stream: how much the stream
+// carried and how much backpressure cost this subscriber.
+type StreamEnd struct {
+	Type string `json:"type"` // always "stream.end"
+	// Total is the number of events the run emitted into the stream.
+	Total int `json:"total"`
+	// Dropped is the number of events this subscriber lost to backpressure
+	// (the engine never blocks on a slow stream reader).
+	Dropped int64 `json:"dropped"`
+}
+
+// handleRunEvents streams the engine events of a traced request:
+// GET /v1/runs/{id}/events, where {id} is the trace ID (the X-Trace-Id
+// response header / access-log trace of the request that started the run).
+// The body is NDJSON — one obs.Event per line, then one StreamEnd — or SSE
+// when the client asks for text/event-stream.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request, st *reqState) {
+	id := r.PathValue("id")
+	rs := s.streams.get(id)
+	if rs == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no live or recent run stream for request %q (streams exist only for requests that started an engine run)", id))
+		return
+	}
+	sub := rs.fan.Subscribe(1024)
+	defer sub.Cancel()
+	s.metrics.Add(MetricStreamSubs, 1)
+	defer s.metrics.Add(MetricStreamSubs, -1)
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flush(w)
+
+	for {
+		select {
+		case e, ok := <-sub.Events():
+			if !ok {
+				// The run's request finished and the buffer drained: close the
+				// stream with its accounting.
+				writeStreamObj(w, sse, StreamEnd{Type: "stream.end", Total: rs.fan.Total(), Dropped: sub.Dropped()})
+				flush(w)
+				return
+			}
+			if err := writeStreamObj(w, sse, e); err != nil {
+				return // client gone
+			}
+			flush(w)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeStreamObj writes one stream element: an NDJSON line, or an SSE data
+// frame.
+func writeStreamObj(w io.Writer, sse bool, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if sse {
+		_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+	} else {
+		b = append(b, '\n')
+		_, err = w.Write(b)
+	}
+	return err
+}
+
+// flush pushes buffered response bytes to the client so a live stream is
+// actually live.
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TraceResponse is the JSON shape of GET /v1/traces/{id}: the finished
+// spans of one request, in completion order.
+type TraceResponse struct {
+	Trace string      `json:"trace"`
+	Spans []obs.Event `json:"spans"`
+}
+
+// handleTrace exports the spans of one request: GET /v1/traces/{id} returns
+// them as JSON, and ?format=chrome renders the same spans in the Chrome
+// trace_event format every other exporter in this repo uses (load the body
+// in chrome://tracing or Perfetto).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, st *reqState) {
+	id := r.PathValue("id")
+	spans := s.spansFor(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no spans recorded for trace %q", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, "trace "+id, spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Trace: id, Spans: spans})
+}
+
+// spansFor returns the retained spans of one trace, oldest first. The span
+// ring is bounded, so spans of old requests age out.
+func (s *Server) spansFor(id string) []obs.Event {
+	s.spanMu.Lock()
+	all := s.spans.Events()
+	s.spanMu.Unlock()
+	var out []obs.Event
+	for _, e := range all {
+		if e.Trace == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
