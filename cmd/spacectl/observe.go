@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"tailspace/internal/obs"
 )
 
 // cmdTrace follows one request by its trace ID (the X-Trace-Id response
@@ -93,8 +95,10 @@ func renderTop(w io.Writer, base string, snap map[string]int64) {
 	for _, lb := range labelBlocks(snap, "http.request.us") {
 		ep := labelValue(lb, "endpoint")
 		h := "http.request.us" + lb
+		// The request counter carries the same single endpoint label block
+		// as the latency histogram, so the histogram's block addresses it.
 		fmt.Fprintf(w, "%-24s %9d %9d %9d %9d %9d\n",
-			ep, snap["http.requests."+ep],
+			ep, snap["http.requests"+lb],
 			snap[h+".p50"], snap[h+".p90"], snap[h+".p99"], snap[h+".count"])
 	}
 
@@ -106,9 +110,9 @@ func renderTop(w io.Writer, base string, snap map[string]int64) {
 		snap["pool.wait.us.p90"], snap["pool.wait.us.count"])
 	fmt.Fprintf(w, "status  2xx %d  4xx %d  5xx %d\n",
 		snap["http.status.2xx"], snap["http.status.4xx"], snap["http.status.5xx"])
-	fmt.Fprintf(w, "runtime goroutines %d  heap %s  gc %d  last-pause %dus\n",
+	fmt.Fprintf(w, "runtime goroutines %d  heap %s  gc %d  gc-pause-total %dus\n",
 		snap["runtime.goroutines"], fmtBytes(snap["runtime.heap.alloc.bytes"]),
-		snap["runtime.gc.count"], snap["runtime.gc.pause.us"])
+		snap["runtime.gc.count"], snap[obs.MetricGCPauseUS])
 
 	blocks := labelBlocks(snap, "run.steps")
 	if len(blocks) > 0 {

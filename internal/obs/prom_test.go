@@ -6,15 +6,21 @@ import (
 )
 
 // TestWritePrometheusRendering pins the shape of the text exposition:
-// sanitized names, TYPE lines per family, label pass-through, and the
-// classic cumulative histogram triple.
+// sanitized names, TYPE lines per family, label pass-through — including
+// the brace-carrying {id} route patterns, which must ride inside label
+// values, never in metric names — and the classic cumulative histogram
+// triple. Every emitted line must also parse under the exposition grammar
+// (a single bad line makes a scraper reject the whole body).
 func TestWritePrometheusRendering(t *testing.T) {
 	m := NewMetrics()
-	m.Inc("http.requests./v1/eval", 3)
+	m.Inc(Labeled("http.requests", "endpoint", "/v1/eval"), 3)
+	m.Inc(Labeled("http.requests", "endpoint", "/v1/runs/{id}/events"), 1)
+	m.Inc(Labeled("http.requests", "endpoint", "/v1/traces/{id}"), 1)
 	m.Inc("machine.rule.apply-tail", 7)
 	m.Set("pool.busy", 2)
 	m.Observe(Labeled("http.request.us", "endpoint", "/v1/measure"), 100)
 	m.Observe(Labeled("http.request.us", "endpoint", "/v1/measure"), 3)
+	m.Observe(Labeled("http.request.us", "endpoint", "/v1/runs/{id}/events"), 5)
 
 	var b strings.Builder
 	if err := m.WritePrometheus(&b); err != nil {
@@ -22,8 +28,10 @@ func TestWritePrometheusRendering(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"# TYPE http_requests__v1_eval counter\n",
-		"http_requests__v1_eval 3\n",
+		"# TYPE http_requests counter\n",
+		`http_requests{endpoint="/v1/eval"} 3` + "\n",
+		`http_requests{endpoint="/v1/runs/{id}/events"} 1` + "\n",
+		`http_requests{endpoint="/v1/traces/{id}"} 1` + "\n",
 		"# TYPE machine_rule_apply_tail counter\n",
 		"machine_rule_apply_tail 7\n",
 		"# TYPE pool_busy gauge\n",
@@ -34,11 +42,86 @@ func TestWritePrometheusRendering(t *testing.T) {
 		`http_request_us_bucket{endpoint="/v1/measure",le="+Inf"} 2` + "\n",
 		`http_request_us_sum{endpoint="/v1/measure"} 103` + "\n",
 		`http_request_us_count{endpoint="/v1/measure"} 2` + "\n",
+		`http_request_us_count{endpoint="/v1/runs/{id}/events"} 1` + "\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
 	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineValid(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+}
+
+// promLineValid checks one sample line against the text exposition grammar:
+// metric-name, optional {label="value",...} block (values may contain any
+// character except an unescaped quote), a space, and an integer value.
+func promLineValid(line string) bool {
+	i := 0
+	nameChar := func(c byte, first bool) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return !first
+		}
+		return false
+	}
+	for i < len(line) && nameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return false
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			start := i
+			for i < len(line) && nameChar(line[i], i == start) {
+				i++
+			}
+			if i == start || i+1 >= len(line) || line[i] != '=' || line[i+1] != '"' {
+				return false
+			}
+			i += 2
+			for i < len(line) && line[i] != '"' {
+				if line[i] == '\\' {
+					i++ // escaped character
+				}
+				i++
+			}
+			if i >= len(line) {
+				return false
+			}
+			i++ // closing quote
+			if i < len(line) && line[i] == ',' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(line) || line[i] != '}' {
+			return false
+		}
+		i++
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return false
+	}
+	i++
+	start := i
+	if i < len(line) && line[i] == '-' {
+		i++
+	}
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		i++
+	}
+	return i > start && i == len(line)
 }
 
 // TestWritePrometheusDeterministic: two renderings of the same registry

@@ -20,18 +20,23 @@ const (
 	MetricInflight    = "cache.inflight" // gauge: distinct computations running
 	MetricPoolBusy    = "pool.busy"      // gauge: worker slots in use
 	MetricPoolWaiting = "pool.waiting"   // gauge: computations queued for a slot
-	MetricRequests    = "http.requests." // counter prefix, by route
-	MetricStatus      = "http.status."   // counter prefix, by status class (2xx...)
+	// MetricRequests counts served requests per route pattern, labeled with
+	// obs.Labeled(MetricRequests, "endpoint", route). The route must enter as
+	// a label, never concatenated into the name: patterns like
+	// /v1/runs/{id}/events contain braces, which the Prometheus writer would
+	// misparse as a label block.
+	MetricRequests = "http.requests"
+	MetricStatus   = "http.status." // counter prefix, by status class (2xx...)
 
 	// Histograms (fixed log buckets; see obs.Histogram). Labeled names are
 	// built with obs.Labeled, so the Prometheus exposition renders them as
 	// real label sets and the JSON snapshot carries count/sum/p50/p90/p99
 	// per series.
-	MetricReqLatencyUS = "http.request.us"      // per request, labeled endpoint
-	MetricQueueWaitUS  = "pool.wait.us"         // time from arrival to worker slot
-	MetricRunSteps     = "run.steps"            // per engine run, labeled machine+model
-	MetricRunPeakFlat  = "run.peak.flat.words"  // S_X sample per measured run, labeled machine+model
-	MetricStreamSubs   = "stream.subscribers"   // gauge: attached live-event streams
+	MetricReqLatencyUS = "http.request.us"     // per request, labeled endpoint
+	MetricQueueWaitUS  = "pool.wait.us"        // time from arrival to worker slot
+	MetricRunSteps     = "run.steps"           // per engine run, labeled machine+model
+	MetricRunPeakFlat  = "run.peak.flat.words" // S_X sample per measured run, labeled machine+model
+	MetricStreamSubs   = "stream.subscribers"  // gauge: attached live-event streams
 )
 
 // resultCache is the content-addressed result cache with single-flight

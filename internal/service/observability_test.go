@@ -376,3 +376,57 @@ func TestStreamLiveDuringRun(t *testing.T) {
 	cancel()
 	<-done
 }
+
+// TestStreamTableRefusesPostFinishCreate pins the coalesced-flight leak fix:
+// a computation can outlive the request that started it (followers keep the
+// flight alive after the leader disconnects), and its lazy getOrCreate must
+// not mint a fresh live stream once the owning request has finished — no
+// finish would ever follow, so the stream would sit in the table forever
+// and hang every subscriber.
+func TestStreamTableRefusesPostFinishCreate(t *testing.T) {
+	st := newStreamTable(1)
+
+	st.begin("a")
+	if st.getOrCreate("a") == nil {
+		t.Fatal("in-flight request should get a live stream")
+	}
+	st.finish("a")
+
+	// Push "a" past the bounded finished set.
+	st.begin("b")
+	if st.getOrCreate("b") == nil {
+		t.Fatal("in-flight request should get a live stream")
+	}
+	st.finish("b")
+	if st.get("a") != nil {
+		t.Fatal("stream a should have aged out of the finished set")
+	}
+
+	// The late lazy-create from a's outliving flight: refuse, don't leak.
+	if rs := st.getOrCreate("a"); rs != nil {
+		t.Fatal("getOrCreate after finish+eviction minted a stream nothing will close")
+	}
+
+	// While still retained, the finished stream is returned as-is (its fan
+	// is closed, so emissions drop instead of leaking).
+	if rs := st.getOrCreate("b"); rs == nil || !rs.done {
+		t.Fatal("retained finished stream should be returned, already closed")
+	}
+}
+
+// TestStreamTableSharedRequestID: overlapping requests reusing one
+// X-Request-Id are counted, not flagged — the ID stays live-creatable until
+// the last of them finishes.
+func TestStreamTableSharedRequestID(t *testing.T) {
+	st := newStreamTable(4)
+	st.begin("x")
+	st.begin("x")
+	st.finish("x") // first request done; second still in flight
+	if st.getOrCreate("x") == nil {
+		t.Fatal("trace active in a second request should still create")
+	}
+	st.finish("x")
+	if _, ok := st.active["x"]; ok {
+		t.Fatal("trace should be inactive after its last request finished")
+	}
+}

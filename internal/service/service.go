@@ -209,13 +209,16 @@ func (s *Server) logged(route string, h func(http.ResponseWriter, *http.Request,
 		start := time.Now()
 		tc := obs.NewTraceContext(clientRequestID(r))
 		w.Header().Set("X-Trace-Id", tc.ID)
+		// begin/finish bracket the request so the stream table knows which
+		// trace IDs may still lazily create a live stream.
+		s.streams.begin(tc.ID)
 		st := &reqState{status: http.StatusOK, tc: tc}
 		h(&statusWriter{ResponseWriter: w, st: st}, r, st)
 		// The request span must land before finish: a closed stream drops
 		// emissions.
 		dur := s.span(tc, "request", start)
 		s.streams.finish(tc.ID)
-		s.metrics.Inc(MetricRequests+route, 1)
+		s.metrics.Inc(obs.Labeled(MetricRequests, "endpoint", route), 1)
 		s.metrics.Inc(MetricStatus+strconv.Itoa(st.status/100)+"xx", 1)
 		s.metrics.Observe(obs.Labeled(MetricReqLatencyUS, "endpoint", route), dur.Microseconds())
 		if s.events != nil {
@@ -346,8 +349,12 @@ func (s *Server) runCell(ctx context.Context, tc *obs.TraceContext, program, inp
 	opts.TraceID = tc.ID
 	if opts.Events == nil {
 		// The request's live stream: created lazily by the first run of the
-		// request, shared by every cell of a measure grid.
-		opts.Events = s.streams.getOrCreate(tc.ID).fan
+		// request, shared by every cell of a measure grid. A coalesced flight
+		// that outlived its request gets nil (or an already-closed fan, which
+		// drops emissions) — never a fresh stream nothing would finish.
+		if rs := s.streams.getOrCreate(tc.ID); rs != nil {
+			opts.Events = rs.fan
+		}
 	}
 	modelName := "word"
 	if opts.CostModel != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tailspace/internal/core"
+	"tailspace/internal/obs"
 	"tailspace/internal/space"
 )
 
@@ -351,7 +352,7 @@ func TestHealthAndMetricsEndpoints(t *testing.T) {
 	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
 		t.Fatalf("decode metrics: %v", err)
 	}
-	for _, name := range []string{MetricCacheMisses, "machine.steps", MetricRequests + "/v1/eval"} {
+	for _, name := range []string{MetricCacheMisses, "machine.steps", obs.Labeled(MetricRequests, "endpoint", "/v1/eval")} {
 		if snap[name] < 1 {
 			t.Errorf("metrics[%s] = %d, want >= 1 (snapshot %v)", name, snap[name], snap)
 		}

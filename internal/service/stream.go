@@ -40,10 +40,19 @@ type runStream struct {
 // by the first engine run of a request, finished by the request middleware
 // when the handler returns, and retained (bounded FIFO) after finishing so
 // recent runs stay replayable.
+//
+// Creation is gated on the owning request still being in flight (begin /
+// finish bracket every traced request): a coalesced computation can outlive
+// the request that started it, and a late getOrCreate from such a flight
+// must not mint a fresh live stream — nothing would ever finish it, so it
+// would sit in byID forever and hang every subscriber. Once the owner has
+// finished, getOrCreate returns the retained (closed) stream if it is still
+// held, and nil after eviction.
 type streamTable struct {
 	mu       sync.Mutex
 	byID     map[string]*runStream
-	finished []string // finish order, oldest first
+	active   map[string]int // in-flight request count per trace ID
+	finished []string       // finish order, oldest first
 	keep     int
 }
 
@@ -51,16 +60,35 @@ func newStreamTable(keep int) *streamTable {
 	if keep < 1 {
 		keep = 1
 	}
-	return &streamTable{byID: map[string]*runStream{}, keep: keep}
+	return &streamTable{
+		byID:   map[string]*runStream{},
+		active: map[string]int{},
+		keep:   keep,
+	}
+}
+
+// begin marks a traced request as in flight; its finish must follow. The
+// count (not a bool) tolerates clients that reuse one X-Request-Id across
+// overlapping requests.
+func (t *streamTable) begin(id string) {
+	t.mu.Lock()
+	t.active[id]++
+	t.mu.Unlock()
 }
 
 // getOrCreate returns the stream for trace id, creating a live one if none
-// exists. All runs of one request (the cells of a measure grid) share it.
+// exists and the owning request is still in flight. All runs of one request
+// (the cells of a measure grid) share it. Returns nil when the request has
+// already finished and its stream aged out — the caller runs untraced
+// rather than leaking a stream no one will ever close.
 func (t *streamTable) getOrCreate(id string) *runStream {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if rs, ok := t.byID[id]; ok {
 		return rs
+	}
+	if t.active[id] == 0 {
+		return nil
 	}
 	rs := &runStream{fan: obs.NewFanout(runStreamRing)}
 	t.byID[id] = rs
@@ -74,11 +102,17 @@ func (t *streamTable) get(id string) *runStream {
 	return t.byID[id]
 }
 
-// finish closes the stream for trace id (ending every subscriber after its
-// buffer drains) and moves it to the bounded finished set. No-op when the
-// request started no run, or on a second finish of the same id.
+// finish retires one in-flight request and closes the stream for trace id
+// (ending every subscriber after its buffer drains), moving it to the
+// bounded finished set. The stream close is a no-op when the request
+// started no run, or on a second finish of the same id.
 func (t *streamTable) finish(id string) {
 	t.mu.Lock()
+	if t.active[id] > 1 {
+		t.active[id]--
+	} else {
+		delete(t.active, id)
+	}
 	rs := t.byID[id]
 	if rs == nil || rs.done {
 		t.mu.Unlock()

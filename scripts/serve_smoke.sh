@@ -126,6 +126,15 @@ grep -q '# TYPE http_request_us histogram' spaced-prom-scrape.txt || {
     echo "Prometheus exposition lacks the latency histogram"; exit 1; }
 grep -q 'http_request_us_bucket{endpoint="/v1/measure",le="+Inf"}' spaced-prom-scrape.txt
 grep -q 'runtime_goroutines' spaced-prom-scrape.txt
+# The {id} route patterns must ride in label values; concatenated into the
+# metric name their braces make the whole scrape unparseable.
+grep -q 'http_requests{endpoint="/v1/runs/{id}/events"}' spaced-prom-scrape.txt || {
+    echo "Prometheus exposition lacks the labeled {id}-route request counter"; exit 1; }
+if grep -q '^http_requests_' spaced-prom-scrape.txt; then
+    echo "Prometheus exposition regressed to route-concatenated counter names:"
+    grep '^http_requests_' spaced-prom-scrape.txt
+    exit 1
+fi
 echo "    scrape saved to ./spaced-prom-scrape.txt"
 
 echo "==> pprof on the debug listener"
