@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench bench-json bench-diff tables-guard spacelab serve-smoke
+.PHONY: check build test vet bench bench-json bench-diff tables-guard classify-guard spacelab serve-smoke
 
 check:
 	sh scripts/check.sh
@@ -29,6 +29,11 @@ bench-json:
 # must be byte-identical to the committed TABLES_baseline.json.
 tables-guard:
 	sh scripts/tablesguard.sh
+
+# Gate: the corpus's per-machine space-class certificates (word model)
+# must be byte-identical to the committed CLASSIFY_baseline.json.
+classify-guard:
+	sh scripts/classifyguard.sh
 
 # Run the tables guard (a gate), then re-run the benchmarks and diff them
 # against the committed baseline (BENCH_baseline.json); writes

@@ -4,6 +4,7 @@
 //	spacectl [-addr URL] eval <program> [-input D] [-machine M] [-steps N]
 //	spacectl [-addr URL] measure <program> [-input D] [-machines a,b] [-cost-model word,log] [-flat-only] [-steps N]
 //	spacectl [-addr URL] lint <program>
+//	spacectl [-addr URL] classify <program> [-cost-model M]
 //	spacectl [-addr URL] trace <request-id> [-chrome]
 //	spacectl [-addr URL] top [-interval D] [-samples N]
 //	spacectl [-addr URL] health
@@ -44,7 +45,7 @@ func main() {
 	input := fs.String("input", "", "input datum D; the server runs (P D)")
 	machine := fs.String("machine", "", "eval: machine name (default tail)")
 	machines := fs.String("machines", "", "measure: comma-separated machine names (default: the six-machine family)")
-	costModels := fs.String("cost-model", "", "measure: comma-separated space cost models (word,fixnum,log)")
+	costModels := fs.String("cost-model", "", "measure: comma-separated space cost models (word,fixnum,log); classify: one model")
 	flatOnly := fs.Bool("flat-only", false, "measure: skip the linked (U_X) measurement")
 	steps := fs.Int("steps", 0, "step bound (0 means the server default)")
 	jsonOut := fs.Bool("json", false, "print raw response JSON")
@@ -77,6 +78,8 @@ func main() {
 		exit = cmdMeasure(client, base, args, *input, *machines, *costModels, *flatOnly, *steps, *jsonOut)
 	case "lint":
 		exit = cmdLint(client, base, args, *jsonOut)
+	case "classify":
+		exit = cmdClassify(client, base, args, *costModels, *jsonOut)
 	case "trace":
 		exit = cmdTrace(base, args, *chrome)
 	case "top":
@@ -258,6 +261,27 @@ func cmdLint(client *http.Client, base string, args []string, jsonOut bool) int 
 	return 0
 }
 
+func cmdClassify(client *http.Client, base string, args []string, costModel string, jsonOut bool) int {
+	if len(args) != 1 {
+		usage()
+		return 2
+	}
+	src, err := loadProgram(args[0])
+	if err != nil {
+		return fail(err)
+	}
+	var resp service.ClassifyResponse
+	req := service.ClassifyRequest{Name: args[0], Program: src, CostModel: costModel}
+	if err := post(client, base+"/v1/classify", req, &resp, jsonOut); err != nil {
+		return fail(err)
+	}
+	if jsonOut {
+		return 0
+	}
+	fmt.Print(resp.Render())
+	return 0
+}
+
 func cmdGet(client *http.Client, url string) int {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -327,6 +351,7 @@ commands:
   measure <program>  [-input D] [-machines a,b] [-cost-model word,log] [-flat-only] [-steps N]
                                                           S/U peaks across the grid
   lint <program>                                          static space-leak verdicts
+  classify <program> [-cost-model M]                      per-machine space-class certificates
   trace <request-id> [-chrome]                            follow one request's run events or spans
   top [-interval D] [-samples N]                          live dashboard over /metrics
   health                                                  GET /healthz

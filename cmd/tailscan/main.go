@@ -6,12 +6,18 @@
 // With no arguments it scans the bundled benchmark corpus through the same
 // per-program report path.
 //
-//	tailscan [-json] [-lint] [-grid] [-cost-model M] [file.scm ...]
+//	tailscan [-json] [-lint] [-classify] [-grid] [-cost-model M] [file.scm ...]
 //
 // -lint runs the space-leak analyzer instead: per-closure capture reports,
 // structured leak diagnostics (which machine pair each leak separates), and
 // the predicted per-machine space ordering. The exit status is non-zero
 // when a confirmed leak is found.
+//
+// -classify emits per-(program, machine) space-class certificates instead:
+// for each of the six machines, an O(1)/O(n)/unbounded bound on S_X with
+// the evidence that forced it, stated under the selected -cost-model. The
+// differential grid (tailscan -grid) validates that every certificate
+// upper-bounds the metered growth class.
 //
 // -grid runs the differential leak grid instead: every subject is analyzed
 // statically and then swept on all six machines, and the fitted growth
@@ -49,6 +55,7 @@ func main() {
 	fs := flag.NewFlagSet("tailscan", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit results as JSON instead of a rendered table")
 	lint := fs.Bool("lint", false, "run the space-leak analyzer; exit non-zero on confirmed leaks")
+	classify := fs.Bool("classify", false, "emit per-machine space-class certificates")
 	grid := fs.Bool("grid", false, "run the differential leak grid (static verdicts vs metered growth); exit non-zero on disagreement")
 	modelName := fs.String("cost-model", "", "space cost model the grid sweeps charge under: word (default), fixnum, or log")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -109,6 +116,23 @@ func main() {
 			}
 			sources = append(sources, namedSource{name: path, src: string(data)})
 		}
+	}
+
+	if *classify {
+		reports, err := classifyAll(sources, *modelName)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			if err := writeClassifyJSON(os.Stdout, reports); err != nil {
+				fatal(err)
+			}
+		} else {
+			for _, r := range reports {
+				fmt.Print(r.Render())
+			}
+		}
+		return
 	}
 
 	if *lint {
@@ -219,6 +243,28 @@ func lintAll(sources []namedSource) ([]*analysis.LintReport, error) {
 		reports = append(reports, r)
 	}
 	return reports, nil
+}
+
+// classifyAll derives space-class certificates for every source under the
+// named cost model ("" means word).
+func classifyAll(sources []namedSource, model string) ([]*analysis.ClassifyReport, error) {
+	var reports []*analysis.ClassifyReport
+	for _, src := range sources {
+		r, err := analysis.ClassifySource(src.name, src.src, model)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src.name, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// writeClassifyJSON encodes classify reports the way -classify -json prints
+// them; the classify-guard baseline pins these exact bytes for the corpus.
+func writeClassifyJSON(w io.Writer, reports []*analysis.ClassifyReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
 }
 
 // writeLintJSON encodes lint reports the way -lint -json prints them; the

@@ -1,0 +1,12 @@
+;; A reified continuation that is actually applied: (k n) is the one call
+;; no static edge models — applying a continuation replaces the whole
+;; control state. tailscan -lint reports the site as unresolved (in tail
+;; position, so the control verdict stays bounded), and -classify refuses
+;; every per-machine bound: certificates only hold for programs whose
+;; calls are all accounted for.
+;;
+;;   tailscan -lint examples/callcc-reentry.scm
+;;   tailscan -classify examples/callcc-reentry.scm
+(define (main n)
+  (call/cc (lambda (k) (k n))))
+(main 64)

@@ -1,0 +1,17 @@
+;; A thunk threaded through the heap: built by cons, retrieved by car,
+;; and only then applied. The syntactic call resolver could not name the
+;; callee of ((car cell)); the flow analysis carries the lambda through
+;; its one-summary store, so the call resolves and the tail-call family
+;; certifies O(1) while gc/stack pay one frame per level of spin.
+;;
+;;   tailscan -classify examples/stored-thunk.scm
+(define (force cell) ((car cell)))
+(define (spin n)
+  (if (zero? n)
+      0
+      (spin (- n 1))))
+(define (main n)
+  (begin
+    (spin n)
+    (force (cons (lambda () 0) '()))))
+(main 64)

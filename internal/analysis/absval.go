@@ -1,0 +1,153 @@
+package analysis
+
+// This file defines the abstract-value lattice of the 0-CFA (cfa.go,
+// solve.go). An abstract value describes everything a program point can
+// evaluate to that matters for call resolution:
+//
+//   - a set of lambda expressions (user procedures and expander wrappers
+//     alike — the graph layer filters transparent wrappers out);
+//   - a set of primitive-procedure names (prims are first-class: they can be
+//     passed as arguments and called through variables, and two of them —
+//     call/cc and apply — invoke user code);
+//   - cont, the reified continuations produced by call/cc. Continuations
+//     are not lambdas: applying one replaces the control state, so every
+//     call site a continuation may reach degrades to ⊤;
+//   - top (⊤), statically untracked flow: unbound variables, values
+//     returned through apply, arguments arriving from unknown callers.
+//
+// The lattice is finite (the power set of the program's lambdas and prims
+// plus two flags) and every transfer function only adds elements, so the
+// worklist solver terminates. Soundness direction: the analysis may claim
+// too many values flow somewhere, never too few — a wrong claim can only
+// widen a verdict toward "unknown", not manufacture a precise one.
+
+import (
+	"sort"
+
+	"tailspace/internal/ast"
+)
+
+// flowVar is one constraint variable: the abstract value of a binding or an
+// expression, plus its outgoing subset edges.
+type flowVar struct {
+	label string // diagnostics only
+	lams  map[*ast.Lambda]bool
+	prims map[string]bool
+	cont  bool
+	top   bool
+	// succs are subset constraints: everything here also flows to each succ.
+	succs []*flowVar
+	// opOf lists the call sites (real and virtual) whose operator this var
+	// is; growth here re-triggers their application wiring.
+	opOf []*callSite
+	// inWork dedupes worklist membership.
+	inWork bool
+}
+
+func (c *cfa) newVar(label string) *flowVar {
+	v := &flowVar{label: label}
+	c.vars = append(c.vars, v)
+	return v
+}
+
+// enqueue schedules v for (re-)propagation.
+func (c *cfa) enqueue(v *flowVar) {
+	if !v.inWork {
+		v.inWork = true
+		c.work = append(c.work, v)
+	}
+}
+
+// addLam adds one lambda to v, with the special semantics of the escape
+// sink: a lambda that escapes to statically unknown code may be called with
+// anything (params go ⊤) and its result flows back to unknown code too.
+func (c *cfa) addLam(v *flowVar, lam *ast.Lambda) {
+	if v.lams[lam] {
+		return
+	}
+	if v.lams == nil {
+		v.lams = map[*ast.Lambda]bool{}
+	}
+	v.lams[lam] = true
+	if v == c.escape {
+		c.escaped[lam] = true
+		for _, p := range c.paramVar[lam] {
+			c.setTop(p)
+		}
+		c.edge(c.exprVar[lam.Body], c.escape)
+		return // the escape sink has no successors or call sites
+	}
+	c.enqueue(v)
+}
+
+func (c *cfa) addPrim(v *flowVar, name string) {
+	if v.prims[name] {
+		return
+	}
+	if v.prims == nil {
+		v.prims = map[string]bool{}
+	}
+	v.prims[name] = true
+	if v != c.escape {
+		c.enqueue(v)
+	}
+}
+
+func (c *cfa) setCont(v *flowVar) {
+	if !v.cont {
+		v.cont = true
+		if v != c.escape {
+			c.enqueue(v)
+		}
+	}
+}
+
+func (c *cfa) setTop(v *flowVar) {
+	if !v.top {
+		v.top = true
+		if v != c.escape {
+			c.enqueue(v)
+		}
+	}
+}
+
+// edge adds the subset constraint from ⊆ to and propagates the current
+// contents immediately.
+func (c *cfa) edge(from, to *flowVar) {
+	if from == to {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+	c.flowInto(from, to)
+}
+
+// flowInto copies from's current contents into to.
+func (c *cfa) flowInto(from, to *flowVar) {
+	for lam := range from.lams {
+		c.addLam(to, lam)
+	}
+	for name := range from.prims {
+		c.addPrim(to, name)
+	}
+	if from.cont {
+		c.setCont(to)
+	}
+	if from.top {
+		c.setTop(to)
+	}
+}
+
+// sortedLams returns v's lambdas in deterministic (generation) order.
+func (c *cfa) sortedLams(v *flowVar) []*ast.Lambda {
+	out := make([]*ast.Lambda, 0, len(v.lams))
+	for lam := range v.lams {
+		out = append(out, lam)
+	}
+	sort.Slice(out, func(i, j int) bool { return c.lamSeq[out[i]] < c.lamSeq[out[j]] })
+	return out
+}

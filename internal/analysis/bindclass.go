@@ -120,8 +120,11 @@ func (c *classifier) bindingClass(b *binding) bindClass {
 		// outer fixpoint iterates until captured unsafety stabilizes.
 		b.clsDone = true
 	}
+	// Assigned values are inits too (scopes.go), so mutation alone is not
+	// unsafety: a set!-updated scalar counter stays safe, while an
+	// accumulator's self-referential RHS resolves pessimistically below.
 	cls := bindClass{}
-	if b.initUnknown || b.setCount > 0 {
+	if b.initUnknown {
 		cls.unsafe = true
 	}
 	// Pessimistic in-progress marker for non-procedure bindings: a cyclic
@@ -210,23 +213,38 @@ func (c *classifier) primClass(name string, call *ast.Call) bindClass {
 		}
 		return cls
 	case allocPrims[name]:
+		// Structure built from a sized allocation still reaches it: a list of
+		// input-sized vectors is itself sized (per level, for a binding made
+		// per level). Without this, an accumulator of sized allocations would
+		// be claimed O(n) when it is really O(n²) — sized must survive cons.
 		cls := bindClass{fresh: true}
 		for _, a := range args {
-			if c.exprClass(a).unsafe {
-				cls.unsafe = true
-			}
+			ac := c.exprClass(a)
+			cls.unsafe = cls.unsafe || ac.unsafe
+			cls.sized = cls.sized || ac.sized
 		}
 		return cls
 	case accessorPrims[name]:
 		cls := bindClass{}
 		for _, a := range args {
-			if c.exprClass(a).unsafe {
-				cls.unsafe = true
-			}
+			ac := c.exprClass(a)
+			cls.unsafe = cls.unsafe || ac.unsafe
+			cls.sized = cls.sized || ac.sized
 		}
 		return cls
+	case callccPrims[name]:
+		// (call/cc f) evaluates to whatever f returns — joined with every
+		// value any continuation in the program is applied to. When the flow
+		// analysis proves no continuation is ever applied, a literal
+		// receiver's body classifies the result exactly.
+		if !c.s.g.flow.contApplied && len(args) == 1 {
+			if lam, ok := args[0].(*ast.Lambda); ok && !transparentLabel(lam.Label) {
+				return c.exprClass(lam.Body)
+			}
+		}
+		return bindClass{unsafe: true}
 	default:
-		// apply, call/cc, unregistered names: anything can come back.
+		// apply, unregistered names: anything can come back.
 		return bindClass{unsafe: true}
 	}
 }
@@ -268,9 +286,11 @@ func (c *classifier) bindingMag(b *binding) bool {
 	if b.magDone {
 		return b.inputMag
 	}
-	// Optimistic: in-progress lookups see the previous round's value.
+	// Optimistic: in-progress lookups see the previous round's value. A
+	// self-updating loop counter is input-derived only if input reaches one
+	// of its initializers (set! right-hand sides included).
 	b.magDone = true
-	mag := b.initUnknown || b.setCount > 0
+	mag := b.initUnknown
 	for _, init := range b.inits {
 		if c.inputMagExpr(init) {
 			mag = true

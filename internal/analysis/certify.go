@@ -1,0 +1,254 @@
+package analysis
+
+// This file synthesizes per-(program, machine) space-class certificates
+// from the leak analyses: for each of the six machines of the hierarchy, an
+// asymptotic bound on S_X(program, n) as the driver argument scales, with
+// the evidence that forced each bound. The certificate lattice is
+// deliberately coarse —
+//
+//	O(1)  ⊑  O(n)  ⊑  unbounded
+//
+// — because those are the claims the paper's hierarchy actually
+// distinguishes: constant-space (proper tail recursion over constant-space
+// state), linear (one frame or one input-sized object per level), and
+// everything the machine's retention policy can compound beyond that
+// (quadratic parks, closures, nested recursions). Certificates only ever
+// *weaken*: every rule raises a machine's class, none lowers it, and any
+// statically unresolved call collapses all six to unbounded. The
+// differential grid (internal/experiments) checks the resulting soundness
+// contract dynamically: a certificate must upper-bound the fitted growth
+// class of the meters on every machine.
+//
+// One documented assumption keeps the middle class useful: a live unsafe
+// binding that is not input-*sized* is priced at O(1) allocation per
+// recursion level (so n levels cost O(n)). Per-level allocations that are
+// themselves input-sized, and nested input-driven recursions (whose
+// per-level cost is another whole recursion), both escalate to unbounded.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpaceClass is one certificate bound.
+type SpaceClass string
+
+const (
+	ClassConstant  SpaceClass = "O(1)"
+	ClassLinear    SpaceClass = "O(n)"
+	ClassUnbounded SpaceClass = "unbounded"
+)
+
+// Rank orders the certificate lattice; the gap between O(n) and unbounded
+// mirrors the grid's class ranks (unbounded upper-bounds every fitted
+// class, including quadratic).
+func (c SpaceClass) Rank() int {
+	switch c {
+	case ClassConstant:
+		return 0
+	case ClassLinear:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// CertMachines lists the machines certificates are issued for, in report
+// order (the six machines of the Theorem 24 hierarchy).
+var CertMachines = []string{"stack", "gc", "tail", "evlis", "free", "sfs"}
+
+// Certificate is one machine's certified bound with its evidence trail.
+type Certificate struct {
+	Machine  string     `json:"machine"`
+	Class    SpaceClass `json:"class"`
+	Evidence []string   `json:"evidence,omitempty"`
+}
+
+// UnresolvedSite is one call site the flow analysis could not resolve — the
+// reason a verdict or certificate degraded.
+type UnresolvedSite struct {
+	NodeID int    `json:"nodeId"`
+	Expr   string `json:"expr"`
+	Host   string `json:"host"`
+	Tail   bool   `json:"tail"`
+	Reason string `json:"reason"`
+}
+
+// unresolvedSites converts the graph's unresolved-call records, ordered by
+// node ID.
+func (a *leakAnalysis) unresolvedSites() []UnresolvedSite {
+	var out []UnresolvedSite
+	for _, u := range a.g.unresolved {
+		out = append(out, UnresolvedSite{
+			NodeID: a.ids[u.call], Expr: exprString(u.call),
+			Host: u.host, Tail: u.tail, Reason: u.reason,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}
+
+// certify derives the six certificates from the shared analysis state.
+func (a *leakAnalysis) certify(control ControlReport, parks *parkScan, rets *retentionScan) []Certificate {
+	cls := make(map[string]SpaceClass, len(CertMachines))
+	ev := make(map[string][]string, len(CertMachines))
+	for _, m := range CertMachines {
+		cls[m] = ClassConstant
+	}
+	bump := func(why string, c SpaceClass, machines ...string) {
+		for _, m := range machines {
+			if c.Rank() > cls[m].Rank() {
+				cls[m] = c
+			}
+			if c.Rank() < cls[m].Rank() {
+				continue // a weaker reason does not explain the bound
+			}
+			dup := false
+			for _, w := range ev[m] {
+				if w == why {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ev[m] = append(ev[m], why)
+			}
+		}
+	}
+	collect := func() []Certificate {
+		out := make([]Certificate, 0, len(CertMachines))
+		for _, m := range CertMachines {
+			out = append(out, Certificate{Machine: m, Class: cls[m], Evidence: ev[m]})
+		}
+		return out
+	}
+
+	// Any statically unresolved call could hide arbitrary re-entry: no bound
+	// can be certified for any machine.
+	if a.g.hasUnknownCalls() || control.Verdict == UnknownControl {
+		why := "statically unresolved calls: no bound can be certified"
+		if len(a.g.unresolved) > 0 {
+			why = fmt.Sprintf("statically unresolved call (%s): no bound can be certified", a.g.unresolved[0].reason)
+		}
+		bump(why, ClassUnbounded, CertMachines...)
+		return collect()
+	}
+
+	facts := a.compSummary()
+	ids := make([]int, 0, len(facts))
+	for cid := range facts {
+		ids = append(ids, cid)
+	}
+	sort.Ints(ids)
+	driven := func(f *compFacts) bool { return f != nil && f.cyclic && f.reachable && f.inputDriven }
+
+	// Nested input-driven recursions: each level of the outer runs a whole
+	// input-driven recursion of its own, so per-level cost is no longer O(1)
+	// or one sized object — the compounding escapes the lattice's middle.
+	for _, c1 := range ids {
+		if !driven(facts[c1]) {
+			continue
+		}
+		for _, c2 := range ids {
+			if c2 != c1 && driven(facts[c2]) && a.g.reach[c1][c2] {
+				bump("nested input-driven recursions: per-level cost is itself input-driven", ClassUnbounded, CertMachines...)
+			}
+		}
+	}
+
+	// Control growth per input-driven cycle: a non-tail cycle stacks a frame
+	// per level on every machine; an all-tail cycle costs only the improper
+	// machines their useless return continuations (Theorem 25, countdown).
+	for _, cid := range ids {
+		f := facts[cid]
+		if !driven(f) {
+			continue
+		}
+		if f.allTail {
+			bump("input-driven tail recursion: improper machines stack one return continuation per iteration",
+				ClassLinear, "gc", "stack")
+		} else {
+			bump("input-driven non-tail recursion: one pending frame per level on every machine",
+				ClassLinear, CertMachines...)
+		}
+	}
+
+	// Any reachable input-sized allocation floors every machine at O(n):
+	// even one such object, made once, scales with the input.
+	for _, b := range a.s.all {
+		if b.cls.sized && a.g.reach[a.g.comp[a.g.root]][a.g.comp[b.host]] {
+			bump(fmt.Sprintf("input-sized allocation bound to %s", b.name), ClassLinear, CertMachines...)
+		}
+	}
+
+	// Live bindings in input-driven cycles: the program itself keeps them,
+	// so no machine's policy helps. A per-level *sized* allocation compounds
+	// (n levels × Θ(n) each); anything else is priced at the documented
+	// O(1)-per-level assumption.
+	for _, b := range a.s.all {
+		f := facts[a.g.comp[b.host]]
+		if !driven(f) || !b.cls.unsafe {
+			continue
+		}
+		if b.uses == 0 && b.setCount == 0 {
+			continue
+		}
+		if b.cls.sized && b.cls.fresh {
+			bump(fmt.Sprintf("live input-sized allocation %s made per recursion level", b.name),
+				ClassUnbounded, CertMachines...)
+		} else {
+			bump(fmt.Sprintf("live binding %s accumulates with the input (O(1) allocation per level assumed)", b.name),
+				ClassLinear, CertMachines...)
+		}
+	}
+
+	// Parked continuation environments (Theorem 25, thunk-return): the park
+	// repeats per recursion level and holds an input-sized dead binding, so
+	// every policy that stores ρ in the pending continuation compounds.
+	// Z_evlis escapes only last-position parks; Z_sfs always escapes.
+	for _, fd := range parks.findings {
+		if !driven(facts[a.g.comp[fd.b.host]]) {
+			continue
+		}
+		why := fmt.Sprintf("environment holding dead input-sized binding %s is parked once per recursion level", fd.b.name)
+		bump(why, ClassUnbounded, "tail", "gc", "stack", "free")
+		if fd.evlisHeld {
+			bump(why, ClassUnbounded, "evlis")
+		}
+	}
+
+	// Whole-environment closures (Theorem 25, closure-capture): one closure
+	// per level retains the dead sized binding on every machine without the
+	// free-variable rule.
+	for _, fd := range rets.findings {
+		if !driven(facts[a.g.comp[fd.b.host]]) {
+			continue
+		}
+		bump(fmt.Sprintf("closure %s captures dead input-sized binding %s once per recursion level", fd.lam.Label, fd.b.name),
+			ClassUnbounded, "tail", "gc", "stack", "evlis")
+	}
+
+	// Algol frame retention (Theorem 25, vector-frames): a dead sized
+	// binding nobody parks or captures still lives in every retained frame.
+	parkedOrCaptured := map[*binding]bool{}
+	for _, fd := range parks.findings {
+		parkedOrCaptured[fd.b] = true
+	}
+	for _, fd := range rets.findings {
+		parkedOrCaptured[fd.b] = true
+	}
+	for _, cid := range ids {
+		f := facts[cid]
+		if !driven(f) {
+			continue
+		}
+		for _, b := range f.deadSized {
+			if !parkedOrCaptured[b] {
+				bump(fmt.Sprintf("dead input-sized binding %s lives in every retained Algol frame", b.name),
+					ClassUnbounded, "stack")
+			}
+		}
+	}
+
+	return collect()
+}

@@ -1,0 +1,216 @@
+package analysis
+
+// This file is the constraint generator of the 0-CFA that replaced the
+// syntactic resolver (the old graph.go valueOf): one lexically scoped walk
+// over the expanded program creates a flow variable per binding and per
+// expression and records every call site, and solve.go then propagates
+// lambda sets through the constraints until fixpoint. Context-insensitive:
+// one abstract value per binding, joined over every call site — enough to
+// see through letrec knots, conditionals, argument passing, and closures
+// stored in and retrieved from the heap.
+//
+// The store is modelled by a single summary variable Σ: every lambda passed
+// to an ordinary primitive may be stored (cons, vector-set!, ...), and every
+// accessor primitive (car, vector-ref, ...) may retrieve any stored lambda.
+// That is coarse but sound, and it is precise enough to resolve calls to
+// thunks threaded through pairs (streams).
+//
+// Genuinely dynamic flow degrades to ⊤, never to a wrong claim:
+//
+//   - call/cc gives its receiver a cont value; every site a cont reaches is
+//     marked unresolved (applying a continuation replaces the control
+//     state, which no static call edge models) — but the call/cc site
+//     itself gets a precise edge to its receiver, which call/cc tail-calls;
+//   - apply re-dispatches with a dynamically spread argument list, so its
+//     procedure argument escapes and the site is unresolved;
+//   - unbound variables are ⊤;
+//   - a call whose operator may be ⊤ marks the site unresolved and lets
+//     every argument escape.
+
+import (
+	"tailspace/internal/ast"
+	"tailspace/internal/prim"
+)
+
+// callSite is one application the solver wires: a real call expression, or
+// the virtual (f <cont>) application a call/cc site induces on its receiver.
+type callSite struct {
+	// call is the source expression (for virtual sites, the call/cc call
+	// that induced them — used for diagnostics and unresolved marking).
+	call    *ast.Call
+	opVar   *flowVar
+	argVars []*flowVar
+	resVar  *flowVar
+	// applied / primsDone / topDone / contDone dedupe wiring work.
+	applied   map[*ast.Lambda]bool
+	primsDone map[string]bool
+	topDone   bool
+	contDone  bool
+}
+
+type cfa struct {
+	vars []*flowVar
+	work []*flowVar
+
+	exprVar  map[ast.Expr]*flowVar
+	paramVar map[*ast.Lambda][]*flowVar
+	lamSeq   map[*ast.Lambda]int
+	sites    map[*ast.Call]*callSite
+
+	// store is Σ, the one-summary abstract heap; escape is the ⊤-context
+	// sink (see addLam).
+	store  *flowVar
+	escape *flowVar
+
+	// escaped marks lambdas that reached unknown code; their params are ⊤.
+	escaped map[*ast.Lambda]bool
+	// topAt marks call sites whose operator may be statically untracked,
+	// with the reason recorded for diagnostics (first cause wins).
+	topAt map[*ast.Call]string
+	// ccArg gives, for each (call/cc f) site, the flow variable of f — the
+	// receiver the graph layer records a precise tail edge to.
+	ccArg map[*ast.Call]*flowVar
+	// delivery joins every value any continuation is applied to; it flows
+	// to every call/cc site's result (see contDelivery in solve.go).
+	delivery *flowVar
+	// contApplied records that some site may apply a reified continuation:
+	// only then can a call/cc expression evaluate to anything besides its
+	// receiver's return value.
+	contApplied bool
+}
+
+// analyzeFlow builds and solves the flow constraints of an expanded program.
+func analyzeFlow(root ast.Expr) *cfa {
+	c := &cfa{
+		exprVar:  map[ast.Expr]*flowVar{},
+		paramVar: map[*ast.Lambda][]*flowVar{},
+		lamSeq:   map[*ast.Lambda]int{},
+		sites:    map[*ast.Call]*callSite{},
+		escaped:  map[*ast.Lambda]bool{},
+		topAt:    map[*ast.Call]string{},
+		ccArg:    map[*ast.Call]*flowVar{},
+	}
+	c.store = c.newVar("Σ")
+	c.escape = c.newVar("⊤-context")
+	c.gen(root, map[string]*flowVar{})
+	c.solve()
+	return c
+}
+
+func copyFlowEnv(env map[string]*flowVar) map[string]*flowVar {
+	out := make(map[string]*flowVar, len(env)+2)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// gen emits constraints for e under the lexical environment env and returns
+// e's flow variable.
+func (c *cfa) gen(e ast.Expr, env map[string]*flowVar) *flowVar {
+	switch x := e.(type) {
+	case *ast.Const:
+		v := c.newVar("const")
+		c.exprVar[x] = v
+		return v
+	case *ast.Var:
+		if v, ok := env[x.Name]; ok {
+			c.exprVar[x] = v
+			return v
+		}
+		v := c.newVar("global:" + x.Name)
+		if x.Name == "%undef" {
+			// The expander's unspecified-value marker: no procedure.
+		} else if _, ok := prim.Lookup(x.Name); ok {
+			c.addPrim(v, x.Name)
+		} else {
+			// Unbound: the run would be stuck, but claim nothing.
+			c.setTop(v)
+		}
+		c.exprVar[x] = v
+		return v
+	case *ast.Lambda:
+		seq := len(c.lamSeq)
+		c.lamSeq[x] = seq
+		params := make([]*flowVar, len(x.Params))
+		inner := copyFlowEnv(env)
+		for i, p := range x.Params {
+			pv := c.newVar("param:" + x.Label + ":" + p)
+			params[i] = pv
+			inner[p] = pv
+		}
+		c.paramVar[x] = params
+		c.gen(x.Body, inner)
+		v := c.newVar("lam:" + x.Label)
+		c.addLam(v, x)
+		c.exprVar[x] = v
+		return v
+	case *ast.If:
+		c.gen(x.Test, env)
+		v := c.newVar("if")
+		c.edge(c.gen(x.Then, env), v)
+		c.edge(c.gen(x.Else, env), v)
+		c.exprVar[x] = v
+		return v
+	case *ast.Set:
+		rhs := c.gen(x.Rhs, env)
+		if bv, ok := env[x.Name]; ok {
+			c.edge(rhs, bv)
+		}
+		v := c.newVar("set!") // unspecified value
+		c.exprVar[x] = v
+		return v
+	case *ast.Call:
+		opv := c.gen(x.Operator(), env)
+		args := make([]*flowVar, len(x.Operands()))
+		for i, a := range x.Operands() {
+			args[i] = c.gen(a, env)
+		}
+		res := c.newVar("call")
+		c.exprVar[x] = res
+		site := &callSite{
+			call: x, opVar: opv, argVars: args, resVar: res,
+			applied:   map[*ast.Lambda]bool{},
+			primsDone: map[string]bool{},
+		}
+		c.sites[x] = site
+		opv.opOf = append(opv.opOf, site)
+		c.wireSite(site)
+		return res
+	}
+	v := c.newVar("other")
+	c.setTop(v)
+	return v
+}
+
+// paramUnknown reports whether the i-th parameter of lam can receive values
+// the analysis does not track (⊤ or a reified continuation).
+func (c *cfa) paramUnknown(lam *ast.Lambda, i int) bool {
+	ps := c.paramVar[lam]
+	if i >= len(ps) {
+		return true
+	}
+	return ps[i].top || ps[i].cont
+}
+
+// lambdaEscaped reports whether lam's value reached statically unknown code.
+func (c *cfa) lambdaEscaped(lam *ast.Lambda) bool { return c.escaped[lam] }
+
+// resolve returns the lambdas that may be applied at a call site, and
+// whether untracked operators are also possible (with the reason). For a
+// call/cc site the targets are the receiver's lambdas: call/cc tail-calls
+// its argument.
+func (c *cfa) resolve(call *ast.Call) (targets []*ast.Lambda, unknown bool, reason string) {
+	reason, unknown = c.topAt[call], false
+	if reason != "" {
+		unknown = true
+	}
+	opv := c.sites[call].opVar
+	if av, ok := c.ccArg[call]; ok {
+		opv = av
+	}
+	if opv == nil {
+		return nil, unknown, reason
+	}
+	return c.sortedLams(opv), unknown, reason
+}

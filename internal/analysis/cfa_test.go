@@ -1,0 +1,158 @@
+package analysis
+
+// Edge cases of the 0-CFA: the flow shapes the old syntactic resolver
+// could not see through (letrec knots reached through higher-order
+// dispatch, shadowing, closures stored in and retrieved from the heap)
+// and the ones that must stay degraded (escaped lambdas, applied
+// continuations). Each test checks both the control verdict and the
+// structured unresolved-site report, so a precision regression and a
+// soundness regression both fail.
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOf(t *testing.T, src string) *LintReport {
+	t.Helper()
+	rep, err := LintSource("test", src)
+	if err != nil {
+		t.Fatalf("LintSource: %v", err)
+	}
+	return rep
+}
+
+// TestLetrecKnotThroughDispatcher: mutual recursion where every recursive
+// call goes through a shared higher-order dispatcher, so the knot is
+// invisible syntactically — the cycle exists only in the flow of ev and od
+// through apply-fn's parameter f.
+func TestLetrecKnotThroughDispatcher(t *testing.T) {
+	src := `
+(define (apply-fn f n) (f n))
+(define (ev n) (if (zero? n) #t (apply-fn od (- n 1))))
+(define (od n) (if (zero? n) #f (apply-fn ev (- n 1))))
+(ev 10)`
+	rep := lintOf(t, src)
+	if rep.Control != BoundedControl.String() {
+		t.Fatalf("control %v, want bounded", rep.Control)
+	}
+	if len(rep.Unresolved) != 0 {
+		t.Fatalf("dispatcher call should resolve through the flow analysis: %+v", rep.Unresolved)
+	}
+}
+
+// TestDeepShadowingResolvesToArgument: the callee name is shadowed twice
+// (a parameter over a global, then a let over the parameter); the call
+// must bind to the innermost definition's actual flow, not the global.
+func TestDeepShadowingResolvesToArgument(t *testing.T) {
+	src := `
+(define (sq x) (sq x))
+(define (f sq)
+  (let ((sq (lambda (y) y)))
+    (+ 1 (sq 2))))
+(f (lambda (z) (z z)))`
+	rep := lintOf(t, src)
+	if rep.Control != BoundedControl.String() {
+		t.Fatalf("control %v, want bounded (callee is the identity let binding)", rep.Control)
+	}
+	if len(rep.Unresolved) != 0 {
+		t.Fatalf("shadowed call should resolve: %+v", rep.Unresolved)
+	}
+}
+
+// TestStoredClosureResolvesThroughHeap: a thunk threaded through a pair —
+// the single-summary store must carry the lambda from cons to car, so the
+// forcing call ((car cell)) resolves instead of parking at unknown.
+func TestStoredClosureResolvesThroughHeap(t *testing.T) {
+	src := `
+(define (force cell) ((car cell)))
+(define (spin n cell)
+  (if (zero? n) (force cell) (spin (- n 1) cell)))
+(spin 10 (cons (lambda () 0) '()))`
+	rep := lintOf(t, src)
+	if rep.Control != BoundedControl.String() {
+		t.Fatalf("control %v, want bounded", rep.Control)
+	}
+	if len(rep.Unresolved) != 0 {
+		t.Fatalf("heap-stored thunk should resolve through Σ: %+v", rep.Unresolved)
+	}
+}
+
+// TestCallccTailReentry: applying the reified continuation is the one call
+// no static edge models, so the site must surface as unresolved — but it
+// sits in tail position, and unknown tail calls never grow control, so the
+// verdict stays bounded.
+func TestCallccTailReentry(t *testing.T) {
+	rep := lintOf(t, "(define (f n) (call/cc (lambda (k) (k n)))) (f 1)")
+	if rep.Control != BoundedControl.String() {
+		t.Fatalf("control %v, want bounded (the continuation call is a tail call)", rep.Control)
+	}
+	if len(rep.Unresolved) != 1 {
+		t.Fatalf("want exactly the (k n) site unresolved: %+v", rep.Unresolved)
+	}
+	u := rep.Unresolved[0]
+	if !u.Tail || !strings.Contains(u.Reason, "continuation") {
+		t.Fatalf("unresolved site = %+v, want a tail site blamed on the continuation", u)
+	}
+}
+
+// TestCallccNonTailReentryUnknown: the same continuation applied outside
+// tail position may replace the control state mid-computation — no bound
+// on control space can be claimed.
+func TestCallccNonTailReentryUnknown(t *testing.T) {
+	rep := lintOf(t, "(define (f n) (+ 1 (call/cc (lambda (k) (+ 2 (k n)))))) (f 1)")
+	if rep.Control != UnknownControl.String() {
+		t.Fatalf("control %v, want unknown", rep.Control)
+	}
+	found := false
+	for _, u := range rep.Unresolved {
+		if !u.Tail && strings.Contains(u.Reason, "continuation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a non-tail unresolved site blamed on the continuation: %+v", rep.Unresolved)
+	}
+}
+
+// TestEscapedLambdaDegradesToTop: a lambda that escapes through apply gets
+// ⊤ parameters — the call to its parameter may invoke anything, so the
+// verdict degrades to unknown rather than claiming a wrong bound.
+func TestEscapedLambdaDegradesToTop(t *testing.T) {
+	rep := lintOf(t, "(apply (lambda (g) (+ 1 (g 2))) (list zero?))")
+	if rep.Control != UnknownControl.String() {
+		t.Fatalf("control %v, want unknown (g is untracked after the escape)", rep.Control)
+	}
+	found := false
+	for _, u := range rep.Unresolved {
+		if strings.Contains(u.Expr, "(g ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the (g 2) site should be reported unresolved: %+v", rep.Unresolved)
+	}
+}
+
+// TestConditionalFlowJoins: both arms of an if flow into the operator; the
+// call resolves to the join of the two lambdas, and since one of them
+// re-enters non-tail, the verdict must be unbounded (not bounded via the
+// other arm alone).
+func TestConditionalFlowJoins(t *testing.T) {
+	src := `
+(define (f n pick)
+  (if (zero? n)
+      0
+      ((if pick
+           (lambda (m) (f (- m 1) pick))
+           (lambda (m) (+ 1 (f (- m 1) pick))))
+       n)))
+(f 10 #t)`
+	rep := lintOf(t, src)
+	if rep.Control != UnboundedControl.String() {
+		t.Fatalf("control %v, want unbounded (the second arm re-enters non-tail)", rep.Control)
+	}
+	if len(rep.Unresolved) != 0 {
+		t.Fatalf("both arms are statically known: %+v", rep.Unresolved)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+// This file packages space-class certificates as a report: one program, one
+// cost model, six machine bounds (tailscan -classify, POST /v1/classify).
+//
+// Certificates are derived under unit-cost accounting (the word and fixnum
+// models price every object a constant number of words, so they share
+// growth classes). The logarithmic model charges each object a factor that
+// itself grows with the live set, so a class certified at unit cost widens
+// one step: O(1) state can carry O(log n)-bit numbers, and an O(n)
+// structure of log-priced cells need not stay within any fixed linear
+// bound. Widening only ever weakens a claim, preserving the soundness
+// direction of the whole analyzer.
+
+import (
+	"fmt"
+	"strings"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/expand"
+)
+
+// ClassifyReport is the per-program certification output.
+type ClassifyReport struct {
+	Program string `json:"program"`
+	// Model is the space cost model the bounds are stated under.
+	Model        string           `json:"model"`
+	Control      string           `json:"control"`
+	Ordering     string           `json:"ordering"`
+	Certificates []Certificate    `json:"certificates"`
+	Unresolved   []UnresolvedSite `json:"unresolved,omitempty"`
+}
+
+// widenForModel translates a unit-cost class to the named cost model.
+func widenForModel(c SpaceClass, model string) SpaceClass {
+	if model != "log" {
+		return c
+	}
+	switch c {
+	case ClassConstant:
+		return ClassLinear
+	case ClassLinear:
+		return ClassUnbounded
+	default:
+		return c
+	}
+}
+
+// Classify derives the certification report for an expanded program under
+// the named cost model ("word", "fixnum", or "log"; "" means word).
+func Classify(name string, e ast.Expr, model string) *ClassifyReport {
+	if model == "" {
+		model = "word"
+	}
+	leak := AnalyzeLeaks(e)
+	certs := make([]Certificate, len(leak.Certificates))
+	for i, c := range leak.Certificates {
+		wide := widenForModel(c.Class, model)
+		evidence := c.Evidence
+		if wide != c.Class {
+			evidence = append(append([]string{}, evidence...),
+				fmt.Sprintf("logarithmic accounting widens the unit-cost bound %s", c.Class))
+		}
+		certs[i] = Certificate{Machine: c.Machine, Class: wide, Evidence: evidence}
+	}
+	return &ClassifyReport{
+		Program:      name,
+		Model:        model,
+		Control:      leak.Control,
+		Ordering:     leak.Ordering,
+		Certificates: certs,
+		Unresolved:   leak.Unresolved,
+	}
+}
+
+// ClassifySource expands and classifies program text.
+func ClassifySource(name, src, model string) (*ClassifyReport, error) {
+	e, err := expand.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return Classify(name, e, model), nil
+}
+
+// CertificateFor returns the certificate for one machine (zero value when
+// the machine is not certified).
+func (r *ClassifyReport) CertificateFor(machine string) Certificate {
+	for _, c := range r.Certificates {
+		if c.Machine == machine {
+			return c
+		}
+	}
+	return Certificate{}
+}
+
+// Render formats the report for terminal output.
+func (r *ClassifyReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: control %s (cost model %s)\n", r.Program, r.Control, r.Model)
+	for _, c := range r.Certificates {
+		fmt.Fprintf(&b, "  %-6s %-10s", c.Machine, c.Class)
+		if len(c.Evidence) > 0 {
+			fmt.Fprintf(&b, " %s", c.Evidence[0])
+		}
+		b.WriteByte('\n')
+		for _, e := range c.Evidence[min(1, len(c.Evidence)):] {
+			fmt.Fprintf(&b, "  %17s %s\n", "", e)
+		}
+	}
+	for _, u := range r.Unresolved {
+		fmt.Fprintf(&b, "  unresolved call (node %d, in %s): %s\n", u.NodeID, u.Host, u.Reason)
+	}
+	return b.String()
+}

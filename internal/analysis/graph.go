@@ -4,19 +4,24 @@ package analysis
 // control-space verdict (controlspace.go), the closure-retention analysis
 // (retention.go), and the continuation-environment parking analysis
 // (evlis.go). Nodes are the program's user-visible lambdas plus the top
-// level; edges are call sites whose operator resolves statically. The graph
-// also records, for every call site, the enclosing host procedure and the
-// resolved candidate targets, and condenses itself into strongly connected
-// components with a reachability relation over the condensation — the
-// machinery every leak detector needs to ask "can evaluating this
-// subexpression re-enter the procedure it is parked inside?".
+// level; edges are call sites whose operator the 0-CFA (cfa.go) resolves —
+// through letrec knots, conditionals, argument passing, and closures stored
+// in the heap. The graph records, for every call site, the enclosing host
+// procedure and the resolved candidate targets, and condenses itself into
+// strongly connected components with a reachability relation over the
+// condensation — the machinery every leak detector needs to ask "can
+// evaluating this subexpression re-enter the procedure it is parked
+// inside?".
+//
+// A site whose operator may also carry statically untracked flow (⊤ or a
+// reified continuation) keeps its resolved edges — more edges mean more
+// cycles, which only widens verdicts — and is additionally marked unknown,
+// which every downstream claim treats as blocking.
 
 import (
 	"fmt"
-	"strings"
 
 	"tailspace/internal/ast"
-	"tailspace/internal/prim"
 )
 
 // node is a call-graph vertex: a lambda, or the program's top level.
@@ -29,16 +34,25 @@ type node struct {
 type edge struct {
 	from, to *node
 	tail     bool
-	site     *ast.Call
+	site     *ast.Call // nil for the synthetic root edge to an escaped lambda
+}
+
+// unresolvedCall is one call site the flow analysis could not fully
+// resolve; lint.go surfaces these so a reader can see why a verdict is
+// "unknown".
+type unresolvedCall struct {
+	call   *ast.Call
+	host   string
+	tail   bool
+	reason string
 }
 
 type callGraph struct {
 	root  *node
 	nodes map[*ast.Lambda]*node
-	// byLabel resolves operator names to candidate callees; duplicates keep
-	// every candidate (over-approximation).
-	byLabel map[string][]*node
-	edges   []edge
+	edges []edge
+	// flow is the solved 0-CFA.
+	flow *cfa
 	// hosts records, for every call site the walk visits, the nearest
 	// enclosing non-transparent lambda (or the root).
 	hosts map[*ast.Call]*node
@@ -46,9 +60,11 @@ type callGraph struct {
 	// created (the procedure that runs when the closure is built).
 	lambdaHost map[*ast.Lambda]*node
 	// targets records the resolved candidate callees of every call site;
-	// sites whose operator cannot be resolved are in unknownTarget instead.
+	// sites that may also invoke untracked code are in unknownTarget too.
 	targets       map[*ast.Call][]*node
 	unknownTarget map[*ast.Call]bool
+	// unresolved records every unknown site with its reason, in walk order.
+	unresolved []unresolvedCall
 	// tailOf records whether each visited call site is a tail call.
 	tailOf map[*ast.Call]bool
 	// unknownNonTail records non-tail calls whose target cannot be resolved.
@@ -56,14 +72,6 @@ type callGraph struct {
 	// unresolvedTails notes tail calls to unresolvable targets (harmless at
 	// the site, but they hide potential cycle-closing edges).
 	unresolvedTails bool
-
-	// valueVisiting guards valueOf's interprocedural resolution against
-	// recursion knots.
-	valueVisiting map[*node]bool
-	// resolvedRefs marks variable references whose value valueOf traced to a
-	// recorded call edge: their flow is fully accounted for, so the binding
-	// pass must not treat them as escapes.
-	resolvedRefs map[*ast.Var]bool
 
 	// Condensation, filled by condense().
 	comp   map[*node]int
@@ -74,14 +82,11 @@ type callGraph struct {
 func newCallGraph() *callGraph {
 	g := &callGraph{
 		nodes:         map[*ast.Lambda]*node{},
-		byLabel:       map[string][]*node{},
 		hosts:         map[*ast.Call]*node{},
 		lambdaHost:    map[*ast.Lambda]*node{},
 		targets:       map[*ast.Call][]*node{},
 		unknownTarget: map[*ast.Call]bool{},
 		tailOf:        map[*ast.Call]bool{},
-		valueVisiting: map[*node]bool{},
-		resolvedRefs:  map[*ast.Var]bool{},
 	}
 	g.root = &node{label: "(top level)", id: 0}
 	return g
@@ -91,8 +96,8 @@ func newCallGraph() *callGraph {
 // condenses it. Every analysis pass shares the result.
 func buildGraph(e ast.Expr) *callGraph {
 	g := newCallGraph()
-	// First pass: register every procedure so operator names resolve
-	// regardless of definition order (letrec scoping is mutual).
+	g.flow = analyzeFlow(e)
+	// Register every procedure in syntactic order so node IDs are stable.
 	ast.Walk(e, func(x ast.Expr) bool {
 		if lam, ok := x.(*ast.Lambda); ok && !transparentLabel(lam.Label) {
 			g.nodeFor(lam)
@@ -100,9 +105,35 @@ func buildGraph(e ast.Expr) *callGraph {
 		return true
 	})
 	info := ast.MarkTails(e)
-	g.walk(e, info, g.root, map[string]bool{})
+	g.walk(e, info, g.root)
+	// A lambda that escaped to statically unknown code can be entered from
+	// anywhere unknown code runs; a synthetic root edge keeps it (and the
+	// leaks inside it) reachable. The edge is a tail edge so it never
+	// manufactures control growth, and the root has no incoming edges so it
+	// can never close a cycle.
+	for _, lam := range g.sortedNodes() {
+		if lam.lam != nil && g.flow.lambdaEscaped(lam.lam) {
+			g.edges = append(g.edges, edge{from: g.root, to: lam, tail: true})
+		}
+	}
 	g.condense()
 	return g
+}
+
+// sortedNodes returns all nodes in registration (syntactic) order.
+func (g *callGraph) sortedNodes() []*node {
+	out := make([]*node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].id < out[i].id {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
 }
 
 func (g *callGraph) nodeFor(lam *ast.Lambda) *node {
@@ -111,176 +142,77 @@ func (g *callGraph) nodeFor(lam *ast.Lambda) *node {
 	}
 	n := &node{lam: lam, label: lam.Label, id: len(g.nodes) + 1}
 	g.nodes[lam] = n
-	g.byLabel[lam.Label] = append(g.byLabel[lam.Label], n)
 	return n
 }
 
 // walk builds nodes and edges. host is the nearest non-transparent lambda
-// (or the root); shadowed tracks names rebound since entering it.
-func (g *callGraph) walk(e ast.Expr, info *ast.TailInfo, host *node, shadowed map[string]bool) {
+// (or the root).
+func (g *callGraph) walk(e ast.Expr, info *ast.TailInfo, host *node) {
 	switch x := e.(type) {
 	case *ast.Lambda:
 		if transparentLabel(x.Label) {
-			params := x.Params
-			if strings.HasPrefix(x.Label, "%letrec:") {
-				// The letrec wrapper's parameters are exactly the names the
-				// bound lambdas are labelled with — they do not shadow.
-				params = nil
-			}
-			g.walk(x.Body, info, host, copyShadow(shadowed, params))
+			g.walk(x.Body, info, host)
 			return
 		}
 		g.lambdaHost[x] = host
 		n := g.nodeFor(x)
-		g.walk(x.Body, info, n, copyShadow(nil, x.Params))
+		g.walk(x.Body, info, n)
 	case *ast.If:
-		g.walk(x.Test, info, host, shadowed)
-		g.walk(x.Then, info, host, shadowed)
-		g.walk(x.Else, info, host, shadowed)
+		g.walk(x.Test, info, host)
+		g.walk(x.Then, info, host)
+		g.walk(x.Else, info, host)
 	case *ast.Set:
-		g.walk(x.Rhs, info, host, shadowed)
+		g.walk(x.Rhs, info, host)
 	case *ast.Call:
-		g.recordCall(x, info, host, shadowed)
+		g.recordCall(x, info, host)
 		for _, sub := range x.Exprs {
-			g.walk(sub, info, host, shadowed)
+			g.walk(sub, info, host)
 		}
 	}
 }
 
-func (g *callGraph) recordCall(call *ast.Call, info *ast.TailInfo, host *node, shadowed map[string]bool) {
+func (g *callGraph) recordCall(call *ast.Call, info *ast.TailInfo, host *node) {
 	tail := info.IsTail(call)
 	g.hosts[call] = host
 	g.tailOf[call] = tail
-	switch op := call.Operator().(type) {
-	case *ast.Lambda:
-		if transparentLabel(op.Label) || plumbingCall(call) {
-			// A beta-redex of expander plumbing: the body runs within the
-			// host's activation and cannot be re-entered (it has no name),
-			// so it is not an edge.
-			return
+	if lam, ok := call.Operator().(*ast.Lambda); ok && (transparentLabel(lam.Label) || plumbingCall(call)) {
+		// A beta-redex of expander plumbing: the body runs within the
+		// host's activation and cannot be re-entered (it has no name),
+		// so it is not an edge.
+		return
+	}
+	if v, ok := call.Operator().(*ast.Var); ok && v.Name == "%undef" {
+		return
+	}
+	lams, unknown, reason := g.flow.resolve(call)
+	var targets []*node
+	for _, lam := range lams {
+		if transparentLabel(lam.Label) {
+			continue
 		}
-		// An immediately applied user lambda: a known edge to its node.
-		g.targets[call] = []*node{g.nodeFor(op)}
-		g.edges = append(g.edges, edge{from: host, to: g.nodeFor(op), tail: tail, site: call})
-	case *ast.Var:
-		if op.Name == "%undef" {
-			return
-		}
-		if !shadowed[op.Name] {
-			if _, isPrim := prim.Lookup(op.Name); isPrim && len(g.byLabel[op.Name]) == 0 {
-				// Direct application of a standard procedure: it returns
-				// immediately and performs no user calls; never an edge.
-				return
-			}
-		}
-		targets := g.byLabel[op.Name]
-		if shadowed[op.Name] || len(targets) == 0 {
-			g.unknownTarget[call] = true
-			if !tail {
-				g.unknownNonTail = append(g.unknownNonTail,
-					fmt.Sprintf("non-tail call to statically unknown procedure %s (in %s)", op.Name, host.label))
-			} else {
-				g.unresolvedTails = true
-			}
-			return
-		}
+		targets = append(targets, g.nodeFor(lam))
+	}
+	if len(targets) > 0 {
 		g.targets[call] = targets
-		for _, target := range targets {
-			g.edges = append(g.edges, edge{from: host, to: target, tail: tail, site: call})
+		for _, t := range targets {
+			g.edges = append(g.edges, edge{from: host, to: t, tail: tail, site: call})
 		}
-	default:
-		// Computed operator. Some computed operators still resolve
-		// statically — most importantly the top level of an application
-		// (P D), where P is the expanded program (a letrec redex whose value
-		// is the main procedure).
-		var refs []*ast.Var
-		if targets := g.valueOf(call.Operator(), shadowed, &refs); len(targets) > 0 {
-			for _, v := range refs {
-				g.resolvedRefs[v] = true
-			}
-			g.targets[call] = targets
-			for _, target := range targets {
-				g.edges = append(g.edges, edge{from: host, to: target, tail: tail, site: call})
-			}
-			return
-		}
+	}
+	if unknown {
 		g.unknownTarget[call] = true
+		g.unresolved = append(g.unresolved, unresolvedCall{call: call, host: host.label, tail: tail, reason: reason})
 		if !tail {
 			g.unknownNonTail = append(g.unknownNonTail,
-				fmt.Sprintf("non-tail call with computed operator (in %s)", host.label))
+				fmt.Sprintf("non-tail call to statically unknown procedure (in %s): %s", host.label, reason))
 		} else {
 			g.unresolvedTails = true
 		}
 	}
 }
 
-// valueOf resolves an expression to the set of procedures it can evaluate
-// to, or nil when the value is statically unknown. It sees through the
-// expander's redex plumbing: an immediately applied lambda evaluates to
-// whatever its body evaluates to, which is how the top-level letrec of a
-// define-style program resolves to its main procedure. Every variable
-// reference consumed along a successful resolution is appended to refs; the
-// caller commits them to resolvedRefs only when the whole resolution
-// succeeds and an edge is recorded.
-func (g *callGraph) valueOf(e ast.Expr, shadowed map[string]bool, refs *[]*ast.Var) []*node {
-	switch x := e.(type) {
-	case *ast.Lambda:
-		if transparentLabel(x.Label) {
-			return nil
-		}
-		return []*node{g.nodeFor(x)}
-	case *ast.Var:
-		if shadowed[x.Name] {
-			return nil
-		}
-		targets := g.byLabel[x.Name]
-		if len(targets) > 0 {
-			*refs = append(*refs, x)
-		}
-		return targets
-	case *ast.If:
-		a := g.valueOf(x.Then, shadowed, refs)
-		b := g.valueOf(x.Else, shadowed, refs)
-		if a == nil || b == nil {
-			// One arm unknown makes the whole conditional unknown.
-			return nil
-		}
-		return append(append([]*node{}, a...), b...)
-	case *ast.Call:
-		if lam, ok := x.Operator().(*ast.Lambda); ok {
-			params := lam.Params
-			if strings.HasPrefix(lam.Label, "%letrec:") {
-				params = nil // letrec params are the labelled procedures
-			}
-			return g.valueOf(lam.Body, copyShadow(shadowed, params), refs)
-		}
-		// Applying a resolvable procedure: the call's value is whatever the
-		// procedure's body can evaluate to (e.g. ((g)) where g returns a
-		// thunk). The visiting set cuts recursion knots, which stay unknown.
-		ops := g.valueOf(x.Operator(), shadowed, refs)
-		if len(ops) == 0 {
-			return nil
-		}
-		var out []*node
-		for _, t := range ops {
-			if t.lam == nil || g.valueVisiting[t] {
-				return nil
-			}
-			g.valueVisiting[t] = true
-			r := g.valueOf(t.lam.Body, copyShadow(nil, t.lam.Params), refs)
-			delete(g.valueVisiting, t)
-			if r == nil {
-				return nil
-			}
-			out = append(out, r...)
-		}
-		return out
-	}
-	return nil
-}
-
 // hasAnyUnresolvedTailTargets reports whether the program contains tail
-// calls whose targets the graph could not resolve (higher-order tail calls).
+// calls whose targets the flow analysis could not resolve (they hide
+// potential cycle-closing edges).
 func (g *callGraph) hasAnyUnresolvedTailTargets() bool {
 	return g.unresolvedTails
 }

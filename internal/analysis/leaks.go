@@ -74,6 +74,11 @@ type LeakReport struct {
 	// Ordering is the human-readable summary, e.g.
 	// "tail<gc, gc=stack, evlis<tail, free=tail, sfs=evlis, sfs<free".
 	Ordering string `json:"ordering"`
+	// Certificates are the per-machine space-class bounds (certify.go).
+	Certificates []Certificate `json:"certificates"`
+	// Unresolved lists every call site the flow analysis could not resolve —
+	// the reasons any verdict above is "unknown".
+	Unresolved []UnresolvedSite `json:"unresolved,omitempty"`
 }
 
 // RelationFor returns the relation for a pair like "evlis<tail", or a
@@ -115,6 +120,8 @@ func AnalyzeLeaks(e ast.Expr) *LeakReport {
 	}
 	rep.Relations = a.relations(control, parks, rets)
 	rep.Leaks = a.leaks(rep.Relations, parks, rets)
+	rep.Certificates = a.certify(control, parks, rets)
+	rep.Unresolved = a.unresolvedSites()
 	parts := make([]string, len(rep.Relations))
 	for i, r := range rep.Relations {
 		switch r.Verdict {

@@ -54,6 +54,13 @@ func (r *LintReport) Render() string {
 		fmt.Fprintf(&b, "      %s (separates %s)\n", l.Detail, l.Pair)
 	}
 	fmt.Fprintf(&b, "  predicted machine ordering: %s\n", r.Ordering)
+	for _, u := range r.Unresolved {
+		pos := "non-tail"
+		if u.Tail {
+			pos = "tail"
+		}
+		fmt.Fprintf(&b, "  unresolved %s call (node %d, in %s): %s\n      %s\n", pos, u.NodeID, u.Host, u.Expr, u.Reason)
+	}
 	for _, lc := range r.Lambdas {
 		if len(lc.Dead) == 0 {
 			continue

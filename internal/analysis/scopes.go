@@ -11,8 +11,11 @@ package analysis
 //
 // The pass also collects each binding's initializers — the operand of a
 // let-style redex, the set! right-hand side of a letrec, and (via the call
-// graph) the argument expressions of every resolved call site — which is
-// what the safety classifier in bindclass.go folds over.
+// graph's CFA-resolved edges) the argument expressions of every resolved
+// call site — which is what the safety classifier in bindclass.go folds
+// over. Whether a parameter can additionally receive values the analysis
+// does not track is no longer a syntactic question: the flow analysis
+// answers it directly (cfa.paramUnknown).
 
 import (
 	"strings"
@@ -37,17 +40,15 @@ type binding struct {
 	// inits are the statically known initializers: the let operand, the
 	// letrec set! right-hand side, or call-site arguments (joined later).
 	inits []ast.Expr
-	// initUnknown marks bindings that can receive values the graph cannot
-	// see: parameters of escaping procedures, arity-mismatched sites.
+	// initUnknown marks bindings that can receive values the flow analysis
+	// cannot track: parameters that may be ⊤ or a reified continuation,
+	// arity-mismatched sites, let wrappers missing an operand.
 	initUnknown bool
 	// uses counts variable references; setCount counts assignments after
 	// initialization. A binding with zero of both is provably dead code —
 	// only a machine's environment policy can keep its value alive.
 	uses     int
 	setCount int
-	// escapes marks bindings referenced outside operator position: their
-	// value flows somewhere the analysis does not track.
-	escapes bool
 
 	// Classification state (bindclass.go). cls and inputMag are rebuilt each
 	// fixpoint round; the done flags are the per-round memo.
@@ -56,15 +57,6 @@ type binding struct {
 	inputMag bool
 	magDone  bool
 }
-
-// lamContext records how a user lambda occurs in the program.
-type lamContext int
-
-const (
-	lamEscaped lamContext = iota // value position: flows somewhere untracked
-	lamApplied                   // operator position: immediately applied
-	lamBound                     // sole initializer of a let/letrec binding
-)
 
 type scopes struct {
 	g  *callGraph
@@ -84,10 +76,6 @@ type scopes struct {
 	lamScope map[*ast.Lambda][]*binding
 	// paramsOf gives the parameter bindings of each call-graph node.
 	paramsOf map[*node][]*binding
-	// lamCtx classifies each user lambda occurrence; boundTo gives the
-	// binding for lamBound lambdas.
-	lamCtx  map[*ast.Lambda]lamContext
-	boundTo map[*ast.Lambda]*binding
 	// driverArgs marks the operand expressions of top-level driver calls:
 	// the program's input knobs, whose magnitude scales with the sweep.
 	driverArgs map[ast.Expr]bool
@@ -104,8 +92,6 @@ func buildScopes(g *callGraph, root ast.Expr) *scopes {
 		lamEnv:     map[*ast.Lambda]map[string]*binding{},
 		lamScope:   map[*ast.Lambda][]*binding{},
 		paramsOf:   map[*node][]*binding{},
-		lamCtx:     map[*ast.Lambda]lamContext{},
-		boundTo:    map[*ast.Lambda]*binding{},
 		driverArgs: map[ast.Expr]bool{},
 	}
 	s.walk(root, g.root, map[string]*binding{}, nil)
@@ -133,13 +119,6 @@ func (s *scopes) walk(e ast.Expr, host *node, env map[string]*binding, rib []*bi
 		if b := env[x.Name]; b != nil {
 			s.varRef[x] = b
 			b.uses++
-			if !s.g.resolvedRefs[x] {
-				// Non-operator reference: the value flows away — unless the
-				// graph traced this very reference to a recorded call edge
-				// (e.g. the program value applied by the driver), in which
-				// case the flow is fully accounted for by joinCallSites.
-				b.escapes = true
-			}
 		}
 	case *ast.Lambda:
 		s.walkLambda(x, host, env, rib)
@@ -156,12 +135,12 @@ func (s *scopes) walk(e ast.Expr, host *node, env map[string]*binding, rib []*bi
 				// leading set!; the first assignment walked (syntactic
 				// order) is that initializer.
 				b.inits = append(b.inits, x.Rhs)
-				if lam, ok := x.Rhs.(*ast.Lambda); ok && !transparentLabel(lam.Label) {
-					s.lamCtx[lam] = lamBound
-					s.boundTo[lam] = b
-				}
 			} else {
+				// Every assigned value is one more initializer: the safety
+				// classifier folds over all of them, so mutation no longer
+				// forces pessimism by itself.
 				b.setCount++
+				b.inits = append(b.inits, x.Rhs)
 			}
 		}
 		s.walk(x.Rhs, host, env, rib)
@@ -176,9 +155,6 @@ func (s *scopes) walkLambda(x *ast.Lambda, host *node, env map[string]*binding, 
 	// new activation.
 	s.lamEnv[x] = copyEnv(env)
 	s.lamScope[x] = append([]*binding{}, rib...)
-	if _, seen := s.lamCtx[x]; !seen {
-		s.lamCtx[x] = lamEscaped
-	}
 	n := s.g.nodeFor(x)
 	newEnv := copyEnv(env)
 	params := make([]*binding, len(x.Params))
@@ -228,10 +204,6 @@ func (s *scopes) walkCall(x *ast.Call, host *node, env map[string]*binding, rib 
 				var b *binding
 				if i < len(ops) {
 					b = s.newBinding(p, letBind, host, ops[i])
-					if lam, ok := ops[i].(*ast.Lambda); ok && !transparentLabel(lam.Label) {
-						s.lamCtx[lam] = lamBound
-						s.boundTo[lam] = b
-					}
 				} else {
 					b = s.newBinding(p, letBind, host)
 					b.initUnknown = true
@@ -244,7 +216,6 @@ func (s *scopes) walkCall(x *ast.Call, host *node, env map[string]*binding, rib 
 		}
 		// Immediately applied user lambda: its params get their inits from
 		// the call-site join (the graph records the site as an edge).
-		s.lamCtx[op] = lamApplied
 		for _, arg := range x.Operands() {
 			s.walk(arg, host, env, rib)
 		}
@@ -252,7 +223,7 @@ func (s *scopes) walkCall(x *ast.Call, host *node, env map[string]*binding, rib 
 	case *ast.Var:
 		if b := env[op.Name]; b != nil {
 			s.varRef[op] = b
-			b.uses++ // operator position: a use, but not an escape
+			b.uses++ // operator position: a use like any other
 		}
 		for _, arg := range x.Operands() {
 			s.walk(arg, host, env, rib)
@@ -265,10 +236,17 @@ func (s *scopes) walkCall(x *ast.Call, host *node, env map[string]*binding, rib 
 }
 
 // joinCallSites distributes call-site argument expressions to parameter
-// bindings, and marks the parameters of escaping procedures as accepting
-// unknown values.
+// bindings along the CFA-resolved edges, and marks every parameter the flow
+// analysis says may receive untracked values (⊤ or a continuation) as
+// initUnknown.
 func (s *scopes) joinCallSites() {
 	for call, targets := range s.g.targets {
+		if _, isCC := s.g.flow.ccArg[call]; isCC {
+			// A (call/cc f) site: the targets are f's lambdas, but the value
+			// bound to their parameter is the reified continuation, not the
+			// call's operand. paramUnknown covers the parameter below.
+			continue
+		}
 		args := call.Operands()
 		for _, t := range targets {
 			params := s.paramsOf[t]
@@ -283,17 +261,9 @@ func (s *scopes) joinCallSites() {
 			}
 		}
 	}
-	for lam, ctx := range s.lamCtx {
-		escaped := false
-		switch ctx {
-		case lamEscaped:
-			escaped = true
-		case lamBound:
-			b := s.boundTo[lam]
-			escaped = b.escapes || b.setCount > 0 || b.initUnknown
-		}
-		if escaped {
-			for _, p := range s.paramsOf[s.g.nodes[lam]] {
+	for lam, n := range s.g.nodes {
+		for i, p := range s.paramsOf[n] {
+			if s.g.flow.paramUnknown(lam, i) {
 				p.initUnknown = true
 			}
 		}

@@ -1,0 +1,171 @@
+package analysis
+
+// This file is the worklist solver of the 0-CFA (cfa.go). Constraints are
+// monotone over a finite lattice (absval.go), so the loop terminates; the
+// result does not depend on processing order (the transfer functions are
+// join-preserving), and the graph layer sorts every extracted set, so the
+// whole analysis is deterministic.
+
+import "tailspace/internal/ast"
+
+// Flow behavior of primitive procedures. Control prims invoke user code;
+// everything else may store its arguments (Σ) and accessors may retrieve
+// them. The accessor set is accessorPrims in bindclass.go — the same table
+// the size classifier uses.
+var callccPrims = map[string]bool{
+	"call/cc": true, "call-with-current-continuation": true,
+}
+
+func (c *cfa) solve() {
+	for len(c.work) > 0 {
+		v := c.work[len(c.work)-1]
+		c.work = c.work[:len(c.work)-1]
+		v.inWork = false
+		for _, s := range v.succs {
+			c.flowInto(v, s)
+		}
+		for _, site := range v.opOf {
+			c.wireSite(site)
+		}
+	}
+}
+
+// wireSite applies every value currently in the site's operator variable
+// that has not been wired yet.
+func (c *cfa) wireSite(site *callSite) {
+	op := site.opVar
+	for _, lam := range c.sortedLams(op) {
+		if !site.applied[lam] {
+			site.applied[lam] = true
+			c.wireLambda(site, lam)
+		}
+	}
+	for name := range op.prims {
+		if !site.primsDone[name] {
+			site.primsDone[name] = true
+			c.wirePrim(site, name)
+		}
+	}
+	if op.cont && !site.contDone {
+		site.contDone = true
+		c.wireCont(site)
+	}
+	if op.top && !site.topDone {
+		site.topDone = true
+		c.markUnknown(site, "operator may be any value (statically untracked flow)")
+		for _, a := range site.argVars {
+			c.edge(a, c.escape)
+		}
+		c.setTop(site.resVar)
+	}
+}
+
+// wireLambda connects one applied lambda: arguments flow to parameters and
+// the body's value flows to the call's value. An arity mismatch would make
+// the machine stuck, so no value flows — but the parameters are poisoned
+// (⊤) so no precise claim survives about a procedure the program misuses.
+func (c *cfa) wireLambda(site *callSite, lam *ast.Lambda) {
+	params := c.paramVar[lam]
+	if len(site.argVars) != len(params) {
+		for _, p := range params {
+			c.setTop(p)
+		}
+		return
+	}
+	for i, a := range site.argVars {
+		c.edge(a, params[i])
+	}
+	c.edge(c.exprVar[lam.Body], site.resVar)
+}
+
+// wirePrim connects one primitive operator.
+func (c *cfa) wirePrim(site *callSite, name string) {
+	switch {
+	case callccPrims[name]:
+		c.wireCallCC(site)
+	case name == "apply":
+		// apply re-dispatches its first argument with a dynamically spread
+		// argument list: the procedure escapes (it may be called with
+		// anything) and anything may come back.
+		c.markUnknown(site, "apply re-dispatches its procedure argument with dynamic arguments")
+		for _, a := range site.argVars {
+			c.edge(a, c.escape)
+		}
+		c.setTop(site.resVar)
+	default:
+		// An ordinary primitive: it may store any procedure argument (Σ),
+		// and accessors may retrieve any stored procedure. No user code
+		// runs, so the site is not a call edge.
+		for _, a := range site.argVars {
+			c.edge(a, c.store)
+		}
+		if accessorPrims[name] {
+			c.edge(c.store, site.resVar)
+		}
+	}
+}
+
+// wireCallCC models (call/cc f): f is tail-called with the reified current
+// continuation as its one argument, and the site's value is whatever f
+// returns — or whatever any continuation is later applied to (contDelivery,
+// see wireCont).
+func (c *cfa) wireCallCC(site *callSite) {
+	if len(site.argVars) != 1 {
+		c.markUnknown(site, "call/cc applied with wrong arity")
+		c.setTop(site.resVar)
+		return
+	}
+	recv := site.argVars[0]
+	if c.ccArg[site.call] == nil {
+		c.ccArg[site.call] = recv
+	}
+	contv := c.newVar("cont")
+	c.setCont(contv)
+	c.edge(c.contDelivery(), site.resVar)
+	// Virtual application (f <cont>), sharing the call/cc site's result.
+	vsite := &callSite{
+		call: site.call, opVar: recv,
+		argVars:   []*flowVar{contv},
+		resVar:    site.resVar,
+		applied:   map[*ast.Lambda]bool{},
+		primsDone: map[string]bool{},
+	}
+	recv.opOf = append(recv.opOf, vsite)
+	c.wireSite(vsite)
+}
+
+// wireCont handles a site whose operator may be a reified continuation:
+// applying one replaces the control state — flow no static call edge
+// models — so the site is unresolved, and the argument is delivered to
+// every call/cc site's value.
+func (c *cfa) wireCont(site *callSite) {
+	c.contApplied = true
+	c.markUnknown(site, "operator may be a reified continuation (call/cc): applying it replaces the control state")
+	if len(site.argVars) == 1 {
+		c.edge(site.argVars[0], c.contDelivery())
+	} else {
+		for _, a := range site.argVars {
+			c.edge(a, c.escape)
+		}
+	}
+}
+
+// contDelivery is the join of every value any continuation is applied to;
+// it flows to every call/cc site's result.
+func (c *cfa) contDelivery() *flowVar {
+	if c.delivery == nil {
+		c.delivery = c.newVar("cont-delivery")
+	}
+	return c.delivery
+}
+
+// markUnknown records that a call site may invoke statically untracked
+// code; the first reason recorded wins (it names the root cause).
+func (c *cfa) markUnknown(site *callSite, reason string) {
+	if site.call == nil {
+		return
+	}
+	if _, done := c.topAt[site.call]; !done {
+		c.topAt[site.call] = reason
+	}
+}

@@ -9,6 +9,12 @@ package experiments
 // "equal" verdict demands the same class on both; "unknown" is exempt but
 // counted, so a regression that degrades precise verdicts into no-claims is
 // visible in the table.
+//
+// The grid also validates the space-class certificates: for every machine,
+// the certified class must upper-bound the fitted growth class (a
+// certificate may be loose, never wrong). RandLeakGridPrograms extends the
+// subject pool with deterministic randprog-generated loop bodies, so the
+// soundness contract is exercised on program shapes nobody hand-picked.
 
 import (
 	"fmt"
@@ -55,6 +61,28 @@ func LeakGridPrograms() []GridProgram {
 	return out
 }
 
+// RandLeakGridPrograms wraps deterministic randprog expressions in an
+// input-driven tail loop, so each random body is evaluated once per
+// recursion level while the driver argument scales. Candidates whose wrapped
+// form fails a probe sweep (a generator change could produce a stuck
+// program) are skipped rather than failing the grid.
+func RandLeakGridPrograms(seed int64, count int) []GridProgram {
+	var out []GridProgram
+	for i, body := range RandomPrograms(seed, count, 3) {
+		p := GridProgram{
+			Name:   fmt.Sprintf("rand-%02d", i),
+			Source: fmt.Sprintf("(define (f n)\n  (if (zero? n)\n      %s\n      (f (- n 1))))", body),
+			Inputs: []int{16, 64, 256},
+		}
+		variant, _ := core.ByName("tail")
+		if _, err := SweepProgram(p.Name, p.Source, variant, []int{4}, SweepOptions{Model: space.Fixnum, FlatOnly: true}); err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // classRank orders growth classes for verdict checking.
 func classRank(c GrowthClass) int {
 	switch c {
@@ -95,6 +123,28 @@ func LeakGrid(progs []GridProgram) (Table, error) {
 			}
 			t.Absorb(series.Metrics)
 			fits[m] = series.FitFlat()
+		}
+
+		// Certificate soundness: the certified class must upper-bound the
+		// fitted class on every machine. Certificate ranks share the fitted
+		// scale (O(1)=constant, O(n)=linear, unbounded above everything), so
+		// an unbounded certificate passes any meter and an O(1) certificate
+		// passes only a constant fit.
+		for _, cert := range rep.Certificates {
+			fit, ok := fits[cert.Machine]
+			if !ok {
+				continue
+			}
+			okMark := "yes"
+			if cert.Class.Rank() < classRank(fit.Class()) {
+				okMark = "NO"
+				t.Violationf("%s: certificate says S_%s is %s, but the meters fit %s",
+					p.Name, cert.Machine, cert.Class, fit.Class())
+			}
+			t.Rows = append(t.Rows, []string{
+				p.Name, "S_" + cert.Machine, "certificate",
+				string(cert.Class), string(fit.Class()), okMark,
+			})
 		}
 
 		for _, rel := range rep.Relations {

@@ -40,7 +40,46 @@ func TestLeakGrid(t *testing.T) {
 	if equals < 20 {
 		t.Errorf("grid found only %d equality claims", equals)
 	}
-	if want := len(LeakGridPrograms()) * 6; len(table.Rows) != want {
-		t.Errorf("grid has %d rows, want %d (six pairs per program)", len(table.Rows), want)
+	if want := len(LeakGridPrograms()) * 12; len(table.Rows) != want {
+		t.Errorf("grid has %d rows, want %d (six pairs + six certificates per program)", len(table.Rows), want)
+	}
+
+	// Certificates must not be vacuous: the Theorem 25 programs alone carry
+	// both O(1) bounds (countdown on the tail family) and unbounded ones.
+	var constant, unbounded int
+	for _, row := range table.Rows {
+		if row[2] != "certificate" {
+			continue
+		}
+		switch row[3] {
+		case "O(1)":
+			constant++
+		case "unbounded":
+			unbounded++
+		}
+	}
+	if constant < 4 || unbounded < 4 {
+		t.Errorf("certificate mix too flat: %d O(1), %d unbounded", constant, unbounded)
+	}
+}
+
+// TestLeakGridRandom runs the same soundness contract over deterministic
+// randprog-generated loop bodies: on every machine, the certificate must
+// upper-bound the fitted class, whatever shape the generator produced.
+func TestLeakGridRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid sweeps six machines per program")
+	}
+	progs := RandLeakGridPrograms(0x5eed, 12)
+	if len(progs) < 8 {
+		t.Fatalf("only %d of 12 random programs survived the probe sweep", len(progs))
+	}
+	table, err := LeakGrid(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Violations) > 0 {
+		t.Fatalf("certificates contradicted by the meters:\n%s\n%s",
+			strings.Join(table.Violations, "\n"), table.Render())
 	}
 }

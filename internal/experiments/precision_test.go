@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"tailspace/internal/analysis"
+	"tailspace/internal/core"
+	"tailspace/internal/corpus"
+)
+
+// TestFlowAnalysisPrecision pins the number of "unknown" pair verdicts over
+// the standard static universe: the Theorem 25 programs and parametric
+// corpus programs applied to a symbolic input, plus every corpus program as
+// written. The syntactic resolver (PR 3) left 9 of 288 pairs unknown
+// (cps-factorial, cps-fib, find-leftmost, list-library, church, stream-fibs,
+// callcc-product); the 0-CFA resolves all higher-order argument passing and
+// stored-closure flow, leaving only genuinely dynamic programs: call/cc
+// re-entry (callcc-product), apply dispatch (apply-spread, fold-apply), and
+// the metacircular evaluators, whose closure calls flow through an
+// association-list store the one-cell heap summary cannot separate.
+//
+// The count may only go DOWN (more precision) without touching this test; a
+// change that pushes it up is a precision regression that needs a paper
+// trail here.
+func TestFlowAnalysisPrecision(t *testing.T) {
+	type subject struct {
+		name string
+		src  string
+		// applied subjects are wrapped Definition 23 style before analysis.
+		applied bool
+	}
+	var subjects []subject
+	for _, p := range Thm25Programs() {
+		subjects = append(subjects, subject{p.Name, p.Source, true})
+	}
+	for _, p := range corpus.ParametricPrograms() {
+		subjects = append(subjects, subject{p.Name, p.Source, true})
+	}
+	for _, p := range corpus.All() {
+		subjects = append(subjects, subject{p.Name, p.Source, false})
+	}
+
+	unknown := map[string]int{}
+	pairs, total := 0, 0
+	for _, s := range subjects {
+		var rep *analysis.LeakReport
+		if s.applied {
+			e, err := core.ApplicationExpr(s.src, "(quote 2)")
+			if err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+			rep = analysis.AnalyzeLeaks(e)
+		} else {
+			var err error
+			rep, err = analysis.AnalyzeLeaksSource(s.src)
+			if err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+		}
+		for _, r := range rep.Relations {
+			pairs++
+			if r.Verdict == analysis.NoClaim {
+				unknown[s.name]++
+				total++
+			}
+		}
+	}
+
+	const syntacticBaseline = 9 // PR 3's resolver, same universe
+	if total >= syntacticBaseline {
+		t.Errorf("unknown pair verdicts = %d of %d; must stay strictly below the syntactic baseline of %d",
+			total, pairs, syntacticBaseline)
+	}
+
+	want := map[string]int{
+		"callcc-product":         1,
+		"apply-spread":           2,
+		"fold-apply":             1,
+		"metacircular":           1,
+		"metacircular-tail-loop": 1,
+	}
+	if len(unknown) != len(want) {
+		t.Errorf("programs with unknown pairs: %v, want %v", keys(unknown), keys(want))
+	}
+	for name, n := range want {
+		if unknown[name] != n {
+			t.Errorf("%s: %d unknown pairs, want %d", name, unknown[name], n)
+		}
+	}
+	for name, n := range unknown {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected unknown pairs on %s: %d", name, n)
+		}
+	}
+	if pairs < 288 {
+		t.Errorf("universe shrank to %d pairs; the pinned counts assume at least 288", pairs)
+	}
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, fmt.Sprint(k))
+	}
+	sort.Strings(out)
+	return out
+}

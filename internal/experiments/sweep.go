@@ -100,14 +100,14 @@ func sweep(label string, gen func(n int) string, v core.Variant, ns []int, opts 
 	err := runGrid(len(ns), func(i int) error {
 		n := ns[i]
 		res, err := core.RunApplication(gen(n), fmt.Sprintf("(quote %d)", n), core.Options{
-			Variant:    v,
-			Measure:    true,
-			FlatOnly:   opts.FlatOnly,
-			GCEvery:    1,
-			MaxSteps:   maxSteps,
-			CostModel:  expModel(opts.Model),
-			Order:      opts.Order,
-			Cancel:     cancelChan(),
+			Variant:   v,
+			Measure:   true,
+			FlatOnly:  opts.FlatOnly,
+			GCEvery:   1,
+			MaxSteps:  maxSteps,
+			CostModel: expModel(opts.Model),
+			Order:     opts.Order,
+			Cancel:    cancelChan(),
 		})
 		if err != nil {
 			return fmt.Errorf("%s [%s] n=%d: %w", label, v, n, err)

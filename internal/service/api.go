@@ -68,8 +68,8 @@ type MeasureRequest struct {
 	CostModels []string `json:"costModels,omitempty"`
 	// FlatOnly skips the Figure 8 linked measurement (U_X), whose per-step
 	// cost is O(configuration).
-	FlatOnly bool `json:"flatOnly,omitempty"`
-	MaxSteps int  `json:"maxSteps,omitempty"`
+	FlatOnly bool   `json:"flatOnly,omitempty"`
+	MaxSteps int    `json:"maxSteps,omitempty"`
 	Order    string `json:"order,omitempty"`
 }
 
@@ -77,7 +77,7 @@ type MeasureRequest struct {
 type MeasureCell struct {
 	Machine   string `json:"machine"`
 	CostModel string `json:"costModel"`
-	Outcome string `json:"outcome"`
+	Outcome   string `json:"outcome"`
 	// Flat is |P| + peak Figure 7 space (the S_X sample); Linked is
 	// |P| + peak Figure 8 space (the U_X sample, 0 when flatOnly).
 	Flat      int    `json:"flat"`
@@ -110,6 +110,25 @@ type LintResponse struct {
 	// Confirmed mirrors LintReport.Confirmed() so clients need not count
 	// leaks themselves.
 	Confirmed bool `json:"confirmed"`
+}
+
+// ClassifyRequest derives per-machine space-class certificates for one
+// program: for each of the paper's six machines, an O(1)/O(n)/unbounded
+// upper bound on S_X with the evidence that forced it.
+type ClassifyRequest struct {
+	// Name labels the program in the report; empty means "program".
+	Name    string `json:"name,omitempty"`
+	Program string `json:"program"`
+	// CostModel is the space cost model the certificates are stated under
+	// ("word", "fixnum", or "log"); empty means word. Logarithmic pricing
+	// widens unit-cost bounds, so the model is part of the cache identity.
+	CostModel string `json:"costModel,omitempty"`
+}
+
+// ClassifyResponse is the certificate report, in the same JSON shape
+// tailscan -classify -json emits one element of.
+type ClassifyResponse struct {
+	*analysis.ClassifyReport
 }
 
 // HealthResponse is the body of GET /healthz.

@@ -127,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/eval", s.logged("/v1/eval", s.handleEval))
 	mux.HandleFunc("POST /v1/measure", s.logged("/v1/measure", s.handleMeasure))
 	mux.HandleFunc("POST /v1/lint", s.logged("/v1/lint", s.handleLint))
+	mux.HandleFunc("POST /v1/classify", s.logged("/v1/classify", s.handleClassify))
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.logged("/v1/runs/{id}/events", s.handleRunEvents))
 	mux.HandleFunc("GET /v1/traces/{id}", s.logged("/v1/traces/{id}", s.handleTrace))
 	mux.HandleFunc("GET /healthz", s.logged("/healthz", s.handleHealthz))
@@ -648,6 +649,58 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request, st *reqState
 			return nil, err
 		}
 		return &LintResponse{LintReport: rep, Confirmed: rep.Confirmed()}, nil
+	})
+	st.cache = disposition
+	if err != nil {
+		st.cache = errOutcome(err)
+		writeError(w, computeStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, st *reqState) {
+	var req ClassifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "program"
+	}
+	model, err := parseCostModel(req.CostModel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	expandStart := time.Now()
+	expanded, _, err := expandProgram(req.Program)
+	s.span(st.tc, "expand", expandStart)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The model's canonical Name enters the key (like /v1/measure cells):
+	// certificates widen under logarithmic pricing, so the same program
+	// under two models is two cache identities.
+	key := cacheKey("classify", expanded, "", name, model.Name())
+
+	ctx, cancel := s.withDeadline(r)
+	defer cancel()
+	val, disposition, err := s.cache.do(ctx, s.base, s.cfg.RequestTimeout, key, s.lookupSpan(st.tc), func(fctx context.Context) (any, error) {
+		waitStart := time.Now()
+		release, err := s.acquire(fctx)
+		if err != nil {
+			return nil, err
+		}
+		wait := s.span(st.tc, "queue-wait", waitStart)
+		s.metrics.Observe(MetricQueueWaitUS, wait.Microseconds())
+		defer release()
+		rep, err := analysis.ClassifySource(name, req.Program, model.Name())
+		if err != nil {
+			return nil, err
+		}
+		return &ClassifyResponse{ClassifyReport: rep}, nil
 	})
 	st.cache = disposition
 	if err != nil {

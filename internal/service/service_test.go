@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"tailspace/internal/analysis"
 	"tailspace/internal/core"
 	"tailspace/internal/obs"
 	"tailspace/internal/space"
@@ -299,6 +300,31 @@ driver`
 	}
 }
 
+// TestClassifyEndpoint serves space-class certificates, with the cost
+// model part of the result (and the cache identity): logarithmic pricing
+// widens countdown's O(1) tail certificate to O(n).
+func TestClassifyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	program := countdown + "\nf"
+	var word ClassifyResponse
+	if status := post(t, ts.URL+"/v1/classify", ClassifyRequest{Name: "countdown", Program: program}, &word); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if word.Program != "countdown" || word.Model != "word" {
+		t.Errorf("header = %q/%q, want countdown/word", word.Program, word.Model)
+	}
+	if c := word.CertificateFor("tail"); c.Class != analysis.ClassConstant {
+		t.Errorf("word-model tail certificate = %+v, want O(1)", c)
+	}
+	var log ClassifyResponse
+	if status := post(t, ts.URL+"/v1/classify", ClassifyRequest{Name: "countdown", Program: program, CostModel: "log"}, &log); status != http.StatusOK {
+		t.Fatalf("log status = %d", status)
+	}
+	if c := log.CertificateFor("tail"); c.Class != analysis.ClassLinear {
+		t.Errorf("log-model tail certificate = %+v, want O(n)", c)
+	}
+}
+
 // TestBadRequests pins the 400 paths.
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
@@ -311,6 +337,8 @@ func TestBadRequests(t *testing.T) {
 		{"unknown machine", "/v1/eval", EvalRequest{Program: "(+ 1 2)", Machine: "zinc"}},
 		{"random order", "/v1/eval", EvalRequest{Program: "(+ 1 2)", Order: "random"}},
 		{"unknown cost model", "/v1/measure", MeasureRequest{Program: "(+ 1 2)", CostModels: []string{"decimal"}}},
+		{"classify bad model", "/v1/classify", ClassifyRequest{Program: "(+ 1 2)", CostModel: "decimal"}},
+		{"classify parse error", "/v1/classify", ClassifyRequest{Program: "(unclosed"}},
 		{"bad input", "/v1/measure", MeasureRequest{Program: countdown, Input: "(((("}},
 	}
 	for _, tc := range cases {

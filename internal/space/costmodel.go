@@ -174,8 +174,9 @@ func modelFrame(m CostModel, k value.Cont) Cost {
 		return Cost{Units: 1}.AddScaled(b, x.Env.Size())
 	case *value.ReturnStack:
 		return Cost{Units: 1}.AddScaled(b, x.Env.Size())
+	default:
+		panic(fmt.Sprintf("space: unpriced continuation frame %T — every frame kind must be charged", k))
 	}
-	panic(fmt.Sprintf("space: unpriced continuation frame %T — every frame kind must be charged", k))
 }
 
 // WordModel is the paper's accounting: every word — pointer or not — costs

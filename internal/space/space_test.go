@@ -218,7 +218,7 @@ func TestLogModelPtrWidth(t *testing.T) {
 			t.Errorf("PtrWidth(%d) = %d, want %d", live, got, want)
 		}
 	}
-	if Word.PtrWidth(1 << 20) != 1 || Fixnum.PtrWidth(1<<20) != 1 {
+	if Word.PtrWidth(1<<20) != 1 || Fixnum.PtrWidth(1<<20) != 1 {
 		t.Error("word and fixnum pointers must stay one word")
 	}
 }

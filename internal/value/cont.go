@@ -1,6 +1,8 @@
 package value
 
 import (
+	"fmt"
+
 	"tailspace/internal/ast"
 	"tailspace/internal/env"
 )
@@ -156,6 +158,11 @@ func ContLocations(k Cont, out []env.Location) []env.Location {
 			// makes Z_stack asymptotically worse than a garbage collector
 			// (Section 5, Theorem 25(a)).
 			out = append(out, x.Del...)
+		default:
+			// A frame kind this walk does not know would silently lose GC
+			// roots — fail loudly instead (and see tools/analyzers, which
+			// rejects the build when a case is missing).
+			panic(fmt.Sprintf("value: unrooted continuation frame %T — every frame kind must contribute its roots", k))
 		}
 		k = k.Next()
 	}

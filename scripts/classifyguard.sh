@@ -1,0 +1,35 @@
+#!/bin/sh
+# classifyguard.sh — regenerate the per-machine space-class certificates
+# for the whole bundled corpus under the default word cost model and
+# require them byte-identical to the committed CLASSIFY_baseline.json.
+# The certificates are deterministic (the flow analysis is confluent and
+# every extraction is sorted), so any byte of drift means the analyzer's
+# verdicts changed. A refactor of the analysis layers must leave this
+# output untouched; a deliberate precision or certificate-format change
+# regenerates the baseline with:
+#
+#   go run ./cmd/tailscan -classify -json > CLASSIFY_baseline.json
+#
+# Usage: scripts/classifyguard.sh [baseline.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-CLASSIFY_baseline.json}"
+if [ ! -f "$baseline" ]; then
+    echo "classifyguard: baseline $baseline not found" >&2
+    exit 1
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "==> tailscan -classify -json (corpus, word model)"
+go run ./cmd/tailscan -classify -json > "$fresh"
+
+if ! cmp -s "$baseline" "$fresh"; then
+    echo "classifyguard: certificates diverge from $baseline:" >&2
+    diff "$baseline" "$fresh" >&2 || true
+    exit 1
+fi
+echo "==> certificates byte-identical to $baseline"

@@ -1,0 +1,183 @@
+// Command framecheck is the repository's custom vet tool, run as
+//
+//	go vet -vettool=$(bin)/framecheck ./...
+//
+// It speaks the go command's (unpublished) vet driver protocol without
+// depending on golang.org/x/tools, so it builds from the standard library
+// alone: the go command probes the tool's identity with -V=full, discovers
+// its flags with -flags, and then invokes it once per package with the
+// path to a generated vet.cfg describing the package and the export data
+// of its dependencies. Diagnostics go to stderr as file:line:col messages
+// and any finding exits non-zero, which fails the whole go vet run.
+//
+// The checks themselves live in tailspace/tools/analyzers/framecheck.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"tailspace/tools/analyzers/framecheck"
+)
+
+// vetConfig is the subset of the go command's vet.cfg this tool consumes.
+// Unknown fields are ignored, so the struct tracks only what typechecking
+// needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("framecheck: ")
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// The tool defines no analyzer flags; the go command still
+			// requires the JSON list to decide what it may pass through.
+			fmt.Println("[]")
+			return
+		}
+	}
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: framecheck vet.cfg  (normally via go vet -vettool)")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 || !strings.HasSuffix(flag.Arg(0), ".cfg") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	diags, err := run(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// printVersion answers the go command's tool-identity probe. The reported
+// buildID hashes this binary, so rebuilding the tool with different checks
+// invalidates go vet's cached verdicts.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-omitted buildID=%x\n", exe, h.Sum(nil))
+}
+
+func run(cfgPath string) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// Facts protocol: this tool exports none, but the go command expects
+	// the output file to exist so it can cache it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the config: the import path as written maps
+	// through ImportMap to the path whose compiled export data PackageFile
+	// names ("unsafe" is synthesized by the gc importer itself).
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compiled.Import(path)
+	})
+
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var out []string
+	for _, d := range framecheck.Check(files, pkg, info) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+	}
+	return out, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,129 @@
+package framecheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// src exercises both passes: names is missing ruleB, size is missing *ret,
+// while zeroed (explicit zero value), full (complete table), and describe
+// (non-panicking default) must stay silent.
+const src = `package p
+
+type frame interface{ isFrame() }
+
+type halt struct{}
+type push struct{}
+type ret struct{}
+
+func (halt) isFrame()  {}
+func (*push) isFrame() {}
+func (*ret) isFrame()  {}
+
+type rule int
+
+const (
+	ruleA rule = iota
+	ruleB
+	ruleC
+	numRules
+)
+
+var names = [numRules]string{
+	ruleA: "a",
+	ruleC: "c",
+}
+
+var full = [numRules]string{
+	ruleA: "a",
+	ruleB: "b",
+	ruleC: "c",
+}
+
+var zeroed = [numRules]int{}
+
+func size(f frame) int {
+	switch f.(type) {
+	case halt:
+		return 0
+	case *push:
+		return 1
+	default:
+		panic("unreachable frame")
+	}
+}
+
+func describe(f frame) string {
+	switch f.(type) {
+	case halt:
+		return "halt"
+	default:
+		return "other"
+	}
+}
+`
+
+func checkSource(t *testing.T, src string) ([]Diagnostic, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Check([]*ast.File{f}, pkg, info), fset
+}
+
+func TestCheck(t *testing.T) {
+	diags, _ := checkSource(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if want := "missing entries for ruleB"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("diag 0 = %q, want mention of %q", diags[0].Message, want)
+	}
+	if want := "missing cases for *ret"; !strings.Contains(diags[1].Message, want) {
+		t.Errorf("diag 1 = %q, want mention of %q", diags[1].Message, want)
+	}
+}
+
+// TestPositionalLiteral covers the untyped-bound and positional-element
+// paths: a half-filled positional table is flagged with raw indices.
+func TestPositionalLiteral(t *testing.T) {
+	const src = `package p
+
+const n = 3
+
+var tbl = [n]string{"a", "b"}
+`
+	diags, _ := checkSource(t, src)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if want := "missing entries for index 2"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("diag = %q, want mention of %q", diags[0].Message, want)
+	}
+}
+
+// TestLiteralLengthExempt: arrays sized by a literal are not enum tables.
+func TestLiteralLengthExempt(t *testing.T) {
+	const src = `package p
+
+var tbl = [3]string{"a"}
+`
+	if diags, _ := checkSource(t, src); len(diags) != 0 {
+		t.Fatalf("literal-length array flagged: %+v", diags)
+	}
+}

@@ -1,0 +1,3 @@
+module tailspace/tools/analyzers
+
+go 1.22
