@@ -77,6 +77,12 @@ var (
 	accessorPrims = map[string]bool{
 		"car": true, "cdr": true, "list-ref": true, "list-tail": true,
 		"vector-ref": true,
+		// Composed accessors (internal/prim/listops.go registers exactly
+		// these): they retrieve from the store like car/cdr do, so omitting
+		// one would hand its call sites an empty abstract value — a wrong
+		// O(1) claim, not a degradation to ⊤.
+		"caar": true, "cadr": true, "cdar": true, "cddr": true,
+		"caddr": true, "cadddr": true,
 	}
 )
 

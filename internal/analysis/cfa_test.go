@@ -78,6 +78,47 @@ func TestStoredClosureResolvesThroughHeap(t *testing.T) {
 	}
 }
 
+// TestStoredClosureResolvesThroughComposedAccessor: the same heap flow as
+// above but retrieved with (cadr cell) — the composed accessors registered
+// in internal/prim must sit in the accessor table, or the forcing site
+// receives an *empty* abstract value: no edges, no unresolved entry, and a
+// silently wrong bounded claim.
+func TestStoredClosureResolvesThroughComposedAccessor(t *testing.T) {
+	src := `
+(define (force cell) ((cadr cell)))
+(define (spin n cell)
+  (if (zero? n) (force cell) (spin (- n 1) cell)))
+(spin 10 (list 0 (lambda () 0)))`
+	rep := lintOf(t, src)
+	if rep.Control != BoundedControl.String() {
+		t.Fatalf("control %v, want bounded", rep.Control)
+	}
+	if len(rep.Unresolved) != 0 {
+		t.Fatalf("cadr-retrieved thunk should resolve through Σ: %+v", rep.Unresolved)
+	}
+}
+
+// TestComposedAccessorNonTailSoundness: a non-tail loop recursing through
+// ((cadr cell)) grows control on the stack machines; if cadr were missing
+// from the accessor table the site would get no call edge at all and the
+// verdict would be a wrong "bounded" — the soundness direction, not mere
+// precision, depends on this entry.
+func TestComposedAccessorNonTailSoundness(t *testing.T) {
+	src := `
+(define (loop n cell)
+  (if (zero? n)
+      0
+      (+ 1 ((cadr cell) (- n 1) cell))))
+(loop 10 (list 0 loop))`
+	rep := lintOf(t, src)
+	if rep.Control != UnboundedControl.String() {
+		t.Fatalf("control %v, want unbounded (the cadr-retrieved call re-enters non-tail)", rep.Control)
+	}
+	if len(rep.Unresolved) != 0 {
+		t.Fatalf("the retrieved procedure is statically known: %+v", rep.Unresolved)
+	}
+}
+
 // TestCallccTailReentry: applying the reified continuation is the one call
 // no static edge models, so the site must surface as unresolved — but it
 // sits in tail position, and unknown tail calls never grow control, so the

@@ -67,6 +67,12 @@ func LeakGridPrograms() []GridProgram {
 // form fails a probe sweep (a generator change could produce a stuck
 // program) are skipped rather than failing the grid.
 func RandLeakGridPrograms(seed int64, count int) []GridProgram {
+	// A missing probe variant must fail loudly: swallowing it would skip
+	// every candidate and silently empty the random subject pool.
+	variant, ok := core.ByName("tail")
+	if !ok {
+		panic("leakgrid: probe variant \"tail\" is not registered")
+	}
 	var out []GridProgram
 	for i, body := range RandomPrograms(seed, count, 3) {
 		p := GridProgram{
@@ -74,7 +80,6 @@ func RandLeakGridPrograms(seed int64, count int) []GridProgram {
 			Source: fmt.Sprintf("(define (f n)\n  (if (zero? n)\n      %s\n      (f (- n 1))))", body),
 			Inputs: []int{16, 64, 256},
 		}
-		variant, _ := core.ByName("tail")
 		if _, err := SweepProgram(p.Name, p.Source, variant, []int{4}, SweepOptions{Model: space.Fixnum, FlatOnly: true}); err != nil {
 			continue
 		}

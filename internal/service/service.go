@@ -674,7 +674,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, st *reqS
 		return
 	}
 	expandStart := time.Now()
-	expanded, _, err := expandProgram(req.Program)
+	program, err := expand.ParseProgram(req.Program)
 	s.span(st.tc, "expand", expandStart)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -682,8 +682,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, st *reqS
 	}
 	// The model's canonical Name enters the key (like /v1/measure cells):
 	// certificates widen under logarithmic pricing, so the same program
-	// under two models is two cache identities.
-	key := cacheKey("classify", expanded, "", name, model.Name())
+	// under two models is two cache identities. The expanded AST is kept
+	// and fed straight to the classifier — one parse+expand per miss.
+	key := cacheKey("classify", program.String(), "", name, model.Name())
 
 	ctx, cancel := s.withDeadline(r)
 	defer cancel()
@@ -696,10 +697,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, st *reqS
 		wait := s.span(st.tc, "queue-wait", waitStart)
 		s.metrics.Observe(MetricQueueWaitUS, wait.Microseconds())
 		defer release()
-		rep, err := analysis.ClassifySource(name, req.Program, model.Name())
-		if err != nil {
-			return nil, err
-		}
+		rep := analysis.Classify(name, program, model.Name())
 		return &ClassifyResponse{ClassifyReport: rep}, nil
 	})
 	st.cache = disposition
