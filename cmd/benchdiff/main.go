@@ -6,13 +6,19 @@
 // For every benchmark present in either file it shows old and new ns/op,
 // the relative change, and the allocs/op movement. Benchmarks present in
 // only one file are listed as added/removed rather than dropped silently.
-// The exit status is always 0 when both files parse: benchdiff reports,
-// it does not gate — wire it as a non-blocking CI step and read the
-// artifact when a number looks off.
+//
+// By default the exit status is 0 whenever both files parse: benchdiff
+// reports. With -fail-over P it also gates: any benchmark present in both
+// reports whose ns/op grew by more than P percent fails the run with exit
+// status 1. Added and removed benchmarks never trip the gate — they have
+// nothing to be compared against. Pick P with the noise floor of the
+// machine in mind; shared CI runners need a generous threshold (~35%) to
+// gate on real regressions without flaking on scheduler jitter.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -36,20 +42,28 @@ type report struct {
 }
 
 func main() {
-	if len(os.Args) == 2 && os.Args[1] == "-version" {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	failOver := fs.Float64("fail-over", 0, "exit 1 when any benchmark in both reports slows down by more than this percent (0 disables the gate)")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over PCT] <old.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if *showVersion {
 		version.Print(os.Stdout, "benchdiff")
 		return
 	}
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.json> <new.json>")
+	if fs.NArg() != 2 {
+		fs.Usage()
 		os.Exit(2)
 	}
-	old, err := load(os.Args[1])
+	old, err := load(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	new_, err := load(os.Args[2])
+	new_, err := load(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
@@ -71,6 +85,7 @@ func main() {
 	}
 	sort.Strings(names)
 
+	var regressions []string
 	fmt.Printf("%-50s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
 	for _, n := range names {
 		o, hasOld := oldBy[n]
@@ -85,6 +100,9 @@ func main() {
 			if o.NsPerOp > 0 {
 				pct := (nw.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 				delta = fmt.Sprintf("%+.1f%%", pct)
+				if *failOver > 0 && pct > *failOver {
+					regressions = append(regressions, fmt.Sprintf("%s: %s -> %s (%s)", n, fmtNs(o.NsPerOp), fmtNs(nw.NsPerOp), delta))
+				}
 			}
 			allocs := fmt.Sprintf("%d -> %d", o.AllocsPerOp, nw.AllocsPerOp)
 			if o.AllocsPerOp == nw.AllocsPerOp {
@@ -92,6 +110,13 @@ func main() {
 			}
 			fmt.Printf("%-50s %14s %14s %9s %16s\n", n, fmtNs(o.NsPerOp), fmtNs(nw.NsPerOp), delta, allocs)
 		}
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond %.0f%%:\n", len(regressions), *failOver)
+		for _, r := range regressions {
+			fmt.Printf("  %s\n", r)
+		}
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,286 @@
+package compile
+
+import (
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+)
+
+// scope is the compile-time shadow of an environment's rib chain: one level
+// per runtime rib, newest first. Register environments ground out in ρ0
+// (ground marks the terminal level standing for it, which contributes no
+// coordinates — ρ0 bindings resolve to constant locations); restricted
+// environments are single flat ribs over nothing, so their chains simply end.
+//
+// The invariant the compiler maintains — and the executor relies on — is that
+// every Node is only ever evaluated with an environment register of its
+// scope's shape. Extensions and restrictions with zero identifiers push no
+// runtime rib, so they introduce no scope level either.
+type scope struct {
+	syms   []env.Symbol
+	up     *scope
+	ground bool
+}
+
+type compiler struct {
+	cfg     Config
+	globals env.Env
+	fv      *ast.FreeVarCache
+}
+
+// Program compiles an expanded program against the global environment ρ0.
+// Compilation is total on expander output; an expression form the compiler
+// does not know (an Expr implementation outside package ast) aborts with an
+// error so callers can fall back to the stepper.
+func Program(e ast.Expr, cfg Config, globals env.Env) (*Prog, error) {
+	c := &compiler{cfg: cfg, globals: globals, fv: ast.NewFreeVarCache()}
+	root, err := c.compile(e, &scope{ground: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Prog{Root: root, Config: cfg}, nil
+}
+
+// resolve finds sym in the scope chain, mirroring LookupSym's order exactly:
+// newest rib first and, within a rib, later entries shadow earlier ones.
+func (c *compiler) resolve(sc *scope, sym env.Symbol) Ref {
+	depth := 0
+	for s := sc; s != nil; s = s.up {
+		if s.ground {
+			if loc, ok := c.globals.LookupSym(sym); ok {
+				return Ref{Kind: RefGlobal, Loc: loc}
+			}
+			return Ref{Kind: RefUnbound}
+		}
+		for i := len(s.syms) - 1; i >= 0; i-- {
+			if s.syms[i] == sym {
+				return Ref{Kind: RefLocal, Depth: depth, Index: i}
+			}
+		}
+		depth++
+	}
+	return Ref{Kind: RefUnbound}
+}
+
+// restriction resolves a keep list (sorted, deduplicated — as the
+// FreeVarCache delivers it) against sc, building the capture plan and the
+// scope of the flat environment the plan builds. Identifiers that do not
+// resolve are dropped, exactly as RestrictSyms drops identifiers LookupSym
+// cannot find.
+func (c *compiler) restriction(sc *scope, keep []env.Symbol) (*CapPlan, *scope) {
+	syms := make([]env.Symbol, 0, len(keep))
+	fetch := make([]Ref, 0, len(keep))
+	for _, s := range keep {
+		if ref := c.resolve(sc, s); ref.Kind != RefUnbound {
+			syms = append(syms, s)
+			fetch = append(fetch, ref)
+		}
+	}
+	p := &CapPlan{Syms: syms, Fetch: fetch}
+	p.seal()
+	return p, &scope{syms: syms}
+}
+
+// freshCount is the compile-time half of ExtendSized: how many params are
+// neither repeated later in the rib nor bound in the environment whose shape
+// is below — the |Dom ρ| growth ExtendSyms recomputes per call.
+func (c *compiler) freshCount(params []env.Symbol, below *scope) int {
+	fresh := 0
+params:
+	for i, s := range params {
+		for j := i + 1; j < len(params); j++ {
+			if params[j] == s {
+				continue params
+			}
+		}
+		if c.resolve(below, s).Kind == RefUnbound {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+func (c *compiler) compile(e ast.Expr, sc *scope) (*Node, error) {
+	switch x := e.(type) {
+	case *ast.Const:
+		return &Node{Expr: e, Op: OpConst, Const: constValue(x.Value)}, nil
+
+	case *ast.Var:
+		sym := x.Sym
+		if sym == 0 {
+			sym = env.Intern(x.Name)
+		}
+		ref := c.resolve(sc, sym)
+		op := OpLocal
+		switch ref.Kind {
+		case RefGlobal:
+			op = OpGlobal
+		case RefUnbound:
+			op = OpUnbound
+		}
+		return &Node{Expr: e, Op: op, Ref: ref, Name: x.Name, Sym: sym}, nil
+
+	case *ast.Lambda:
+		params := x.ParamSyms
+		if params == nil && len(x.Params) > 0 {
+			params = env.InternAll(x.Params)
+		}
+		capScope := sc
+		var capPlan *CapPlan
+		if c.cfg.FreeClosures {
+			capPlan, capScope = c.restriction(sc, c.fv.FreeSyms(x))
+		}
+		bodyScope := capScope
+		if len(params) > 0 {
+			bodyScope = &scope{syms: params, up: capScope}
+		}
+		body, err := c.compile(x.Body, bodyScope)
+		if err != nil {
+			return nil, err
+		}
+		code := &LambdaCode{
+			Lam:    x,
+			Body:   body,
+			Params: params,
+			Cap:    capPlan,
+			Fresh:  c.freshCount(params, capScope),
+		}
+		return &Node{Expr: e, Op: OpLambda, Code: code}, nil
+
+	case *ast.If:
+		contScope := sc
+		var capPlan *CapPlan
+		if c.cfg.RestrictConts {
+			capPlan, contScope = c.restriction(sc, c.fv.FreeSymsUnion(x.Then, x.Else))
+		}
+		test, err := c.compile(x.Test, sc)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compile(x.Then, contScope)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.compile(x.Else, contScope)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Expr: e, Op: OpIf, Test: test, Then: then, Else: els, Cap: capPlan}, nil
+
+	case *ast.Set:
+		sym := x.Sym
+		if sym == 0 {
+			sym = env.Intern(x.Name)
+		}
+		ref := c.resolve(sc, sym)
+		n := &Node{Expr: e, Op: OpSet, Ref: ref, Name: x.Name, Sym: sym}
+		plan := &AssignPlan{Ref: ref}
+		if c.cfg.RestrictConts {
+			// The frame keeps only the target binding (RestrictToSym): within
+			// that one-entry rib the target sits at (0, 0); an unbound target
+			// leaves the frame the empty environment.
+			n.Restrict = true
+			if ref.Kind == RefUnbound {
+				plan.Ref = Ref{Kind: RefUnbound}
+			} else {
+				plan.Ref = Ref{Kind: RefLocal}
+				n.Syms = []env.Symbol{sym}
+			}
+		}
+		n.Plan = plan
+		rhs, err := c.compile(x.Rhs, sc)
+		if err != nil {
+			return nil, err
+		}
+		n.Rhs = rhs
+		return n, nil
+
+	case *ast.Call:
+		return c.compileCall(x, sc)
+	}
+	return nil, fmt.Errorf("compile: unknown expression form %T", e)
+}
+
+// compileCall lowers a call to its chain of push steps. Subexpression i (in
+// evaluation order) runs with the environment saved in frame i−1 — the site
+// environment for i = 0 — so each is compiled under that frame's shape, and
+// each frame's capture plan is resolved against its predecessor's shape (the
+// environment the frame is built from at run time).
+func (c *compiler) compileCall(x *ast.Call, sc *scope) (*Node, error) {
+	n := len(x.Exprs)
+	if n == 0 {
+		return nil, fmt.Errorf("compile: call with no expressions")
+	}
+
+	// The permutation π, fixed at compile time. Reassemble stays nil when
+	// evaluation order is source order (done values land in place).
+	evalIdx := make([]int, n)
+	for i := range evalIdx {
+		evalIdx[i] = i
+	}
+	if c.cfg.RightToLeft {
+		for i := range evalIdx {
+			evalIdx[i] = n - 1 - i
+		}
+	}
+	var reassemble []int
+	if c.cfg.RightToLeft && n > 1 {
+		reassemble = evalIdx
+	}
+
+	// Walk the frame shapes first: frame i's environment mode and capture
+	// plan, and the shape subexpression i+1 is compiled under.
+	scopes := make([]*scope, n) // compile scope of subexpression i
+	caps := make([]*CapPlan, n)
+	emptyEnv := make([]bool, n)
+	scopes[0] = sc
+	cur := sc // shape of the environment frame i is built from
+	for i := 0; i < n; i++ {
+		frameScope := cur
+		restCount := n - 1 - i
+		switch {
+		case c.cfg.RestrictConts:
+			srcRest := make([]ast.Expr, restCount)
+			for j := 0; j < restCount; j++ {
+				srcRest[j] = x.Exprs[evalIdx[i+1+j]]
+			}
+			caps[i], frameScope = c.restriction(cur, c.fv.FreeSymsOfAll(srcRest))
+		case c.cfg.EvlisLastEnv && restCount == 0:
+			emptyEnv[i] = true
+		}
+		if i+1 < n {
+			scopes[i+1] = frameScope
+		}
+		cur = frameScope
+	}
+
+	// Compile the subexpressions (evaluation order) into the one shared
+	// array every frame's Rest suffix points into.
+	nodes := make([]ast.Expr, n)
+	for i := 0; i < n; i++ {
+		node, err := c.compile(x.Exprs[evalIdx[i]], scopes[i])
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+
+	steps := make([]PushStep, n)
+	for i := 0; i < n; i++ {
+		steps[i] = PushStep{
+			Eval:     nodes[i].(*Node),
+			Rest:     nodes[i+1:],
+			RestIdx:  evalIdx[i+1:],
+			CurIdx:   evalIdx[i],
+			EnvEmpty: emptyEnv[i],
+			Cap:      caps[i],
+		}
+		if i > 0 {
+			steps[i-1].Next = &steps[i]
+		}
+	}
+	steps[n-1].Reassemble = reassemble
+
+	return &Node{Expr: x, Op: OpCall, Call: &steps[0]}, nil
+}

@@ -1,0 +1,214 @@
+package compile
+
+import (
+	"math/big"
+	"testing"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+)
+
+func mustCompile(t *testing.T, e ast.Expr, cfg Config, globals env.Env) *Prog {
+	t.Helper()
+	ast.InternSyms(e)
+	p, err := Program(e, cfg, globals)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// callee extracts the compiled operator node of an OpCall node.
+func callee(t *testing.T, n *Node) *Node {
+	t.Helper()
+	if n.Op != OpCall {
+		t.Fatalf("want OpCall, got %v", n.Op)
+	}
+	return n.Call.Eval
+}
+
+func TestLexicalAddressing(t *testing.T) {
+	// ((lambda (x) ((lambda (y) x) x)) '1): the inner body's x crosses one
+	// rib (y's), so it sits at depth 1; the operand x is in the nearest rib.
+	inner := &ast.Lambda{Params: []string{"y"}, Body: &ast.Var{Name: "x"}}
+	outer := &ast.Lambda{Params: []string{"x"},
+		Body: &ast.Call{Exprs: []ast.Expr{inner, &ast.Var{Name: "x"}}}}
+	root := &ast.Call{Exprs: []ast.Expr{outer, &ast.Const{Value: ast.NumConst{Int: big.NewInt(1)}}}}
+
+	prog := mustCompile(t, root, Config{}, env.Empty())
+	outerCode := callee(t, prog.Root).Code
+	innerCall := outerCode.Body
+	operand := innerCall.Call.Next.Eval // second subexpression, left-to-right
+	if operand.Op != OpLocal || operand.Ref.Depth != 0 || operand.Ref.Index != 0 {
+		t.Fatalf("operand x: want local (0,0), got %v %+v", operand.Op, operand.Ref)
+	}
+	innerBody := callee(t, innerCall).Code.Body
+	if innerBody.Op != OpLocal || innerBody.Ref.Depth != 1 || innerBody.Ref.Index != 0 {
+		t.Fatalf("inner x: want local (1,0), got %v %+v", innerBody.Op, innerBody.Ref)
+	}
+}
+
+func TestGlobalAndUnboundResolution(t *testing.T) {
+	globals := env.FromBindings(env.Binding{Name: "car", Loc: 7})
+	known := &ast.Var{Name: "car"}
+	unknown := &ast.Var{Name: "nope"}
+	root := &ast.Call{Exprs: []ast.Expr{known, unknown}}
+
+	prog := mustCompile(t, root, Config{}, globals)
+	op := prog.Root.Call.Eval
+	if op.Op != OpGlobal || op.Ref.Loc != 7 {
+		t.Fatalf("car: want global at 7, got %v %+v", op.Op, op.Ref)
+	}
+	arg := prog.Root.Call.Next.Eval
+	if arg.Op != OpUnbound {
+		t.Fatalf("nope: want unbound, got %v", arg.Op)
+	}
+}
+
+func TestWithinRibShadowing(t *testing.T) {
+	// LookupSym scans a rib last-first, so a repeated parameter resolves to
+	// its last occurrence; the compiler must agree.
+	lam := &ast.Lambda{Params: []string{"x", "x"}, Body: &ast.Var{Name: "x"}}
+	prog := mustCompile(t, lam, Config{}, env.Empty())
+	body := prog.Root.Code.Body
+	if body.Op != OpLocal || body.Ref.Index != 1 {
+		t.Fatalf("want index 1 (last occurrence), got %v %+v", body.Op, body.Ref)
+	}
+	// Both occurrences name one identifier: |Dom ρ| grows by 1, as
+	// ExtendSyms would compute.
+	if prog.Root.Code.Fresh != 1 {
+		t.Fatalf("fresh: want 1, got %d", prog.Root.Code.Fresh)
+	}
+}
+
+func TestFreeClosureCapturePlan(t *testing.T) {
+	// (lambda (x) (lambda (y) (g x y))) under FreeClosures: the inner lambda
+	// captures exactly its free resolvable identifiers {g, x}. The outer
+	// lambda restricts too, so at the inner site g lives in the outer
+	// closure's captured rib (depth 1), not in ρ0 — the fetch must say so.
+	globals := env.FromBindings(env.Binding{Name: "g", Loc: 3})
+	inner := &ast.Lambda{Params: []string{"y"},
+		Body: &ast.Call{Exprs: []ast.Expr{&ast.Var{Name: "g"}, &ast.Var{Name: "x"}, &ast.Var{Name: "y"}}}}
+	outer := &ast.Lambda{Params: []string{"x"}, Body: inner}
+
+	prog := mustCompile(t, outer, Config{FreeClosures: true}, globals)
+	innerCode := prog.Root.Code.Body.Code
+	cap := innerCode.Cap
+	if cap == nil || len(cap.Syms) != 2 {
+		t.Fatalf("capture plan: want 2 identifiers, got %+v", cap)
+	}
+	byName := map[string]Ref{}
+	for i, s := range cap.Syms {
+		byName[env.SymbolName(s)] = cap.Fetch[i]
+	}
+	if byName["g"].Kind != RefLocal || byName["g"].Depth != 1 || byName["g"].Index != 0 {
+		t.Fatalf("g fetch: want local (1,0) in the outer capture rib, got %+v", byName["g"])
+	}
+	if byName["x"].Kind != RefLocal || byName["x"].Depth != 0 || byName["x"].Index != 0 {
+		t.Fatalf("x fetch: want local (0,0), got %+v", byName["x"])
+	}
+	// Inside the inner body, x lives in the captured rib one level below y's.
+	arg := innerCode.Body.Call.Next.Eval
+	if arg.Op != OpLocal || arg.Ref.Depth != 1 {
+		t.Fatalf("inner x: want local at depth 1, got %v %+v", arg.Op, arg.Ref)
+	}
+	// Both params shadow nothing in the capture: fresh counts them.
+	if innerCode.Fresh != 1 || prog.Root.Code.Fresh != 1 {
+		t.Fatalf("fresh counts: inner=%d outer=%d, want 1/1", innerCode.Fresh, prog.Root.Code.Fresh)
+	}
+}
+
+func TestCapPlanBuild(t *testing.T) {
+	// A run-time build against a matching environment fetches locations by
+	// coordinate; the all-global case shares one constant location slice.
+	x, g := env.Intern("bx"), env.Intern("bg")
+	plan := &CapPlan{
+		Syms:  []env.Symbol{x, g},
+		Fetch: []Ref{{Kind: RefLocal, Depth: 0, Index: 0}, {Kind: RefGlobal, Loc: 42}},
+	}
+	plan.seal()
+	if plan.constLocs != nil {
+		t.Fatal("mixed plan must not seal")
+	}
+	rho := env.Flat([]env.Symbol{x}, []env.Location{11})
+	built := plan.Build(rho)
+	if l, ok := built.LookupSym(x); !ok || l != 11 {
+		t.Fatalf("bx: want 11, got %v %v", l, ok)
+	}
+	if l, ok := built.LookupSym(g); !ok || l != 42 {
+		t.Fatalf("bg: want 42, got %v %v", l, ok)
+	}
+
+	allGlobal := &CapPlan{Syms: []env.Symbol{g}, Fetch: []Ref{{Kind: RefGlobal, Loc: 5}}}
+	allGlobal.seal()
+	if allGlobal.constLocs == nil {
+		t.Fatal("all-global plan must seal")
+	}
+	if l, _ := allGlobal.Build(env.Empty()).LookupSym(g); l != 5 {
+		t.Fatalf("sealed build: want 5, got %v", l)
+	}
+}
+
+func TestRestrictedSetPlan(t *testing.T) {
+	// Under RestrictConts, (set! x e) inside (lambda (x) ...) keeps only x in
+	// the assign frame: the firing plan addresses (0, 0) of that flat rib.
+	lam := &ast.Lambda{Params: []string{"x"},
+		Body: &ast.Set{Name: "x", Rhs: &ast.Const{Value: ast.NumConst{Int: big.NewInt(2)}}}}
+	prog := mustCompile(t, lam, Config{RestrictConts: true}, env.Empty())
+	set := prog.Root.Code.Body
+	if !set.Restrict || len(set.Syms) != 1 {
+		t.Fatalf("restricted set!: got restrict=%v syms=%v", set.Restrict, set.Syms)
+	}
+	if set.Plan.Ref.Kind != RefLocal || set.Plan.Ref.Depth != 0 || set.Plan.Ref.Index != 0 {
+		t.Fatalf("firing plan: want local (0,0), got %+v", set.Plan.Ref)
+	}
+	// The site resolution is still the source coordinates.
+	if set.Ref.Kind != RefLocal || set.Ref.Depth != 0 || set.Ref.Index != 0 {
+		t.Fatalf("site ref: want local (0,0), got %+v", set.Ref)
+	}
+}
+
+func TestCallPlanShapes(t *testing.T) {
+	call := &ast.Call{Exprs: []ast.Expr{
+		&ast.Var{Name: "f"}, &ast.Const{Value: ast.NumConst{Int: big.NewInt(1)}}, &ast.Const{Value: ast.NumConst{Int: big.NewInt(2)}},
+	}}
+	globals := env.FromBindings(env.Binding{Name: "f", Loc: 1})
+
+	// Z_evlis: only the frame awaiting the last subexpression stores { }.
+	prog := mustCompile(t, call, Config{EvlisLastEnv: true}, globals)
+	s0 := prog.Root.Call
+	if s0.EnvEmpty || s0.Next.EnvEmpty || !s0.Next.Next.EnvEmpty {
+		t.Fatalf("evlis env modes wrong: %v %v %v", s0.EnvEmpty, s0.Next.EnvEmpty, s0.Next.Next.EnvEmpty)
+	}
+	if s0.CurIdx != 0 || s0.Next.CurIdx != 1 || s0.Next.Next.CurIdx != 2 {
+		t.Fatal("left-to-right CurIdx sequence wrong")
+	}
+	if s0.Next.Next.Reassemble != nil {
+		t.Fatal("left-to-right needs no reassembly")
+	}
+	if len(s0.Rest) != 2 || len(s0.Next.Rest) != 1 || len(s0.Next.Next.Rest) != 0 {
+		t.Fatal("rest lengths wrong")
+	}
+
+	// Right-to-left: evaluation order is reversed and the last step carries
+	// the permutation back to source order.
+	prog = mustCompile(t, call, Config{RightToLeft: true}, globals)
+	s0 = prog.Root.Call
+	if s0.CurIdx != 2 || s0.Next.CurIdx != 1 || s0.Next.Next.CurIdx != 0 {
+		t.Fatal("right-to-left CurIdx sequence wrong")
+	}
+	re := s0.Next.Next.Reassemble
+	if len(re) != 3 || re[0] != 2 || re[1] != 1 || re[2] != 0 {
+		t.Fatalf("reassemble: want [2 1 0], got %v", re)
+	}
+}
+
+func TestUnknownFormErrors(t *testing.T) {
+	prog := mustCompile(t, &ast.Const{Value: ast.NilConst{}}, Config{}, env.Empty())
+	// A compiled Node is an ast.Expr the compiler does not lower (it embeds
+	// its source, but the type switch sees the wrapper): Program must report
+	// it rather than guess, so the runner can fall back to the stepper.
+	if _, err := Program(prog.Root, Config{}, env.Empty()); err == nil {
+		t.Fatal("want error for foreign expression form")
+	}
+}

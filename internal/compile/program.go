@@ -1,0 +1,309 @@
+// Package compile lowers expanded Core Scheme to a pre-resolved program for
+// the compiled execution backend (core.BackendCompiled).
+//
+// The lowering trades the stepper's per-transition work for compile-time
+// facts, without changing a single observable:
+//
+//   - Identifier resolution becomes lexical addressing. Every environment a
+//     compiled expression can be evaluated in has a statically known rib
+//     shape — the chain of Extend ribs above ρ0 for ordinary register
+//     environments, or the single flat rib RestrictSyms builds for the
+//     safe-for-space restrictions — so a variable compiles to (depth, index)
+//     coordinates (env.LocAt) or, for ρ0 bindings, to the location itself.
+//     No LookupSym chain scan happens at run time.
+//
+//   - Expression dispatch becomes a dense opcode switch. Each Node carries an
+//     Op; the executor switches on the integer instead of type-switching over
+//     AST node kinds.
+//
+//   - The Z_free/Z_sfs environment restrictions become capture plans: the
+//     keep list (FV sets, sorted and deduplicated exactly as the stepper's
+//     FreeVarCache delivers them) is resolved at compile time into fetch
+//     coordinates, so building a restricted environment is a handful of
+//     indexed loads instead of per-identifier rib scans.
+//
+// A Node embeds its source expression: Node is itself an ast.Expr whose
+// String and Size delegate to the source, so compiled states, continuation
+// frames, and observability reports carry exactly the strings, sizes, and
+// node identities the stepper's do. The space accounting never looks inside
+// expressions (frames are priced by environment size and operand counts), so
+// storing Nodes in frame expression slots leaves every Figure 7/8 charge
+// unchanged.
+package compile
+
+import (
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/env"
+	"tailspace/internal/value"
+)
+
+// Config is the compilation contract: the parts of a machine variant (plus
+// the argument-order policy) that determine the compiled form. A program
+// compiled under one Config must only run under a machine with the same
+// policies.
+type Config struct {
+	// FreeClosures: closures capture ρ restricted to FV(L) (Z_free, Z_sfs).
+	FreeClosures bool
+	// RestrictConts: continuation frames store ρ restricted to the free
+	// identifiers of the expressions they will evaluate (Z_sfs).
+	RestrictConts bool
+	// EvlisLastEnv: the frame awaiting a call's last subexpression stores the
+	// empty environment (Z_evlis).
+	EvlisLastEnv bool
+	// RightToLeft evaluates call subexpressions last-first. Random order
+	// cannot be compiled (the permutation is drawn per call at run time);
+	// callers fall back to the stepper.
+	RightToLeft bool
+}
+
+// Op is the opcode of a compiled expression: the dense dispatch index the
+// executor switches on. Every expression form of Figure 1 appears, with
+// identifier references split by how they resolved.
+type Op int
+
+const (
+	// OpConst delivers a precomputed constant value.
+	OpConst Op = iota
+	// OpLocal reads a variable at (depth, index) rib coordinates.
+	OpLocal
+	// OpGlobal reads a variable bound in ρ0; its location is a compile-time
+	// constant.
+	OpGlobal
+	// OpUnbound is a variable that resolves nowhere: evaluating it sticks the
+	// machine, exactly like the stepper's failed lookup.
+	OpUnbound
+	// OpLambda builds a closure from a LambdaCode.
+	OpLambda
+	// OpIf pushes a select continuation and evaluates the test.
+	OpIf
+	// OpSet pushes an assign continuation and evaluates the right-hand side.
+	OpSet
+	// OpCall pushes the first push continuation of a CallPlan.
+	OpCall
+
+	// NumOps sizes dense opcode-indexed tables (and bounds the exhaustiveness
+	// check in tools/analyzers/framecheck).
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	OpConst:   "const",
+	OpLocal:   "local",
+	OpGlobal:  "global",
+	OpUnbound: "unbound",
+	OpLambda:  "lambda",
+	OpIf:      "if",
+	OpSet:     "set!",
+	OpCall:    "call",
+}
+
+// String names the opcode for diagnostics.
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// RefKind classifies how an identifier resolved against the static shape of
+// the environment it will be looked up in.
+type RefKind int
+
+const (
+	// RefLocal resolves within the rib chain at (Depth, Index).
+	RefLocal RefKind = iota
+	// RefGlobal resolves in ρ0; Loc is the compile-time-constant location.
+	RefGlobal
+	// RefUnbound resolves nowhere.
+	RefUnbound
+)
+
+// Ref is one resolved identifier occurrence.
+type Ref struct {
+	Kind         RefKind
+	Depth, Index int          // RefLocal: rib coordinates
+	Loc          env.Location // RefGlobal: the ρ0 location
+}
+
+// CapPlan builds, without identifier comparisons, the flat restricted
+// environment RestrictSyms would build at run time. Syms is the keep list in
+// the order RestrictSyms preserves (sorted, deduplicated — what the
+// FreeVarCache delivers), already filtered to the identifiers that resolve;
+// Fetch says where each location comes from in the environment the plan is
+// built against. An empty plan builds { }, exactly like a restriction that
+// keeps nothing.
+type CapPlan struct {
+	Syms  []env.Symbol
+	Fetch []Ref
+	// constLocs is set when every fetch is global: the location slice is then
+	// itself a compile-time constant shared across builds.
+	constLocs []env.Location
+}
+
+// Build instantiates the plan against rho, whose static shape the Fetch
+// coordinates were resolved against. The resulting environment is a fresh
+// single flat rib (sharing the Syms slice), indistinguishable from the
+// stepper's RestrictSyms result.
+func (p *CapPlan) Build(rho env.Env) env.Env {
+	if len(p.Syms) == 0 {
+		return env.Env{}
+	}
+	if p.constLocs != nil {
+		return env.Flat(p.Syms, p.constLocs)
+	}
+	locs := make([]env.Location, len(p.Fetch))
+	for i, f := range p.Fetch {
+		if f.Kind == RefGlobal {
+			locs[i] = f.Loc
+		} else {
+			locs[i] = rho.LocAt(f.Depth, f.Index)
+		}
+	}
+	return env.Flat(p.Syms, locs)
+}
+
+// seal precomputes the shared location slice when every fetch is global.
+func (p *CapPlan) seal() {
+	for _, f := range p.Fetch {
+		if f.Kind != RefGlobal {
+			return
+		}
+	}
+	locs := make([]env.Location, len(p.Fetch))
+	for i, f := range p.Fetch {
+		locs[i] = f.Loc
+	}
+	p.constLocs = locs
+}
+
+// LambdaCode is the compiled form of one lambda expression. Closures minted
+// from it carry the code in value.Closure.Code, so applying the closure needs
+// no per-call analysis.
+type LambdaCode struct {
+	// Lam is the source lambda (arity, parameter spellings, diagnostics).
+	Lam *ast.Lambda
+	// Body is the compiled body, resolved against [Params rib · closure env].
+	Body *Node
+	// Params shares the lambda's interned parameter slice: the rib the body
+	// environment pushes (empty for a thunk, which pushes no rib).
+	Params []env.Symbol
+	// Cap captures the closure environment: nil captures the register
+	// environment unchanged; otherwise the FV(L) restriction (Z_free, Z_sfs).
+	Cap *CapPlan
+	// Fresh is the ExtendSized count: how many Params are neither bound in
+	// the closure environment's static shape nor repeated later in the list —
+	// the |Dom ρ| growth ExtendSyms derives with a lookup per identifier.
+	Fresh int
+}
+
+// AssignPlan tells an assign frame where its set! target lives within the
+// frame's own saved environment. One plan per set! node, shared by every
+// frame the node pushes; frames copied without it (MTA chain compression)
+// fall back to the stepper's lookup.
+type AssignPlan struct {
+	Ref Ref
+}
+
+// PushStep is the compiled form of one push continuation of a call site:
+// step i describes the frame that waits while subexpression i (in evaluation
+// order) runs. The Rest/RestIdx slices are shared suffixes of one per-site
+// array holding the compiled subexpressions in evaluation order, so a
+// compiled frame is field-for-field what the stepper would have built.
+type PushStep struct {
+	// Eval is the subexpression whose evaluation this frame awaits.
+	Eval *Node
+	// Rest holds the subexpressions still to come after Eval (compiled Nodes,
+	// evaluation order); RestIdx their source positions; CurIdx the source
+	// position of Eval. These populate the frame's fields verbatim.
+	Rest    []ast.Expr
+	RestIdx []int
+	CurIdx  int
+	// EnvEmpty stores { } in the frame (Z_evlis, last subexpression); Cap
+	// restricts to the free identifiers of Rest (Z_sfs); with both unset the
+	// frame stores the environment it was built from unchanged.
+	EnvEmpty bool
+	Cap      *CapPlan
+	// Next describes the following frame; nil marks the last subexpression,
+	// whose completion reassembles the call.
+	Next *PushStep
+	// Reassemble, on the last step, maps done-order to source positions
+	// (vals[Reassemble[i]] = done[i]); nil means evaluation order was source
+	// order and the done values are already in place.
+	Reassemble []int
+}
+
+// Node is one compiled expression. The embedded source expression makes Node
+// an ast.Expr — Size, String, and node identity (for allocation and peak
+// attribution) are the source's — while Op and the resolved fields drive the
+// executor.
+type Node struct {
+	ast.Expr
+	Op Op
+
+	// OpConst: the constant's runtime value. Simple constants carry no
+	// locations (Section 12), so one shared value is indistinguishable from
+	// the stepper's per-evaluation conversion.
+	Const value.Value
+
+	// OpLocal / OpGlobal / OpUnbound / OpSet: the identifier's resolution
+	// against the node's compile-time scope, and its spelling for stuck
+	// messages.
+	Ref  Ref
+	Name string
+	Sym  env.Symbol
+
+	// OpLambda
+	Code *LambdaCode
+
+	// OpIf: compiled arms plus the continuation-environment plan (nil stores
+	// the register environment unchanged).
+	Test, Then, Else *Node
+	Cap              *CapPlan
+
+	// OpSet: compiled right-hand side; Restrict mirrors RestrictToSym (the
+	// Z_sfs assign frame keeps only the target binding — Syms is the shared
+	// one-identifier rib); Plan is the frame's firing plan.
+	Rhs      *Node
+	Restrict bool
+	Syms     []env.Symbol
+	Plan     *AssignPlan
+
+	// OpCall: the first push step; the rest of the plan hangs off Next.
+	Call *PushStep
+}
+
+// Source returns the source expression this node compiles. The executor
+// unwraps nodes with it when attributing allocations and peaks, so attribution
+// keys match the stepper's ast.Number identities.
+func (n *Node) Source() ast.Expr { return n.Expr }
+
+// Prog is a compiled program: the root node plus the Config it was compiled
+// under.
+type Prog struct {
+	Root   *Node
+	Config Config
+}
+
+// constValue converts a quoted constant to its runtime value, mirroring the
+// stepper's conversion exactly.
+func constValue(c ast.ConstValue) value.Value {
+	switch x := c.(type) {
+	case ast.BoolConst:
+		return value.Bool(bool(x))
+	case ast.NumConst:
+		return value.Num{Int: x.Int}
+	case ast.SymConst:
+		return value.Sym(string(x))
+	case ast.StrConst:
+		return value.Str(string(x))
+	case ast.CharConst:
+		return value.Char(rune(x))
+	case ast.NilConst:
+		return value.Null{}
+	case ast.UnspecifiedConst:
+		return value.Unspecified{}
+	}
+	panic(fmt.Sprintf("compile: unknown constant %T", c))
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"tailspace/internal/ast"
+	"tailspace/internal/compile"
+	"tailspace/internal/env"
+	"tailspace/internal/prim"
+	"tailspace/internal/value"
+)
+
+// Backend selects the execution engine for a run.
+type Backend int
+
+const (
+	// BackendStepper interprets the AST directly: the reference
+	// implementation, one type switch and rib scan at a time.
+	BackendStepper Backend = iota
+	// BackendCompiled lowers the program through internal/compile first:
+	// lexical addressing plus opcode dispatch, emitting bit-identical rule
+	// tags, events, metrics, and space peaks (the differential suite pins
+	// this). Runs under Order == RandomOrder fall back to the stepper — the
+	// permutation is drawn per call, so there is nothing to pre-resolve.
+	BackendCompiled
+)
+
+// String names the backend as the CLIs and the service spell it.
+func (b Backend) String() string {
+	if b == BackendCompiled {
+		return "compiled"
+	}
+	return "stepper"
+}
+
+// ParseBackend resolves a backend name; the empty string is the default
+// stepper.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "stepper":
+		return BackendStepper, nil
+	case "compiled":
+		return BackendCompiled, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want stepper or compiled)", name)
+}
+
+// stepEngine is what the runner drives: the stepper machine or the compiled
+// executor, interchangeably.
+type stepEngine interface {
+	Step(s State) (next State, done bool, err error)
+	LastRule() Rule
+}
+
+// sourceExpr unwraps a compiled node to the source expression it was
+// compiled from; stepper expressions pass through. Attribution maps
+// (ast.Number) are keyed by source node identity, so every expression that
+// reaches the observability layer goes through here.
+func sourceExpr(e ast.Expr) ast.Expr {
+	if n, ok := e.(interface{ Source() ast.Expr }); ok {
+		return n.Source()
+	}
+	return e
+}
+
+// compiledMachine executes a compiled program. It wraps the stepper machine
+// rather than replacing it: the store, step counter, rule tag, stuck errors,
+// and the whole Z_stack return path are shared, and any artifact the
+// executor meets without compiled metadata — a frame copied by MTA chain
+// compression before plans were preserved, a closure minted outside this
+// run — is delegated to the stepper, whose semantics are identical by
+// construction.
+type compiledMachine struct {
+	m *Machine
+}
+
+// LastRule mirrors Machine.LastRule.
+func (c *compiledMachine) LastRule() Rule { return c.m.lastRule }
+
+// Step performs one transition, exactly mirroring Machine.Step: same rule
+// tags (set before any stuck return), same stuck messages, same allocation
+// order, same frame and environment identity flow.
+func (c *compiledMachine) Step(s State) (next State, done bool, err error) {
+	c.m.steps++
+	c.m.lastRule = RuleNone
+	if s.Expr != nil {
+		return c.stepNode(s)
+	}
+	return c.stepValue(s)
+}
+
+// stepNode is the compiled counterpart of stepExpr: a dense opcode switch
+// instead of a type switch over AST forms. The default arm is unreachable —
+// the compiler only emits the opcodes above NumOps — and framecheck verifies
+// every opcode below NumOps has a case.
+func (c *compiledMachine) stepNode(s State) (State, bool, error) {
+	m := c.m
+	n, ok := s.Expr.(*compile.Node)
+	if !ok {
+		// A raw AST expression (never produced by compiled transitions, but
+		// semantically fine): the stepper handles it.
+		return m.stepExpr(s)
+	}
+
+	switch n.Op {
+	case compile.OpConst:
+		m.lastRule = RuleConst
+		return ValueState(n.Const, s.Env, s.K), false, nil
+
+	case compile.OpLocal:
+		m.lastRule = RuleVar
+		return c.readVar(s, n, s.Env.LocAt(n.Ref.Depth, n.Ref.Index))
+
+	case compile.OpGlobal:
+		m.lastRule = RuleVar
+		return c.readVar(s, n, n.Ref.Loc)
+
+	case compile.OpUnbound:
+		m.lastRule = RuleVar
+		return s, false, m.stuck("unbound variable %s", n.Name)
+
+	case compile.OpLambda:
+		m.lastRule = RuleLambda
+		code := n.Code
+		clEnv := s.Env
+		if code.Cap != nil {
+			clEnv = code.Cap.Build(s.Env)
+		}
+		tag := m.store.Alloc(value.Unspecified{})
+		return ValueState(value.Closure{Tag: tag, Lam: code.Lam, Env: clEnv, Code: code}, s.Env, s.K), false, nil
+
+	case compile.OpIf:
+		m.lastRule = RuleIf
+		contEnv := s.Env
+		if n.Cap != nil {
+			contEnv = n.Cap.Build(s.Env)
+		}
+		k := &value.Select{Then: n.Then, Else: n.Else, Env: contEnv, K: s.K}
+		return EvalState(n.Test, s.Env, k), false, nil
+
+	case compile.OpSet:
+		m.lastRule = RuleSet
+		contEnv := s.Env
+		if n.Restrict {
+			if n.Syms == nil {
+				contEnv = env.Empty()
+			} else {
+				contEnv = env.Flat(n.Syms, []env.Location{c.refLoc(s.Env, n.Ref)})
+			}
+		}
+		k := &value.Assign{Name: n.Name, Sym: n.Sym, Env: contEnv, K: s.K, Plan: n.Plan}
+		return EvalState(n.Rhs, s.Env, k), false, nil
+
+	case compile.OpCall:
+		m.lastRule = RuleCall
+		q := n.Call
+		k := &value.Push{
+			Rest:    q.Rest,
+			RestIdx: q.RestIdx,
+			CurIdx:  q.CurIdx,
+			Env:     c.pushEnv(s.Env, q),
+			K:       s.K,
+			Plan:    q,
+		}
+		return EvalState(q.Eval, s.Env, k), false, nil
+
+	default:
+		panic(fmt.Sprintf("core: unknown opcode %v", n.Op))
+	}
+}
+
+// readVar finishes an identifier read at a resolved location, with the
+// stepper's exact stuck messages.
+func (c *compiledMachine) readVar(s State, n *compile.Node, loc env.Location) (State, bool, error) {
+	m := c.m
+	v, ok := m.store.Get(loc)
+	if !ok {
+		return s, false, m.stuck("variable %s refers to a deleted location (dangling pointer)", n.Name)
+	}
+	if _, undef := v.(value.Undefined); undef {
+		return s, false, m.stuck("variable %s read before initialization", n.Name)
+	}
+	return ValueState(v, s.Env, s.K), false, nil
+}
+
+// refLoc resolves a bound reference against rho. RefUnbound never reaches
+// here (callers branch on it first).
+func (c *compiledMachine) refLoc(rho env.Env, ref compile.Ref) env.Location {
+	if ref.Kind == compile.RefGlobal {
+		return ref.Loc
+	}
+	return rho.LocAt(ref.Depth, ref.Index)
+}
+
+// pushEnv instantiates a push step's environment mode against the
+// environment the frame is built from.
+func (c *compiledMachine) pushEnv(rho env.Env, q *compile.PushStep) env.Env {
+	switch {
+	case q.Cap != nil:
+		return q.Cap.Build(rho)
+	case q.EnvEmpty:
+		return env.Empty()
+	default:
+		return rho
+	}
+}
+
+// stepValue mirrors Machine.stepValue. Frames carrying compiled plans take
+// the pre-resolved path; plan-less frames (MTA chain compression used to
+// drop plans; defensive completeness keeps the fallback) replay the
+// stepper's logic over the nodes' source expressions.
+func (c *compiledMachine) stepValue(s State) (State, bool, error) {
+	m := c.m
+	switch k := s.K.(type) {
+	case value.Halt:
+		if !s.Env.IsEmpty() {
+			m.lastRule = RuleHaltEnv
+			return ValueState(s.Val, env.Empty(), k), false, nil
+		}
+		return s, true, nil
+
+	case *value.Select:
+		m.lastRule = RuleSelect
+		if value.Truthy(s.Val) {
+			return EvalState(k.Then, k.Env, k.K), false, nil
+		}
+		return EvalState(k.Else, k.Env, k.K), false, nil
+
+	case *value.Assign:
+		m.lastRule = RuleAssign
+		plan, ok := k.Plan.(*compile.AssignPlan)
+		if !ok {
+			return m.stepValue(s)
+		}
+		if plan.Ref.Kind == compile.RefUnbound {
+			return s, false, m.stuck("assignment to unbound variable %s", k.Name)
+		}
+		if !m.store.Set(c.refLoc(k.Env, plan.Ref), s.Val) {
+			return s, false, m.stuck("assignment to %s hits a deleted location (dangling pointer)", k.Name)
+		}
+		return ValueState(value.Unspecified{}, k.Env, k.K), false, nil
+
+	case *value.Push:
+		plan, ok := k.Plan.(*compile.PushStep)
+		if !ok {
+			return c.pushFallback(s, k)
+		}
+		done := make([]value.Value, len(k.Done)+1)
+		copy(done, k.Done)
+		done[len(k.Done)] = s.Val
+		doneIdx := make([]int, len(k.DoneIdx)+1)
+		copy(doneIdx, k.DoneIdx)
+		doneIdx[len(k.DoneIdx)] = k.CurIdx
+
+		if q := plan.Next; q != nil {
+			m.lastRule = RulePushNext
+			nk := &value.Push{
+				Rest:    q.Rest,
+				RestIdx: q.RestIdx,
+				Done:    done,
+				DoneIdx: doneIdx,
+				CurIdx:  q.CurIdx,
+				Env:     c.pushEnv(k.Env, q),
+				K:       k.K,
+				Plan:    q,
+			}
+			return EvalState(q.Eval, k.Env, nk), false, nil
+		}
+
+		m.lastRule = RulePushCall
+		if plan.Reassemble == nil {
+			// Evaluation order was source order: done is already in place.
+			return ValueState(done[0], k.Env, &value.Call{Args: done[1:], K: k.K}), false, nil
+		}
+		vals := make([]value.Value, len(done))
+		for i, idx := range plan.Reassemble {
+			vals[idx] = done[i]
+		}
+		return ValueState(vals[0], k.Env, &value.Call{Args: vals[1:], K: k.K}), false, nil
+
+	case *value.Call:
+		return c.applyProcedure(s, s.Val, k.Args, k.K)
+
+	case *value.Return:
+		m.lastRule = RuleReturn
+		return ValueState(s.Val, k.Env, k.K), false, nil
+
+	case *value.ReturnStack:
+		m.lastRule = RuleReturnStack
+		return m.stackReturn(s, k)
+	}
+	return s, false, m.stuck("unknown continuation form %T", s.K)
+}
+
+// pushFallback replays the stepper's push rule for a frame without a plan.
+// The frame's Rest holds compiled nodes; the Z_sfs restriction works on
+// their source expressions so the free-variable sets match the stepper's.
+func (c *compiledMachine) pushFallback(s State, k *value.Push) (State, bool, error) {
+	m := c.m
+	done := make([]value.Value, len(k.Done)+1)
+	copy(done, k.Done)
+	done[len(k.Done)] = s.Val
+	doneIdx := make([]int, len(k.DoneIdx)+1)
+	copy(doneIdx, k.DoneIdx)
+	doneIdx[len(k.DoneIdx)] = k.CurIdx
+
+	if len(k.Rest) > 0 {
+		m.lastRule = RulePushNext
+		nextExpr := k.Rest[0]
+		rest := k.Rest[1:]
+		nk := &value.Push{
+			Rest:    rest,
+			RestIdx: k.RestIdx[1:],
+			Done:    done,
+			DoneIdx: doneIdx,
+			CurIdx:  k.RestIdx[0],
+			Env:     c.pushEnvFallback(k.Env, rest),
+			K:       k.K,
+		}
+		return EvalState(nextExpr, k.Env, nk), false, nil
+	}
+
+	m.lastRule = RulePushCall
+	vals := make([]value.Value, len(done))
+	for i, idx := range doneIdx {
+		vals[idx] = done[i]
+	}
+	return ValueState(vals[0], k.Env, &value.Call{Args: vals[1:], K: k.K}), false, nil
+}
+
+// pushEnvFallback is pushEnvStep over possibly-compiled rest expressions.
+func (c *compiledMachine) pushEnvFallback(rho env.Env, rest []ast.Expr) env.Env {
+	m := c.m
+	switch {
+	case m.variant.RestrictConts:
+		src := make([]ast.Expr, len(rest))
+		for i, e := range rest {
+			src[i] = sourceExpr(e)
+		}
+		return rho.RestrictSyms(m.fv.FreeSymsOfAll(src))
+	case m.variant.EvlisLastEnv && len(rest) == 0:
+		return env.Empty()
+	default:
+		return rho
+	}
+}
+
+// applyProcedure mirrors Machine.applyProcedure; closures without compiled
+// code delegate to the stepper, which interprets their bodies from source.
+func (c *compiledMachine) applyProcedure(s State, op value.Value, args []value.Value, k value.Cont) (State, bool, error) {
+	m := c.m
+	switch proc := op.(type) {
+	case value.Closure:
+		code, ok := proc.Code.(*compile.LambdaCode)
+		if !ok {
+			return m.applyProcedure(s, op, args, k)
+		}
+		lam := code.Lam
+		if len(args) != len(lam.Params) {
+			return s, false, m.stuck("procedure %s expects %d arguments, got %d",
+				lamName(lam), len(lam.Params), len(args))
+		}
+		locs := m.store.AllocN(args)
+		bodyEnv := proc.Env
+		if len(code.Params) > 0 {
+			bodyEnv = proc.Env.ExtendSized(code.Params, locs, code.Fresh)
+		}
+		var cont value.Cont
+		switch m.variant.Call {
+		case CallTail:
+			m.lastRule = RuleApplyTail
+			cont = k
+		case CallReturn:
+			m.lastRule = RuleApplyReturn
+			cont = &value.Return{Env: s.Env, K: k}
+		case CallStackReturn:
+			m.lastRule = RuleApplyStack
+			del := make([]env.Location, len(locs))
+			copy(del, locs)
+			cont = &value.ReturnStack{Del: del, Env: s.Env, K: k}
+		}
+		return EvalState(code.Body, bodyEnv, cont), false, nil
+
+	case value.Escape:
+		m.lastRule = RuleApplyEscape
+		if len(args) != 1 {
+			return s, false, m.stuck("continuation invoked with %d arguments, want 1", len(args))
+		}
+		return ValueState(args[0], env.Empty(), proc.K), false, nil
+
+	case *value.Primop:
+		m.lastRule = RuleApplyPrimop
+		if proc.CallCC {
+			if len(args) != 1 {
+				return s, false, m.stuck("%s expects 1 argument, got %d", proc.Name, len(args))
+			}
+			tag := m.store.Alloc(value.Unspecified{})
+			esc := value.Escape{Tag: tag, K: k}
+			return c.applyProcedure(s, args[0], []value.Value{esc}, k)
+		}
+		if proc.Spread {
+			if len(args) < 2 {
+				return s, false, m.stuck("%s needs a procedure and an argument list", proc.Name)
+			}
+			spread, ok := prim.ListElements(m.store, args[len(args)-1])
+			if !ok {
+				return s, false, m.stuck("%s: last argument is not a proper list", proc.Name)
+			}
+			full := append(append([]value.Value{}, args[1:len(args)-1]...), spread...)
+			return c.applyProcedure(s, args[0], full, k)
+		}
+		if proc.Arity >= 0 && len(args) != proc.Arity {
+			return s, false, m.stuck("%s expects %d arguments, got %d", proc.Name, proc.Arity, len(args))
+		}
+		result, err := proc.Apply(m.store, args)
+		if err != nil {
+			return s, false, m.stuck("%v", err)
+		}
+		return ValueState(result, s.Env, k), false, nil
+	}
+	return s, false, m.stuck("call of non-procedure %T", op)
+}

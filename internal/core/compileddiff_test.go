@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"tailspace/internal/corpus"
+	"tailspace/internal/obs"
+	"tailspace/internal/space"
+)
+
+// TestCompiledMatchesStepperOnCorpus is the differential suite for the
+// compiled execution backend: every corpus program, under all seven machines
+// (the six paper variants plus MTA) and every cost model, run once on the
+// stepper and once compiled. The two runs must agree on everything
+// observable — answer, step count, flat/linked/heap peaks, collection
+// totals, the full metrics registry (per-rule transition counts included),
+// and the complete event stream element-for-element (transitions with their
+// rule tags and per-step space figures, GC applications with reclaim counts,
+// allocations with locations and attributed source expressions, peak
+// updates). Lexical addressing, opcode dispatch, and capture plans are
+// throughput changes only; any semantic drift shows up here as a
+// first-divergence diff.
+func TestCompiledMatchesStepperOnCorpus(t *testing.T) {
+	maxSteps := 1_200
+	models := []space.CostModel{space.Word, space.Fixnum, space.Log}
+	progs := corpus.All()
+	if testing.Short() {
+		maxSteps = 500
+		models = []space.CostModel{space.Fixnum}
+	}
+	if raceDetectorEnabled {
+		// A race in the compiled path shows up on any program; the full
+		// matrix is the plain run's job. One model and every other
+		// program keeps the -race pass inside the package timeout.
+		models = []space.CostModel{space.Word}
+		progs = everyOther(progs)
+	}
+	for _, v := range AllVariants {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, model := range models {
+				for _, p := range progs {
+					run := func(backend Backend) (Result, []obs.Event) {
+						sink := &sliceSink{}
+						res, err := RunProgram(p.Source, Options{
+							Variant: v, Measure: true, GCEvery: 1,
+							MaxSteps: maxSteps, CostModel: model,
+							Events: sink, Backend: backend,
+						})
+						if err != nil {
+							t.Fatalf("%s [%s/%s] backend=%v: %v", p.Name, v, model.Name(), backend, err)
+						}
+						return res, sink.events
+					}
+					stepper, stepperEvents := run(BackendStepper)
+					compiled, compiledEvents := run(BackendCompiled)
+					if diff := diffStoreRuns(compiled, stepper); diff != "" {
+						t.Errorf("%s [%s/%s]: compiled vs stepper: %s", p.Name, v, model.Name(), diff)
+					}
+					if diff := diffEventStreams(compiledEvents, stepperEvents); diff != "" {
+						t.Errorf("%s [%s/%s]: event streams diverge: %s", p.Name, v, model.Name(), diff)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledMatchesStepperRightToLeft repeats the corpus differential under
+// right-to-left argument order, which exercises the compiled permutation
+// plans (Reassemble) that left-to-right never builds.
+func TestCompiledMatchesStepperRightToLeft(t *testing.T) {
+	maxSteps := 1_200
+	if testing.Short() {
+		maxSteps = 500
+	}
+	progs := corpus.All()
+	if raceDetectorEnabled {
+		progs = everyOther(progs)
+	}
+	for _, v := range AllVariants {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range progs {
+				run := func(backend Backend) (Result, []obs.Event) {
+					sink := &sliceSink{}
+					res, err := RunProgram(p.Source, Options{
+						Variant: v, Measure: true, GCEvery: 1,
+						MaxSteps: maxSteps, CostModel: space.Fixnum,
+						Order: RightToLeft, Events: sink, Backend: backend,
+					})
+					if err != nil {
+						t.Fatalf("%s [%s] backend=%v: %v", p.Name, v, backend, err)
+					}
+					return res, sink.events
+				}
+				stepper, stepperEvents := run(BackendStepper)
+				compiled, compiledEvents := run(BackendCompiled)
+				if diff := diffStoreRuns(compiled, stepper); diff != "" {
+					t.Errorf("%s [%s, r2l]: compiled vs stepper: %s", p.Name, v, diff)
+				}
+				if diff := diffEventStreams(compiledEvents, stepperEvents); diff != "" {
+					t.Errorf("%s [%s, r2l]: event streams diverge: %s", p.Name, v, diff)
+				}
+			}
+		})
+	}
+}
+
+// everyOther halves a corpus slice for the -race pass.
+func everyOther(ps []corpus.Program) []corpus.Program {
+	out := make([]corpus.Program, 0, (len(ps)+1)/2)
+	for i := 0; i < len(ps); i += 2 {
+		out = append(out, ps[i])
+	}
+	return out
+}
+
+// TestCompiledPeakAttributionMatchesStepper pins the peak-attribution path:
+// compiled nodes must unwrap to their source expressions so the report names
+// the same AST node (identity, not just spelling) as the stepper's.
+func TestCompiledPeakAttributionMatchesStepper(t *testing.T) {
+	for _, v := range []Variant{Tail, SFS, Stack} {
+		for _, p := range corpus.All()[:4] {
+			run := func(backend Backend) Result {
+				res, err := RunProgram(p.Source, Options{
+					Variant: v, Measure: true, GCEvery: 1, MaxSteps: 1_200,
+					CostModel: space.Fixnum, AttributePeak: true, Backend: backend,
+				})
+				if err != nil {
+					t.Fatalf("%s [%s] backend=%v: %v", p.Name, v, backend, err)
+				}
+				return res
+			}
+			stepper := run(BackendStepper)
+			compiled := run(BackendCompiled)
+			if (stepper.Peak == nil) != (compiled.Peak == nil) {
+				t.Fatalf("%s [%s]: peak report presence differs", p.Name, v)
+			}
+			if stepper.Peak == nil {
+				continue
+			}
+			sp, cp := stepper.Peak, compiled.Peak
+			if sp.NodeID != cp.NodeID || sp.Expr != cp.Expr || sp.Rule != cp.Rule ||
+				sp.Step != cp.Step || sp.Flat != cp.Flat {
+				t.Errorf("%s [%s]: peak report diverges: stepper=%+v compiled=%+v", p.Name, v, sp, cp)
+			}
+		}
+	}
+}

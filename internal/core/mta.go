@@ -36,14 +36,14 @@ func CompressReturnChains(k value.Cont) value.Cont {
 		}
 	case *value.Assign:
 		if inner := CompressReturnChains(x.K); inner != x.K {
-			return &value.Assign{Name: x.Name, Env: x.Env, K: inner}
+			return &value.Assign{Name: x.Name, Sym: x.Sym, Env: x.Env, K: inner, Plan: x.Plan}
 		}
 	case *value.Push:
 		if inner := CompressReturnChains(x.K); inner != x.K {
 			return &value.Push{
 				Rest: x.Rest, RestIdx: x.RestIdx,
 				Done: x.Done, DoneIdx: x.DoneIdx, CurIdx: x.CurIdx,
-				Env: x.Env, K: inner,
+				Env: x.Env, K: inner, Plan: x.Plan,
 			}
 		}
 	case *value.Call:

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The race detector multiplies single-core runtime by ~5-10x, so
+// the heaviest differential matrices subsample under it (the plain
+// `go test ./...` run always covers the full matrix).
+const raceDetectorEnabled = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tailspace/internal/ast"
+	"tailspace/internal/compile"
 	"tailspace/internal/env"
 	"tailspace/internal/expand"
 	"tailspace/internal/obs"
@@ -99,6 +100,12 @@ type Options struct {
 	// zero value — selects DefaultCancelEvery. Smaller values cancel more
 	// promptly at the cost of one channel poll per period.
 	CancelEvery int
+	// Backend selects the execution engine: BackendStepper (the zero value)
+	// interprets the AST directly; BackendCompiled pre-resolves variables to
+	// rib coordinates and dispatches on dense opcodes, emitting identical
+	// observables. Runs with Order == RandomOrder always use the stepper
+	// (per-call permutations cannot be pre-resolved).
+	Backend Backend
 }
 
 // TracePoint is one sample of a run's space profile.
@@ -204,6 +211,15 @@ type Runner struct {
 	// gcSnap witnesses the configuration at the end of the last collection,
 	// for the root-delta fast path (see collect).
 	gcSnap gcSnapshot
+	// depthK/depthVal memoize the continuation depth of the previous
+	// observation. One transition moves the continuation by at most one
+	// frame (push, pop, or replace-top), so the next depth is one pointer
+	// compare away; only a discontinuous jump — call/cc re-entry, MTA
+	// chain compression — pays the full value.Depth walk, which is
+	// O(depth) per step and used to dominate deep-recursion profiles.
+	depthK     value.Cont
+	depthVal   int
+	depthValid bool
 }
 
 // gcSnapshot captures what the last collection saw. If the next collection's
@@ -261,6 +277,25 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 	r.machine = NewMachine(r.opts.Variant, st)
 	r.machine.SetOrder(r.opts.Order)
 	r.machine.SetStackStrict(r.opts.StackStrict)
+	// Engine selection. Compilation happens per run, after the globals are
+	// installed, so ρ0 bindings bake to concrete locations; it is a few
+	// microseconds against the runs it accelerates. A program the compiler
+	// does not understand (expression forms outside package ast) falls back
+	// to the stepper, as does random argument order.
+	var engine stepEngine = r.machine
+	runExpr := e
+	if r.opts.Backend == BackendCompiled && r.opts.Order != RandomOrder {
+		cfg := compile.Config{
+			FreeClosures:  r.opts.Variant.FreeClosures,
+			RestrictConts: r.opts.Variant.RestrictConts,
+			EvlisLastEnv:  r.opts.Variant.EvlisLastEnv,
+			RightToLeft:   r.opts.Order == RightToLeft,
+		}
+		if prog, cerr := compile.Program(e, cfg, rho0); cerr == nil {
+			engine = &compiledMachine{m: r.machine}
+			runExpr = prog.Root
+		}
+	}
 	if r.opts.Measure {
 		r.meter.Attach(st)
 	}
@@ -289,7 +324,7 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 	defer func() { res.Metrics = r.buildMetrics(&res, st) }()
 
 	res = Result{ProgramSize: e.Size(), Store: st}
-	s := EvalState(e, rho0, value.Halt{})
+	s := EvalState(runExpr, rho0, value.Halt{})
 
 	gcEvery := r.opts.GCEvery
 	switch {
@@ -323,13 +358,13 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 			}
 		}
 		if s.Expr != nil {
-			r.lastExpr = s.Expr
+			r.lastExpr = sourceExpr(s.Expr)
 		}
 		if r.tap != nil {
 			r.tap.step = res.Steps + 1
 			r.tap.expr = r.lastExpr
 		}
-		next, done, err := r.machine.Step(s)
+		next, done, err := engine.Step(s)
 		if err != nil {
 			res.Err = err
 			return res
@@ -341,7 +376,7 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 		}
 		s = next
 		res.Steps++
-		r.ruleCounts[r.machine.LastRule()]++
+		r.ruleCounts[engine.LastRule()]++
 		if gcEvery > 0 && res.Steps%gcEvery == 0 {
 			if r.opts.Variant.CompressFrames {
 				s.K = CompressReturnChains(s.K)
@@ -358,7 +393,7 @@ func (r *Runner) Run(e ast.Expr) (res Result) {
 				res.Collected += collected
 			}
 		}
-		r.observe(&res, s, st, r.machine.LastRule())
+		r.observe(&res, s, st, engine.LastRule())
 	}
 }
 
@@ -401,11 +436,30 @@ func valLocFree(v value.Value) bool {
 	return false
 }
 
+// contDepth resolves value.Depth(k) through the single-frame memo.
+func (r *Runner) contDepth(k value.Cont) int {
+	switch {
+	case r.depthValid && k == r.depthK:
+		// Same continuation (tail transitions): depth unchanged.
+	case r.depthValid && k != nil && k.Next() == r.depthK:
+		r.depthVal++ // one frame pushed
+	case r.depthValid && r.depthK != nil && r.depthK.Next() == k:
+		r.depthVal-- // one frame popped
+	case r.depthValid && k != nil && r.depthK != nil && k.Next() == r.depthK.Next():
+		// Top frame replaced (push-next, select): depth unchanged.
+	default:
+		r.depthVal = value.Depth(k)
+	}
+	r.depthK = k
+	r.depthValid = true
+	return r.depthVal
+}
+
 // observe samples the configuration s that rule just produced: peaks,
 // trace points, and transition events.
 func (r *Runner) observe(res *Result, s State, st *value.Store, rule Rule) {
 	heap := st.Size()
-	depth := value.Depth(s.K)
+	depth := r.contDepth(s.K)
 	r.peaks.Observe(space.PeakHeap, res.Steps, heap)
 	r.peaks.Observe(space.PeakContDepth, res.Steps, depth)
 	res.PeakHeap = r.peaks.Get(space.PeakHeap)
@@ -444,6 +498,8 @@ func (r *Runner) attributePeak(step, flat int, s State, st *value.Store, rule Ru
 	expr := s.Expr
 	if expr == nil {
 		expr = r.lastExpr
+	} else {
+		expr = sourceExpr(expr)
 	}
 	var exprStr string
 	var nodeID int

@@ -26,6 +26,7 @@ func AlgolSubset() (Table, error) {
 		strictVerdict := "runs"
 		res, err := core.RunProgram(p.Source, core.Options{
 			Variant: core.Stack, StackStrict: true, MaxSteps: 5_000_000,
+			Backend: expBackend(),
 		})
 		if err != nil {
 			return t, fmt.Errorf("algol: %s: %w", p.Name, err)
@@ -46,7 +47,7 @@ func AlgolSubset() (Table, error) {
 
 		// The maximal-safe choice of A must always complete (the paper's
 		// nondeterminism resolved in the program's favour).
-		safe, err := core.RunProgram(p.Source, core.Options{Variant: core.Stack, MaxSteps: 5_000_000})
+		safe, err := core.RunProgram(p.Source, core.Options{Variant: core.Stack, MaxSteps: 5_000_000, Backend: expBackend()})
 		if err != nil {
 			return t, err
 		}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"tailspace/internal/core"
+	"tailspace/internal/space"
+)
+
+// TestCompiledBackendFuzzSmoke cross-checks the compiled backend against the
+// stepper on ~200 seeded random programs (the randprog generator: closed,
+// terminating, integer-valued, heavy on the forms the variants differ in —
+// calls, lets, closures, set!, conditionals, call/cc). For every program ×
+// machine the two backends must agree on the answer, the step count, the
+// per-rule transition counts, and the S/U space peaks. It runs under -short
+// too: the generator is the down-payment on ROADMAP item 4, and this smoke
+// is the cheap always-on edge of the corpus differential suite.
+func TestCompiledBackendFuzzSmoke(t *testing.T) {
+	const seed, count, depth = 20260808, 200, 4
+	variants := core.AllVariants
+	if testing.Short() {
+		variants = []core.Variant{core.Tail, core.Stack, core.Evlis, core.SFS, core.MTA}
+	}
+	programs := RandomPrograms(seed, count, depth)
+	for _, v := range variants {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			for i, src := range programs {
+				run := func(backend core.Backend) core.Result {
+					res, err := core.RunProgram(src, core.Options{
+						Variant: v, Measure: true, GCEvery: 1,
+						MaxSteps: 200_000, CostModel: space.Fixnum,
+						Backend: backend,
+					})
+					if err != nil {
+						t.Fatalf("prog %d [%s] backend=%v: %v\n%s", i, v, backend, err, src)
+					}
+					return res
+				}
+				stepper := run(core.BackendStepper)
+				compiled := run(core.BackendCompiled)
+				if diff := diffBackendRuns(stepper, compiled); diff != "" {
+					t.Errorf("prog %d [%s]: compiled vs stepper: %s\n%s", i, v, diff, src)
+				}
+			}
+		})
+	}
+}
+
+// diffBackendRuns compares the observables the fuzz smoke pins: answer and
+// termination, step count, space peaks, and the full metrics registry (which
+// includes every per-rule transition counter).
+func diffBackendRuns(stepper, compiled core.Result) string {
+	if (stepper.Err == nil) != (compiled.Err == nil) ||
+		(stepper.Err != nil && stepper.Err.Error() != compiled.Err.Error()) {
+		return "Err stepper=" + errString(stepper.Err) + " compiled=" + errString(compiled.Err)
+	}
+	if stepper.Answer != compiled.Answer {
+		return "Answer stepper=" + stepper.Answer + " compiled=" + compiled.Answer
+	}
+	if stepper.Steps != compiled.Steps {
+		return "Steps differ"
+	}
+	if stepper.PeakFlat != compiled.PeakFlat || stepper.PeakLinked != compiled.PeakLinked ||
+		stepper.PeakHeap != compiled.PeakHeap || stepper.PeakContDepth != compiled.PeakContDepth {
+		return "peaks differ"
+	}
+	a, b := stepper.Metrics.Snapshot(), compiled.Metrics.Snapshot()
+	for k, av := range a {
+		if b[k] != av {
+			return "metric " + k + " differs"
+		}
+	}
+	for k, bv := range b {
+		if a[k] != bv {
+			return "metric " + k + " differs"
+		}
+	}
+	return ""
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}

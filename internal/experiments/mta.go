@@ -46,6 +46,7 @@ func MTAExperiment(ns []int) (Table, error) {
 			res, err := core.RunApplication(CountdownLoop, fmt.Sprintf("(quote %d)", n), core.Options{
 				Variant: c.variant, Measure: true, FlatOnly: true,
 				GCEvery: c.gcEvery, CostModel: expModel(space.Fixnum), MaxSteps: 5_000_000,
+				Backend: expBackend(),
 			})
 			if err != nil {
 				return t, err

@@ -5,11 +5,14 @@
 #
 # Usage: scripts/benchdiff.sh [baseline.json]
 #
-# The timing comparison is a reporting step, not a gate: it exits 0
-# whenever both runs parse, even if numbers regressed. Read the artifact;
-# shared CI runners are too noisy for hard ns/op thresholds. Keep it
+# The timing comparison is a gate with a deliberately generous threshold:
+# any benchmark that slows down by more than BENCH_FAIL_OVER percent
+# (default 35) against the baseline fails the run. Shared CI runners are
+# too noisy for tight ns/op thresholds, but a 35% cliff on a benchmark
+# present in both reports is a real regression, not jitter. Set
+# BENCH_FAIL_OVER=0 to restore report-only behaviour. Keep this script
 # dependency-free (POSIX sh + the repo's own cmd/benchjson and
-# cmd/benchdiff). The tables guard that runs first IS a gate: the
+# cmd/benchdiff). The tables guard that runs first is also a gate: the
 # deterministic spacelab tables under the default word cost model must be
 # byte-identical to TABLES_baseline.json.
 set -eu
@@ -19,6 +22,7 @@ cd "$(dirname "$0")/.."
 sh scripts/tablesguard.sh
 
 baseline="${1:-BENCH_baseline.json}"
+fail_over="${BENCH_FAIL_OVER:-35}"
 if [ ! -f "$baseline" ]; then
     echo "benchdiff: baseline $baseline not found" >&2
     exit 1
@@ -30,7 +34,12 @@ trap 'rm -f "$fresh"' EXIT
 echo "==> go test -bench . (fresh run)"
 go test -bench . -benchmem -run '^$' . | go run ./cmd/benchjson > "$fresh"
 
-echo "==> benchdiff $baseline <fresh>"
-go run ./cmd/benchdiff "$baseline" "$fresh" | tee benchdiff.txt
+echo "==> benchdiff -fail-over $fail_over $baseline <fresh>"
+# Capture to the artifact first, then echo it: a pipe through tee would
+# swallow benchdiff's exit status under plain POSIX sh.
+status=0
+go run ./cmd/benchdiff -fail-over "$fail_over" "$baseline" "$fresh" > benchdiff.txt || status=$?
+cat benchdiff.txt
 
 echo "==> wrote benchdiff.txt"
+exit "$status"
