@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet bench bench-json bench-diff tables-guard classify-guard spacelab serve-smoke
+.PHONY: check build test vet bench bench-json bench-diff tables-guard classify-guard contracts-guard spacelab serve-smoke
 
 check:
 	sh scripts/check.sh
@@ -34,6 +34,11 @@ tables-guard:
 # must be byte-identical to the committed CLASSIFY_baseline.json.
 classify-guard:
 	sh scripts/classifyguard.sh
+
+# Gate: the contract-monitor separation tables (naive Θ(n) vs spaceff
+# O(1), word model) must be byte-identical to CONTRACTS_baseline.json.
+contracts-guard:
+	sh scripts/contractsguard.sh
 
 # Run the tables guard (a gate), then re-run the benchmarks and diff them
 # against the committed baseline (BENCH_baseline.json); writes

@@ -9,7 +9,7 @@
 //
 // Flags:
 //
-//	-variant tail|gc|stack|evlis|free|sfs|mta   reference implementation
+//	-variant tail|gc|stack|evlis|free|sfs|naive|spaceff|mta   reference implementation
 //	-input EXPR     apply the program (a one-argument procedure) to EXPR
 //	-measure        report S_X and U_X space peaks (Figures 7 and 8)
 //	-fixnum         charge numbers a constant instead of 1+log2|z|
@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	variant := flag.String("variant", "tail", "reference implementation: tail|gc|stack|evlis|free|sfs|mta")
+	variant := flag.String("variant", "tail", "reference implementation: tail|gc|stack|evlis|free|sfs|naive|spaceff|mta")
 	expr := flag.String("e", "", "program text (instead of a file)")
 	input := flag.String("input", "", "apply the program to this input expression")
 	measure := flag.Bool("measure", false, "measure Figure 7/8 space peaks")

@@ -44,7 +44,7 @@ func main() {
 	addr := fs.String("addr", "http://127.0.0.1:8750", "spaced base URL")
 	input := fs.String("input", "", "input datum D; the server runs (P D)")
 	machine := fs.String("machine", "", "eval: machine name (default tail)")
-	machines := fs.String("machines", "", "measure: comma-separated machine names (default: the six-machine family)")
+	machines := fs.String("machines", "", "measure: comma-separated machine names (default: the full eight-machine family)")
 	costModels := fs.String("cost-model", "", "measure: comma-separated space cost models (word,fixnum,log); classify: one model")
 	flatOnly := fs.Bool("flat-only", false, "measure: skip the linked (U_X) measurement")
 	backend := fs.String("backend", "", "eval/measure: execution backend (stepper|compiled); empty means the server default")

@@ -1,6 +1,7 @@
 // Command spaced is the space-measurement daemon: the repo's engine —
-// the six Clinger machines, the Definition 21 S_X/U_X meters, and the
-// static space-leak analyzer — behind a long-lived HTTP/JSON service.
+// the six Clinger machines plus the two contract monitors, the
+// Definition 21 S_X/U_X meters, and the static space-leak analyzer —
+// behind a long-lived HTTP/JSON service.
 //
 //	spaced [-addr host:port] [-workers N] [-cache N] [-timeout D] [-drain D]
 //	       [-max-steps N] [-access-log stderr|off|PATH] [-debug-addr host:port]

@@ -4,6 +4,7 @@
 //	spacelab [flags] fig2          Figure 2: static frequency of tail calls
 //	spacelab [flags] hierarchy     Figure 6 / Theorem 24: the space-class hierarchy
 //	spacelab [flags] thm25         Theorem 25: the four separation programs
+//	spacelab [flags] contracts     contract monitoring: naive vs space-efficient monitors
 //	spacelab [flags] thm26         Theorem 26 / §13: flat vs linked environments
 //	spacelab [flags] costmodels    cost-model robustness: Theorem 25 under word/fixnum/log pricing
 //	spacelab [flags] findleftmost  §4: find-leftmost space vs tree shape
@@ -72,7 +73,7 @@ func main() {
 	jsonOut := fs.Bool("json", false, "emit tables as JSON instead of rendered text")
 	explain := fs.String("explain-peak", "", "attribute the flat-space peak of a program (file or corpus name)")
 	prof := fs.String("profile", "", "profile one run of a program (file or corpus name) with the event stream attached")
-	machine := fs.String("machine", "", "restrict -explain-peak / select -profile machine (tail|gc|stack|evlis|free|sfs)")
+	machine := fs.String("machine", "", "restrict -explain-peak / select -profile machine (tail|gc|stack|evlis|free|sfs|naive|spaceff)")
 	traceOut := fs.String("trace", "", "with -profile: write the retained events as JSONL to this file")
 	chromeOut := fs.String("chrome", "", "with -profile: write a Chrome trace_event file (Perfetto-loadable)")
 	ringCap := fs.Int("ring", obs.DefaultRingCapacity, "with -profile: event ring-buffer capacity (oldest events drop beyond it)")
@@ -145,6 +146,8 @@ func main() {
 		tables, err = one(experiments.Hierarchy(experiments.HierarchyProbePrograms(), 12))
 	case "thm25":
 		tables, err = experiments.Thm25()
+	case "contracts":
+		tables, err = experiments.Contracts()
 	case "costmodels":
 		tables, err = experiments.CostModels()
 	case "thm26":
@@ -278,13 +281,17 @@ func all() ([]experiments.Table, error) {
 		err   error
 	}
 	results := make([]slot, len(jobs))
-	var thm25Tables, costModelTables []experiments.Table
-	var thm25Err, costModelErr error
+	var thm25Tables, contractTables, costModelTables []experiments.Table
+	var thm25Err, contractErr, costModelErr error
 	var wg sync.WaitGroup
-	wg.Add(len(jobs) + 2)
+	wg.Add(len(jobs) + 3)
 	go func() {
 		defer wg.Done()
 		thm25Tables, thm25Err = experiments.Thm25()
+	}()
+	go func() {
+		defer wg.Done()
+		contractTables, contractErr = experiments.Contracts()
 	}()
 	go func() {
 		defer wg.Done()
@@ -306,8 +313,8 @@ func all() ([]experiments.Table, error) {
 		out = append(out, results[i].table)
 		return nil
 	}
-	// Presentation order: fig2, hierarchy, thm25 (4 tables), costmodels (2
-	// tables), thm26, ...
+	// Presentation order: fig2, hierarchy, thm25 (4 tables), contracts (2
+	// tables), costmodels (2 tables), thm26, ...
 	for _, step := range []int{0, 1} {
 		if err := collect(step); err != nil {
 			return out, err
@@ -317,6 +324,10 @@ func all() ([]experiments.Table, error) {
 		return out, thm25Err
 	}
 	out = append(out, thm25Tables...)
+	if contractErr != nil {
+		return out, contractErr
+	}
+	out = append(out, contractTables...)
 	if costModelErr != nil {
 		return out, costModelErr
 	}
@@ -346,7 +357,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: spacelab [-jobs N] [-json] <experiment>
        spacelab -explain-peak <program> [-machine M] [-steps N]
        spacelab -profile <program> [-machine M] [-trace f.jsonl] [-chrome f.json] [-ring N] [-steps N]
-experiments: fig2|hierarchy|thm25|costmodels|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all
+experiments: fig2|hierarchy|thm25|contracts|costmodels|thm26|findleftmost|gcfactor|mta|denot|algol|cps|secd|controlspace|ablation|corollary20|all
 <program> is a Scheme source file or a corpus program name.
 flags:
   -jobs N          bound the number of measurement runs in flight (default GOMAXPROCS)
@@ -355,7 +366,7 @@ flags:
   -json            emit tables as JSON for trend tracking
   -explain-peak P  attribute the flat-space peak of P under every machine (or -machine M)
   -profile P       run P once with the event stream attached and print its metrics
-  -machine M       one of tail|gc|stack|evlis|free|sfs (profile default: tail)
+  -machine M       one of tail|gc|stack|evlis|free|sfs|naive|spaceff (profile default: tail)
   -trace FILE      with -profile: write retained events as JSONL
   -chrome FILE     with -profile: write a Chrome trace_event file (Perfetto-loadable)
   -ring N          with -profile: ring-buffer capacity (default 65536; oldest events drop)

@@ -33,7 +33,7 @@ func selectVariants(machine string) ([]core.Variant, error) {
 	}
 	v, ok := core.ByName(machine)
 	if !ok {
-		return nil, fmt.Errorf("unknown machine %q (want tail|gc|stack|evlis|free|sfs)", machine)
+		return nil, fmt.Errorf("unknown machine %q (want tail|gc|stack|evlis|free|sfs|naive|spaceff)", machine)
 	}
 	return []core.Variant{v}, nil
 }

@@ -1,0 +1,16 @@
+; A contract leak the space-efficient monitor cannot fix: the arrow
+; contract is built inside the loop, so every call wraps with a *fresh*
+; contract identity. Duplicate-dropping joins dedup by identity; n
+; distinct contracts mean n pending codomain checks on both monitor
+; machines -- Theta(n) even on spaceff. Hoisting the contract out of the
+; loop (as contracted-loop.scm does via define/contract) restores O(1)
+; on spaceff. tailscan -lint flags the mon under the cycle.
+;
+;   tailscan -lint examples/contracted-leak.scm
+(define (f n)
+  (if (zero? n)
+      0
+      ((mon (-> number? number?)
+            (lambda (m) (f m)))
+       (- n 1))))
+(f 100)

@@ -1,0 +1,15 @@
+; The contracted countdown loop: the Section 2 loop with a latent
+; higher-order contract on it. Erasing machines never check the contract
+; and run in constant space. The naive monitor leaves one pending codomain
+; check behind per call -- Theta(n) mon-cod frames -- while the
+; space-efficient monitor joins each new check into the adjacent mon-cod
+; frame and drops the duplicate (same contract, same blame label), so the
+; chain never grows past one frame: O(1), the Greenberg separation.
+;
+;   spacelab -hierarchy examples/hierarchy
+;   spacectl sweep -machines naive,spaceff examples/contracted-loop.scm
+(define/contract (f n) (-> number? number?)
+  (if (zero? n)
+      0
+      (f (- n 1))))
+(f 100)

@@ -54,3 +54,62 @@ func TestLogModelGapExample(t *testing.T) {
 			first, end, peaks["log"])
 	}
 }
+
+// TestContractedExamples runs the two contract example files end to end
+// through the public API and checks the properties their comments advertise.
+// contracted-loop (a loop-invariant contract): the naive monitor chains a
+// pending check per call while the space-efficient monitor joins duplicates
+// away — the Greenberg separation. contracted-leak (a per-iteration
+// contract): fresh identities defeat the join, so both monitors chain.
+func TestContractedExamples(t *testing.T) {
+	loadExample := func(name string) string {
+		data, err := os.ReadFile("examples/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := strings.TrimSpace(string(data))
+		const call = "(f 100)"
+		if !strings.HasSuffix(src, call) {
+			t.Fatalf("examples/%s must end with the standalone call %s", name, call)
+		}
+		return strings.TrimSuffix(src, call)
+	}
+	peak := func(prog string, v Variant, n int) int {
+		res, err := Apply(prog, fmt.Sprintf("(quote %d)", n),
+			Options{Variant: v, Measure: true, FixnumCosts: true})
+		if err != nil {
+			t.Fatalf("[%s n=%d] %v", v, n, err)
+		}
+		if res.Answer != "0" {
+			t.Fatalf("[%s n=%d] answer %q, want 0", v, n, res.Answer)
+		}
+		return res.SpaceFlat
+	}
+	// The prelude's peak masks the monitor chain at small n, so the growth
+	// probe needs a deep input (see also the service wire test).
+	const small, big = 8, 512
+	grows := func(prog string, v Variant) bool {
+		return peak(prog, v, big)-peak(prog, v, small) >= big-small
+	}
+
+	loop := loadExample("contracted-loop.scm")
+	if !grows(loop, Naive) {
+		t.Error("contracted-loop: the naive monitor's peak must chain with the input")
+	}
+	if grows(loop, SpaceEff) {
+		t.Error("contracted-loop: the space-efficient monitor's peak must stay bounded")
+	}
+	if grows(loop, Tail) {
+		t.Error("contracted-loop: the erasing machine must run in constant space")
+	}
+
+	leak := loadExample("contracted-leak.scm")
+	for _, v := range []Variant{Naive, SpaceEff} {
+		if !grows(leak, v) {
+			t.Errorf("contracted-leak: the per-iteration contract must chain on %s", v)
+		}
+	}
+	if grows(leak, Tail) {
+		t.Error("contracted-leak: the erasing machine must run in constant space")
+	}
+}

@@ -185,6 +185,10 @@ func (c *classifier) exprClass(e ast.Expr) bindClass {
 		return bindClass{} // unspecified value
 	case *ast.Call:
 		return c.callClass(x)
+	case *ast.Mon:
+		// The monitor's value is the monitored value, possibly inside an
+		// O(1) guard wrapper that retains it.
+		return c.exprClass(x.Expr)
 	}
 	return bindClass{unsafe: true}
 }
@@ -284,6 +288,8 @@ func (c *classifier) inputMagExpr(e ast.Expr) bool {
 			return false
 		}
 		return true // user call or unknown operator: could be anything
+	case *ast.Mon:
+		return c.inputMagExpr(x.Expr)
 	}
 	return true
 }

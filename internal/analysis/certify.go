@@ -1,10 +1,10 @@
 package analysis
 
 // This file synthesizes per-(program, machine) space-class certificates
-// from the leak analyses: for each of the six machines of the hierarchy, an
-// asymptotic bound on S_X(program, n) as the driver argument scales, with
-// the evidence that forced each bound. The certificate lattice is
-// deliberately coarse —
+// from the leak analyses: for the six machines of the hierarchy plus the
+// two contract monitors, an asymptotic bound on S_X(program, n) as the
+// driver argument scales, with the evidence that forced each bound. The
+// certificate lattice is deliberately coarse —
 //
 //	O(1)  ⊑  O(n)  ⊑  unbounded
 //
@@ -14,7 +14,7 @@ package analysis
 // everything the machine's retention policy can compound beyond that
 // (quadratic parks, closures, nested recursions). Certificates only ever
 // *weaken*: every rule raises a machine's class, none lowers it, and any
-// statically unresolved call collapses all six to unbounded. The
+// statically unresolved call collapses every machine to unbounded. The
 // differential grid (internal/experiments) checks the resulting soundness
 // contract dynamically: a certificate must upper-bound the fitted growth
 // class of the meters on every machine.
@@ -54,8 +54,11 @@ func (c SpaceClass) Rank() int {
 }
 
 // CertMachines lists the machines certificates are issued for, in report
-// order (the six machines of the Theorem 24 hierarchy).
-var CertMachines = []string{"stack", "gc", "tail", "evlis", "free", "sfs"}
+// order: the six machines of the Theorem 24 hierarchy followed by the two
+// contract monitors. The monitor machines behave exactly like Z_tail on
+// contract-free programs, so every tail rule below also names them; the
+// contract rules at the end are theirs alone.
+var CertMachines = []string{"stack", "gc", "tail", "evlis", "free", "sfs", "naive", "spaceff"}
 
 // Certificate is one machine's certified bound with its evidence trail.
 type Certificate struct {
@@ -88,8 +91,9 @@ func (a *leakAnalysis) unresolvedSites() []UnresolvedSite {
 	return out
 }
 
-// certify derives the six certificates from the shared analysis state.
-func (a *leakAnalysis) certify(control ControlReport, parks *parkScan, rets *retentionScan) []Certificate {
+// certify derives the per-machine certificates from the shared analysis
+// state.
+func (a *leakAnalysis) certify(control ControlReport, parks *parkScan, rets *retentionScan, ctrs *contractScan) []Certificate {
 	cls := make(map[string]SpaceClass, len(CertMachines))
 	ev := make(map[string][]string, len(CertMachines))
 	for _, m := range CertMachines {
@@ -211,7 +215,7 @@ func (a *leakAnalysis) certify(control ControlReport, parks *parkScan, rets *ret
 			continue
 		}
 		why := fmt.Sprintf("environment holding dead input-sized binding %s is parked once per recursion level", fd.b.name)
-		bump(why, ClassUnbounded, "tail", "gc", "stack", "free")
+		bump(why, ClassUnbounded, "tail", "gc", "stack", "free", "naive", "spaceff")
 		if fd.evlisHeld {
 			bump(why, ClassUnbounded, "evlis")
 		}
@@ -225,7 +229,7 @@ func (a *leakAnalysis) certify(control ControlReport, parks *parkScan, rets *ret
 			continue
 		}
 		bump(fmt.Sprintf("closure %s captures dead input-sized binding %s once per recursion level", fd.lam.Label, fd.b.name),
-			ClassUnbounded, "tail", "gc", "stack", "evlis")
+			ClassUnbounded, "tail", "gc", "stack", "evlis", "naive", "spaceff")
 	}
 
 	// Algol frame retention (Theorem 25, vector-frames): a dead sized
@@ -247,6 +251,29 @@ func (a *leakAnalysis) certify(control ControlReport, parks *parkScan, rets *ret
 				bump(fmt.Sprintf("dead input-sized binding %s lives in every retained Algol frame", b.name),
 					ClassUnbounded, "stack")
 			}
+		}
+	}
+
+	// Contract monitoring: every call through a guarded procedure leaves a
+	// pending codomain check behind. Z_naive chains them (one per level of a
+	// guarded recursion); Z_spaceff joins adjacent checks, dropping
+	// duplicates by contract identity — which only helps while the contract
+	// is the *same* contract, so a monitor rebuilt per recursion level
+	// chains on both. A contract whose checks run untracked code admits no
+	// bound at all. The erasing machines never see any of this.
+	for _, f := range ctrs.findings {
+		if f.unresolvable != "" {
+			bump(fmt.Sprintf("%s: monitor space cannot be bounded", f.unresolvable),
+				ClassUnbounded, "naive", "spaceff")
+			continue
+		}
+		if len(f.guardedDriven) > 0 {
+			bump(fmt.Sprintf("contract %s guards an input-driven recursion: the naive monitor chains one pending codomain check per call", f.mon.Label),
+				ClassLinear, "naive")
+		}
+		if f.perIteration {
+			bump(fmt.Sprintf("contract %s is rebuilt per recursion level: its fresh identity defeats the duplicate-dropping join", f.mon.Label),
+				ClassLinear, "naive", "spaceff")
 		}
 	}
 

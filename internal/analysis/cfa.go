@@ -177,6 +177,16 @@ func (c *cfa) gen(e ast.Expr, env map[string]*flowVar) *flowVar {
 		opv.opOf = append(opv.opOf, site)
 		c.wireSite(site)
 		return res
+	case *ast.Mon:
+		// Monitoring is value-transparent for flow: a guarded procedure
+		// applies the same underlying lambdas, so the monitor's value IS the
+		// monitored expression's value. The contract value escapes — monitor
+		// machines apply its flat predicates at runtime through calls no
+		// static edge models, so any lambda inside a contract must be ⊤.
+		c.edge(c.gen(x.Ctc, env), c.escape)
+		v := c.gen(x.Expr, env)
+		c.exprVar[x] = v
+		return v
 	}
 	v := c.newVar("other")
 	c.setTop(v)

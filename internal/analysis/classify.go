@@ -1,7 +1,8 @@
 package analysis
 
 // This file packages space-class certificates as a report: one program, one
-// cost model, six machine bounds (tailscan -classify, POST /v1/classify).
+// cost model, one bound per certified machine — the six hierarchy machines
+// plus the two contract monitors (tailscan -classify, POST /v1/classify).
 //
 // Certificates are derived under unit-cost accounting (the word and fixnum
 // models price every object a constant number of words, so they share

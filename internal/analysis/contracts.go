@@ -1,0 +1,142 @@
+package analysis
+
+// This file analyzes contract monitors — the naive/spaceff machine pair.
+// The cost of monitoring is control-shaped: every call through a guarded
+// procedure leaves a pending codomain check behind, and the two monitor
+// machines differ only in whether adjacent pending checks join (duplicates
+// dropped by contract identity) or chain. That gives three static facts
+// worth knowing about each (mon ctc e) site:
+//
+//   - whether the contract expression is statically tracked at all (a
+//     primop predicate, or an arrow of tracked contracts): a lambda or a
+//     user binding used as a contract runs arbitrary code at check time,
+//     through calls no graph edge models, so no monitor bound can be
+//     certified;
+//   - whether a guarded procedure recurses input-driven: then the naive
+//     monitor chains one pending check per level — Θ(n);
+//   - whether the mon itself is built inside an input-driven cycle: a fresh
+//     contract identity per level defeats the duplicate-dropping join, so
+//     even the space-efficient monitor chains — the one contract leak
+//     spaceff cannot fix, and the thing -lint should point at.
+
+import (
+	"tailspace/internal/ast"
+	"tailspace/internal/prim"
+)
+
+// contractFinding is the analysis of one monitor site.
+type contractFinding struct {
+	mon  *ast.Mon
+	host *node
+	// unresolvable names why the contract expression is untracked ("" when
+	// it is a recognized primop-predicate / arrow shape).
+	unresolvable string
+	// guardedDriven lists guarded lambdas living in reachable input-driven
+	// cycles — the naive monitor pays one pending check per level of each.
+	guardedDriven []*node
+	// perIteration: the mon sits inside a reachable input-driven cycle, so
+	// the contract is rebuilt (fresh identity) once per recursion level.
+	perIteration bool
+}
+
+// contractScan is the program-level summary consumed by relations, leaks,
+// and certificates.
+type contractScan struct {
+	findings []contractFinding
+	anyMon   bool
+}
+
+// unresolved returns the findings whose contracts are statically untracked.
+func (c *contractScan) unresolved() []contractFinding {
+	var out []contractFinding
+	for _, f := range c.findings {
+		if f.unresolvable != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// perIteration returns findings whose contract is rebuilt per recursion
+// level (fresh identity — spaceff chains too).
+func (c *contractScan) perIteration() []contractFinding {
+	var out []contractFinding
+	for _, f := range c.findings {
+		if f.unresolvable == "" && f.perIteration {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// hoistedGuards returns findings with a loop-invariant contract guarding an
+// input-driven recursion — naive chains, spaceff joins: the separation.
+func (c *contractScan) hoistedGuards() []contractFinding {
+	var out []contractFinding
+	for _, f := range c.findings {
+		if f.unresolvable == "" && !f.perIteration && len(f.guardedDriven) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// findContracts scans every monitor site recorded by the graph walk.
+func (a *leakAnalysis) findContracts() *contractScan {
+	c := &contractScan{}
+	facts := a.compSummary()
+	driven := func(n *node) bool {
+		f := facts[a.g.comp[n]]
+		return f != nil && f.cyclic && f.reachable && f.inputDriven
+	}
+	for _, site := range a.g.monHosts {
+		c.anyMon = true
+		f := contractFinding{mon: site.mon, host: site.host}
+		if why := a.untrackedCtc(site.mon.Ctc); why != "" {
+			f.unresolvable = why
+			c.findings = append(c.findings, f)
+			continue
+		}
+		if fv := a.g.flow.exprVar[site.mon.Expr]; fv != nil {
+			for _, lam := range a.g.flow.sortedLams(fv) {
+				if transparentLabel(lam.Label) {
+					continue
+				}
+				if n, ok := a.g.nodes[lam]; ok && driven(n) {
+					f.guardedDriven = append(f.guardedDriven, n)
+				}
+			}
+		}
+		f.perIteration = driven(site.host)
+		c.findings = append(c.findings, f)
+	}
+	return c
+}
+
+// untrackedCtc reports why a contract expression is statically untracked,
+// or "" for the recognized shapes: a primitive predicate name, or an arrow
+// (%-> ...) whose component contracts are all tracked.
+func (a *leakAnalysis) untrackedCtc(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Var:
+		if a.s.varRef[x] != nil {
+			return "contract is a user binding: its checks run arbitrary code"
+		}
+		if _, ok := prim.Lookup(x.Name); ok {
+			return ""
+		}
+		return "contract names an unbound variable"
+	case *ast.Call:
+		v, ok := x.Operator().(*ast.Var)
+		if !ok || v.Name != "%->" || a.s.varRef[v] != nil {
+			return "contract is computed by a call: its value is untracked"
+		}
+		for _, arg := range x.Operands() {
+			if why := a.untrackedCtc(arg); why != "" {
+				return why
+			}
+		}
+		return ""
+	}
+	return "contract is not a predicate name or an arrow of predicates"
+}

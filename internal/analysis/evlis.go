@@ -127,6 +127,15 @@ func (p *parkScan) scan(e ast.Expr, heldTail, heldEvlis map[*binding]bool) {
 		// Deferred code: its parks are scanned from its own body root, and
 		// caller-side retention across its eventual application is already
 		// accounted for at the call sites that can reach it.
+	case *ast.Mon:
+		// A mon-ctc continuation holds the environment while the contract
+		// evaluates, under every policy (Z_sfs restricts it to the monitored
+		// expression's free variables, which clears dead bindings — but the
+		// park detector only tracks provably dead bindings, so charging both
+		// sides here mirrors the if-test rule conservatively).
+		extra := p.a.deadSized(p.a.s.scopeAt[x])
+		p.scan(x.Ctc, held(heldTail, extra), held(heldEvlis, extra))
+		p.scan(x.Expr, heldTail, heldEvlis)
 	}
 }
 

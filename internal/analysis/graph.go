@@ -37,6 +37,12 @@ type edge struct {
 	site     *ast.Call // nil for the synthetic root edge to an escaped lambda
 }
 
+// monSite is one (mon ctc e) expression with the activation it is built in.
+type monSite struct {
+	mon  *ast.Mon
+	host *node
+}
+
 // unresolvedCall is one call site the flow analysis could not fully
 // resolve; lint.go surfaces these so a reader can see why a verdict is
 // "unknown".
@@ -67,6 +73,9 @@ type callGraph struct {
 	unresolved []unresolvedCall
 	// tailOf records whether each visited call site is a tail call.
 	tailOf map[*ast.Call]bool
+	// monHosts records every monitor expression with its host activation,
+	// in walk order — the contract analysis (contracts.go) consumes these.
+	monHosts []monSite
 	// unknownNonTail records non-tail calls whose target cannot be resolved.
 	unknownNonTail []string
 	// unresolvedTails notes tail calls to unresolvable targets (harmless at
@@ -168,6 +177,10 @@ func (g *callGraph) walk(e ast.Expr, info *ast.TailInfo, host *node) {
 		for _, sub := range x.Exprs {
 			g.walk(sub, info, host)
 		}
+	case *ast.Mon:
+		g.monHosts = append(g.monHosts, monSite{mon: x, host: host})
+		g.walk(x.Ctc, info, host)
+		g.walk(x.Expr, info, host)
 	}
 }
 

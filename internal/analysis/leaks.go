@@ -13,6 +13,7 @@ package analysis
 //	free<tail   whole-environment closures       (closure-capture)
 //	sfs<evlis   closure capture + non-last parks
 //	sfs<free    parked continuation environments
+//	spaceff<naive  pending codomain checks: chained vs joined (contracted-loop)
 //
 // "Separates" predicts the right machine measurably outgrows the left on
 // this program; "equal" predicts the same growth class on both; "unknown"
@@ -34,7 +35,7 @@ import (
 // specific AST node, with the machine pair it separates.
 type Leak struct {
 	// Kind is one of return-cont, stack-frame, evlis-env, cont-env,
-	// retained-closure.
+	// retained-closure, contract-cod, contract-identity.
 	Kind string `json:"kind"`
 	// Pair names the machine pair the mechanism separates, smaller first.
 	Pair   string `json:"pair"`
@@ -112,15 +113,18 @@ func AnalyzeLeaks(e ast.Expr) *LeakReport {
 	control := controlReport(g)
 	parks := a.findParks()
 	rets := a.findRetentions()
+	ctrs := a.findContracts()
 
 	rep := &LeakReport{
 		Control:         control.Verdict.String(),
 		ControlFindings: control.Findings,
 		Lambdas:         a.captureReport(),
 	}
-	rep.Relations = a.relations(control, parks, rets)
-	rep.Leaks = a.leaks(rep.Relations, parks, rets)
-	rep.Certificates = a.certify(control, parks, rets)
+	// Certificates come first: the monitor-pair relation compares the two
+	// monitors' certified classes rather than re-deriving the gating.
+	rep.Certificates = a.certify(control, parks, rets, ctrs)
+	rep.Relations = a.relations(control, parks, rets, ctrs, rep.Certificates)
+	rep.Leaks = a.leaks(rep.Relations, parks, rets, ctrs)
 	rep.Unresolved = a.unresolvedSites()
 	parts := make([]string, len(rep.Relations))
 	for i, r := range rep.Relations {
@@ -210,7 +214,7 @@ func (a *leakAnalysis) compSummary() map[int]*compFacts {
 }
 
 // relations synthesizes the per-pair verdicts.
-func (a *leakAnalysis) relations(control ControlReport, parks *parkScan, rets *retentionScan) []Relation {
+func (a *leakAnalysis) relations(control ControlReport, parks *parkScan, rets *retentionScan, ctrs *contractScan, certs []Certificate) []Relation {
 	facts := a.compSummary()
 	anyUnknown := a.g.hasUnknownCalls()
 	lastParks := parks.lastParks()
@@ -337,11 +341,39 @@ func (a *leakAnalysis) relations(control ControlReport, parks *parkScan, rets *r
 		out = append(out, rel("sfs", "free", NoClaim, "statically unresolved calls block a claim"))
 	}
 
+	// spaceff < naive: chained vs joined pending codomain checks. The
+	// verdict compares the monitors' certified classes, so growth both pay
+	// for (parks, non-tail recursion, sized data) masks the gap into an
+	// equality instead of a false separation.
+	cls := map[string]SpaceClass{}
+	for _, c := range certs {
+		cls[c.Machine] = c.Class
+	}
+	monGap := cls["naive"].Rank() > cls["spaceff"].Rank()
+	switch {
+	case !ctrs.anyMon:
+		out = append(out, rel("spaceff", "naive", SameClass,
+			"no contracts: both monitor machines degenerate to Z_tail"))
+	case anyUnknown || len(ctrs.unresolved()) > 0:
+		out = append(out, rel("spaceff", "naive", NoClaim,
+			"statically untracked contract or unresolved calls block a claim"))
+	case monGap && len(ctrs.hoistedGuards()) > 0 && cls["naive"] != ClassUnbounded:
+		h := ctrs.hoistedGuards()[0]
+		out = append(out, rel("spaceff", "naive", Separates,
+			fmt.Sprintf("loop-invariant contract %s guards an input-driven recursion: the naive monitor chains one pending codomain check per call, the space-efficient monitor joins duplicates into one frame", h.mon.Label)))
+	case len(ctrs.perIteration()) > 0:
+		out = append(out, rel("spaceff", "naive", SameClass,
+			"a contract is rebuilt per recursion level: its fresh identity defeats the duplicate-dropping join, so both monitors chain checks"))
+	default:
+		out = append(out, rel("spaceff", "naive", SameClass,
+			"no loop-invariant contract guards an input-driven recursion with headroom below the program's own growth"))
+	}
+
 	return out
 }
 
 // leaks assembles the structured diagnostics, ordered by node ID.
-func (a *leakAnalysis) leaks(relations []Relation, parks *parkScan, rets *retentionScan) []Leak {
+func (a *leakAnalysis) leaks(relations []Relation, parks *parkScan, rets *retentionScan, ctrs *contractScan) []Leak {
 	var out []Leak
 	byPair := map[string]Relation{}
 	for _, r := range relations {
@@ -388,6 +420,24 @@ func (a *leakAnalysis) leaks(relations []Relation, parks *parkScan, rets *retent
 			Kind: "retained-closure", Pair: "free<tail",
 			NodeID: a.ids[f.lam], Expr: exprString(f.lam),
 			Detail: fmt.Sprintf("closure %s captures dead binding %s and re-enters its activation; whole-environment capture retains one copy per level", f.lam.Label, f.b.name),
+		})
+	}
+	if byPair["spaceff<naive"].Verdict == Separates {
+		for _, f := range ctrs.hoistedGuards() {
+			out = append(out, Leak{
+				Kind: "contract-cod", Pair: "spaceff<naive",
+				NodeID: a.ids[f.mon], Expr: exprString(f.mon),
+				Detail: fmt.Sprintf("contract %s guards an input-driven recursion: the naive monitor chains one pending codomain check per call; the space-efficient join keeps one", f.mon.Label),
+			})
+		}
+	}
+	// A per-iteration contract grows even the space-efficient monitor, so
+	// the pair it witnesses is erasure-vs-join, not join-vs-chain.
+	for _, f := range ctrs.perIteration() {
+		out = append(out, Leak{
+			Kind: "contract-identity", Pair: "tail<spaceff",
+			NodeID: a.ids[f.mon], Expr: exprString(f.mon),
+			Detail: fmt.Sprintf("contract %s is rebuilt inside the recursion it guards: each level's monitor has a fresh identity, so even the space-efficient join cannot drop it — hoist the contract out of the loop", f.mon.Label),
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })

@@ -146,6 +146,12 @@ func (s *scopes) walk(e ast.Expr, host *node, env map[string]*binding, rib []*bi
 		s.walk(x.Rhs, host, env, rib)
 	case *ast.Call:
 		s.walkCall(x, host, env, rib)
+	case *ast.Mon:
+		// A mon-ctc continuation holding the rib's environment is pending
+		// while the contract evaluates.
+		s.scopeAt[x] = append([]*binding{}, rib...)
+		s.walk(x.Ctc, host, env, rib)
+		s.walk(x.Expr, host, env, rib)
 	}
 }
 

@@ -159,6 +159,9 @@ func classify(e ast.Expr, info *ast.TailInfo, enclosing string, shadowed map[str
 		for _, sub := range x.Exprs {
 			classify(sub, info, enclosing, shadowed, stats)
 		}
+	case *ast.Mon:
+		classify(x.Ctc, info, enclosing, shadowed, stats)
+		classify(x.Expr, info, enclosing, shadowed, stats)
 	}
 }
 

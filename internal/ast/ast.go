@@ -106,12 +106,31 @@ type Call struct {
 	Exprs []Expr
 }
 
+// Mon is the contract-monitoring form (mon E_ctc E label): evaluate E_ctc to
+// a contract, evaluate E, and attach the contract to the value. The monitor
+// machine variants (naive, spaceff) enforce the contract; every other family
+// member evaluates both subexpressions and returns E's value unwrapped
+// (latent-contract erasure), so contracted programs stay runnable — and
+// comparable — across the whole family. The expander produces Mon nodes from
+// (mon ctc e) and from the (define/contract ...) sugar.
+type Mon struct {
+	// Ctc evaluates to the contract: a predicate procedure (a flat contract)
+	// or an arrow contract built by (-> dom ... cod).
+	Ctc Expr
+	// Expr is the monitored expression.
+	Expr Expr
+	// Label names the monitored party for blame reporting: the defined
+	// variable when the expander knows it, otherwise a generated name.
+	Label string
+}
+
 func (*Const) isExpr()  {}
 func (*Var) isExpr()    {}
 func (*Lambda) isExpr() {}
 func (*If) isExpr()     {}
 func (*Set) isExpr()    {}
 func (*Call) isExpr()   {}
+func (*Mon) isExpr()    {}
 
 // Size implementations: every syntactic node counts 1.
 
@@ -131,6 +150,8 @@ func (e *Call) Size() int {
 	}
 	return n
 }
+
+func (e *Mon) Size() int { return 1 + e.Ctc.Size() + e.Expr.Size() }
 
 // Operator returns the operator expression of a call.
 func (e *Call) Operator() Expr { return e.Exprs[0] }
@@ -187,6 +208,10 @@ func (e *Call) String() string {
 	return "(" + strings.Join(parts, " ") + ")"
 }
 
+func (e *Mon) String() string {
+	return "(mon " + e.Ctc.String() + " " + e.Expr.String() + ")"
+}
+
 // InternSyms fills the interned-symbol fields (Var.Sym, Lambda.ParamSyms,
 // Set.Sym) of every node that does not have them yet, so evaluators can
 // resolve identifiers by integer comparison instead of string hashing. The
@@ -234,5 +259,8 @@ func Walk(e Expr, f func(Expr) bool) {
 		for _, sub := range x.Exprs {
 			Walk(sub, f)
 		}
+	case *Mon:
+		Walk(x.Ctc, f)
+		Walk(x.Expr, f)
 	}
 }

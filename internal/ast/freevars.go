@@ -97,6 +97,8 @@ func (c *FreeVarCache) Free(e Expr) VarSet {
 		for _, sub := range x.Exprs {
 			s = s.Union(c.Free(sub))
 		}
+	case *Mon:
+		s = c.Free(x.Ctc).Union(c.Free(x.Expr))
 	}
 	c.memo[e] = s
 	return s

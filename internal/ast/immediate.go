@@ -31,5 +31,10 @@ func WalkImmediate(e Expr, f func(Expr) bool) {
 		if lam, ok := x.Operator().(*Lambda); ok {
 			WalkImmediate(lam.Body, f)
 		}
+	case *Mon:
+		// Both subexpressions evaluate as part of evaluating the mon form
+		// itself; only a lambda literal inside them defers.
+		WalkImmediate(x.Ctc, f)
+		WalkImmediate(x.Expr, f)
 	}
 }

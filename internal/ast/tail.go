@@ -43,6 +43,12 @@ func (t *TailInfo) mark(e Expr, isTail bool) {
 		for _, sub := range x.Exprs {
 			t.mark(sub, false)
 		}
+	case *Mon:
+		// The monitored expression is not a tail expression: the monitor
+		// machines hold a pending attach frame while it runs, and the static
+		// classifier must not promise more than the weakest family member.
+		t.mark(x.Ctc, false)
+		t.mark(x.Expr, false)
 	}
 }
 

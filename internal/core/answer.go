@@ -63,6 +63,12 @@ func (w *answerWriter) write(sb *strings.Builder, v value.Value) {
 		sb.WriteString("#!undefined")
 	case value.Closure, value.Escape, *value.Primop, value.Foreign:
 		sb.WriteString("#<PROC>")
+	case value.Guarded:
+		// A contracted procedure is observably a procedure: the monitor
+		// machines' answers must match the erasing machines' token for token.
+		sb.WriteString("#<PROC>")
+	case *value.ArrowContract:
+		sb.WriteString("#<CONTRACT>")
 	case value.Vector:
 		sb.WriteString("#(")
 		for i, l := range x.ElemLocs {

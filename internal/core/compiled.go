@@ -288,6 +288,13 @@ func (c *compiledMachine) stepValue(s State) (State, bool, error) {
 	case *value.ReturnStack:
 		m.lastRule = RuleReturnStack
 		return m.stackReturn(s, k)
+
+	case *value.MonCtc, *value.MonAttach, *value.MonDom, *value.MonCod, *value.MonChk:
+		// Monitor frames carry no compiled plans: a program containing a
+		// monitor never compiles (compile.Program rejects ast.Mon, so the
+		// whole run falls back to the stepper), but a frame reaching this
+		// executor anyway is delegated like any other plan-less artifact.
+		return m.stepValue(s)
 	}
 	return s, false, m.stuck("unknown continuation form %T", s.K)
 }
@@ -380,6 +387,11 @@ func (c *compiledMachine) applyProcedure(s State, op value.Value, args []value.V
 			cont = &value.ReturnStack{Del: del, Env: s.Env, K: k}
 		}
 		return EvalState(code.Body, bodyEnv, cont), false, nil
+
+	case value.Guarded:
+		// Guarded procedures only arise in monitored runs, which never
+		// compile; the stepper's monitor rules handle them from source.
+		return m.applyProcedure(s, op, args, k)
 
 	case value.Escape:
 		m.lastRule = RuleApplyEscape

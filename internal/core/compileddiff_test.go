@@ -67,6 +67,47 @@ func TestCompiledMatchesStepperOnCorpus(t *testing.T) {
 	}
 }
 
+// TestCompiledFallsBackOnContracts pins the graceful-degradation contract
+// for monitored programs: compile.Program rejects ast.Mon, so a contracted
+// program requested under BackendCompiled silently runs on the stepper —
+// it must complete with the stepper's exact answer, peaks, and event
+// stream on the monitor machines (and the erasing ones), never diverge or
+// get stuck on an unplanned monitor frame.
+func TestCompiledFallsBackOnContracts(t *testing.T) {
+	for _, name := range []string{"contracted-loop", "contracted-leak"} {
+		p, ok := corpus.ByName(name)
+		if !ok {
+			t.Fatalf("corpus program %s missing", name)
+		}
+		for _, v := range []Variant{Tail, Naive, SpaceEff} {
+			run := func(backend Backend) (Result, []obs.Event) {
+				sink := &sliceSink{}
+				res, err := RunProgram(p.Source, Options{
+					Variant: v, Measure: true, GCEvery: 1,
+					MaxSteps: 500_000, CostModel: space.Fixnum,
+					Events: sink, Backend: backend,
+				})
+				if err != nil {
+					t.Fatalf("%s [%s] backend=%v: %v", name, v, backend, err)
+				}
+				return res, sink.events
+			}
+			stepper, stepperEvents := run(BackendStepper)
+			compiled, compiledEvents := run(BackendCompiled)
+			if compiled.Err != nil || compiled.Answer != p.Answer {
+				t.Errorf("%s [%s] compiled: answer %q err %v, want %q",
+					name, v, compiled.Answer, compiled.Err, p.Answer)
+			}
+			if diff := diffStoreRuns(compiled, stepper); diff != "" {
+				t.Errorf("%s [%s]: compiled vs stepper: %s", name, v, diff)
+			}
+			if diff := diffEventStreams(compiledEvents, stepperEvents); diff != "" {
+				t.Errorf("%s [%s]: event streams diverge: %s", name, v, diff)
+			}
+		}
+	}
+}
+
 // TestCompiledMatchesStepperRightToLeft repeats the corpus differential under
 // right-to-left argument order, which exercises the compiled permutation
 // plans (Reassemble) that left-to-right never builds.

@@ -167,6 +167,19 @@ func (m *Machine) stepExpr(s State) (State, bool, error) {
 			K:       s.K,
 		}
 		return EvalState(e.Exprs[first], s.Env, k), false, nil
+
+	case *ast.Mon:
+		// (mon ctc e): evaluate the contract first; the mon-ctc frame
+		// remembers the monitored expression. Every machine — erasing or
+		// monitoring — evaluates the contract, so allocation histories and
+		// answers stay aligned across the family.
+		m.lastRule = RuleMon
+		contEnv := s.Env
+		if m.variant.RestrictConts {
+			contEnv = s.Env.RestrictSyms(m.fv.FreeSyms(e.Expr))
+		}
+		k := &value.MonCtc{Expr: e.Expr, Label: e.Label, Env: contEnv, K: s.K}
+		return EvalState(e.Ctc, s.Env, k), false, nil
 	}
 	return s, false, m.stuck("unknown expression form %T", s.Expr)
 }
@@ -264,6 +277,44 @@ func (m *Machine) stepValue(s State) (State, bool, error) {
 	case *value.ReturnStack:
 		m.lastRule = RuleReturnStack
 		return m.stackReturn(s, k)
+
+	case *value.MonCtc:
+		// The contract value arrived. Erasing machines drop it and evaluate
+		// the monitored expression straight into the saved continuation;
+		// monitor machines hold it in a mon-attach frame until the
+		// expression's value is there to wrap.
+		m.lastRule = RuleMonCtc
+		if m.variant.Monitor == MonitorNone {
+			return EvalState(k.Expr, k.Env, k.K), false, nil
+		}
+		return EvalState(k.Expr, k.Env, &value.MonAttach{Ctc: s.Val, Label: k.Label, K: k.K}), false, nil
+
+	case *value.MonAttach:
+		m.lastRule = RuleMonAttach
+		return m.monCheck(s, s.Val, []value.Pending{{Ctc: k.Ctc, Src: k.Ctc, Label: k.Label}}, k.K)
+
+	case *value.MonDom:
+		// The verdict of a flat domain predicate for argument Idx.
+		m.lastRule = RuleMonDom
+		if !value.Truthy(s.Val) {
+			return s, false, m.stuck(
+				"contract violation: argument %d of %s rejected by its domain contract (blaming the caller of %s)",
+				k.Idx+1, k.G.Label, k.G.Label)
+		}
+		return m.monApplyDoms(s, k.G, k.Args, k.Idx+1, k.K)
+
+	case *value.MonCod:
+		// A result reached its pending codomain checks.
+		m.lastRule = RuleMonCod
+		return m.monCheck(s, s.Val, k.Pend, k.K)
+
+	case *value.MonChk:
+		// The verdict of a flat check on the held value.
+		m.lastRule = RuleMonChk
+		if !value.Truthy(s.Val) {
+			return s, false, m.stuck("contract violation: %s broke its contract (flat check failed)", k.Label)
+		}
+		return m.monCheck(s, k.Val, k.Rest, k.K)
 	}
 	return s, false, m.stuck("unknown continuation form %T", s.K)
 }
@@ -316,6 +367,20 @@ func (m *Machine) applyProcedure(s State, op value.Value, args []value.Value, k 
 			cont = &value.ReturnStack{Del: del, Env: s.Env, K: k}
 		}
 		return EvalState(lam.Body, bodyEnv, cont), false, nil
+
+	case value.Guarded:
+		// A guarded call: check the domains, then apply the underlying
+		// procedure with the codomain check pending. Any delegated
+		// predicate application overwrites the tag, exactly as call/cc and
+		// apply do below.
+		m.lastRule = RuleMonDom
+		if len(args) != len(proc.Ctc.Dom) {
+			return s, false, m.stuck("contracted procedure %s expects %d arguments, got %d",
+				proc.Label, len(proc.Ctc.Dom), len(args))
+		}
+		owned := make([]value.Value, len(args))
+		copy(owned, args)
+		return m.monApplyDoms(s, proc, owned, 0, k)
 
 	case value.Escape:
 		m.lastRule = RuleApplyEscape

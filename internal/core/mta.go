@@ -54,6 +54,26 @@ func CompressReturnChains(k value.Cont) value.Cont {
 		if inner := CompressReturnChains(x.K); inner != x.K {
 			return &value.ReturnStack{Del: x.Del, Env: x.Env, K: inner}
 		}
+	case *value.MonCtc:
+		if inner := CompressReturnChains(x.K); inner != x.K {
+			return &value.MonCtc{Expr: x.Expr, Label: x.Label, Env: x.Env, K: inner}
+		}
+	case *value.MonAttach:
+		if inner := CompressReturnChains(x.K); inner != x.K {
+			return &value.MonAttach{Ctc: x.Ctc, Label: x.Label, K: inner}
+		}
+	case *value.MonDom:
+		if inner := CompressReturnChains(x.K); inner != x.K {
+			return &value.MonDom{G: x.G, Args: x.Args, Idx: x.Idx, K: inner}
+		}
+	case *value.MonCod:
+		if inner := CompressReturnChains(x.K); inner != x.K {
+			return &value.MonCod{Pend: x.Pend, K: inner}
+		}
+	case *value.MonChk:
+		if inner := CompressReturnChains(x.K); inner != x.K {
+			return &value.MonChk{Val: x.Val, Rest: x.Rest, Label: x.Label, K: inner}
+		}
 	}
 	return k
 }

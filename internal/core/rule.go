@@ -31,6 +31,14 @@ const (
 	RuleApplyPrimop // application of a standard procedure
 	RuleReturn      // return:(ρ',κ) restores ρ'
 	RuleReturnStack // return:(A,ρ',κ) deletes A and restores ρ'
+	// Contract-monitoring rules (the naive and spaceff machines; erasing
+	// machines fire only the first two).
+	RuleMon       // (mon ctc e) pushes a mon-ctc continuation for the contract
+	RuleMonCtc    // contract value arrived: erase, or push mon-attach
+	RuleMonAttach // monitored value arrived: wrap in the contract (or check it)
+	RuleMonDom    // a guarded call checks its domain contracts
+	RuleMonCod    // a result reached the pending codomain checks
+	RuleMonChk    // a flat predicate answered for a checked value
 
 	// NumRules sizes dense per-rule accounting arrays.
 	NumRules
@@ -56,6 +64,12 @@ var ruleNames = [NumRules]string{
 	RuleApplyPrimop: "apply-primop",
 	RuleReturn:      "return",
 	RuleReturnStack: "return-stack",
+	RuleMon:         "mon",
+	RuleMonCtc:      "mon-ctc",
+	RuleMonAttach:   "mon-attach",
+	RuleMonDom:      "mon-dom",
+	RuleMonCod:      "mon-cod",
+	RuleMonChk:      "mon-chk",
 }
 
 // String is the stable tag used in metric names and the event stream.

@@ -13,6 +13,27 @@
 //	                environment stored in a continuation (safe for space).
 package core
 
+// MonitorStyle selects how a machine treats contract monitors (mon ctc e).
+type MonitorStyle int
+
+const (
+	// MonitorNone evaluates the contract expression and then erases the
+	// monitor: the monitored expression's value flows through unwrapped.
+	// Contracts are never checked, so a MonitorNone machine realizes the
+	// erasure semantics every monitor machine must agree with on answers.
+	MonitorNone MonitorStyle = iota
+	// MonitorNaive wraps contracted procedures and pushes a fresh pending
+	// codomain check on every guarded call. On a contracted tail loop the
+	// pending checks pile up — Θ(n) monitor frames, the classic space leak
+	// of latent higher-order contracts.
+	MonitorNaive
+	// MonitorJoin wraps like MonitorNaive but joins a new codomain check
+	// into an adjacent mon-cod frame, dropping duplicates by contract
+	// identity — Greenberg's space-efficient semantics, O(1) monitor frames
+	// on a contracted tail loop.
+	MonitorJoin
+)
+
 // CallStyle selects the rule used when a closure is called.
 type CallStyle int
 
@@ -43,6 +64,9 @@ type Variant struct {
 	// or push continuation to the free variables of the expressions that
 	// will be evaluated with it (Section 10). It subsumes EvlisLastEnv.
 	RestrictConts bool
+	// Monitor selects the contract-monitoring discipline: erase (the six
+	// paper machines), naive wrapping, or space-efficient joining.
+	Monitor MonitorStyle
 	// CompressFrames extends the garbage collection rule to continuations:
 	// whenever the collector runs, a return continuation whose target is
 	// another return continuation is collapsed (its saved environment is
@@ -69,12 +93,22 @@ var (
 	// back to O(S_tail), which is the Section 14 observation this machine
 	// exists to demonstrate.
 	MTA = Variant{Name: "mta", Call: CallReturn, CompressFrames: true}
+	// Naive is Z_tail plus naive contract monitoring: properly tail
+	// recursive until a contract intervenes, at which point every guarded
+	// call leaves a pending codomain check behind.
+	Naive = Variant{Name: "naive", Call: CallTail, Monitor: MonitorNaive}
+	// SpaceEff is Z_tail plus space-efficient contract monitoring: adjacent
+	// pending checks join and duplicates (by contract identity) are
+	// dropped, restoring bounded space on contracted tail loops.
+	SpaceEff = Variant{Name: "spaceff", Call: CallTail, Monitor: MonitorJoin}
 )
 
 // Variants lists the reference-implementation family in the order of
-// Figure 6's hierarchy discussion. MTA is not part of the paper's family
-// (it is the Section 14 aside), so it is listed separately.
-var Variants = []Variant{Stack, GC, Tail, Evlis, Free, SFS}
+// Figure 6's hierarchy discussion, followed by the two contract-monitoring
+// machines (which coincide with Z_tail on contract-free programs). MTA is
+// not part of the paper's family (it is the Section 14 aside), so it is
+// listed separately.
+var Variants = []Variant{Stack, GC, Tail, Evlis, Free, SFS, Naive, SpaceEff}
 
 // AllVariants includes the Section 14 MTA machine.
 var AllVariants = append(append([]Variant{}, Variants...), MTA)

@@ -348,4 +348,28 @@ var programs = []Program{
     (else 'no)))
 (list (classify 'a) (classify 'b) (classify 'u))`,
 	},
+	{
+		Name:        "contracted-loop",
+		Description: "the countdown loop under a loop-invariant arrow contract (erased on non-monitor machines)",
+		Answer:      "0",
+		Source: `
+(define/contract (f n) (-> number? number?)
+  (if (zero? n)
+      0
+      (f (- n 1))))
+(f 100)`,
+	},
+	{
+		Name:        "contracted-leak",
+		Description: "a per-iteration arrow contract whose fresh identity defeats the duplicate-dropping join",
+		Answer:      "0",
+		Source: `
+(define (f n)
+  (if (zero? n)
+      0
+      ((mon (-> number? number?)
+            (lambda (m) (f m)))
+       (- n 1))))
+(f 100)`,
+	},
 }

@@ -4,7 +4,7 @@ package corpus
 // bundled leak examples, as pure define-form sources whose value is a
 // procedure of n. They exist to be swept over input ladders — the
 // differential leak grid (internal/experiments) applies each one to
-// growing inputs on all six machines and checks the measured growth
+// growing inputs on every certified machine and checks the measured growth
 // classes against the static analyzer's per-machine-pair verdicts.
 type Parametric struct {
 	Name   string
@@ -52,6 +52,28 @@ func ParametricPrograms() []Parametric {
         ((lambda ()
            (begin (leak (- n 1)) n))))))
 (define (f n) (leak n))`,
+		},
+		{
+			Name:        "contracted-loop",
+			Description: "examples/contracted-loop.scm: loop-invariant contract — naive monitor chains pending checks, spaceff joins them",
+			Source: `
+(define/contract (loop n) (-> number? number?)
+  (if (zero? n)
+      0
+      (loop (- n 1))))
+(define (f n) (loop n))`,
+		},
+		{
+			Name:        "contracted-leak",
+			Description: "examples/contracted-leak.scm: per-iteration contract identity defeats the join — both monitors chain",
+			Source: `
+(define (loop n)
+  (if (zero? n)
+      0
+      ((mon (-> number? number?)
+            (lambda (m) (loop m)))
+       (- n 1))))
+(define (f n) (loop n))`,
 		},
 		{
 			Name:        "evlis-leak",

@@ -199,6 +199,24 @@ func (c *Converter) cps(e ast.Expr, bound boundSet, k metaK) ast.Expr {
 
 	case *ast.Call:
 		return c.cpsCall(x, bound, k)
+
+	case *ast.Mon:
+		// Contract erasure: CPS output runs on the erasing machines, where
+		// (mon ctc E) evaluates the contract, discards its value, and passes
+		// E's value through unchecked (the mon-attach pass-through rule).
+		// Binding the contract atom keeps any effect or error it carries:
+		//   ((lambda (ign) [[E]]k) [[ctc]])
+		return c.cps(x.Ctc, bound, metaK{apply: func(ctc ast.Expr) ast.Expr {
+			ign := c.gensym("ign")
+			return &ast.Call{Exprs: []ast.Expr{
+				&ast.Lambda{
+					Params: []string{ign},
+					Body:   c.cps(x.Expr, bound.with([]string{ign}), k),
+					Label:  c.gensym("after-ctc"),
+				},
+				ctc,
+			}}
+		}})
 	}
 	panic(fmt.Sprintf("cps: unknown expression %T", e))
 }

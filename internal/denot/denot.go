@@ -107,6 +107,15 @@ func (in *Interp) Eval(e ast.Expr, rho env.Env, k Cont) (value.Value, error) {
 
 	case *ast.Call:
 		return in.evalOperands(x.Exprs, rho, nil, k)
+
+	case *ast.Mon:
+		// Contract erasure, the denotation every erasing machine implements:
+		// the contract is evaluated (its effects and errors are observable)
+		// and discarded, and the monitored expression's value passes through
+		// unchecked.
+		return in.Eval(x.Ctc, rho, func(value.Value) (value.Value, error) {
+			return in.Eval(x.Expr, rho, k)
+		})
 	}
 	return nil, fmt.Errorf("denot: unknown expression %T", e)
 }

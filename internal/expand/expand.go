@@ -114,8 +114,12 @@ func (x *Expander) expandPair(p *sexpr.Pair) (ast.Expr, error) {
 			return x.unless(p, items)
 		case "do":
 			return x.doForm(p, items)
-		case "define":
-			return nil, errf(p, "define is only allowed at the top level or at the head of a body")
+		case "mon":
+			return x.monForm(p, items, "")
+		case "->":
+			return x.arrowForm(p, items)
+		case "define", "define/contract":
+			return nil, errf(p, "%s is only allowed at the top level or at the head of a body", head)
 		}
 	}
 	// An ordinary procedure call.
@@ -189,6 +193,62 @@ func (x *Expander) lambda(form sexpr.Datum, items []sexpr.Datum, label string) (
 	return &ast.Lambda{Params: params, Body: body, Label: label}, nil
 }
 
+// monForm expands (mon ctc expr). label is the blame label: the defined name
+// when the form is the right-hand side of a define/contract, a gensym
+// otherwise. A lambda literal under the monitor inherits the label so the
+// tail-call classifier still recognizes self-calls of contracted procedures.
+func (x *Expander) monForm(form sexpr.Datum, items []sexpr.Datum, label string) (ast.Expr, error) {
+	if len(items) != 3 {
+		return nil, errf(form, "mon takes a contract and an expression")
+	}
+	ctc, err := x.Expr(items[1])
+	if err != nil {
+		return nil, err
+	}
+	var body ast.Expr
+	if label != "" {
+		if p, ok := items[2].(*sexpr.Pair); ok {
+			if head, ok := p.Car.(sexpr.Sym); ok && string(head) == "lambda" {
+				if li, flat := sexpr.Flatten(p); flat {
+					body, err = x.lambda(p, li, label)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if body == nil {
+		body, err = x.Expr(items[2])
+		if err != nil {
+			return nil, err
+		}
+	}
+	if label == "" {
+		label = x.gensym("mon")
+	}
+	return &ast.Mon{Ctc: ctc, Expr: body, Label: label}, nil
+}
+
+// arrowForm expands (-> dom... cod) into a call of the %-> combinator, which
+// allocates the arrow contract as an ordinary value: erasing machines build
+// and drop it, monitor machines wrap procedures in it.
+func (x *Expander) arrowForm(form sexpr.Datum, items []sexpr.Datum) (ast.Expr, error) {
+	if len(items) < 2 {
+		return nil, errf(form, "-> needs a codomain contract")
+	}
+	exprs := make([]ast.Expr, 0, len(items))
+	exprs = append(exprs, &ast.Var{Name: "%->"})
+	for _, it := range items[1:] {
+		e, err := x.Expr(it)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	return &ast.Call{Exprs: exprs}, nil
+}
+
 func formals(form, d sexpr.Datum) ([]string, error) {
 	items, ok := sexpr.Flatten(d)
 	if !ok {
@@ -245,49 +305,88 @@ type definition struct {
 	rhs  sexpr.Datum
 }
 
-// asDefinition recognizes (define I E) and (define (I args...) body...).
+// asDefinition recognizes (define I E), (define (I args...) body...), and
+// the contracted forms (define/contract I ctc E) and
+// (define/contract (I args...) ctc body...), which attach a mon wrapper to
+// the right-hand side.
 func (x *Expander) asDefinition(d sexpr.Datum) (definition, bool, error) {
 	p, ok := d.(*sexpr.Pair)
 	if !ok {
 		return definition{}, false, nil
 	}
 	head, ok := p.Car.(sexpr.Sym)
-	if !ok || string(head) != "define" {
+	if !ok {
 		return definition{}, false, nil
 	}
-	items, ok := sexpr.Flatten(p)
-	if !ok || len(items) < 2 {
-		return definition{}, false, errf(d, "malformed define")
-	}
-	switch target := items[1].(type) {
-	case sexpr.Sym:
-		if len(items) != 3 {
-			return definition{}, false, errf(d, "define of a variable takes exactly one expression")
+	switch string(head) {
+	case "define":
+		items, ok := sexpr.Flatten(p)
+		if !ok || len(items) < 2 {
+			return definition{}, false, errf(d, "malformed define")
 		}
-		return definition{name: string(target), rhs: items[2]}, true, nil
-	case *sexpr.Pair:
-		// (define (f a b) body...) => f = (lambda (a b) body...)
-		nameD := target.Car
-		name, ok := nameD.(sexpr.Sym)
-		if !ok {
-			return definition{}, false, errf(d, "procedure name is not an identifier")
+		switch target := items[1].(type) {
+		case sexpr.Sym:
+			if len(items) != 3 {
+				return definition{}, false, errf(d, "define of a variable takes exactly one expression")
+			}
+			return definition{name: string(target), rhs: items[2]}, true, nil
+		case *sexpr.Pair:
+			// (define (f a b) body...) => f = (lambda (a b) body...)
+			nameD := target.Car
+			name, ok := nameD.(sexpr.Sym)
+			if !ok {
+				return definition{}, false, errf(d, "procedure name is not an identifier")
+			}
+			lam := sexpr.ImproperList(
+				append([]sexpr.Datum{sexpr.Sym("lambda"), target.Cdr}, items[2:]...), sexpr.Nil{})
+			return definition{name: string(name), rhs: lam}, true, nil
+		default:
+			return definition{}, false, errf(d, "malformed define target")
 		}
-		lam := sexpr.ImproperList(
-			append([]sexpr.Datum{sexpr.Sym("lambda"), target.Cdr}, items[2:]...), sexpr.Nil{})
-		return definition{name: string(name), rhs: lam}, true, nil
-	default:
-		return definition{}, false, errf(d, "malformed define target")
+	case "define/contract":
+		items, ok := sexpr.Flatten(p)
+		if !ok || len(items) < 4 {
+			return definition{}, false, errf(d, "define/contract takes a target, a contract, and an expression")
+		}
+		switch target := items[1].(type) {
+		case sexpr.Sym:
+			if len(items) != 4 {
+				return definition{}, false, errf(d, "define/contract of a variable takes a contract and one expression")
+			}
+			mon := sexpr.List(sexpr.Sym("mon"), items[2], items[3])
+			return definition{name: string(target), rhs: mon}, true, nil
+		case *sexpr.Pair:
+			// (define/contract (f a b) ctc body...)
+			//   => f = (mon ctc (lambda (a b) body...))
+			name, ok := target.Car.(sexpr.Sym)
+			if !ok {
+				return definition{}, false, errf(d, "procedure name is not an identifier")
+			}
+			lam := sexpr.ImproperList(
+				append([]sexpr.Datum{sexpr.Sym("lambda"), target.Cdr}, items[3:]...), sexpr.Nil{})
+			mon := sexpr.List(sexpr.Sym("mon"), items[2], lam)
+			return definition{name: string(name), rhs: mon}, true, nil
+		default:
+			return definition{}, false, errf(d, "malformed define/contract target")
+		}
 	}
+	return definition{}, false, nil
 }
 
 // expandRHS expands a definition right-hand side, labelling lambdas with the
-// defined name so the tail-call classifier can recognize self-tail calls.
+// defined name so the tail-call classifier can recognize self-tail calls. A
+// mon right-hand side (define/contract) labels both the monitor and any
+// lambda literal inside it with the defined name.
 func (x *Expander) expandRHS(def definition) (ast.Expr, error) {
 	if p, ok := def.rhs.(*sexpr.Pair); ok {
-		if head, ok := p.Car.(sexpr.Sym); ok && string(head) == "lambda" {
-			items, flat := sexpr.Flatten(p)
-			if flat {
-				return x.lambda(p, items, def.name)
+		if head, ok := p.Car.(sexpr.Sym); ok {
+			if items, flat := sexpr.Flatten(p); flat {
+				switch string(head) {
+				case "lambda":
+					return x.lambda(p, items, def.name)
+				case "mon":
+					return x.monForm(p, items, def.name)
+				}
 			}
 		}
 	}

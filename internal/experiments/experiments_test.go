@@ -198,6 +198,39 @@ func TestCorollary20OnRandomPrograms(t *testing.T) {
 	}
 }
 
+func TestRandomContractProgramsOnMonitors(t *testing.T) {
+	// The generator's contract arms (flat mon, guarded application) must
+	// execute identically on both monitor machines and on the erasing
+	// Z_tail: contracts in these programs always pass, so monitoring can
+	// change space but never answers.
+	progs := RandomPrograms(41, 60, 4)
+	withMon := 0
+	for i, src := range progs {
+		if !strings.Contains(src, "(mon ") {
+			continue
+		}
+		withMon++
+		answers := map[string]string{}
+		for _, v := range []core.Variant{core.Tail, core.Naive, core.SpaceEff} {
+			res, err := core.RunProgram(src, core.Options{Variant: v, MaxSteps: 500_000})
+			if err != nil {
+				t.Fatalf("prog %d %q [%s]: %v", i, src, v, err)
+			}
+			if res.Err != nil {
+				t.Fatalf("prog %d %q [%s]: %v", i, src, v, res.Err)
+			}
+			answers[v.Name] = res.Answer
+		}
+		if answers["naive"] != answers["tail"] || answers["spaceff"] != answers["tail"] {
+			t.Errorf("prog %d %q: answers diverge: %v", i, src, answers)
+		}
+	}
+	if withMon == 0 {
+		t.Fatal("seed 41 produced no contract forms — the generator arm is dead")
+	}
+	t.Logf("%d/%d programs contained contract forms", withMon, len(progs))
+}
+
 func TestRandomProgramsParseAndTerminate(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for i := 0; i < 50; i++ {

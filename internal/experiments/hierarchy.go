@@ -18,6 +18,11 @@ var hierarchyChecks = [][2]string{
 	{"evlis", "tail"},
 	{"sfs", "free"},
 	{"free", "tail"},
+	// Contract monitors: erasure never does less than nothing, and the
+	// duplicate-dropping join never keeps more pending checks than the
+	// naive chain — S_tail ≤ S_spaceff ≤ S_naive pointwise.
+	{"tail", "spaceff"},
+	{"spaceff", "naive"},
 }
 
 // Hierarchy reproduces Figure 6 / Theorem 24: for each probe program and
@@ -30,7 +35,7 @@ var hierarchyChecks = [][2]string{
 func Hierarchy(programs map[string]string, n int) (Table, error) {
 	t := Table{
 		Title:  fmt.Sprintf("Figure 6 / Theorem 24: space hierarchy at n=%d (flat S_X; U_X in parens)", n),
-		Header: []string{"program", "stack", "gc", "tail", "evlis", "free", "sfs"},
+		Header: []string{"program", "stack", "gc", "tail", "evlis", "free", "sfs", "naive", "spaceff"},
 	}
 	names := make([]string, 0, len(programs))
 	for name := range programs {
@@ -100,13 +105,15 @@ func Hierarchy(programs map[string]string, n int) (Table, error) {
 			}
 		}
 	}
-	t.Notef("checked pointwise: S_tail<=S_gc<=S_stack, S_sfs<=S_evlis<=S_tail, S_sfs<=S_free<=S_tail, U_X<=S_X, and the §13 linked analogue U_tail<=U_gc<=U_stack, U_evlis<=U_tail")
+	t.Notef("checked pointwise: S_tail<=S_gc<=S_stack, S_sfs<=S_evlis<=S_tail, S_sfs<=S_free<=S_tail, S_tail<=S_spaceff<=S_naive, U_X<=S_X, and the §13 linked analogue U_tail<=U_gc<=U_stack, U_evlis<=U_tail")
 	return t, nil
 }
 
 // HierarchyProbePrograms is the default probe set: the four Theorem 25
 // separation programs (which stress exactly the rules the variants differ
-// in) plus the Section 4 example.
+// in), the Section 4 example, and the contracted loop (which stresses the
+// monitor inequalities — on the contract-free probes the monitor machines
+// coincide with Z_tail exactly).
 func HierarchyProbePrograms() map[string]string {
 	return map[string]string{
 		"vector-frames":   VectorFrames,
@@ -114,5 +121,6 @@ func HierarchyProbePrograms() map[string]string {
 		"thunk-return":    ThunkReturn,
 		"closure-capture": ClosureCapture,
 		"find-leftmost":   FindLeftmostProgram("left-spine"),
+		"contracted-loop": ContractedLoop,
 	}
 }

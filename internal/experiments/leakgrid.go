@@ -3,7 +3,7 @@ package experiments
 // The differential leak grid closes the loop between the static space-leak
 // analyzer (internal/analysis) and the meters: every program is analyzed
 // once (applied to a symbolic input, Definition 23 style) and then swept
-// over an input ladder on all six machines; the fitted growth class of S_X
+// over an input ladder on every certified machine; the fitted growth class of S_X
 // must agree with every static claim. A "separates" verdict demands a
 // strict class gap on exactly the machine pair the analyzer named; an
 // "equal" verdict demands the same class on both; "unknown" is exempt but
@@ -34,9 +34,9 @@ type GridProgram struct {
 	Inputs []int
 }
 
-// gridMachines lists the six machines of the hierarchy in the order the
-// relations are reported.
-var gridMachines = []string{"stack", "gc", "tail", "evlis", "free", "sfs"}
+// gridMachines lists the machines swept per subject — the six hierarchy
+// machines plus the two contract monitors, matching analysis.CertMachines.
+var gridMachines = []string{"stack", "gc", "tail", "evlis", "free", "sfs", "naive", "spaceff"}
 
 // LeakGridPrograms returns the default subjects: the four Theorem 25
 // separation programs plus the sweepable parametric corpus/example

@@ -8,11 +8,11 @@ import (
 // TestLeakGrid is the differential validation of the static space-leak
 // analyzer: every per-pair verdict it emits for the Theorem 25 programs and
 // the parametric corpus/example programs must agree with the growth class
-// fitted from sweeps on all six machines. A static separation contradicted
+// fitted from sweeps on all eight machines. A static separation contradicted
 // by the meters — or an equality the meters refute — fails the test.
 func TestLeakGrid(t *testing.T) {
 	if testing.Short() {
-		t.Skip("differential grid sweeps six machines per program")
+		t.Skip("differential grid sweeps eight machines per program")
 	}
 	table, err := LeakGrid(LeakGridPrograms())
 	if err != nil {
@@ -24,7 +24,7 @@ func TestLeakGrid(t *testing.T) {
 	}
 
 	// The grid must actually exercise both kinds of claim, and every
-	// program must contribute all six pairs.
+	// program must contribute all seven pairs.
 	var separates, equals int
 	for _, row := range table.Rows {
 		switch row[2] {
@@ -40,8 +40,8 @@ func TestLeakGrid(t *testing.T) {
 	if equals < 20 {
 		t.Errorf("grid found only %d equality claims", equals)
 	}
-	if want := len(LeakGridPrograms()) * 12; len(table.Rows) != want {
-		t.Errorf("grid has %d rows, want %d (six pairs + six certificates per program)", len(table.Rows), want)
+	if want := len(LeakGridPrograms()) * 15; len(table.Rows) != want {
+		t.Errorf("grid has %d rows, want %d (seven pairs + eight certificates per program)", len(table.Rows), want)
 	}
 
 	// Certificates must not be vacuous: the Theorem 25 programs alone carry
@@ -68,7 +68,7 @@ func TestLeakGrid(t *testing.T) {
 // upper-bound the fitted class, whatever shape the generator produced.
 func TestLeakGridRandom(t *testing.T) {
 	if testing.Short() {
-		t.Skip("differential grid sweeps six machines per program")
+		t.Skip("differential grid sweeps eight machines per program")
 	}
 	progs := RandLeakGridPrograms(0x5eed, 12)
 	if len(progs) < 8 {

@@ -68,6 +68,9 @@ type SeparationProgram struct {
 	Name   string
 	Source string
 	Shows  string // the non-inclusion(s) the paper proves with it
+	// Family titles the result table; empty means "Theorem 25" (the
+	// contract separations in contracts.go set their own).
+	Family string
 	Claims map[string]GrowthClass
 	Inputs []int
 	Fixnum bool // measure with fixed-precision number costs

@@ -8,9 +8,10 @@ import (
 // RandomProgram generates a random, closed, terminating Scheme program that
 // evaluates to an integer. The generator never emits recursion, so every
 // program halts; it exercises the forms whose rules the machine variants
-// differ in (calls, lets, closures, assignments, conditionals, call/cc),
-// which makes the output a good probe for the Corollary 20 differential
-// property and the Theorem 24 pointwise inequalities.
+// differ in (calls, lets, closures, assignments, conditionals, call/cc,
+// contract monitors), which makes the output a good probe for the
+// Corollary 20 differential property and the Theorem 24 pointwise
+// inequalities.
 func RandomProgram(r *rand.Rand, depth int) string {
 	g := &progGen{r: r}
 	return g.intExpr(depth, nil)
@@ -39,7 +40,7 @@ func (g *progGen) intExpr(depth int, env []string) string {
 		}
 		return fmt.Sprintf("%d", g.r.Intn(20)-5)
 	}
-	switch g.r.Intn(10) {
+	switch g.r.Intn(12) {
 	case 0, 1:
 		op := []string{"+", "-", "*"}[g.r.Intn(3)]
 		return fmt.Sprintf("(%s %s %s)", op, g.intExpr(depth-1, env), g.intExpr(depth-1, env))
@@ -68,6 +69,17 @@ func (g *progGen) intExpr(depth int, env []string) string {
 	case 8:
 		// A thunk created and immediately applied: stresses closure rules.
 		return fmt.Sprintf("((lambda () %s))", g.intExpr(depth-1, env))
+	case 9:
+		// A flat contract on a number: the monitor machines check it (and
+		// pass), the erasing machines drop it.
+		return fmt.Sprintf("(mon number? %s)", g.intExpr(depth-1, env))
+	case 10:
+		// An arrow contract on an immediately applied procedure: guarded
+		// application exercises the mon-dom/mon-cod rules.
+		x := g.name()
+		body := g.intExpr(depth-1, append(env, x))
+		return fmt.Sprintf("((mon (-> number? number?) (lambda (%s) %s)) %s)",
+			x, body, g.intExpr(depth-1, env))
 	default:
 		// call/cc with an occasional early escape.
 		k := g.name()

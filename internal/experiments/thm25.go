@@ -26,8 +26,12 @@ func Thm25() ([]Table, error) {
 
 // RunSeparation sweeps a single separation program and checks its claims.
 func RunSeparation(prog SeparationProgram) (Table, error) {
+	family := prog.Family
+	if family == "" {
+		family = "Theorem 25"
+	}
 	t := Table{
-		Title:  fmt.Sprintf("Theorem 25 [%s]: %s", prog.Name, prog.Shows),
+		Title:  fmt.Sprintf("%s [%s]: %s", family, prog.Name, prog.Shows),
 		Header: append([]string{"variant"}, nsHeader(prog.Inputs)...),
 	}
 	t.Header = append(t.Header, "fit", "paper", "ok")

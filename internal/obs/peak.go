@@ -133,6 +133,21 @@ func snapshotFrame(k value.Cont, charge int) Frame {
 		f.Kind = "return-stack"
 		f.EnvSize = x.Env.Size()
 		f.Ribs = ribs(x.Env)
+	case *value.MonCtc:
+		f.Kind = "mon-ctc"
+		f.EnvSize = x.Env.Size()
+		f.Ribs = ribs(x.Env)
+		f.Pending = Abbrev("(mon · "+x.Expr.String()+")", 60)
+	case *value.MonAttach:
+		f.Kind = "mon-attach"
+	case *value.MonDom:
+		f.Kind = "mon-dom"
+		f.Pending = Abbrev(fmt.Sprintf("(check dom %d of %s)", x.Idx, x.G.Label), 60)
+	case *value.MonCod:
+		f.Kind = "mon-cod"
+		f.Pending = Abbrev(fmt.Sprintf("(%d pending cod checks)", len(x.Pend)), 60)
+	case *value.MonChk:
+		f.Kind = "mon-chk"
 	default:
 		f.Kind = fmt.Sprintf("%T", k)
 	}

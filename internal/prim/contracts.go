@@ -1,0 +1,33 @@
+package prim
+
+import "tailspace/internal/value"
+
+// registerContracts installs the contract combinators. The expander rewrites
+// the surface form (-> dom... cod) to a call of %->, so arrow contracts are
+// ordinary values on every machine — erasing machines evaluate them and drop
+// them, monitor machines wrap procedures in them. The allocated tag location
+// gives each arrow contract the identity the space-efficient monitor dedups
+// by: a contract built once (at a define/contract) joins with itself across
+// every call it guards.
+func registerContracts() {
+	register(&value.Primop{Name: "%->", Arity: -1,
+		Apply: func(st *value.Store, args []value.Value) (value.Value, error) {
+			if len(args) < 1 {
+				return nil, errf("%->", "needs a codomain contract")
+			}
+			dom := make([]value.Value, len(args)-1)
+			copy(dom, args[:len(args)-1])
+			return &value.ArrowContract{
+				Tag: st.Alloc(value.Unspecified{}),
+				Dom: dom,
+				Cod: args[len(args)-1],
+			}, nil
+		}})
+
+	def("contract?", 1, func(st *value.Store, args []value.Value) (value.Value, error) {
+		if _, ok := args[0].(*value.ArrowContract); ok {
+			return boolVal(true), nil
+		}
+		return boolVal(value.IsProcedure(args[0])), nil
+	})
+}

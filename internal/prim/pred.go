@@ -89,6 +89,12 @@ func eqv(a, b value.Value) bool {
 	case *value.Primop:
 		y, ok := b.(*value.Primop)
 		return ok && x == y
+	case value.Guarded:
+		y, ok := b.(value.Guarded)
+		return ok && x.Tag == y.Tag
+	case *value.ArrowContract:
+		y, ok := b.(*value.ArrowContract)
+		return ok && x.Tag == y.Tag
 	}
 	return false
 }

@@ -47,6 +47,7 @@ func init() {
 	registerVectors()
 	registerControl()
 	registerStrings()
+	registerContracts()
 }
 
 // Lookup returns the primitive with the given name.

@@ -229,6 +229,12 @@ func (c *compiler) compile(e ast.Expr, env *ctenv, tail bool) ([]Instr, error) {
 
 	case *ast.Call:
 		return c.compileCall(x, env, tail)
+
+	case *ast.Mon:
+		// The SECD machine has no monitor frames and — unlike the erasing
+		// CEKS machines — no pass-through rule to erase into, so contracted
+		// programs are out of its scope, like call/cc.
+		return nil, &CompileError{Msg: "contract monitors are not supported on the SECD machine"}
 	}
 	return nil, &CompileError{Msg: fmt.Sprintf("unknown expression %T", e)}
 }

@@ -64,8 +64,8 @@ type EvalResponse struct {
 type MeasureRequest struct {
 	Program string `json:"program"`
 	Input   string `json:"input,omitempty"`
-	// Machines lists the grid's machines; empty means the paper's six-
-	// machine family.
+	// Machines lists the grid's machines; empty means the full family —
+	// the paper's six machines plus the two contract monitors.
 	Machines []string `json:"machines,omitempty"`
 	// CostModels lists space cost models ("word", "fixnum", "log"); empty
 	// means word only. Each model is a distinct cache identity: the same
@@ -176,7 +176,7 @@ func parseMachine(name string) (core.Variant, error) {
 	}
 	v, ok := core.ByName(name)
 	if !ok {
-		return core.Variant{}, fmt.Errorf("unknown machine %q (want tail|gc|stack|evlis|free|sfs|mta)", name)
+		return core.Variant{}, fmt.Errorf("unknown machine %q (want tail|gc|stack|evlis|free|sfs|naive|spaceff|mta)", name)
 	}
 	return v, nil
 }

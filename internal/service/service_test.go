@@ -155,6 +155,61 @@ func TestConcurrentRequestsCoalesceAndCache(t *testing.T) {
 	}
 }
 
+// TestMonitorMachinesOnTheWire pins the contract monitors' wire surface:
+// both machines are selectable by name, agree with Z_tail on the answer of
+// a contracted loop, reproduce the Greenberg separation in their measured
+// peaks (naive grows with the input, spaceff does not), and each machine is
+// its own cache identity — spaceff must not be served naive's cells.
+func TestMonitorMachinesOnTheWire(t *testing.T) {
+	const contracted = "(define/contract (f n) (-> number? number?) (if (zero? n) 0 (f (- n 1))))"
+	s, ts := newTestServer(t, Config{})
+	measure := func(machine, input string) MeasureCell {
+		var resp MeasureResponse
+		r := MeasureRequest{Program: contracted, Input: input,
+			Machines: []string{machine}, CostModels: []string{"fixnum"}}
+		if status := post(t, ts.URL+"/v1/measure", r, &resp); status != http.StatusOK {
+			t.Fatalf("measure %s: status = %d", machine, status)
+		}
+		if len(resp.Cells) != 1 {
+			t.Fatalf("measure %s: %d cells", machine, len(resp.Cells))
+		}
+		return resp.Cells[0]
+	}
+
+	naiveSmall := measure("naive", "(quote 8)")
+	m := s.Metrics()
+	missesAfterNaive := m.Counter(MetricCacheMisses)
+	hitsAfterNaive := m.Counter(MetricCacheHits)
+
+	spaceffSmall := measure("spaceff", "(quote 8)")
+	if got := m.Counter(MetricCacheMisses); got != missesAfterNaive+1 {
+		t.Fatalf("spaceff must be a fresh cache identity: misses = %d, want %d", got, missesAfterNaive+1)
+	}
+	if got := m.Counter(MetricCacheHits); got != hitsAfterNaive {
+		t.Fatalf("spaceff must not hit the naive entry: hits = %d, want %d", got, hitsAfterNaive)
+	}
+	tailSmall := measure("tail", "(quote 8)")
+	for _, c := range []MeasureCell{naiveSmall, spaceffSmall, tailSmall} {
+		if c.Outcome != "answer" || c.Answer != "0" {
+			t.Fatalf("[%s] = %+v, want answer 0", c.Machine, c)
+		}
+	}
+
+	// At small n the prelude's peak masks the monitor chain, so the
+	// separation needs an input deep enough for the chain to dominate:
+	// one mon-cod frame per level puts naive's peak Θ(n) past tail's.
+	naiveBig := measure("naive", "(quote 512)")
+	spaceffBig := measure("spaceff", "(quote 512)")
+	if naiveBig.Flat-naiveSmall.Flat < 512 {
+		t.Errorf("naive monitor peak must chain with the input: %d @8 vs %d @512",
+			naiveSmall.Flat, naiveBig.Flat)
+	}
+	if spaceffBig.Flat != spaceffSmall.Flat {
+		t.Errorf("space-efficient monitor peak must not grow: %d @8 vs %d @512",
+			spaceffSmall.Flat, spaceffBig.Flat)
+	}
+}
+
 // TestClientDisconnectCancelsWorker submits a diverging program, drops the
 // connection, and asserts the worker slot frees promptly: the cancellation
 // propagated through the flight context into core.Run.

@@ -146,6 +146,15 @@ func modelValue(m CostModel, v value.Value) Cost {
 		return Cost{Units: 1}.AddScaled(m.Binding(), x.Env.Size())
 	case value.Escape:
 		return Cost{Units: 1}
+	case *value.ArrowContract:
+		// A header word plus one reference word per component contract; the
+		// components are values with their own store presence.
+		return Cost{Units: 1, Ptrs: 1 + len(x.Dom)}
+	case value.Guarded:
+		// A wrapper shell: header plus references to the wrapped procedure
+		// and the contract. The wrapped procedure's own cells (its copied
+		// environment included) are priced where that value is charged.
+		return Cost{Units: 1, Ptrs: 2}.Add(modelValue(m, x.Proc))
 	default:
 		// BOOL, SYM, CHAR, the empty list, UNSPECIFIED, UNDEFINED, PRIMOP.
 		return Cost{Units: 1}
@@ -174,6 +183,22 @@ func modelFrame(m CostModel, k value.Cont) Cost {
 		return Cost{Units: 1}.AddScaled(b, x.Env.Size())
 	case *value.ReturnStack:
 		return Cost{Units: 1}.AddScaled(b, x.Env.Size())
+	case *value.MonCtc:
+		// Header plus the pending-expression slot (a code pointer, unit
+		// priced like Push's Rest slots) plus the saved environment.
+		return Cost{Units: 2}.AddScaled(b, x.Env.Size())
+	case *value.MonAttach:
+		return Cost{Units: 1, Ptrs: 1}
+	case *value.MonDom:
+		return Cost{Units: 2, Ptrs: 1 + len(x.Args)}
+	case *value.MonCod:
+		// One unit (the label, static program text) and one reference word
+		// per pending check: the frame's cost is linear in its check list,
+		// which is what separates the naive monitor's Θ(n) frame chain from
+		// the space-efficient monitor's single joined frame.
+		return Cost{Units: 1 + len(x.Pend), Ptrs: len(x.Pend)}
+	case *value.MonChk:
+		return Cost{Units: 1 + len(x.Rest), Ptrs: 1 + len(x.Rest)}
 	default:
 		panic(fmt.Sprintf("space: unpriced continuation frame %T — every frame kind must be charged", k))
 	}

@@ -71,6 +71,14 @@ func (w *linkedWalker) valueSpace(v value.Value) Cost {
 		return Cost{Units: 1}
 	case value.Escape:
 		return Cost{Units: 1}.Add(w.contSpace(x.K))
+	case *value.ArrowContract:
+		c := Cost{Units: 1, Ptrs: 1 + len(x.Dom)}
+		for _, d := range x.Dom {
+			c = c.Add(w.valueSpace(d))
+		}
+		return c.Add(w.valueSpace(x.Cod))
+	case value.Guarded:
+		return Cost{Units: 1, Ptrs: 2}.Add(w.valueSpace(x.Proc)).Add(w.valueSpace(x.Ctc))
 	default:
 		return w.md.Value(v)
 	}
@@ -113,6 +121,28 @@ func (w *linkedWalker) contSpace(k value.Cont) Cost {
 		case *value.ReturnStack:
 			w.addEnv(x.Env)
 			total = total.Add(Cost{Units: 1})
+		case *value.MonCtc:
+			w.addEnv(x.Env)
+			total = total.Add(Cost{Units: 2})
+		case *value.MonAttach:
+			total = total.Add(Cost{Units: 1, Ptrs: 1}).Add(w.heldValueSpace(x.Ctc))
+		case *value.MonDom:
+			total = total.Add(Cost{Units: 2, Ptrs: 1 + len(x.Args)}).Add(w.heldValueSpace(x.G))
+			for _, v := range x.Args {
+				total = total.Add(w.heldValueSpace(v))
+			}
+		case *value.MonCod:
+			total = total.Add(Cost{Units: 1 + len(x.Pend), Ptrs: len(x.Pend)})
+			for _, p := range x.Pend {
+				total = total.Add(w.heldValueSpace(p.Ctc))
+				total = total.Add(w.heldValueSpace(p.Src))
+			}
+		case *value.MonChk:
+			total = total.Add(Cost{Units: 1 + len(x.Rest), Ptrs: 1 + len(x.Rest)}).Add(w.heldValueSpace(x.Val))
+			for _, p := range x.Rest {
+				total = total.Add(w.heldValueSpace(p.Ctc))
+				total = total.Add(w.heldValueSpace(p.Src))
+			}
 		default:
 			panic(fmt.Sprintf("space: unpriced continuation frame %T — every frame kind must be charged", k))
 		}
@@ -132,6 +162,14 @@ func (w *linkedWalker) heldValueSpace(v value.Value) Cost {
 		return Cost{}
 	case value.Escape:
 		return w.contSpace(x.K)
+	case *value.ArrowContract:
+		var c Cost
+		for _, d := range x.Dom {
+			c = c.Add(w.heldValueSpace(d))
+		}
+		return c.Add(w.heldValueSpace(x.Cod))
+	case value.Guarded:
+		return w.heldValueSpace(x.Proc).Add(w.heldValueSpace(x.Ctc))
 	}
 	return Cost{}
 }

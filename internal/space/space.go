@@ -45,6 +45,13 @@ func (m Measurer) Value(v value.Value) Cost {
 	if esc, ok := v.(value.Escape); ok {
 		return md.Value(esc).Add(m.Cont(esc.K))
 	}
+	if g, ok := v.(value.Guarded); ok {
+		// The model prices the wrapper and its wrapped procedure's shell;
+		// an escape underneath still retains its continuation.
+		if esc, ok := g.Proc.(value.Escape); ok {
+			return md.Value(g).Add(m.Cont(esc.K))
+		}
+	}
 	return md.Value(v)
 }
 

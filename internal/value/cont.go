@@ -92,6 +92,72 @@ type ReturnStack struct {
 	K   Cont
 }
 
+// MonCtc is mon-ctc:(E, ρ, l, κ) — evaluating the contract expression of a
+// (mon ctc E) form; the monitored expression E and its environment wait in
+// the frame.
+type MonCtc struct {
+	Expr  ast.Expr
+	Label string
+	Env   env.Env
+	K     Cont
+}
+
+// MonAttach is mon-attach:(v_ctc, l, κ) — the contract is ready and the
+// machine is evaluating the monitored expression. On the monitor machines the
+// delivered value is checked (flat) or wrapped (arrow); everywhere else it
+// passes through unchanged.
+type MonAttach struct {
+	Ctc   Value
+	Label string
+	K     Cont
+}
+
+// Pending is one deferred contract check: the contract a result must satisfy
+// and the label blamed if it does not. Src is the attach-time contract the
+// check descends from (the whole arrow, for a codomain check): two pending
+// checks are duplicates exactly when they came from the *same monitor* with
+// the same blame, so the space-efficient join dedups by Src's identity —
+// codomain predicates are routinely shared (number? is one primop), their
+// identity says nothing about which monitor is checking.
+type Pending struct {
+	Ctc   Value
+	Src   Value
+	Label string
+}
+
+// MonDom is mon-dom:(g, (v,...), i, κ) — a guarded application checking its
+// arguments: the frame awaits the verdict of Ctc.Dom[Idx] applied to
+// Args[Idx]. A true verdict resumes the application at the next argument; #f
+// blames the caller.
+type MonDom struct {
+	G    Guarded
+	Args []Value
+	Idx  int
+	K    Cont
+}
+
+// MonCod is mon-cod:((κ_ctc, l) ..., κ) — the monitor frame proper: the
+// codomain checks pending for the value this continuation will receive. The
+// naive monitor pushes a fresh MonCod on every guarded call, breaking tail
+// recursion (one frame per recursion level, Greenberg's Θ(n)); the
+// space-efficient monitor joins a new check into an existing top MonCod
+// frame, dropping duplicates, so monitoring occupies bounded space per
+// continuation.
+type MonCod struct {
+	Pend []Pending
+	K    Cont
+}
+
+// MonChk is mon-chk:(v, (κ_ctc, l) ..., l, κ) — awaiting a flat predicate's
+// verdict on Val; Rest holds the checks still pending on the same value. A
+// true verdict continues with Rest (or delivers Val); #f blames Label.
+type MonChk struct {
+	Val   Value
+	Rest  []Pending
+	Label string
+	K     Cont
+}
+
 func (Halt) isCont()         {}
 func (*Select) isCont()      {}
 func (*Assign) isCont()      {}
@@ -99,6 +165,11 @@ func (*Push) isCont()        {}
 func (*Call) isCont()        {}
 func (*Return) isCont()      {}
 func (*ReturnStack) isCont() {}
+func (*MonCtc) isCont()      {}
+func (*MonAttach) isCont()   {}
+func (*MonDom) isCont()      {}
+func (*MonCod) isCont()      {}
+func (*MonChk) isCont()      {}
 
 func (Halt) Next() Cont           { return nil }
 func (k *Select) Next() Cont      { return k.K }
@@ -107,6 +178,11 @@ func (k *Push) Next() Cont        { return k.K }
 func (k *Call) Next() Cont        { return k.K }
 func (k *Return) Next() Cont      { return k.K }
 func (k *ReturnStack) Next() Cont { return k.K }
+func (k *MonCtc) Next() Cont      { return k.K }
+func (k *MonAttach) Next() Cont   { return k.K }
+func (k *MonDom) Next() Cont      { return k.K }
+func (k *MonCod) Next() Cont      { return k.K }
+func (k *MonChk) Next() Cont      { return k.K }
 
 // RootReturnEnvironments is an ablation switch for the experiments: when
 // true, the saved environments of return continuations are treated as GC
@@ -166,6 +242,29 @@ func ContLocations(k Cont, out []env.Location) []env.Location {
 			// makes Z_stack asymptotically worse than a garbage collector
 			// (Section 5, Theorem 25(a)).
 			out = append(out, x.Del...)
+		case *MonCtc:
+			appendEnv(x.Env)
+		case *MonAttach:
+			out = Locations(x.Ctc, out)
+		case *MonDom:
+			out = Locations(x.G, out)
+			for _, v := range x.Args {
+				out = Locations(v, out)
+			}
+		case *MonCod:
+			for _, p := range x.Pend {
+				out = Locations(p.Ctc, out)
+				// Src must stay rooted while its check is pending: the join
+				// dedups by its tag location, which a collected-and-reused
+				// cell would alias.
+				out = Locations(p.Src, out)
+			}
+		case *MonChk:
+			out = Locations(x.Val, out)
+			for _, p := range x.Rest {
+				out = Locations(p.Ctc, out)
+				out = Locations(p.Src, out)
+			}
 		default:
 			// A frame kind this walk does not know would silently lose GC
 			// roots — fail loudly instead (and see tools/analyzers, which

@@ -85,6 +85,31 @@ type Primop struct {
 	Apply  func(st *Store, args []Value) (Value, error)
 }
 
+// ArrowContract is a higher-order contract built by (-> dom ... cod): one
+// contract per argument plus one for the result. Dom and Cod entries are
+// contract values themselves — predicate procedures (flat contracts) or
+// nested arrow contracts. Like Closure, an arrow contract carries a tag
+// location so contracts have identity: the space-efficient monitor drops a
+// pending codomain check exactly when an identical contract (same tag) is
+// already pending, which is what bounds its monitoring space.
+type ArrowContract struct {
+	Tag env.Location
+	Dom []Value
+	Cod Value
+}
+
+// Guarded is GUARDED:(α, v, κ_ctc, l): a procedure wrapped by an arrow
+// contract under the monitor machines. Applying it checks the argument
+// against Dom contracts, applies the underlying procedure, and monitors the
+// result against Cod. Only the monitor machine variants mint Guarded values;
+// every other family member erases contracts before they can wrap anything.
+type Guarded struct {
+	Tag   env.Location
+	Proc  Value // the wrapped procedure (possibly itself Guarded)
+	Ctc   *ArrowContract
+	Label string // blame label: the monitored party
+}
+
 // Foreign is an extension point for alternative evaluators that share this
 // value domain (the denotational interpreter's reified continuations, for
 // instance). It prints as a procedure and charges one word; the hosting
@@ -104,10 +129,12 @@ func (Unspecified) isValue() {}
 func (Undefined) isValue()   {}
 func (Pair) isValue()        {}
 func (Vector) isValue()      {}
-func (Closure) isValue()     {}
-func (Escape) isValue()      {}
-func (*Primop) isValue()     {}
-func (Foreign) isValue()     {}
+func (Closure) isValue()        {}
+func (Escape) isValue()         {}
+func (*Primop) isValue()        {}
+func (*ArrowContract) isValue() {}
+func (Guarded) isValue()        {}
+func (Foreign) isValue()        {}
 
 // NewNum wraps an int64.
 func NewNum(v int64) Num { return Num{Int: big.NewInt(v)} }
@@ -121,10 +148,29 @@ func Truthy(v Value) bool {
 // IsProcedure reports whether v can be applied.
 func IsProcedure(v Value) bool {
 	switch v.(type) {
-	case Closure, Escape, *Primop:
+	case Closure, Escape, *Primop, Guarded:
 		return true
 	}
 	return false
+}
+
+// ContractID returns a comparable identity for a contract value, used by the
+// space-efficient monitor to drop duplicate pending checks. Closures and
+// arrow contracts are identified by their tag location, primitives by
+// pointer; ok is false for values with no stable identity (those are never
+// deduplicated, which is safe — it only costs space).
+func ContractID(v Value) (id any, ok bool) {
+	switch x := v.(type) {
+	case Closure:
+		return x.Tag, true
+	case *ArrowContract:
+		return x.Tag, true
+	case *Primop:
+		return x, true
+	case Guarded:
+		return x.Tag, true
+	}
+	return nil, false
 }
 
 // Locations appends the store locations that occur (syntactically) within v
@@ -142,6 +188,16 @@ func Locations(v Value, out []env.Location) []env.Location {
 	case Escape:
 		out = append(out, x.Tag)
 		return ContLocations(x.K, out)
+	case *ArrowContract:
+		out = append(out, x.Tag)
+		for _, d := range x.Dom {
+			out = Locations(d, out)
+		}
+		return Locations(x.Cod, out)
+	case Guarded:
+		out = append(out, x.Tag)
+		out = Locations(x.Proc, out)
+		return Locations(x.Ctc, out)
 	}
 	return out
 }

@@ -1,0 +1,35 @@
+#!/bin/sh
+# contractsguard.sh — regenerate the contract-monitor separation tables
+# (contracted-loop: naive Θ(n) vs spaceff O(1); contracted-leak: a
+# per-iteration contract identity defeats the join, both monitors Θ(n))
+# under the default word cost model and require them byte-identical to the
+# committed CONTRACTS_baseline.json. The tables are deterministic — exact
+# peak words per input, no timing — so any byte of drift means the monitor
+# machines' space behaviour changed. A deliberate change to the monitor
+# protocol or the meters regenerates the baseline with:
+#
+#   go run ./cmd/spacelab -jobs 4 -json contracts > CONTRACTS_baseline.json
+#
+# Usage: scripts/contractsguard.sh [baseline.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-CONTRACTS_baseline.json}"
+if [ ! -f "$baseline" ]; then
+    echo "contractsguard: baseline $baseline not found" >&2
+    exit 1
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "==> spacelab -json contracts (word model)"
+go run ./cmd/spacelab -jobs 4 -json contracts > "$fresh"
+
+if ! cmp -s "$baseline" "$fresh"; then
+    echo "contractsguard: separation tables diverge from $baseline:" >&2
+    diff "$baseline" "$fresh" >&2 || true
+    exit 1
+fi
+echo "==> contract separation tables byte-identical to $baseline"

@@ -31,7 +31,7 @@ import (
 // Variant names one of the paper's reference implementations.
 type Variant string
 
-// The six reference implementations. Tail is the properly tail recursive
+// The reference implementations. Tail is the properly tail recursive
 // machine of Figure 5; GC and Stack are the improperly tail recursive
 // machines of Section 8; Evlis adds evlis tail recursion (Section 9); Free
 // closes over free variables only, and SFS is Appel-style safe-for-space
@@ -43,6 +43,13 @@ const (
 	Evlis Variant = "evlis"
 	Free  Variant = "free"
 	SFS   Variant = "sfs"
+	// Naive and SpaceEff extend Tail with contract monitoring (every other
+	// machine erases contracts). Naive pushes a fresh pending-check frame
+	// per guarded call, so a contracted tail loop costs Θ(n) space; SpaceEff
+	// joins adjacent frames and drops duplicate checks by contract identity,
+	// restoring the tail-recursive space bound.
+	Naive    Variant = "naive"
+	SpaceEff Variant = "spaceff"
 	// MTA is the Section 14 extension: it pushes a continuation on every
 	// call, like GC, but its collector compresses dead frame chains
 	// (Baker's Cheney-on-the-MTA), so it is properly tail recursive by the
@@ -50,9 +57,10 @@ const (
 	MTA Variant = "mta"
 )
 
-// Variants lists the paper's six reference implementations (MeasureAll
-// iterates these; MTA is available by name).
-var Variants = []Variant{Stack, GC, Tail, Evlis, Free, SFS}
+// Variants lists the machine family MeasureAll iterates: the paper's six
+// reference implementations plus the two contract monitors (MTA is
+// available by name).
+var Variants = []Variant{Stack, GC, Tail, Evlis, Free, SFS, Naive, SpaceEff}
 
 // GCEveryOff, as Options.GCEvery, disables the garbage collection rule
 // unconditionally instead of selecting the default policy.

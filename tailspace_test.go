@@ -65,7 +65,7 @@ func TestMeasureAllOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 6 {
+	if len(m) != 8 {
 		t.Fatalf("got %d variants", len(m))
 	}
 	if !(m[Tail].SpaceFlat <= m[GC].SpaceFlat && m[GC].SpaceFlat <= m[Stack].SpaceFlat) {
@@ -75,6 +75,10 @@ func TestMeasureAllOrdering(t *testing.T) {
 	if !(m[SFS].SpaceFlat <= m[Evlis].SpaceFlat && m[Evlis].SpaceFlat <= m[Tail].SpaceFlat) {
 		t.Fatalf("hierarchy violated: sfs=%d evlis=%d tail=%d",
 			m[SFS].SpaceFlat, m[Evlis].SpaceFlat, m[Tail].SpaceFlat)
+	}
+	if !(m[Tail].SpaceFlat <= m[SpaceEff].SpaceFlat && m[SpaceEff].SpaceFlat <= m[Naive].SpaceFlat) {
+		t.Fatalf("monitor hierarchy violated: tail=%d spaceff=%d naive=%d",
+			m[Tail].SpaceFlat, m[SpaceEff].SpaceFlat, m[Naive].SpaceFlat)
 	}
 }
 

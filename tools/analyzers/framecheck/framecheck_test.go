@@ -99,6 +99,49 @@ func TestCheck(t *testing.T) {
 	}
 }
 
+// TestMonitorFrameOmission pins the guarantee the monitor machines lean on:
+// a panic-default type switch over a continuation interface that forgets one
+// of the monitor frame kinds (here monCod, the pending-check frame the
+// space-efficient join rewrites) fails the vet gate. This is what turns
+// "every value.Cont switch handles MonCtc/MonAttach/MonDom/MonCod/MonChk"
+// from a convention into a build invariant.
+func TestMonitorFrameOmission(t *testing.T) {
+	const src = `package p
+
+type cont interface{ isCont() }
+
+type halt struct{}
+type push struct{}
+type monCod struct{}
+type monChk struct{}
+
+func (halt) isCont()    {}
+func (*push) isCont()   {}
+func (*monCod) isCont() {}
+func (*monChk) isCont() {}
+
+func roots(k cont) int {
+	switch k.(type) {
+	case halt:
+		return 0
+	case *push:
+		return 1
+	case *monChk:
+		return 2
+	default:
+		panic("unrooted continuation frame")
+	}
+}
+`
+	diags, _ := checkSource(t, src)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if want := "missing cases for *monCod"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("diag = %q, want mention of %q", diags[0].Message, want)
+	}
+}
+
 // TestPositionalLiteral covers the untyped-bound and positional-element
 // paths: a half-filled positional table is flagged with raw indices.
 func TestPositionalLiteral(t *testing.T) {
